@@ -1,0 +1,30 @@
+//! # acc-apps
+//!
+//! The three real-world applications the paper evaluates the framework
+//! with (§5.1):
+//!
+//! * [`pricing`] — parallel Monte-Carlo simulation for stock-option
+//!   pricing, using the Broadie–Glasserman random-tree algorithm to obtain
+//!   high- and low-biased estimates of American option prices (with
+//!   Black–Scholes as the European-option correctness oracle);
+//! * [`raytrace`] — a recursive Whitted-style ray tracer whose 600×600
+//!   image plane is cut into 24 strips of 25×600 pixels, one task each;
+//! * [`prefetch`] — PageRank-based web-page pre-fetching: a synthetic web
+//!   cluster, link parsing, the paper's stochastic-matrix construction,
+//!   strip-parallel power iteration, and an LRU cache measuring the
+//!   prefetch hit-rate gain.
+//!
+//! Each application implements [`acc_core::Application`] (so the framework
+//! can run it) plus a sequential baseline used by the evaluation's speedup
+//! comparisons and by correctness tests (parallel output must equal the
+//! sequential output exactly where the algorithm is deterministic).
+
+#![warn(missing_docs)]
+
+pub mod prefetch;
+pub mod pricing;
+pub mod raytrace;
+
+mod rng;
+
+pub use rng::SplitMix64;

@@ -1,0 +1,219 @@
+//! The page cache and the access-time simulation.
+//!
+//! The point of the application is to improve user-perceived access time
+//! by pre-fetching important linked pages into a cache. We measure that
+//! end-to-end: a simulated user walks the link graph (biased toward
+//! high-rank pages, per the paper's premise that "the next page requested
+//! is typically based on the current page"), and we compare cache hit
+//! rates with pre-fetching on and off.
+
+use crate::rng::SplitMix64;
+
+use super::pagerank::top_linked_pages;
+use super::web::LinkGraph;
+
+/// A classic LRU cache over page indices, with hit/miss counters.
+#[derive(Debug, Clone)]
+pub struct LruCache {
+    capacity: usize,
+    /// Most-recently-used at the back.
+    entries: Vec<u32>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// A cache holding up to `capacity` pages.
+    pub fn new(capacity: usize) -> LruCache {
+        LruCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A user request: counts a hit or miss, and caches the page.
+    pub fn request(&mut self, page: u32) -> bool {
+        let hit = self.touch(page);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// A prefetch: inserts without counting (the network cost of prefetch
+    /// is off the user's critical path).
+    pub fn prefetch(&mut self, page: u32) {
+        self.touch(page);
+    }
+
+    fn touch(&mut self, page: u32) -> bool {
+        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
+            let p = self.entries.remove(pos);
+            self.entries.push(p);
+            true
+        } else {
+            if self.entries.len() == self.capacity {
+                self.entries.remove(0);
+            }
+            self.entries.push(page);
+            false
+        }
+    }
+
+    /// Is the page currently cached?
+    pub fn contains(&self, page: u32) -> bool {
+        self.entries.contains(&page)
+    }
+
+    /// Requests served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Requests that went to the server.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit fraction in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Result of a session simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionStats {
+    /// Hit rate with PageRank prefetching enabled.
+    pub hit_rate_prefetch: f64,
+    /// Hit rate with the plain LRU cache.
+    pub hit_rate_plain: f64,
+    /// Total page requests simulated.
+    pub requests: u64,
+}
+
+/// Simulates `requests` user page-requests over the graph, with and
+/// without rank-driven prefetching of the top-`prefetch_k` linked pages.
+///
+/// The user model follows the paper's premise: from the current page the
+/// user follows one of its links, preferring important (high-rank) pages,
+/// with a small chance of jumping anywhere.
+pub fn simulate_sessions(
+    graph: &LinkGraph,
+    ranks: &[f64],
+    requests: u64,
+    cache_pages: usize,
+    prefetch_k: usize,
+    seed: u64,
+) -> SessionStats {
+    let mut with = LruCache::new(cache_pages);
+    let mut without = LruCache::new(cache_pages);
+    let mut rng = SplitMix64::new(seed);
+    let mut current: u32 = 0;
+    for _ in 0..requests {
+        with.request(current);
+        without.request(current);
+        // Prefetch the most important pages the current page links to.
+        for page in top_linked_pages(&graph.successors[current as usize], ranks, prefetch_k) {
+            with.prefetch(page);
+        }
+        // Next request: usually one of the current page's links — half the
+        // time any of them, half the time biased toward important pages —
+        // and sometimes a random jump elsewhere.
+        let successors = &graph.successors[current as usize];
+        current = if successors.is_empty() || rng.next_f64() < 0.15 {
+            rng.next_below(graph.n as u64) as u32
+        } else if rng.next_f64() < 0.5 {
+            successors[rng.next_below(successors.len() as u64) as usize]
+        } else {
+            // Rank-weighted choice among successors.
+            let total: f64 = successors.iter().map(|&s| ranks[s as usize]).sum();
+            let mut target = rng.next_f64() * total;
+            let mut chosen = successors[0];
+            for &s in successors {
+                target -= ranks[s as usize];
+                if target <= 0.0 {
+                    chosen = s;
+                    break;
+                }
+            }
+            chosen
+        };
+    }
+    SessionStats {
+        hit_rate_prefetch: with.hit_rate(),
+        hit_rate_plain: without.hit_rate(),
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::matrix::StochasticMatrix;
+    use crate::prefetch::pagerank::PageRank;
+    use crate::prefetch::web::generate_cluster;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut cache = LruCache::new(2);
+        assert!(!cache.request(1));
+        assert!(!cache.request(2));
+        assert!(cache.request(1)); // 1 now most recent
+        assert!(!cache.request(3)); // evicts 2
+        assert!(!cache.contains(2));
+        assert!(cache.contains(1));
+        assert!(cache.contains(3));
+    }
+
+    #[test]
+    fn prefetch_does_not_count_as_request() {
+        let mut cache = LruCache::new(4);
+        cache.prefetch(9);
+        assert_eq!(cache.hits() + cache.misses(), 0);
+        assert!(cache.request(9), "prefetched page is a hit");
+        assert_eq!(cache.hits(), 1);
+        assert!((cache.hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_zero() {
+        assert_eq!(LruCache::new(3).hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn prefetching_beats_plain_lru() {
+        let pages = generate_cluster("acme", 200, 11);
+        let graph = super::super::web::LinkGraph::from_pages(&pages);
+        let m = StochasticMatrix::from_graph(&graph);
+        let (ranks, _) = PageRank::default().compute(&m);
+        let stats = simulate_sessions(&graph, &ranks, 5_000, 8, 5, 99);
+        assert_eq!(stats.requests, 5_000);
+        assert!(
+            stats.hit_rate_prefetch > stats.hit_rate_plain + 0.05,
+            "prefetch {} vs plain {}",
+            stats.hit_rate_prefetch,
+            stats.hit_rate_plain
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let pages = generate_cluster("acme", 100, 2);
+        let graph = super::super::web::LinkGraph::from_pages(&pages);
+        let m = StochasticMatrix::from_graph(&graph);
+        let (ranks, _) = PageRank::default().compute(&m);
+        let a = simulate_sessions(&graph, &ranks, 1_000, 10, 2, 5);
+        let b = simulate_sessions(&graph, &ranks, 1_000, 10, 2, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,183 @@
+//! The stochastic matrix of the paper's §5.1.3.
+//!
+//! Construction, verbatim from the paper: each page `i` corresponds to row
+//! `i` and column `i`; if page `j` has `n` successors, the `(i,j)` entry is
+//! `1/n` when `i` is one of those successors and 0 otherwise. Columns of
+//! dangling pages (no successors) are set to `1/N` so the matrix stays
+//! column-stochastic — the standard PageRank fix.
+
+use super::web::LinkGraph;
+
+/// A dense column-stochastic matrix, stored row-major so row strips are
+/// contiguous (strips are the unit of parallel work).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl StochasticMatrix {
+    /// Builds the matrix from a link graph.
+    pub fn from_graph(graph: &LinkGraph) -> StochasticMatrix {
+        let n = graph.n;
+        let mut data = vec![0.0; n * n];
+        for j in 0..n {
+            let out = graph.out_degree(j);
+            if out == 0 {
+                // Dangling page: its rank mass spreads uniformly.
+                let w = 1.0 / n as f64;
+                for i in 0..n {
+                    data[i * n + j] = w;
+                }
+            } else {
+                let w = 1.0 / out as f64;
+                for &i in &graph.successors[j] {
+                    data[i as usize * n + j] = w;
+                }
+            }
+        }
+        StochasticMatrix { n, data }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// One row as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Verifies that every column sums to 1 (within `tol`).
+    pub fn is_column_stochastic(&self, tol: f64) -> bool {
+        (0..self.n).all(|j| {
+            let sum: f64 = (0..self.n).map(|i| self.get(i, j)).sum();
+            (sum - 1.0).abs() <= tol
+        })
+    }
+
+    /// Computes rows `[row0, row0+rows)` of `M·v` — the strip computation
+    /// distributed to workers. Accumulation order is fixed (ascending
+    /// column), so strip-wise and whole-matrix products are bit-identical.
+    pub fn strip_multiply(&self, row0: usize, rows: usize, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.n, "vector dimension mismatch");
+        assert!(row0 + rows <= self.n, "strip out of range");
+        let mut out = Vec::with_capacity(rows);
+        for i in row0..row0 + rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for j in 0..self.n {
+                acc += row[j] * v[j];
+            }
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Full `M·v` (the sequential baseline's kernel).
+    pub fn multiply(&self, v: &[f64]) -> Vec<f64> {
+        self.strip_multiply(0, self.n, v)
+    }
+
+    /// The `(row0, rows)` strip decomposition with `strip_rows` rows per
+    /// strip (the paper: 500 rows in strips of 20 ⇒ 25 strips).
+    pub fn strips(&self, strip_rows: usize) -> Vec<(usize, usize)> {
+        assert!(strip_rows > 0);
+        let mut out = Vec::new();
+        let mut row0 = 0;
+        while row0 < self.n {
+            let rows = strip_rows.min(self.n - row0);
+            out.push((row0, rows));
+            row0 += rows;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::web::generate_cluster;
+
+    fn tiny_graph() -> LinkGraph {
+        // 0 -> {1, 2}; 1 -> {2}; 2 -> {0}; 3 -> {} (dangling)
+        LinkGraph {
+            n: 4,
+            successors: vec![vec![1, 2], vec![2], vec![0], vec![]],
+        }
+    }
+
+    #[test]
+    fn construction_matches_paper_rule() {
+        let m = StochasticMatrix::from_graph(&tiny_graph());
+        // Page 0 has 2 successors: column 0 has 1/2 at rows 1 and 2.
+        assert_eq!(m.get(1, 0), 0.5);
+        assert_eq!(m.get(2, 0), 0.5);
+        assert_eq!(m.get(0, 0), 0.0);
+        // Page 1 has 1 successor: column 1 has 1 at row 2.
+        assert_eq!(m.get(2, 1), 1.0);
+        // Dangling page 3: uniform column.
+        for i in 0..4 {
+            assert_eq!(m.get(i, 3), 0.25);
+        }
+    }
+
+    #[test]
+    fn columns_sum_to_one() {
+        let m = StochasticMatrix::from_graph(&tiny_graph());
+        assert!(m.is_column_stochastic(1e-12));
+        let pages = generate_cluster("acme", 120, 3);
+        let graph = LinkGraph::from_pages(&pages);
+        let big = StochasticMatrix::from_graph(&graph);
+        assert!(big.is_column_stochastic(1e-9));
+    }
+
+    #[test]
+    fn multiply_preserves_total_mass() {
+        let m = StochasticMatrix::from_graph(&tiny_graph());
+        let v = vec![0.25; 4];
+        let out = m.multiply(&v);
+        let sum: f64 = out.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "stochastic matrix preserves mass");
+    }
+
+    #[test]
+    fn strips_cover_exactly() {
+        let pages = generate_cluster("acme", 100, 1);
+        let m = StochasticMatrix::from_graph(&LinkGraph::from_pages(&pages));
+        let strips = m.strips(20);
+        assert_eq!(strips.len(), 5);
+        assert_eq!(strips[0], (0, 20));
+        assert_eq!(strips[4], (80, 20));
+        // Ragged case.
+        let ragged = m.strips(30);
+        assert_eq!(ragged.last(), Some(&(90, 10)));
+        assert_eq!(ragged.iter().map(|(_, r)| r).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn strip_multiply_equals_full_multiply() {
+        let pages = generate_cluster("acme", 60, 2);
+        let m = StochasticMatrix::from_graph(&LinkGraph::from_pages(&pages));
+        let v: Vec<f64> = (0..60).map(|i| 1.0 / (i + 1) as f64).collect();
+        let full = m.multiply(&v);
+        let mut stitched = Vec::new();
+        for (row0, rows) in m.strips(13) {
+            stitched.extend(m.strip_multiply(row0, rows, &v));
+        }
+        assert_eq!(stitched, full, "bit-identical accumulation");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn multiply_checks_dimensions() {
+        let m = StochasticMatrix::from_graph(&tiny_graph());
+        m.multiply(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,30 @@
+//! Web-page pre-fetching based on PageRank (paper §5.1.3).
+//!
+//! The goal is to optimise user-perceived access time by pre-fetching the
+//! pages a user is likely to request next. For each requested page inside a
+//! *web page cluster* (a group of closely related pages, e.g. one
+//! company's site), the links it contains are parsed out and used to
+//! populate a stochastic matrix:
+//!
+//! 1. each page `i` corresponds to row `i` and column `i`;
+//! 2. if page `j` has `n` successors, entry `(i, j)` is `1/n` when `i` is
+//!    one of them, 0 otherwise.
+//!
+//! The matrix drives iterative eigenvector (power-iteration) computation
+//! of page ranks; the most important linked pages are pre-fetched into a
+//! cache. Parallelism distributes matrix strips (paper: 500×500 matrix,
+//! strips of 20 ⇒ 25 tasks) with an inter-iteration barrier.
+
+mod cache;
+mod matrix;
+mod pagerank;
+mod seq;
+mod tasks;
+mod web;
+
+pub use cache::{simulate_sessions, LruCache, SessionStats};
+pub use matrix::StochasticMatrix;
+pub use pagerank::{top_linked_pages, PageRank};
+pub use seq::pagerank_sequential;
+pub use tasks::{run_pagerank_parallel, PrefetchApp, StripTask};
+pub use web::{generate_cluster, parse_links, LinkGraph, WebPage};

@@ -1,0 +1,140 @@
+//! Power-iteration PageRank and prefetch selection.
+
+use super::matrix::StochasticMatrix;
+
+/// PageRank solver parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageRank {
+    /// Damping factor (probability of following a link).
+    pub damping: f64,
+    /// L1 convergence tolerance between iterations.
+    pub tolerance: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for PageRank {
+    fn default() -> Self {
+        PageRank {
+            damping: 0.85,
+            tolerance: 1e-10,
+            max_iterations: 100,
+        }
+    }
+}
+
+impl PageRank {
+    /// One power-iteration step: `d·(M·r) + (1-d)/n`, with the matvec
+    /// supplied so strip-parallel and sequential paths share this code.
+    pub fn step_from_product(&self, product: &[f64]) -> Vec<f64> {
+        let n = product.len();
+        let teleport = (1.0 - self.damping) / n as f64;
+        product.iter().map(|&x| self.damping * x + teleport).collect()
+    }
+
+    /// L1 distance between successive iterates.
+    pub fn delta(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+    }
+
+    /// Sequential PageRank: returns `(ranks, iterations)`.
+    pub fn compute(&self, matrix: &StochasticMatrix) -> (Vec<f64>, usize) {
+        let n = matrix.n();
+        let mut rank = vec![1.0 / n as f64; n];
+        for iter in 1..=self.max_iterations {
+            let next = self.step_from_product(&matrix.multiply(&rank));
+            let delta = Self::delta(&next, &rank);
+            rank = next;
+            if delta < self.tolerance {
+                return (rank, iter);
+            }
+        }
+        (rank, self.max_iterations)
+    }
+}
+
+/// Prefetch selection: among the pages `current` links to, the `k` with the
+/// highest rank — "if the requested pages link to an important page, that
+/// page has a higher probability of being the next one requested".
+pub fn top_linked_pages(successors: &[u32], ranks: &[f64], k: usize) -> Vec<u32> {
+    let mut candidates: Vec<u32> = successors.to_vec();
+    candidates.sort_by(|&a, &b| {
+        ranks[b as usize]
+            .partial_cmp(&ranks[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::web::{generate_cluster, LinkGraph};
+
+    fn matrix(n: usize, seed: u64) -> StochasticMatrix {
+        StochasticMatrix::from_graph(&LinkGraph::from_pages(&generate_cluster("t", n, seed)))
+    }
+
+    #[test]
+    fn ranks_sum_to_one_and_are_positive() {
+        let m = matrix(150, 4);
+        let (ranks, iters) = PageRank::default().compute(&m);
+        assert!(iters < 100, "should converge, took {iters}");
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-8, "sum {sum}");
+        assert!(ranks.iter().all(|&r| r > 0.0), "teleport keeps all positive");
+    }
+
+    #[test]
+    fn known_two_node_chain() {
+        // 0 <-> 1 symmetric: ranks must be equal.
+        let graph = LinkGraph {
+            n: 2,
+            successors: vec![vec![1], vec![0]],
+        };
+        let m = StochasticMatrix::from_graph(&graph);
+        let (ranks, _) = PageRank::default().compute(&m);
+        assert!((ranks[0] - 0.5).abs() < 1e-9);
+        assert!((ranks[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sink_hub_attracts_rank() {
+        // Everyone links to page 0; page 0 dangles.
+        let graph = LinkGraph {
+            n: 5,
+            successors: vec![vec![], vec![0], vec![0], vec![0], vec![0]],
+        };
+        let m = StochasticMatrix::from_graph(&graph);
+        let (ranks, _) = PageRank::default().compute(&m);
+        assert!(ranks[0] > ranks[1] * 2.0, "hub {} vs leaf {}", ranks[0], ranks[1]);
+    }
+
+    #[test]
+    fn hubs_outrank_leaves_in_generated_cluster() {
+        let pages = generate_cluster("acme", 250, 6);
+        let graph = LinkGraph::from_pages(&pages);
+        let m = StochasticMatrix::from_graph(&graph);
+        let (ranks, _) = PageRank::default().compute(&m);
+        let hubs = 250 / 50 + 1;
+        let hub_mean: f64 = ranks[..hubs].iter().sum::<f64>() / hubs as f64;
+        let rest_mean: f64 = ranks[hubs..].iter().sum::<f64>() / (250 - hubs) as f64;
+        assert!(hub_mean > 3.0 * rest_mean);
+    }
+
+    #[test]
+    fn top_linked_pages_orders_by_rank() {
+        let ranks = vec![0.1, 0.5, 0.2, 0.05];
+        assert_eq!(top_linked_pages(&[0, 1, 2, 3], &ranks, 2), vec![1, 2]);
+        assert_eq!(top_linked_pages(&[3, 0], &ranks, 5), vec![0, 3]);
+        assert!(top_linked_pages(&[], &ranks, 3).is_empty());
+    }
+
+    #[test]
+    fn tie_break_is_deterministic() {
+        let ranks = vec![0.25, 0.25, 0.25, 0.25];
+        assert_eq!(top_linked_pages(&[2, 0, 3, 1], &ranks, 2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Sequential baseline for the pre-fetching application.
+
+use super::matrix::StochasticMatrix;
+use super::pagerank::PageRank;
+
+/// Sequential PageRank over the matrix — the 1-worker comparison point.
+/// Identical accumulation order to the strip-parallel path, so results are
+/// bit-for-bit equal.
+pub fn pagerank_sequential(matrix: &StochasticMatrix, solver: &PageRank) -> (Vec<f64>, usize) {
+    solver.compute(matrix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::web::{generate_cluster, LinkGraph};
+
+    #[test]
+    fn sequential_matches_solver() {
+        let pages = generate_cluster("t", 80, 1);
+        let m = StochasticMatrix::from_graph(&LinkGraph::from_pages(&pages));
+        let solver = PageRank::default();
+        let (a, ia) = pagerank_sequential(&m, &solver);
+        let (b, ib) = solver.compute(&m);
+        assert_eq!(a, b);
+        assert_eq!(ia, ib);
+    }
+}

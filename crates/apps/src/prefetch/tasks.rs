@@ -1,0 +1,307 @@
+//! The pre-fetching application as the framework sees it.
+//!
+//! Parallelism is achieved by distributing the matrix and performing the
+//! computation on local portions in parallel (paper §5.1.3): each task
+//! computes one strip of the matrix–vector product for the current
+//! power-iteration step. Inter-iteration dependencies are resolved at the
+//! master: it aggregates the strips, applies damping/teleport, checks
+//! convergence and replans the next iteration's tasks — the barrier the
+//! paper notes limits this application's speedup.
+//!
+//! The paper's configuration: 500×500 and 500×1 matrices, strips of 20
+//! rows ⇒ 25 tasks per iteration.
+
+use std::sync::Arc;
+
+use acc_core::{Application, ExecError, Master, RunReport, TaskEntry, TaskExecutor, TaskSpec};
+use acc_tuplespace::{Payload, PayloadError, WireReader, WireWriter};
+
+use super::matrix::StochasticMatrix;
+use super::pagerank::PageRank;
+use super::web::{generate_cluster, LinkGraph};
+
+/// Input payload of one strip task: the region of rows plus the current
+/// iterate (the 500×1 matrix of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StripTask {
+    /// First row of the strip.
+    pub row0: u32,
+    /// Number of rows.
+    pub rows: u32,
+    /// The current rank vector.
+    pub vector: Vec<f64>,
+}
+
+impl Payload for StripTask {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.row0);
+        w.put_u32(self.rows);
+        w.put_f64_slice(&self.vector);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        Ok(StripTask {
+            row0: r.get_u32()?,
+            rows: r.get_u32()?,
+            vector: r.get_f64_vec()?,
+        })
+    }
+}
+
+/// The PageRank-based pre-fetching application.
+pub struct PrefetchApp {
+    matrix: Arc<StochasticMatrix>,
+    /// Solver parameters.
+    pub solver: PageRank,
+    strip_rows: usize,
+    rank: Vec<f64>,
+    product: Vec<f64>,
+    absorbed: usize,
+    iteration: usize,
+    last_delta: f64,
+}
+
+impl PrefetchApp {
+    /// An app over an explicit matrix and strip height.
+    pub fn new(matrix: StochasticMatrix, strip_rows: usize) -> PrefetchApp {
+        let n = matrix.n();
+        PrefetchApp {
+            matrix: Arc::new(matrix),
+            solver: PageRank::default(),
+            strip_rows,
+            rank: vec![1.0 / n as f64; n],
+            product: vec![0.0; n],
+            absorbed: 0,
+            iteration: 0,
+            last_delta: f64::INFINITY,
+        }
+    }
+
+    /// The paper's configuration: a 500-page cluster, strips of 20 rows
+    /// (25 tasks per iteration).
+    pub fn paper_configuration() -> PrefetchApp {
+        let pages = generate_cluster("acme", 500, 2001);
+        let graph = LinkGraph::from_pages(&pages);
+        PrefetchApp::new(StochasticMatrix::from_graph(&graph), 20)
+    }
+
+    /// The matrix being iterated.
+    pub fn matrix(&self) -> Arc<StochasticMatrix> {
+        self.matrix.clone()
+    }
+
+    /// Completed power iterations.
+    pub fn iterations(&self) -> usize {
+        self.iteration
+    }
+
+    /// The current rank vector.
+    pub fn ranks(&self) -> &[f64] {
+        &self.rank
+    }
+
+    /// L1 change produced by the last finished iteration.
+    pub fn last_delta(&self) -> f64 {
+        self.last_delta
+    }
+
+    /// Has the iteration converged?
+    pub fn converged(&self) -> bool {
+        self.iteration > 0 && self.last_delta < self.solver.tolerance
+    }
+
+    /// Finishes one iteration after all strips have been absorbed:
+    /// applies damping/teleport and swaps in the new iterate.
+    ///
+    /// # Panics
+    /// If called before every strip of the round was absorbed.
+    pub fn finish_iteration(&mut self) -> f64 {
+        assert_eq!(
+            self.absorbed,
+            self.matrix.strips(self.strip_rows).len(),
+            "finish_iteration before all strips arrived"
+        );
+        let next = self.solver.step_from_product(&self.product);
+        self.last_delta = PageRank::delta(&next, &self.rank);
+        self.rank = next;
+        self.iteration += 1;
+        self.absorbed = 0;
+        self.product.iter_mut().for_each(|x| *x = 0.0);
+        self.last_delta
+    }
+}
+
+struct StripMultiplyExecutor {
+    matrix: Arc<StochasticMatrix>,
+}
+
+impl TaskExecutor for StripMultiplyExecutor {
+    fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+        let input: StripTask = task.input()?;
+        if input.vector.len() != self.matrix.n() {
+            return Err(ExecError::App("vector dimension mismatch".into()));
+        }
+        let out = self
+            .matrix
+            .strip_multiply(input.row0 as usize, input.rows as usize, &input.vector);
+        Ok(out.to_bytes())
+    }
+}
+
+impl Application for PrefetchApp {
+    fn job_name(&self) -> String {
+        "page-prefetch".into()
+    }
+
+    fn bundle_name(&self) -> String {
+        "page-prefetch-worker".into()
+    }
+
+    fn bundle_kb(&self) -> usize {
+        32 // a matvec kernel; the matrix ships with the bundle
+    }
+
+    fn plan(&mut self) -> Vec<TaskSpec> {
+        self.matrix
+            .strips(self.strip_rows)
+            .into_iter()
+            .enumerate()
+            .map(|(i, (row0, rows))| {
+                TaskSpec::new(
+                    i as u64,
+                    &StripTask {
+                        row0: row0 as u32,
+                        rows: rows as u32,
+                        vector: self.rank.clone(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn executor(&self) -> Arc<dyn TaskExecutor> {
+        Arc::new(StripMultiplyExecutor {
+            matrix: self.matrix.clone(),
+        })
+    }
+
+    fn absorb(&mut self, task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+        let strips = self.matrix.strips(self.strip_rows);
+        let (row0, rows) = *strips
+            .get(task_id as usize)
+            .ok_or_else(|| ExecError::App(format!("strip {task_id} out of range")))?;
+        let values = Vec::<f64>::from_bytes(payload).map_err(ExecError::Decode)?;
+        if values.len() != rows {
+            return Err(ExecError::App(format!(
+                "strip {task_id}: {} rows, expected {rows}",
+                values.len()
+            )));
+        }
+        self.product[row0..row0 + rows].copy_from_slice(&values);
+        self.absorbed += 1;
+        Ok(())
+    }
+}
+
+/// Drives the full parallel PageRank: one master round per power
+/// iteration, with the inter-iteration barrier at the master. Returns the
+/// per-round reports.
+pub fn run_pagerank_parallel(
+    master: &Master,
+    app: &mut PrefetchApp,
+) -> Result<Vec<RunReport>, ExecError> {
+    let mut reports = Vec::new();
+    while !app.converged() && app.iterations() < app.solver.max_iterations {
+        let report = master
+            .run(app)
+            .map_err(|e| ExecError::App(format!("space error: {e}")))?;
+        if !report.complete {
+            return Err(ExecError::App(format!(
+                "iteration {} incomplete: {}/{} strips",
+                app.iterations(),
+                report.results_collected,
+                report.times.tasks
+            )));
+        }
+        app.finish_iteration();
+        reports.push(report);
+    }
+    Ok(reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_app() -> PrefetchApp {
+        let pages = generate_cluster("t", 60, 3);
+        let graph = LinkGraph::from_pages(&pages);
+        PrefetchApp::new(StochasticMatrix::from_graph(&graph), 13)
+    }
+
+    #[test]
+    fn strip_task_roundtrip() {
+        let task = StripTask {
+            row0: 20,
+            rows: 20,
+            vector: vec![0.1, 0.2, 0.7],
+        };
+        assert_eq!(StripTask::from_bytes(&task.to_bytes()).unwrap(), task);
+    }
+
+    #[test]
+    fn paper_configuration_has_25_tasks() {
+        let mut app = PrefetchApp::paper_configuration();
+        assert_eq!(app.matrix().n(), 500);
+        assert_eq!(app.plan().len(), 25);
+    }
+
+    #[test]
+    fn one_local_round_matches_direct_step() {
+        let mut app = small_app();
+        let exec = app.executor();
+        let direct = app
+            .solver
+            .step_from_product(&app.matrix().multiply(app.ranks()));
+        for spec in app.plan() {
+            let entry = TaskEntry::new("page-prefetch", spec.task_id, spec.payload);
+            let out = exec.execute(&entry).unwrap();
+            app.absorb(spec.task_id, &out).unwrap();
+        }
+        app.finish_iteration();
+        assert_eq!(app.ranks(), &direct[..], "bit-identical to direct step");
+        assert_eq!(app.iterations(), 1);
+    }
+
+    #[test]
+    fn local_loop_converges_to_sequential_pagerank() {
+        let mut app = small_app();
+        let (expected, expected_iters) = app.solver.compute(&app.matrix());
+        let exec = app.executor();
+        while !app.converged() && app.iterations() < app.solver.max_iterations {
+            for spec in app.plan() {
+                let entry = TaskEntry::new("page-prefetch", spec.task_id, spec.payload);
+                let out = exec.execute(&entry).unwrap();
+                app.absorb(spec.task_id, &out).unwrap();
+            }
+            app.finish_iteration();
+        }
+        assert_eq!(app.iterations(), expected_iters);
+        assert_eq!(app.ranks(), &expected[..], "bit-identical convergence");
+    }
+
+    #[test]
+    fn absorb_validates_inputs() {
+        let mut app = small_app();
+        assert!(app.absorb(999, &[]).is_err());
+        let bad = vec![1.0f64; 2].to_bytes();
+        assert!(app.absorb(0, &bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "before all strips")]
+    fn finish_iteration_requires_all_strips() {
+        let mut app = small_app();
+        app.finish_iteration();
+    }
+}

@@ -1,0 +1,217 @@
+//! Synthetic web-page clusters and link parsing.
+//!
+//! The paper's workload is a cluster of closely related pages (a single
+//! company's site). We generate such a cluster deterministically — a few
+//! hub pages everyone links to, plus local neighbourhood links — emit real
+//! HTML, and parse the `href`s back out, exercising the same
+//! scan-the-page-for-links path the paper's implementation used.
+
+use crate::rng::SplitMix64;
+
+/// One synthetic page: its URL and HTML body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebPage {
+    /// Site-relative URL, e.g. `/page/17.html`.
+    pub url: String,
+    /// The HTML body containing the links.
+    pub html: String,
+}
+
+/// Extracts the `href` targets of anchor tags from HTML. Only plain
+/// double-quoted hrefs are considered (enough for our generator and for
+/// most real markup).
+pub fn parse_links(html: &str) -> Vec<String> {
+    let mut links = Vec::new();
+    let mut rest = html;
+    while let Some(pos) = rest.find("href=\"") {
+        rest = &rest[pos + 6..];
+        if let Some(end) = rest.find('"') {
+            links.push(rest[..end].to_owned());
+            rest = &rest[end + 1..];
+        } else {
+            break;
+        }
+    }
+    links
+}
+
+fn page_url(index: usize) -> String {
+    format!("/page/{index}.html")
+}
+
+/// Generates a deterministic cluster of `n` interlinked pages.
+///
+/// Structure: the first `n/50 + 1` pages are hubs that most pages link to
+/// (giving a skewed rank distribution, as on real sites); every page also
+/// links to a handful of pseudo-random neighbours. Page 0 links to nothing
+/// beyond its neighbours; a few pages are left dangling (no links) to
+/// exercise the dangling-node handling in the matrix construction.
+pub fn generate_cluster(name: &str, n: usize, seed: u64) -> Vec<WebPage> {
+    assert!(n >= 2);
+    let mut rng = SplitMix64::new(seed);
+    let hubs = n / 50 + 1;
+    let mut pages = Vec::with_capacity(n);
+    for i in 0..n {
+        // Roughly every 97th page is dangling.
+        let dangling = n > 10 && i % 97 == 96;
+        let mut targets: Vec<usize> = Vec::new();
+        if !dangling {
+            for hub in 0..hubs {
+                if hub != i && rng.next_f64() < 0.8 {
+                    targets.push(hub);
+                }
+            }
+            let extras = 2 + rng.next_below(4) as usize;
+            for _ in 0..extras {
+                let t = rng.next_below(n as u64) as usize;
+                if t != i {
+                    targets.push(t);
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+        }
+        let mut body = String::new();
+        body.push_str(&format!(
+            "<html><head><title>{name} page {i}</title></head><body>\n<h1>Page {i}</h1>\n"
+        ));
+        for t in &targets {
+            body.push_str(&format!(
+                "<p>See also <a href=\"{}\">page {t}</a>.</p>\n",
+                page_url(*t)
+            ));
+        }
+        body.push_str("</body></html>\n");
+        pages.push(WebPage {
+            url: page_url(i),
+            html: body,
+        });
+    }
+    pages
+}
+
+/// The link structure of a page cluster: `successors[j]` lists the page
+/// indices that page `j` links to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkGraph {
+    /// Number of pages.
+    pub n: usize,
+    /// Successor lists, indexed by source page.
+    pub successors: Vec<Vec<u32>>,
+}
+
+impl LinkGraph {
+    /// Builds the graph by parsing every page's links and resolving them
+    /// against the cluster's URLs. Links leaving the cluster are ignored
+    /// (the paper only follows links "to other pages on the local
+    /// server").
+    pub fn from_pages(pages: &[WebPage]) -> LinkGraph {
+        let index: std::collections::HashMap<&str, u32> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.url.as_str(), i as u32))
+            .collect();
+        let successors = pages
+            .iter()
+            .map(|page| {
+                let mut out: Vec<u32> = parse_links(&page.html)
+                    .iter()
+                    .filter_map(|href| index.get(href.as_str()).copied())
+                    .collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+        LinkGraph {
+            n: pages.len(),
+            successors,
+        }
+    }
+
+    /// Out-degree of page `j`.
+    pub fn out_degree(&self, j: usize) -> usize {
+        self.successors[j].len()
+    }
+
+    /// Total number of links.
+    pub fn edges(&self) -> usize {
+        self.successors.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_links_extracts_hrefs() {
+        let html = r#"<a href="/a.html">A</a> text <a class="x" href="/b.html">B</a>"#;
+        assert_eq!(parse_links(html), vec!["/a.html", "/b.html"]);
+        assert!(parse_links("no links here").is_empty());
+        assert!(parse_links(r#"href=""#).is_empty(), "unterminated href");
+    }
+
+    #[test]
+    fn cluster_is_deterministic() {
+        let a = generate_cluster("acme", 100, 7);
+        let b = generate_cluster("acme", 100, 7);
+        assert_eq!(a, b);
+        let c = generate_cluster("acme", 100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn graph_roundtrips_through_html() {
+        let pages = generate_cluster("acme", 200, 42);
+        let graph = LinkGraph::from_pages(&pages);
+        assert_eq!(graph.n, 200);
+        assert!(graph.edges() > 200, "cluster should be well linked");
+        // All successors are valid page indices.
+        for succ in &graph.successors {
+            for &t in succ {
+                assert!((t as usize) < 200);
+            }
+        }
+    }
+
+    #[test]
+    fn hubs_have_high_in_degree() {
+        let pages = generate_cluster("acme", 300, 1);
+        let graph = LinkGraph::from_pages(&pages);
+        let mut in_degree = vec![0usize; graph.n];
+        for succ in &graph.successors {
+            for &t in succ {
+                in_degree[t as usize] += 1;
+            }
+        }
+        let hubs = 300 / 50 + 1;
+        let hub_avg: f64 =
+            in_degree[..hubs].iter().sum::<usize>() as f64 / hubs as f64;
+        let rest_avg: f64 =
+            in_degree[hubs..].iter().sum::<usize>() as f64 / (graph.n - hubs) as f64;
+        assert!(
+            hub_avg > 5.0 * rest_avg,
+            "hub avg {hub_avg} vs rest {rest_avg}"
+        );
+    }
+
+    #[test]
+    fn dangling_pages_exist() {
+        let pages = generate_cluster("acme", 300, 5);
+        let graph = LinkGraph::from_pages(&pages);
+        assert!(
+            (0..graph.n).any(|j| graph.out_degree(j) == 0),
+            "generator should leave some dangling pages"
+        );
+    }
+
+    #[test]
+    fn no_self_links() {
+        let pages = generate_cluster("acme", 150, 9);
+        let graph = LinkGraph::from_pages(&pages);
+        for (j, succ) in graph.successors.iter().enumerate() {
+            assert!(!succ.contains(&(j as u32)));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Parallel Monte-Carlo simulation for stock-option pricing (paper §5.1.1).
+//!
+//! A stock option is defined by the underlying security, the option type
+//! (call or put), the strike price and an expiration date; interest rate
+//! and volatility affect its price. We price European options by
+//! risk-neutral GBM simulation (with the Black–Scholes closed form as the
+//! correctness oracle) and American options with the Broadie–Glasserman
+//! random-tree algorithm, whose paired high/low estimators bracket the true
+//! price — the paper's "first iteration obtains a high estimate, the second
+//! a low estimate".
+//!
+//! The paper's configuration: 10 000 simulations divided into 50 tasks of
+//! 100 simulations; the high/low split doubles this to 100 subtasks in the
+//! space.
+
+mod model;
+mod seq;
+mod tasks;
+mod tree;
+
+pub use model::{black_scholes_price, norm_cdf, OptionSpec, OptionStyle, OptionType};
+pub use seq::price_sequential;
+pub use tasks::{Estimator, PricingApp, PricingResult, PricingTaskInput};
+pub use tree::{bg_tree_estimate, european_mc_antithetic, european_mc_estimate};

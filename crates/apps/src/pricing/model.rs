@@ -1,0 +1,231 @@
+//! Option contracts and the Black–Scholes closed form.
+
+use acc_tuplespace::{Payload, PayloadError, WireReader, WireWriter};
+
+/// Call or put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionType {
+    /// Right to buy at the strike.
+    Call,
+    /// Right to sell at the strike.
+    Put,
+}
+
+/// Exercise style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionStyle {
+    /// Exercisable only at expiry.
+    European,
+    /// Exercisable at any decision date up to expiry.
+    American,
+}
+
+/// A stock-option contract plus the market parameters that price it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptionSpec {
+    /// Current price of the underlying security.
+    pub spot: f64,
+    /// Strike price.
+    pub strike: f64,
+    /// Continuously compounded risk-free interest rate.
+    pub rate: f64,
+    /// Dividend yield of the underlying.
+    pub dividend: f64,
+    /// Annualised volatility.
+    pub volatility: f64,
+    /// Time to expiration, in years.
+    pub expiry: f64,
+    /// Call or put.
+    pub option_type: OptionType,
+    /// European or American exercise.
+    pub style: OptionStyle,
+}
+
+impl OptionSpec {
+    /// The contract used throughout the evaluation: an at-the-money
+    /// American call on a dividend-paying stock (dividends make early
+    /// exercise of a call non-trivial, so high/low estimates differ).
+    pub fn paper_default() -> OptionSpec {
+        OptionSpec {
+            spot: 100.0,
+            strike: 100.0,
+            rate: 0.05,
+            dividend: 0.10,
+            volatility: 0.20,
+            expiry: 1.0,
+            option_type: OptionType::Call,
+            style: OptionStyle::American,
+        }
+    }
+
+    /// Intrinsic value of immediate exercise at underlying price `s`.
+    pub fn payoff(&self, s: f64) -> f64 {
+        match self.option_type {
+            OptionType::Call => (s - self.strike).max(0.0),
+            OptionType::Put => (self.strike - s).max(0.0),
+        }
+    }
+}
+
+impl Payload for OptionSpec {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f64(self.spot);
+        w.put_f64(self.strike);
+        w.put_f64(self.rate);
+        w.put_f64(self.dividend);
+        w.put_f64(self.volatility);
+        w.put_f64(self.expiry);
+        w.put_u8(match self.option_type {
+            OptionType::Call => 0,
+            OptionType::Put => 1,
+        });
+        w.put_u8(match self.style {
+            OptionStyle::European => 0,
+            OptionStyle::American => 1,
+        });
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        Ok(OptionSpec {
+            spot: r.get_f64()?,
+            strike: r.get_f64()?,
+            rate: r.get_f64()?,
+            dividend: r.get_f64()?,
+            volatility: r.get_f64()?,
+            expiry: r.get_f64()?,
+            option_type: match r.get_u8()? {
+                0 => OptionType::Call,
+                1 => OptionType::Put,
+                _ => return Err(PayloadError::Corrupt("option type")),
+            },
+            style: match r.get_u8()? {
+                0 => OptionStyle::European,
+                1 => OptionStyle::American,
+                _ => return Err(PayloadError::Corrupt("option style")),
+            },
+        })
+    }
+}
+
+/// The standard normal CDF (Abramowitz–Stegun 7.1.26 via `erf`), accurate
+/// to ~1.5e-7 — plenty for oracle comparisons.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Black–Scholes(-Merton) price of a *European* option with continuous
+/// dividend yield. The MC estimator must converge to this.
+pub fn black_scholes_price(spec: &OptionSpec) -> f64 {
+    let OptionSpec {
+        spot: s,
+        strike: k,
+        rate: r,
+        dividend: q,
+        volatility: sigma,
+        expiry: t,
+        ..
+    } = *spec;
+    if t <= 0.0 {
+        return spec.payoff(s);
+    }
+    let sqrt_t = t.sqrt();
+    let d1 = ((s / k).ln() + (r - q + 0.5 * sigma * sigma) * t) / (sigma * sqrt_t);
+    let d2 = d1 - sigma * sqrt_t;
+    let df_r = (-r * t).exp();
+    let df_q = (-q * t).exp();
+    match spec.option_type {
+        OptionType::Call => s * df_q * norm_cdf(d1) - k * df_r * norm_cdf(d2),
+        OptionType::Put => k * df_r * norm_cdf(-d2) - s * df_q * norm_cdf(-d1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn european(option_type: OptionType) -> OptionSpec {
+        OptionSpec {
+            style: OptionStyle::European,
+            option_type,
+            dividend: 0.0,
+            ..OptionSpec::paper_default()
+        }
+    }
+
+    #[test]
+    fn norm_cdf_reference_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(norm_cdf(8.0) > 0.999_999);
+        assert!(norm_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn black_scholes_known_value() {
+        // Hull's classic example: S=42, K=40, r=10%, sigma=20%, T=0.5.
+        let spec = OptionSpec {
+            spot: 42.0,
+            strike: 40.0,
+            rate: 0.10,
+            dividend: 0.0,
+            volatility: 0.20,
+            expiry: 0.5,
+            option_type: OptionType::Call,
+            style: OptionStyle::European,
+        };
+        assert!((black_scholes_price(&spec) - 4.76).abs() < 0.01);
+        let put = OptionSpec {
+            option_type: OptionType::Put,
+            ..spec
+        };
+        assert!((black_scholes_price(&put) - 0.81).abs() < 0.01);
+    }
+
+    #[test]
+    fn put_call_parity() {
+        let call = european(OptionType::Call);
+        let put = european(OptionType::Put);
+        let c = black_scholes_price(&call);
+        let p = black_scholes_price(&put);
+        let parity = c - p
+            - (call.spot * (-call.dividend * call.expiry).exp()
+                - call.strike * (-call.rate * call.expiry).exp());
+        assert!(parity.abs() < 1e-10, "parity violation {parity}");
+    }
+
+    #[test]
+    fn expired_option_is_intrinsic() {
+        let mut spec = european(OptionType::Call);
+        spec.expiry = 0.0;
+        spec.spot = 120.0;
+        assert_eq!(black_scholes_price(&spec), 20.0);
+    }
+
+    #[test]
+    fn payoff_sides() {
+        let call = european(OptionType::Call);
+        assert_eq!(call.payoff(130.0), 30.0);
+        assert_eq!(call.payoff(90.0), 0.0);
+        let put = european(OptionType::Put);
+        assert_eq!(put.payoff(90.0), 10.0);
+        assert_eq!(put.payoff(130.0), 0.0);
+    }
+
+    #[test]
+    fn spec_payload_roundtrip() {
+        let spec = OptionSpec::paper_default();
+        let decoded = OptionSpec::from_bytes(&spec.to_bytes()).unwrap();
+        assert_eq!(decoded, spec);
+    }
+}

@@ -1,0 +1,56 @@
+//! Sequential baseline: the same decomposition run inline.
+//!
+//! The scalability experiment's 1-worker point and all correctness tests
+//! compare against this. It iterates the exact task inputs the parallel
+//! app plans, so the result is bit-identical to a parallel run.
+
+use super::tasks::{run_task, PricingApp, PricingResult};
+
+/// Prices the app's contract sequentially, returning the same bracket a
+/// complete parallel run produces.
+pub fn price_sequential(app: &PricingApp) -> PricingResult {
+    let mut acc = app.clone();
+    for (task_id, input) in app.task_inputs().iter().enumerate() {
+        let out = run_task(input);
+        acc.absorb_output(task_id as u64, out);
+    }
+    acc.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::model::{black_scholes_price, OptionSpec, OptionStyle};
+    use crate::pricing::tasks::PricingApp;
+
+    #[test]
+    fn sequential_bracket_is_ordered() {
+        let app = PricingApp::new(OptionSpec::paper_default(), 10, 20);
+        let result = price_sequential(&app);
+        assert!(result.high >= result.low, "{result:?}");
+        assert!(result.low > 0.0);
+    }
+
+    #[test]
+    fn european_sequential_matches_black_scholes() {
+        let spec = OptionSpec {
+            style: OptionStyle::European,
+            dividend: 0.0,
+            ..OptionSpec::paper_default()
+        };
+        // 40k simulations via the task machinery.
+        let app = PricingApp::new(spec, 20, 1000);
+        let result = price_sequential(&app);
+        let bs = black_scholes_price(&spec);
+        let rel = ((result.point() - bs) / bs).abs();
+        assert!(rel < 0.05, "point {} vs bs {bs}", result.point());
+        // European: high and low estimators coincide by construction.
+        assert!((result.high - result.low).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_is_deterministic() {
+        let app = PricingApp::new(OptionSpec::paper_default(), 5, 10);
+        assert_eq!(price_sequential(&app), price_sequential(&app));
+    }
+}

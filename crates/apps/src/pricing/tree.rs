@@ -1,0 +1,273 @@
+//! Monte-Carlo estimators: GBM terminal-value simulation for European
+//! options and the Broadie–Glasserman random-tree estimators for American
+//! options.
+//!
+//! Broadie & Glasserman (1997) simulate a random tree with `b` branches per
+//! node over `d` exercise dates. Backward induction over the tree yields a
+//! *high-biased* estimator (it optimises the exercise decision using
+//! information from all branches) and a *low-biased* estimator (a
+//! leave-one-out construction that separates the decision from the value
+//! estimate). Averaged over many trees the two bracket the true price —
+//! the paper's "high estimate" and "low estimate" iterations.
+
+use crate::rng::SplitMix64;
+
+use super::model::OptionSpec;
+
+/// One GBM step over `dt` years given a standard normal deviate `z`.
+fn gbm_step(spec: &OptionSpec, s: f64, dt: f64, z: f64) -> f64 {
+    let drift = (spec.rate - spec.dividend - 0.5 * spec.volatility * spec.volatility) * dt;
+    let diffusion = spec.volatility * dt.sqrt() * z;
+    s * (drift + diffusion).exp()
+}
+
+/// Plain European Monte-Carlo: the mean discounted terminal payoff over
+/// `sims` GBM paths. Deterministic for a given `seed`.
+pub fn european_mc_estimate(spec: &OptionSpec, sims: u32, seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let mut acc = 0.0;
+    for _ in 0..sims {
+        let z = rng.next_gaussian();
+        let terminal = gbm_step(spec, spec.spot, spec.expiry, z);
+        acc += spec.payoff(terminal);
+    }
+    (-spec.rate * spec.expiry).exp() * acc / sims as f64
+}
+
+/// European Monte-Carlo with antithetic variates: each draw `z` is paired
+/// with `-z`, cancelling the odd moments of the payoff — the classic
+/// variance-reduction technique for GBM payoffs. Same expectation as
+/// [`european_mc_estimate`], materially lower variance per simulation.
+pub fn european_mc_antithetic(spec: &OptionSpec, pairs: u32, seed: u64) -> f64 {
+    let mut rng = SplitMix64::new(seed);
+    let mut acc = 0.0;
+    for _ in 0..pairs {
+        let z = rng.next_gaussian();
+        let up = spec.payoff(gbm_step(spec, spec.spot, spec.expiry, z));
+        let down = spec.payoff(gbm_step(spec, spec.spot, spec.expiry, -z));
+        acc += 0.5 * (up + down);
+    }
+    (-spec.rate * spec.expiry).exp() * acc / pairs as f64
+}
+
+/// One random-tree sample: returns `(high, low)` estimates for an American
+/// option with `branching` branches per node and `depth` exercise dates.
+/// Cost is `branching^depth` nodes — keep both small (the paper's tasks are
+/// coarse because they run many trees, not big ones).
+pub fn bg_tree_estimate(
+    spec: &OptionSpec,
+    branching: u32,
+    depth: u32,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(branching >= 2, "leave-one-out needs at least 2 branches");
+    assert!(depth >= 1);
+    let mut rng = SplitMix64::new(seed);
+    let dt = spec.expiry / depth as f64;
+    let discount = (-spec.rate * dt).exp();
+    node_estimate(spec, branching, depth, spec.spot, dt, discount, &mut rng)
+}
+
+/// Recursive high/low estimation at a node with underlying price `s` and
+/// `remaining` exercise dates below it.
+fn node_estimate(
+    spec: &OptionSpec,
+    branching: u32,
+    remaining: u32,
+    s: f64,
+    dt: f64,
+    discount: f64,
+    rng: &mut SplitMix64,
+) -> (f64, f64) {
+    if remaining == 0 {
+        let p = spec.payoff(s);
+        return (p, p);
+    }
+    let b = branching as usize;
+    let mut child_high = Vec::with_capacity(b);
+    let mut child_low = Vec::with_capacity(b);
+    for _ in 0..b {
+        let z = rng.next_gaussian();
+        let s_child = gbm_step(spec, s, dt, z);
+        let (high, low) =
+            node_estimate(spec, branching, remaining - 1, s_child, dt, discount, rng);
+        child_high.push(high);
+        child_low.push(low);
+    }
+    let exercise = spec.payoff(s);
+
+    // High estimator: optimise the exercise decision against the full
+    // continuation estimate — biased high.
+    let cont_high = discount * child_high.iter().sum::<f64>() / b as f64;
+    let high = exercise.max(cont_high);
+
+    // Low estimator: for each branch j, decide using the OTHER branches'
+    // mean and value with branch j — decision and value independent, so
+    // biased low.
+    let low_sum: f64 = (0..b)
+        .map(|j| {
+            let others: f64 = child_low
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != j)
+                .map(|(_, v)| v)
+                .sum();
+            let cont_others = discount * others / (b - 1) as f64;
+            if exercise >= cont_others {
+                exercise
+            } else {
+                discount * child_low[j]
+            }
+        })
+        .sum();
+    let low = low_sum / b as f64;
+    (high, low)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::model::{black_scholes_price, OptionStyle, OptionType};
+
+    fn european_call() -> OptionSpec {
+        OptionSpec {
+            style: OptionStyle::European,
+            dividend: 0.0,
+            ..OptionSpec::paper_default()
+        }
+    }
+
+    #[test]
+    fn european_mc_converges_to_black_scholes() {
+        let spec = european_call();
+        let mc = european_mc_estimate(&spec, 400_000, 12345);
+        let bs = black_scholes_price(&spec);
+        let rel = ((mc - bs) / bs).abs();
+        assert!(rel < 0.02, "mc {mc} vs bs {bs} (rel {rel})");
+    }
+
+    #[test]
+    fn european_mc_deterministic_per_seed() {
+        let spec = european_call();
+        assert_eq!(
+            european_mc_estimate(&spec, 1000, 7),
+            european_mc_estimate(&spec, 1000, 7)
+        );
+        assert_ne!(
+            european_mc_estimate(&spec, 1000, 7),
+            european_mc_estimate(&spec, 1000, 8)
+        );
+    }
+
+    #[test]
+    fn antithetic_matches_black_scholes() {
+        let spec = european_call();
+        let mc = european_mc_antithetic(&spec, 200_000, 999);
+        let bs = black_scholes_price(&spec);
+        assert!(((mc - bs) / bs).abs() < 0.02, "mc {mc} vs bs {bs}");
+    }
+
+    #[test]
+    fn antithetic_reduces_variance() {
+        // Estimate the same price many times with equal simulation budgets;
+        // the antithetic estimator's spread must be smaller.
+        let spec = european_call();
+        let trials = 60;
+        let sims = 2_000u32;
+        let spread = |estimates: &[f64]| {
+            let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
+            estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / estimates.len() as f64
+        };
+        let plain: Vec<f64> = (0..trials)
+            .map(|i| european_mc_estimate(&spec, sims, 10_000 + i * 7_919))
+            .collect();
+        let anti: Vec<f64> = (0..trials)
+            .map(|i| european_mc_antithetic(&spec, sims / 2, 10_000 + i * 7_919))
+            .collect();
+        let var_plain = spread(&plain);
+        let var_anti = spread(&anti);
+        assert!(
+            var_anti < 0.6 * var_plain,
+            "antithetic variance {var_anti} vs plain {var_plain}"
+        );
+    }
+
+    #[test]
+    fn high_bounds_low_on_average() {
+        let spec = OptionSpec::paper_default();
+        let trees = 400;
+        let mut high_sum = 0.0;
+        let mut low_sum = 0.0;
+        for i in 0..trees {
+            let (h, l) = bg_tree_estimate(&spec, 4, 3, 1000 + i);
+            high_sum += h;
+            low_sum += l;
+        }
+        let high = high_sum / trees as f64;
+        let low = low_sum / trees as f64;
+        assert!(
+            high >= low,
+            "mean high {high} must dominate mean low {low}"
+        );
+        // The bracket should be tight-ish and positive for an ATM call.
+        assert!(low > 0.0);
+        assert!(high < spec.spot);
+    }
+
+    #[test]
+    fn american_bracket_contains_european_floor() {
+        // An American option is worth at least the European one; the
+        // high estimate (biased up) must exceed the European closed form
+        // minus MC noise.
+        let spec = OptionSpec::paper_default();
+        let euro = black_scholes_price(&OptionSpec {
+            style: OptionStyle::European,
+            ..spec
+        });
+        let trees = 600;
+        let mut high_sum = 0.0;
+        for i in 0..trees {
+            let (h, _) = bg_tree_estimate(&spec, 4, 3, 5000 + i);
+            high_sum += h;
+        }
+        let high = high_sum / trees as f64;
+        assert!(
+            high > euro * 0.95,
+            "high estimate {high} vs european {euro}"
+        );
+    }
+
+    #[test]
+    fn deep_in_the_money_put_exercises_early() {
+        // For a deep ITM American put, immediate exercise dominates; both
+        // estimators must return ≈ intrinsic value or more.
+        let spec = OptionSpec {
+            spot: 50.0,
+            strike: 100.0,
+            rate: 0.10,
+            dividend: 0.0,
+            volatility: 0.10,
+            expiry: 1.0,
+            option_type: OptionType::Put,
+            style: OptionStyle::American,
+        };
+        let (h, l) = bg_tree_estimate(&spec, 4, 3, 1);
+        assert!(h >= 49.9, "high {h}");
+        assert!(l >= 49.9, "low {l}");
+    }
+
+    #[test]
+    fn tree_estimate_deterministic() {
+        let spec = OptionSpec::paper_default();
+        assert_eq!(
+            bg_tree_estimate(&spec, 3, 3, 99),
+            bg_tree_estimate(&spec, 3, 3, 99)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 branches")]
+    fn branching_one_rejected() {
+        bg_tree_estimate(&OptionSpec::paper_default(), 1, 2, 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! Rays, surfaces and intersection tests (ray casting).
+
+use super::math::Vec3;
+
+/// A half-line: origin plus direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Start point.
+    pub origin: Vec3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// A ray through `origin` toward `dir` (normalized here).
+    pub fn new(origin: Vec3, dir: Vec3) -> Ray {
+        Ray {
+            origin,
+            dir: dir.normalized(),
+        }
+    }
+
+    /// Point at parameter `t`.
+    pub fn at(&self, t: f64) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// Phong material parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Material {
+    /// Base color.
+    pub color: Vec3,
+    /// Ambient coefficient.
+    pub ambient: f64,
+    /// Diffuse coefficient.
+    pub diffuse: f64,
+    /// Specular coefficient.
+    pub specular: f64,
+    /// Phong shininess exponent.
+    pub shininess: f64,
+    /// Fraction of light mirrored (drives recursion).
+    pub reflectivity: f64,
+}
+
+impl Material {
+    /// Matte colored surface.
+    pub fn matte(color: Vec3) -> Material {
+        Material {
+            color,
+            ambient: 0.1,
+            diffuse: 0.9,
+            specular: 0.1,
+            shininess: 8.0,
+            reflectivity: 0.0,
+        }
+    }
+
+    /// Shiny surface with some mirror reflection.
+    pub fn shiny(color: Vec3, reflectivity: f64) -> Material {
+        Material {
+            color,
+            ambient: 0.1,
+            diffuse: 0.6,
+            specular: 0.8,
+            shininess: 64.0,
+            reflectivity,
+        }
+    }
+}
+
+/// A ray/surface intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRecord {
+    /// Ray parameter of the hit.
+    pub t: f64,
+    /// Hit point.
+    pub point: Vec3,
+    /// Outward unit normal at the hit point.
+    pub normal: Vec3,
+    /// Surface material.
+    pub material: Material,
+}
+
+/// Anything a ray can hit.
+pub trait Surface: Send + Sync {
+    /// The nearest intersection with `ray` at parameter `t > t_min`, if any.
+    fn hit(&self, ray: &Ray, t_min: f64) -> Option<HitRecord>;
+}
+
+/// A sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Center point.
+    pub center: Vec3,
+    /// Radius.
+    pub radius: f64,
+    /// Surface material.
+    pub material: Material,
+}
+
+impl Surface for Sphere {
+    fn hit(&self, ray: &Ray, t_min: f64) -> Option<HitRecord> {
+        let oc = ray.origin - self.center;
+        let b = oc.dot(ray.dir);
+        let c = oc.dot(oc) - self.radius * self.radius;
+        let disc = b * b - c;
+        if disc < 0.0 {
+            return None;
+        }
+        let sqrt_disc = disc.sqrt();
+        let t = [-b - sqrt_disc, -b + sqrt_disc]
+            .into_iter()
+            .find(|&t| t > t_min)?;
+        let point = ray.at(t);
+        Some(HitRecord {
+            t,
+            point,
+            normal: (point - self.center).normalized(),
+            material: self.material,
+        })
+    }
+}
+
+/// An infinite plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plane {
+    /// A point on the plane.
+    pub point: Vec3,
+    /// Unit normal.
+    pub normal: Vec3,
+    /// Surface material.
+    pub material: Material,
+    /// Checkerboard tint: if `Some(other)`, squares alternate between
+    /// `material.color` and `other` (classic ray-tracer floor).
+    pub checker: Option<Vec3>,
+}
+
+impl Surface for Plane {
+    fn hit(&self, ray: &Ray, t_min: f64) -> Option<HitRecord> {
+        let denom = self.normal.dot(ray.dir);
+        if denom.abs() < 1e-12 {
+            return None;
+        }
+        let t = (self.point - ray.origin).dot(self.normal) / denom;
+        if t <= t_min {
+            return None;
+        }
+        let point = ray.at(t);
+        let mut material = self.material;
+        if let Some(other) = self.checker {
+            let u = point.x.floor() as i64 + point.z.floor() as i64;
+            if u.rem_euclid(2) == 1 {
+                material.color = other;
+            }
+        }
+        Some(HitRecord {
+            t,
+            point,
+            normal: if denom < 0.0 { self.normal } else { -self.normal },
+            material,
+        })
+    }
+}
+
+/// A triangle (Möller–Trumbore intersection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Vec3,
+    /// Second vertex.
+    pub b: Vec3,
+    /// Third vertex.
+    pub c: Vec3,
+    /// Surface material.
+    pub material: Material,
+}
+
+impl Surface for Triangle {
+    fn hit(&self, ray: &Ray, t_min: f64) -> Option<HitRecord> {
+        let e1 = self.b - self.a;
+        let e2 = self.c - self.a;
+        let p = ray.dir.cross(e2);
+        let det = e1.dot(p);
+        if det.abs() < 1e-12 {
+            return None; // parallel to the triangle plane
+        }
+        let inv_det = 1.0 / det;
+        let s = ray.origin - self.a;
+        let u = s.dot(p) * inv_det;
+        if !(0.0..=1.0).contains(&u) {
+            return None;
+        }
+        let q = s.cross(e1);
+        let v = ray.dir.dot(q) * inv_det;
+        if v < 0.0 || u + v > 1.0 {
+            return None;
+        }
+        let t = e2.dot(q) * inv_det;
+        if t <= t_min {
+            return None;
+        }
+        let geometric_normal = e1.cross(e2).normalized();
+        // Orient the normal against the incoming ray.
+        let normal = if geometric_normal.dot(ray.dir) < 0.0 {
+            geometric_normal
+        } else {
+            -geometric_normal
+        };
+        Some(HitRecord {
+            t,
+            point: ray.at(t),
+            normal,
+            material: self.material,
+        })
+    }
+}
+
+/// A scene object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Shape {
+    /// A sphere.
+    Sphere(Sphere),
+    /// A plane.
+    Plane(Plane),
+    /// A triangle.
+    Triangle(Triangle),
+}
+
+impl Surface for Shape {
+    fn hit(&self, ray: &Ray, t_min: f64) -> Option<HitRecord> {
+        match self {
+            Shape::Sphere(s) => s.hit(ray, t_min),
+            Shape::Plane(p) => p.hit(ray, t_min),
+            Shape::Triangle(t) => t.hit(ray, t_min),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_sphere() -> Sphere {
+        Sphere {
+            center: Vec3::new(0.0, 0.0, -5.0),
+            radius: 1.0,
+            material: Material::matte(Vec3::ONE),
+        }
+    }
+
+    #[test]
+    fn ray_hits_sphere_front_face() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        let hit = unit_sphere().hit(&ray, 1e-9).unwrap();
+        assert!((hit.t - 4.0).abs() < 1e-12);
+        assert_eq!(hit.normal, Vec3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn ray_misses_sphere() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0));
+        assert!(unit_sphere().hit(&ray, 1e-9).is_none());
+    }
+
+    #[test]
+    fn ray_inside_sphere_hits_back_face() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, -1.0));
+        let hit = unit_sphere().hit(&ray, 1e-9).unwrap();
+        assert!((hit.t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_min_skips_near_hit() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        let hit = unit_sphere().hit(&ray, 4.5).unwrap();
+        assert!((hit.t - 6.0).abs() < 1e-12, "takes the far root");
+    }
+
+    #[test]
+    fn plane_hit_and_parallel_miss() {
+        let plane = Plane {
+            point: Vec3::new(0.0, -1.0, 0.0),
+            normal: Vec3::new(0.0, 1.0, 0.0),
+            material: Material::matte(Vec3::ONE),
+            checker: None,
+        };
+        let down = Ray::new(Vec3::ZERO, Vec3::new(0.0, -1.0, 0.0));
+        let hit = plane.hit(&down, 1e-9).unwrap();
+        assert!((hit.t - 1.0).abs() < 1e-12);
+        assert_eq!(hit.normal, Vec3::new(0.0, 1.0, 0.0));
+        let level = Ray::new(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0));
+        assert!(plane.hit(&level, 1e-9).is_none());
+    }
+
+    fn unit_triangle() -> Triangle {
+        Triangle {
+            a: Vec3::new(-1.0, -1.0, -3.0),
+            b: Vec3::new(1.0, -1.0, -3.0),
+            c: Vec3::new(0.0, 1.0, -3.0),
+            material: Material::matte(Vec3::ONE),
+        }
+    }
+
+    #[test]
+    fn ray_hits_triangle_interior() {
+        let ray = Ray::new(Vec3::ZERO, Vec3::new(0.0, 0.0, -1.0));
+        let hit = unit_triangle().hit(&ray, 1e-9).unwrap();
+        assert!((hit.t - 3.0).abs() < 1e-12);
+        // Normal faces the camera.
+        assert!(hit.normal.dot(ray.dir) < 0.0);
+    }
+
+    #[test]
+    fn ray_misses_triangle_outside_edges() {
+        for origin in [
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(-2.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+        ] {
+            let ray = Ray::new(origin, Vec3::new(0.0, 0.0, -1.0));
+            assert!(unit_triangle().hit(&ray, 1e-9).is_none(), "{origin:?}");
+        }
+    }
+
+    #[test]
+    fn ray_parallel_to_triangle_misses() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::new(1.0, 0.0, 0.0));
+        // The ray lies in the triangle's plane: treated as a miss.
+        assert!(unit_triangle().hit(&ray, 1e-9).is_none());
+    }
+
+    #[test]
+    fn triangle_hit_from_behind_flips_normal() {
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -6.0), Vec3::new(0.0, 0.0, 1.0));
+        let hit = unit_triangle().hit(&ray, 1e-9).unwrap();
+        assert!(hit.normal.dot(ray.dir) < 0.0, "normal faces the ray origin");
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let plane = Plane {
+            point: Vec3::ZERO,
+            normal: Vec3::new(0.0, 1.0, 0.0),
+            material: Material::matte(Vec3::ONE),
+            checker: Some(Vec3::ZERO),
+        };
+        let hit_a = plane
+            .hit(&Ray::new(Vec3::new(0.5, 1.0, 0.5), Vec3::new(0.0, -1.0, 0.0)), 1e-9)
+            .unwrap();
+        let hit_b = plane
+            .hit(&Ray::new(Vec3::new(1.5, 1.0, 0.5), Vec3::new(0.0, -1.0, 0.0)), 1e-9)
+            .unwrap();
+        assert_ne!(hit_a.material.color, hit_b.material.color);
+    }
+}

@@ -1,0 +1,169 @@
+//! Minimal 3-vector algebra for the ray tracer.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 3-component vector (points, directions, RGB colors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Constructs a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Vec3 {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3::new(0.0, 0.0, 0.0);
+    /// All-ones vector (white).
+    pub const ONE: Vec3 = Vec3::new(1.0, 1.0, 1.0);
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean length.
+    pub fn length(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Unit vector in this direction (zero stays zero).
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        if len == 0.0 {
+            Vec3::ZERO
+        } else {
+            self / len
+        }
+    }
+
+    /// Reflects `self` (incoming direction) about unit normal `n`.
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Component-wise product (color modulation).
+    pub fn hadamard(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+
+    /// Clamps each component to `[0, 1]`.
+    pub fn clamp01(self) -> Vec3 {
+        Vec3::new(
+            self.x.clamp(0.0, 1.0),
+            self.y.clamp(0.0, 1.0),
+            self.z.clamp(0.0, 1.0),
+        )
+    }
+
+    /// Converts a `[0,1]` color to 8-bit RGB.
+    pub fn to_rgb8(self) -> [u8; 3] {
+        let c = self.clamp01();
+        [
+            (c.x * 255.0 + 0.5) as u8,
+            (c.y * 255.0 + 0.5) as u8,
+            (c.z * 255.0 + 0.5) as u8,
+        ]
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        assert_eq!(a.dot(b), 32.0);
+    }
+
+    #[test]
+    fn cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 0.0, 0.0);
+        let b = Vec3::new(0.0, 1.0, 0.0);
+        assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+        let c = Vec3::new(1.3, -2.0, 0.7).cross(Vec3::new(0.2, 4.0, -1.0));
+        assert!(c.dot(Vec3::new(1.3, -2.0, 0.7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize() {
+        let v = Vec3::new(3.0, 0.0, 4.0);
+        let n = v.normalized();
+        assert!((n.length() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn reflection_preserves_length_and_flips() {
+        let incoming = Vec3::new(1.0, -1.0, 0.0).normalized();
+        let normal = Vec3::new(0.0, 1.0, 0.0);
+        let reflected = incoming.reflect(normal);
+        assert!((reflected.length() - 1.0).abs() < 1e-12);
+        assert!((reflected.y - (-incoming.y)).abs() < 1e-12);
+        assert!((reflected.x - incoming.x).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rgb8_conversion_rounds_and_clamps() {
+        assert_eq!(Vec3::new(0.0, 0.5, 1.0).to_rgb8(), [0, 128, 255]);
+        assert_eq!(Vec3::new(-1.0, 2.0, 0.999).to_rgb8(), [0, 255, 255]);
+    }
+}

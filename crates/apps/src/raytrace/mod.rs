@@ -1,0 +1,27 @@
+//! Parallel ray tracing (paper §5.1.2).
+//!
+//! A recursive Whitted-style ray tracer: rays are cast from a virtual
+//! camera through each pixel of the image plane into a scene of spheres
+//! and planes, shaded with the Phong model, shadow rays and specular
+//! reflections. The computation is identical for every pixel — only the
+//! pixel's position differs — which makes the application an ideal
+//! replicated-worker candidate.
+//!
+//! The paper's configuration renders a 600×600 image plane divided into
+//! rectangular slices of 25×600 pixels, creating 24 independent tasks whose
+//! inputs are four coordinates and whose outputs are arrays of pixel
+//! values.
+
+mod geometry;
+mod math;
+mod scene;
+mod seq;
+mod tasks;
+mod trace;
+
+pub use geometry::{HitRecord, Material, Plane, Ray, Shape, Sphere, Surface, Triangle};
+pub use math::Vec3;
+pub use scene::{benchmark_scene, Camera, Light, Scene};
+pub use seq::render_sequential;
+pub use tasks::{Image, RayTraceApp, StripInput};
+pub use trace::{render_strip, trace_ray};

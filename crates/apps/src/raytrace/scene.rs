@@ -1,0 +1,172 @@
+//! Scenes, cameras and lights.
+
+use super::geometry::{Material, Plane, Ray, Shape, Sphere, Triangle};
+use super::math::Vec3;
+
+/// A point light source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Light {
+    /// Position.
+    pub position: Vec3,
+    /// RGB intensity.
+    pub intensity: Vec3,
+}
+
+/// A pinhole camera generating per-pixel primary rays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Camera {
+    /// Eye position.
+    pub position: Vec3,
+    /// Point looked at.
+    pub look_at: Vec3,
+    /// Up hint.
+    pub up: Vec3,
+    /// Vertical field of view in degrees.
+    pub fov_degrees: f64,
+}
+
+impl Camera {
+    /// The primary ray through pixel `(px, py)` of a `width`×`height`
+    /// image plane. Pixel centers are sampled; `py` grows downward.
+    pub fn primary_ray(&self, px: u32, py: u32, width: u32, height: u32) -> Ray {
+        let forward = (self.look_at - self.position).normalized();
+        let right = forward.cross(self.up).normalized();
+        let up = right.cross(forward);
+        let aspect = width as f64 / height as f64;
+        let half_h = (self.fov_degrees.to_radians() / 2.0).tan();
+        let half_w = half_h * aspect;
+        let u = ((px as f64 + 0.5) / width as f64 * 2.0 - 1.0) * half_w;
+        let v = (1.0 - (py as f64 + 0.5) / height as f64 * 2.0) * half_h;
+        Ray::new(self.position, forward + right * u + up * v)
+    }
+}
+
+/// A renderable scene.
+#[derive(Clone)]
+pub struct Scene {
+    /// Scene geometry.
+    pub objects: Vec<Shape>,
+    /// Point lights.
+    pub lights: Vec<Light>,
+    /// The camera.
+    pub camera: Camera,
+    /// Color returned by rays that hit nothing.
+    pub background: Vec3,
+    /// Maximum reflection recursion depth.
+    pub max_depth: u32,
+}
+
+/// The deterministic scene used by the evaluation: a checkerboard floor,
+/// a mirror sphere, and a ring of matte spheres — enough geometry that
+/// per-pixel cost varies across the image, as the paper notes for real
+/// models.
+pub fn benchmark_scene() -> Scene {
+    let mut objects = vec![
+        Shape::Plane(Plane {
+            point: Vec3::new(0.0, -1.0, 0.0),
+            normal: Vec3::new(0.0, 1.0, 0.0),
+            material: Material::matte(Vec3::new(0.9, 0.9, 0.9)),
+            checker: Some(Vec3::new(0.15, 0.15, 0.2)),
+        }),
+        Shape::Sphere(Sphere {
+            center: Vec3::new(0.0, 0.6, -6.0),
+            radius: 1.6,
+            material: Material::shiny(Vec3::new(0.9, 0.9, 0.95), 0.6),
+        }),
+    ];
+    // Ring of matte spheres around the mirror ball.
+    let palette = [
+        Vec3::new(0.9, 0.2, 0.2),
+        Vec3::new(0.2, 0.8, 0.3),
+        Vec3::new(0.2, 0.4, 0.9),
+        Vec3::new(0.9, 0.8, 0.2),
+        Vec3::new(0.8, 0.3, 0.8),
+        Vec3::new(0.3, 0.8, 0.8),
+    ];
+    for (i, color) in palette.iter().enumerate() {
+        let angle = i as f64 / palette.len() as f64 * std::f64::consts::TAU;
+        objects.push(Shape::Sphere(Sphere {
+            center: Vec3::new(3.2 * angle.cos(), -0.4, -6.0 + 3.2 * angle.sin()),
+            radius: 0.6,
+            material: Material::shiny(*color, 0.15),
+        }));
+    }
+    // A golden tetrahedron-style pair of triangles behind the ring.
+    let apex = Vec3::new(-4.5, 1.8, -9.0);
+    let base_l = Vec3::new(-6.0, -1.0, -8.0);
+    let base_r = Vec3::new(-3.0, -1.0, -8.5);
+    let base_b = Vec3::new(-4.8, -1.0, -10.5);
+    let gold = Material::shiny(Vec3::new(0.95, 0.78, 0.25), 0.25);
+    objects.push(Shape::Triangle(Triangle {
+        a: base_l,
+        b: base_r,
+        c: apex,
+        material: gold,
+    }));
+    objects.push(Shape::Triangle(Triangle {
+        a: base_r,
+        b: base_b,
+        c: apex,
+        material: gold,
+    }));
+    Scene {
+        objects,
+        lights: vec![
+            Light {
+                position: Vec3::new(-5.0, 6.0, 0.0),
+                intensity: Vec3::new(0.9, 0.9, 0.9),
+            },
+            Light {
+                position: Vec3::new(4.0, 3.0, -2.0),
+                intensity: Vec3::new(0.4, 0.4, 0.5),
+            },
+        ],
+        camera: Camera {
+            position: Vec3::new(0.0, 1.2, 2.0),
+            look_at: Vec3::new(0.0, 0.0, -6.0),
+            up: Vec3::new(0.0, 1.0, 0.0),
+            fov_degrees: 55.0,
+        },
+        background: Vec3::new(0.05, 0.07, 0.12),
+        max_depth: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_rays_span_the_frustum() {
+        let cam = benchmark_scene().camera;
+        let center = cam.primary_ray(300, 300, 600, 600);
+        let left = cam.primary_ray(0, 300, 600, 600);
+        let right = cam.primary_ray(599, 300, 600, 600);
+        // Center ray points roughly at look_at.
+        let to_target = (cam.look_at - cam.position).normalized();
+        assert!(center.dir.dot(to_target) > 0.999);
+        // Left and right rays diverge symmetrically.
+        assert!(left.dir.x < center.dir.x);
+        assert!(right.dir.x > center.dir.x);
+        assert!((left.dir.x + right.dir.x - 2.0 * center.dir.x).abs() < 1e-2);
+    }
+
+    #[test]
+    fn rays_are_unit_length() {
+        let cam = benchmark_scene().camera;
+        for (px, py) in [(0, 0), (599, 0), (0, 599), (599, 599), (300, 300)] {
+            let ray = cam.primary_ray(px, py, 600, 600);
+            assert!((ray.dir.length() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn benchmark_scene_is_deterministic_and_nontrivial() {
+        let a = benchmark_scene();
+        let b = benchmark_scene();
+        assert_eq!(a.objects.len(), b.objects.len());
+        assert_eq!(a.objects.len(), 10);
+        assert_eq!(a.lights.len(), 2);
+        assert_eq!(a.objects[3], b.objects[3]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Sequential baseline renderer.
+
+use super::scene::Scene;
+use super::tasks::Image;
+use super::trace::render_strip;
+
+/// Renders the whole image on the calling thread. The parallel app must
+/// produce byte-identical output (the tracer is deterministic).
+pub fn render_sequential(scene: &Scene, width: u32, height: u32) -> Image {
+    Image {
+        width,
+        height,
+        pixels: render_strip(scene, 0, height, width, height),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raytrace::scene::benchmark_scene;
+
+    #[test]
+    fn deterministic_output() {
+        let scene = benchmark_scene();
+        let a = render_sequential(&scene, 32, 32);
+        let b = render_sequential(&scene, 32, 32);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn image_is_nontrivial() {
+        let image = render_sequential(&benchmark_scene(), 48, 48);
+        let distinct: std::collections::HashSet<[u8; 3]> = (0..48)
+            .flat_map(|y| (0..48).map(move |x| (x, y)))
+            .map(|(x, y)| image.pixel(x, y))
+            .collect();
+        assert!(distinct.len() > 20, "only {} distinct colors", distinct.len());
+    }
+}

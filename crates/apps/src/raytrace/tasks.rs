@@ -1,0 +1,283 @@
+//! The ray-tracing application as the framework sees it.
+//!
+//! The master generates one task per image slice and puts them into the
+//! space; each worker takes a task, computes the scan lines for its pixels
+//! and returns the resultant array of pixel values; the master collects
+//! and combines them to compose the image (paper §5.1.2). The input of
+//! each task is just the coordinates describing the region of computation;
+//! the output is comparatively large — an array of pixel values.
+
+use std::sync::Arc;
+
+use acc_core::{Application, ExecError, TaskEntry, TaskExecutor, TaskSpec};
+use acc_tuplespace::{Payload, PayloadError, WireReader, WireWriter};
+
+use super::scene::Scene;
+use super::trace::render_strip;
+
+/// The four coordinates describing a task's region of computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripInput {
+    /// First scan line of the strip.
+    pub y0: u32,
+    /// Number of scan lines.
+    pub rows: u32,
+    /// Image width.
+    pub width: u32,
+    /// Image height.
+    pub height: u32,
+}
+
+impl Payload for StripInput {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.y0);
+        w.put_u32(self.rows);
+        w.put_u32(self.width);
+        w.put_u32(self.height);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        Ok(StripInput {
+            y0: r.get_u32()?,
+            rows: r.get_u32()?,
+            width: r.get_u32()?,
+            height: r.get_u32()?,
+        })
+    }
+}
+
+/// A rendered RGB image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// `height * width * 3` RGB bytes, row-major.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// The RGB triple at `(x, y)`.
+    pub fn pixel(&self, x: u32, y: u32) -> [u8; 3] {
+        let i = ((y * self.width + x) * 3) as usize;
+        [self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]]
+    }
+
+    /// Serializes as a binary PPM (P6) file.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+}
+
+/// The parallel ray-tracing application.
+pub struct RayTraceApp {
+    scene: Arc<Scene>,
+    /// Image width (paper: 600).
+    pub width: u32,
+    /// Image height (paper: 600).
+    pub height: u32,
+    /// Scan lines per strip (paper: 25 ⇒ 24 tasks).
+    pub strip_rows: u32,
+    pixels: Vec<u8>,
+    filled: Vec<bool>,
+}
+
+impl RayTraceApp {
+    /// An app rendering `scene` at the given size and strip height.
+    ///
+    /// # Panics
+    /// If `strip_rows` does not divide `height`.
+    pub fn new(scene: Scene, width: u32, height: u32, strip_rows: u32) -> RayTraceApp {
+        assert!(
+            strip_rows > 0 && height % strip_rows == 0,
+            "strip height must divide image height"
+        );
+        RayTraceApp {
+            scene: Arc::new(scene),
+            width,
+            height,
+            strip_rows,
+            pixels: vec![0; (width * height * 3) as usize],
+            filled: vec![false; (height / strip_rows) as usize],
+        }
+    }
+
+    /// The paper's configuration: 600×600 plane in 24 slices of 25×600.
+    pub fn paper_configuration() -> RayTraceApp {
+        RayTraceApp::new(super::scene::benchmark_scene(), 600, 600, 25)
+    }
+
+    /// Number of strips (= tasks).
+    pub fn strips(&self) -> u32 {
+        self.height / self.strip_rows
+    }
+
+    /// The strip inputs this app decomposes into.
+    pub fn strip_inputs(&self) -> Vec<StripInput> {
+        (0..self.strips())
+            .map(|strip| StripInput {
+                y0: strip * self.strip_rows,
+                rows: self.strip_rows,
+                width: self.width,
+                height: self.height,
+            })
+            .collect()
+    }
+
+    /// The scene being rendered.
+    pub fn scene(&self) -> Arc<Scene> {
+        self.scene.clone()
+    }
+
+    /// The assembled image (valid once every strip has been absorbed).
+    pub fn image(&self) -> Option<Image> {
+        if self.filled.iter().all(|&f| f) {
+            Some(Image {
+                width: self.width,
+                height: self.height,
+                pixels: self.pixels.clone(),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+struct StripExecutor {
+    scene: Arc<Scene>,
+}
+
+impl TaskExecutor for StripExecutor {
+    fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+        let input: StripInput = task.input()?;
+        Ok(render_strip(
+            &self.scene,
+            input.y0,
+            input.rows,
+            input.width,
+            input.height,
+        ))
+    }
+}
+
+impl Application for RayTraceApp {
+    fn job_name(&self) -> String {
+        "ray-tracing".into()
+    }
+
+    fn bundle_name(&self) -> String {
+        "ray-tracing-worker".into()
+    }
+
+    fn bundle_kb(&self) -> usize {
+        96 // geometry + shading code
+    }
+
+    fn plan(&mut self) -> Vec<TaskSpec> {
+        self.strip_inputs()
+            .iter()
+            .enumerate()
+            .map(|(i, input)| TaskSpec::new(i as u64, input))
+            .collect()
+    }
+
+    fn executor(&self) -> Arc<dyn TaskExecutor> {
+        Arc::new(StripExecutor {
+            scene: self.scene.clone(),
+        })
+    }
+
+    fn absorb(&mut self, task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+        let strip = task_id as usize;
+        if strip >= self.filled.len() {
+            return Err(ExecError::App(format!("strip {strip} out of range")));
+        }
+        let expected = (self.strip_rows * self.width * 3) as usize;
+        if payload.len() != expected {
+            return Err(ExecError::App(format!(
+                "strip {strip}: {} bytes, expected {expected}",
+                payload.len()
+            )));
+        }
+        let offset = strip * expected;
+        self.pixels[offset..offset + expected].copy_from_slice(payload);
+        self.filled[strip] = true;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raytrace::scene::benchmark_scene;
+
+    #[test]
+    fn strip_input_roundtrip() {
+        let input = StripInput {
+            y0: 75,
+            rows: 25,
+            width: 600,
+            height: 600,
+        };
+        assert_eq!(StripInput::from_bytes(&input.to_bytes()).unwrap(), input);
+    }
+
+    #[test]
+    fn paper_configuration_has_24_tasks() {
+        let mut app = RayTraceApp::paper_configuration();
+        assert_eq!(app.strips(), 24);
+        let specs = app.plan();
+        assert_eq!(specs.len(), 24);
+        let first = StripInput::from_bytes(&specs[0].payload).unwrap();
+        assert_eq!((first.y0, first.rows), (0, 25));
+        let last = StripInput::from_bytes(&specs[23].payload).unwrap();
+        assert_eq!((last.y0, last.rows), (575, 25));
+    }
+
+    #[test]
+    fn executor_absorb_assembles_image() {
+        let mut app = RayTraceApp::new(benchmark_scene(), 40, 20, 5);
+        let exec = app.executor();
+        assert!(app.image().is_none());
+        for (i, spec) in app.plan().into_iter().enumerate() {
+            let entry = TaskEntry::new("ray-tracing", spec.task_id, spec.payload);
+            let out = exec.execute(&entry).unwrap();
+            app.absorb(i as u64, &out).unwrap();
+        }
+        let image = app.image().unwrap();
+        assert_eq!(image.pixels.len(), 40 * 20 * 3);
+        // Matches a direct full render.
+        let direct = render_strip(&benchmark_scene(), 0, 20, 40, 20);
+        assert_eq!(image.pixels, direct);
+    }
+
+    #[test]
+    fn absorb_validates_strip_id_and_size() {
+        let mut app = RayTraceApp::new(benchmark_scene(), 8, 8, 4);
+        assert!(app.absorb(5, &[0; 96]).is_err());
+        assert!(app.absorb(0, &[0; 10]).is_err());
+        assert!(app.absorb(0, &[0; 8 * 4 * 3]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "divide image height")]
+    fn bad_strip_height_rejected() {
+        RayTraceApp::new(benchmark_scene(), 10, 10, 3);
+    }
+
+    #[test]
+    fn ppm_header() {
+        let image = Image {
+            width: 2,
+            height: 1,
+            pixels: vec![255, 0, 0, 0, 255, 0],
+        };
+        let ppm = image.to_ppm();
+        assert!(ppm.starts_with(b"P6\n2 1\n255\n"));
+        assert_eq!(ppm.len(), 11 + 6);
+        assert_eq!(image.pixel(1, 0), [0, 255, 0]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Recursive ray tracing and strip rendering.
+
+use super::geometry::{HitRecord, Ray, Surface};
+use super::math::Vec3;
+use super::scene::Scene;
+
+const SHADOW_BIAS: f64 = 1e-6;
+
+/// The nearest hit in the scene.
+fn nearest_hit(scene: &Scene, ray: &Ray) -> Option<HitRecord> {
+    let mut best: Option<HitRecord> = None;
+    for object in &scene.objects {
+        if let Some(hit) = object.hit(ray, SHADOW_BIAS) {
+            if best.as_ref().is_none_or(|b| hit.t < b.t) {
+                best = Some(hit);
+            }
+        }
+    }
+    best
+}
+
+/// Is the segment from `point` toward `light_pos` blocked?
+fn in_shadow(scene: &Scene, point: Vec3, light_pos: Vec3) -> bool {
+    let to_light = light_pos - point;
+    let distance = to_light.length();
+    let ray = Ray::new(point, to_light);
+    scene
+        .objects
+        .iter()
+        .filter_map(|o| o.hit(&ray, SHADOW_BIAS))
+        .any(|hit| hit.t < distance)
+}
+
+/// Traces one ray to a color: Phong shading + shadow rays + specular
+/// reflection up to `depth` bounces.
+pub fn trace_ray(scene: &Scene, ray: &Ray, depth: u32) -> Vec3 {
+    let Some(hit) = nearest_hit(scene, ray) else {
+        return scene.background;
+    };
+    let m = hit.material;
+    let mut color = m.color * m.ambient;
+    for light in &scene.lights {
+        if in_shadow(scene, hit.point, light.position) {
+            continue;
+        }
+        let to_light = (light.position - hit.point).normalized();
+        let diffuse = hit.normal.dot(to_light).max(0.0);
+        color = color + m.color.hadamard(light.intensity) * (m.diffuse * diffuse);
+        if m.specular > 0.0 {
+            let reflect_dir = (-to_light).reflect(hit.normal);
+            let spec = reflect_dir.dot(ray.dir).max(0.0).powf(m.shininess);
+            color = color + light.intensity * (m.specular * spec);
+        }
+    }
+    if m.reflectivity > 0.0 && depth > 0 {
+        let reflected = Ray::new(hit.point, ray.dir.reflect(hit.normal));
+        let bounce = trace_ray(scene, &reflected, depth - 1);
+        color = color * (1.0 - m.reflectivity) + bounce * m.reflectivity;
+    }
+    color.clamp01()
+}
+
+/// Renders scan lines `[y0, y0+rows)` of a `width`×`height` image,
+/// returning `rows * width * 3` RGB bytes — the task computation of the
+/// parallel ray tracer.
+pub fn render_strip(scene: &Scene, y0: u32, rows: u32, width: u32, height: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity((rows * width * 3) as usize);
+    for py in y0..y0 + rows {
+        for px in 0..width {
+            let ray = scene.camera.primary_ray(px, py, width, height);
+            let color = trace_ray(scene, &ray, scene.max_depth);
+            out.extend_from_slice(&color.to_rgb8());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raytrace::scene::benchmark_scene;
+
+    #[test]
+    fn miss_returns_background() {
+        let scene = benchmark_scene();
+        let up = Ray::new(Vec3::new(0.0, 50.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        assert_eq!(trace_ray(&scene, &up, 4), scene.background);
+    }
+
+    #[test]
+    fn center_pixel_hits_the_mirror_sphere() {
+        let scene = benchmark_scene();
+        let ray = scene.camera.primary_ray(300, 280, 600, 600);
+        let color = trace_ray(&scene, &ray, 4);
+        assert_ne!(color, scene.background);
+    }
+
+    #[test]
+    fn strip_has_expected_size_and_content() {
+        let scene = benchmark_scene();
+        let strip = render_strip(&scene, 0, 5, 64, 64);
+        assert_eq!(strip.len(), 5 * 64 * 3);
+        // Top rows see mostly background; not all-black, not all-white.
+        assert!(strip.iter().any(|&b| b > 0));
+        assert!(strip.iter().any(|&b| b < 255));
+    }
+
+    #[test]
+    fn strips_tile_the_full_image() {
+        let scene = benchmark_scene();
+        let whole = render_strip(&scene, 0, 16, 32, 16);
+        let top = render_strip(&scene, 0, 8, 32, 16);
+        let bottom = render_strip(&scene, 8, 8, 32, 16);
+        let stitched: Vec<u8> = top.into_iter().chain(bottom).collect();
+        assert_eq!(stitched, whole);
+    }
+
+    #[test]
+    fn reflection_depth_changes_mirror_pixels() {
+        let scene = benchmark_scene();
+        // A ray that hits the mirror ball head-on.
+        let ray = scene.camera.primary_ray(300, 260, 600, 600);
+        let with_bounce = trace_ray(&scene, &ray, 4);
+        let without = trace_ray(&scene, &ray, 0);
+        assert_ne!(with_bounce, without, "reflection must contribute");
+    }
+
+    #[test]
+    fn shadows_darken_points_behind_occluders() {
+        let scene = benchmark_scene();
+        // The floor point directly beneath the big sphere is shadowed from
+        // above-ish lights; a far-away floor point is lit.
+        let below_sphere = Vec3::new(0.0, -0.999, -6.0);
+        let open_floor = Vec3::new(8.0, -0.999, 2.0);
+        let light = scene.lights[0].position;
+        assert!(super::in_shadow(&scene, below_sphere, light));
+        assert!(!super::in_shadow(&scene, open_floor, light));
+    }
+}

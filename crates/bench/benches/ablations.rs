@@ -1,0 +1,144 @@
+//! Ablations of the design choices called out in `DESIGN.md` §5.
+//!
+//! Each ablation is a deterministic virtual-time simulation; the Criterion
+//! numbers track simulator cost, and the decisive *virtual-time* outcomes
+//! are printed once per ablation (also available via
+//! `repro -- ablations`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acc_cluster::LoadTrace;
+use acc_core::Thresholds;
+use acc_sim::cluster::{simulate, SimConfig};
+use acc_sim::AppProfile;
+
+
+/// Ablation 1 — Pause/Resume vs Stop/Start under transient load.
+/// Disabling the Paused state (pause band collapsed into the stop band)
+/// forces a full class reload after every transient, inflating parallel
+/// time.
+fn ablation_pause_vs_stop(c: &mut Criterion) {
+    let mut printed = false;
+    let mut group = c.benchmark_group("ablations/pause_vs_stop");
+    for (label, thresholds) in [
+        ("with_pause", Thresholds::paper()),
+        ("stop_only", Thresholds::new(25, 25)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &thresholds,
+            |b, &thresholds| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::new(AppProfile::ray_tracing(), 2);
+                    cfg.cost.thresholds = thresholds;
+                    cfg.traces[0] = Some(LoadTrace::flapping(40, 600_000, 4_000));
+                    cfg.horizon_ms = 600_000.0;
+                    let out = simulate(cfg);
+                    assert!(out.complete);
+                    out.times.parallel_ms
+                });
+            },
+        );
+    }
+    group.finish();
+    if !printed {
+        printed = true;
+        let run = |thresholds| {
+            let mut cfg = SimConfig::new(AppProfile::ray_tracing(), 2);
+            cfg.cost.thresholds = thresholds;
+            cfg.traces[0] = Some(LoadTrace::flapping(40, 600_000, 4_000));
+            cfg.horizon_ms = 600_000.0;
+            simulate(cfg)
+        };
+        let with_pause = run(Thresholds::paper());
+        let stop_only = run(Thresholds::new(25, 25));
+        eprintln!(
+            "[ablation pause_vs_stop] parallel: with_pause {:.0} ms, stop_only {:.0} ms; \
+             signals: {} vs {}",
+            with_pause.times.parallel_ms,
+            stop_only.times.parallel_ms,
+            with_pause.workers[0].signal_log.len(),
+            stop_only.workers[0].signal_log.len(),
+        );
+        let _ = printed;
+    }
+}
+
+/// Ablation 2 — SNMP poll interval: reaction latency vs overhead.
+fn ablation_poll_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/poll_interval");
+    for interval_ms in [50.0f64, 250.0, 1000.0, 4000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{interval_ms}ms")),
+            &interval_ms,
+            |b, &interval_ms| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::new(AppProfile::ray_tracing(), 2);
+                    cfg.cost.poll_interval_ms = interval_ms;
+                    cfg.traces[0] = Some(LoadTrace::flapping(40, 600_000, 8_000));
+                    cfg.horizon_ms = 600_000.0;
+                    let out = simulate(cfg);
+                    assert!(out.complete);
+                    out.times.parallel_ms
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Ablation 3 — task granularity: reproduces the Fig. 6 planning-dominates
+/// effect by sweeping the pricing decomposition at constant total work.
+fn ablation_task_grain(c: &mut Criterion) {
+    let base = AppProfile::option_pricing();
+    let total_work = base.task_work_ms * base.tasks as f64;
+    let mut group = c.benchmark_group("ablations/task_grain");
+    for tasks in [10usize, 50, 100, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut profile = base.clone();
+                profile.tasks = tasks;
+                profile.task_work_ms = total_work / tasks as f64;
+                let out = simulate(SimConfig::new(profile, 4));
+                assert!(out.complete);
+                out.times.parallel_ms
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Ablation 4 — class-loading cost sensitivity under transient load.
+fn ablation_class_load_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/class_load_cost");
+    for cost_ms in [0.0f64, 350.0, 2000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{cost_ms}ms")),
+            &cost_ms,
+            |b, &cost_ms| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::new(AppProfile::ray_tracing(), 2);
+                    cfg.cost.class_load_ms = cost_ms;
+                    // Stop-inducing flaps: load rises into the stop band.
+                    cfg.traces[0] = Some(LoadTrace::flapping(100, 600_000, 6_000));
+                    cfg.horizon_ms = 600_000.0;
+                    let out = simulate(cfg);
+                    assert!(out.complete);
+                    out.times.parallel_ms
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    ablation_pause_vs_stop,
+    ablation_poll_interval,
+    ablation_task_grain,
+    ablation_class_load_cost
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Figures 9–11: the adaptation-protocol experiment, as a Criterion
+//! benchmark, plus a real-runtime signal round-trip latency measurement.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acc_core::{
+    client_register, duplex_pair, RuleBaseServer, RuleMessage, Signal, WorkerState,
+};
+use acc_sim::{run_adaptation, AppProfile};
+
+/// The virtual-time experiment behind Figs 9–11 (one per application).
+fn bench_adaptation_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptation/scripted_run");
+    for profile in AppProfile::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &profile,
+            |b, profile| {
+                b.iter(|| {
+                    let report = run_adaptation(profile);
+                    assert_eq!(report.signals.len(), 5);
+                    report.tasks_done
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Real-runtime rule-base round trip: signal delivered over an in-process
+/// duplex and acknowledged — the floor for "Client Signal" latency.
+fn bench_signal_roundtrip(c: &mut Criterion) {
+    c.bench_function("adaptation/rulebase_roundtrip", |b| {
+        let server = RuleBaseServer::new(Arc::new(|_, _| {}));
+        let (client, server_side) = duplex_pair();
+        let reg = std::thread::spawn(move || {
+            client_register(&client, "bench-worker", Duration::from_secs(5)).map(|id| (client, id))
+        });
+        let id = server.accept(server_side, Duration::from_secs(5)).unwrap();
+        let (client, _) = reg.join().unwrap().unwrap();
+        b.iter(|| {
+            server.send_signal(id, Signal::Pause);
+            let msg = client.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert!(matches!(msg, RuleMessage::Signal { .. }));
+            client.send(RuleMessage::Ack {
+                signal: Signal::Pause,
+                new_state: WorkerState::Paused,
+            });
+        });
+    });
+}
+
+/// TCP variant of the same round trip (the deployment transport).
+fn bench_signal_roundtrip_tcp(c: &mut Criterion) {
+    c.bench_function("adaptation/rulebase_roundtrip_tcp", |b| {
+        let server = RuleBaseServer::new(Arc::new(|_, _| {}));
+        let listener =
+            acc_core::rulebase::tcp::RuleBaseTcpListener::spawn(server.clone()).unwrap();
+        let duplex = acc_core::rulebase::tcp::connect(listener.addr()).unwrap();
+        let id = client_register(&duplex, "tcp-bench", Duration::from_secs(5)).unwrap();
+        // Wait until the server registered the reader pump.
+        while server.workers().is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        b.iter(|| {
+            server.send_signal(id, Signal::Pause);
+            let msg = duplex.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert!(matches!(msg, RuleMessage::Signal { .. }));
+            duplex.send(RuleMessage::Ack {
+                signal: Signal::Pause,
+                new_state: WorkerState::Paused,
+            });
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_adaptation_runs,
+    bench_signal_roundtrip,
+    bench_signal_roundtrip_tcp
+);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Application-kernel benchmarks: the compute inside each task.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acc_apps::prefetch::{generate_cluster, LinkGraph, PageRank, StochasticMatrix};
+use acc_apps::pricing::{bg_tree_estimate, european_mc_estimate, OptionSpec};
+use acc_apps::raytrace::{benchmark_scene, render_strip};
+
+fn bench_pricing_kernels(c: &mut Criterion) {
+    let spec = OptionSpec::paper_default();
+    c.bench_function("apps/pricing/bg_tree_b4_d3", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            bg_tree_estimate(&spec, 4, 3, seed)
+        });
+    });
+    c.bench_function("apps/pricing/european_mc_1000", |b| {
+        let euro = OptionSpec {
+            style: acc_apps::pricing::OptionStyle::European,
+            ..spec
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            european_mc_estimate(&euro, 1000, seed)
+        });
+    });
+}
+
+fn bench_raytrace_strip(c: &mut Criterion) {
+    let scene = benchmark_scene();
+    let mut group = c.benchmark_group("apps/raytrace/strip");
+    for width in [100u32, 300, 600] {
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, &w| {
+            b.iter(|| render_strip(&scene, 0, 25.min(w), w, w));
+        });
+    }
+    group.finish();
+}
+
+fn bench_prefetch_kernels(c: &mut Criterion) {
+    let pages = generate_cluster("acme", 500, 2001);
+    let graph = LinkGraph::from_pages(&pages);
+    c.bench_function("apps/prefetch/matrix_build_500", |b| {
+        b.iter(|| StochasticMatrix::from_graph(&graph));
+    });
+    let matrix = StochasticMatrix::from_graph(&graph);
+    c.bench_function("apps/prefetch/strip_multiply_20x500", |b| {
+        let v = vec![1.0 / 500.0; 500];
+        b.iter(|| matrix.strip_multiply(0, 20, &v));
+    });
+    c.bench_function("apps/prefetch/pagerank_full_500", |b| {
+        b.iter(|| PageRank::default().compute(&matrix));
+    });
+    c.bench_function("apps/prefetch/parse_links_page", |b| {
+        let html = &pages[3].html;
+        b.iter(|| acc_apps::prefetch::parse_links(html));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_pricing_kernels,
+    bench_raytrace_strip,
+    bench_prefetch_kernels
+);
+criterion_main!(benches);

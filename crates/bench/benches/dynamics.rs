@@ -1,0 +1,41 @@
+//! §5.2.3: the dynamic-worker-behaviour experiment as a Criterion bench —
+//! one full simulated run per (application, loaded-fraction) pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acc_cluster::LoadTrace;
+use acc_sim::cluster::{simulate, SimConfig};
+use acc_sim::AppProfile;
+
+fn bench_dynamics(c: &mut Criterion) {
+    for profile in AppProfile::all() {
+        let mut group = c.benchmark_group(format!("exp3/{}", profile.name));
+        let n = profile.testbed.worker_count();
+        for fraction in [0.0f64, 0.25, 0.5] {
+            let loaded = (n as f64 * fraction).floor() as usize;
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{:.0}pct", fraction * 100.0)),
+                &loaded,
+                |b, &loaded| {
+                    b.iter(|| {
+                        let mut cfg = SimConfig::new(profile.clone(), n);
+                        for trace in cfg.traces.iter_mut().take(loaded) {
+                            *trace = Some(LoadTrace::simulator2(3_600_000));
+                        }
+                        cfg.horizon_ms = 3_600_000.0;
+                        let out = simulate(cfg);
+                        assert!(out.complete);
+                        out.times.parallel_ms
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dynamics);
+criterion_main!(benches);

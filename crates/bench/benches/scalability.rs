@@ -1,0 +1,47 @@
+//! Figures 6–8: the scalability sweeps, as Criterion benchmarks.
+//!
+//! Each benchmark simulates one full application run at a given worker
+//! count; the Criterion estimate tracks the simulator's own cost while the
+//! printed summary (run `repro -- fig6 fig7 fig8`) carries the
+//! virtual-time series the paper plots.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use acc_sim::cluster::{simulate, SimConfig};
+use acc_sim::AppProfile;
+
+fn bench_profile(c: &mut Criterion, profile: AppProfile, figure: &str) {
+    let mut group = c.benchmark_group(format!("{figure}/{}", profile.name));
+    let counts: Vec<usize> = match profile.testbed.worker_count() {
+        13 => vec![1, 2, 4, 8, 13],
+        n => (1..=n).collect(),
+    };
+    for n in counts {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let out = simulate(SimConfig::new(profile.clone(), n));
+                assert!(out.complete);
+                out.times.parallel_ms
+            });
+        });
+    }
+    group.finish();
+}
+
+fn fig6(c: &mut Criterion) {
+    bench_profile(c, AppProfile::option_pricing(), "fig6");
+}
+
+fn fig7(c: &mut Criterion) {
+    bench_profile(c, AppProfile::ray_tracing(), "fig7");
+}
+
+fn fig8(c: &mut Criterion) {
+    bench_profile(c, AppProfile::prefetch(), "fig8");
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = fig6, fig7, fig8);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the tuple space: the substrate every byte of the
+//! framework flows through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use acc_tuplespace::{Lease, Space, Template, Tuple};
+
+fn task_tuple(id: i64, payload_len: usize) -> Tuple {
+    Tuple::build("acc.task")
+        .field("job", "bench")
+        .field("task_id", id)
+        .field("payload", vec![0u8; payload_len])
+        .done()
+}
+
+fn bench_write_take(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space/write_take");
+    for payload in [64usize, 4096, 65536] {
+        group.throughput(Throughput::Bytes(payload as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(payload),
+            &payload,
+            |b, &payload| {
+                let space = Space::new("bench");
+                let template = Template::of_type("acc.task");
+                let mut i = 0i64;
+                b.iter(|| {
+                    space.write(task_tuple(i, payload)).unwrap();
+                    i += 1;
+                    space.take_if_exists(&template).unwrap().unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    c.bench_function("space/read_among_1000", |b| {
+        let space = Space::new("bench");
+        for i in 0..1000 {
+            space.write(task_tuple(i, 64)).unwrap();
+        }
+        let template = Template::build("acc.task").eq("task_id", 999i64).done();
+        b.iter(|| space.read_if_exists(&template).unwrap().unwrap());
+    });
+}
+
+fn bench_template_match(c: &mut Criterion) {
+    c.bench_function("space/template_match", |b| {
+        let tuple = task_tuple(42, 256);
+        let template = Template::build("acc.task")
+            .eq("job", "bench")
+            .int_range("task_id", 0, 100)
+            .done();
+        b.iter(|| template.matches(&tuple));
+    });
+}
+
+fn bench_transactional_take(c: &mut Criterion) {
+    let mut group = c.benchmark_group("space/take_modes");
+    group.bench_function("plain", |b| {
+        let space = Space::new("bench");
+        let template = Template::of_type("acc.task");
+        let mut i = 0i64;
+        b.iter(|| {
+            space.write(task_tuple(i, 256)).unwrap();
+            i += 1;
+            space.take_if_exists(&template).unwrap().unwrap()
+        });
+    });
+    group.bench_function("transactional", |b| {
+        let space = Space::new("bench");
+        let template = Template::of_type("acc.task");
+        let mut i = 0i64;
+        b.iter(|| {
+            space.write(task_tuple(i, 256)).unwrap();
+            i += 1;
+            let txn = space.txn().unwrap();
+            let got = txn.take_if_exists(&template).unwrap().unwrap();
+            txn.commit().unwrap();
+            got
+        });
+    });
+    group.finish();
+}
+
+fn bench_notify_dispatch(c: &mut Criterion) {
+    c.bench_function("space/write_with_10_registrations", |b| {
+        let space = Space::new("bench");
+        for i in 0..10i64 {
+            space.notify(
+                Template::build("acc.task").eq("task_id", i).done(),
+                Box::new(|_| {}),
+            );
+        }
+        let mut i = 0i64;
+        let template = Template::of_type("acc.task");
+        b.iter(|| {
+            space.write(task_tuple(i % 10, 64)).unwrap();
+            i += 1;
+            space.take_if_exists(&template).unwrap()
+        });
+    });
+}
+
+fn bench_leased_writes_and_sweep(c: &mut Criterion) {
+    c.bench_function("space/leased_write_sweep_100", |b| {
+        let space = Space::new("bench");
+        b.iter(|| {
+            for i in 0..100 {
+                space
+                    .write_leased(task_tuple(i, 64), Lease::for_millis(0))
+                    .unwrap();
+            }
+            space.sweep()
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets =
+    bench_write_take,
+    bench_read,
+    bench_template_match,
+    bench_transactional_take,
+    bench_notify_dispatch,
+    bench_leased_writes_and_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # acc-bench
+//!
+//! The benchmark harness: regenerates every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! * `cargo run -p acc-bench --bin repro -- all` prints every artifact;
+//!   individual ids: `fig6 fig7 fig8 fig9 fig10 fig11 exp3 table2`.
+//! * `cargo bench -p acc-bench` runs the Criterion benches: space
+//!   operations, the scalability sweeps, adaptation signal latencies,
+//!   the dynamic-load experiment, application kernels, and the design
+//!   ablations called out in `DESIGN.md`.
+//!
+//! The library part holds the shared report formatting so the binary and
+//! the benches print identical rows.
+
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{ascii_plot, format_ms, Table};

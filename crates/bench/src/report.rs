@@ -1,0 +1,131 @@
+//! Plain-text tables and plots for the repro reports.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Table {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {cell:>w$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push('|');
+        for w in &widths {
+            out.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a millisecond quantity compactly.
+pub fn format_ms(ms: f64) -> String {
+    if ms >= 10_000.0 {
+        format!("{:.1}s", ms / 1000.0)
+    } else {
+        format!("{ms:.0}ms")
+    }
+}
+
+/// Renders a crude ASCII time-series plot (for the CPU-usage histories of
+/// Figures 9a–11a): one row per bucket, `#` bars scaled to 100%.
+pub fn ascii_plot(points: &[(u64, u64)], buckets: usize) -> String {
+    if points.is_empty() || buckets == 0 {
+        return String::from("(no samples)\n");
+    }
+    let t_max = points.last().map(|p| p.0).unwrap_or(0).max(1);
+    let mut out = String::new();
+    for b in 0..buckets {
+        let lo = t_max * b as u64 / buckets as u64;
+        let hi = t_max * (b as u64 + 1) / buckets as u64;
+        let window: Vec<u64> = points
+            .iter()
+            .filter(|p| p.0 >= lo && p.0 < hi.max(lo + 1))
+            .map(|p| p.1)
+            .collect();
+        let level = if window.is_empty() {
+            0
+        } else {
+            window.iter().sum::<u64>() / window.len() as u64
+        };
+        let bar = "#".repeat((level as usize * 50) / 100);
+        out.push_str(&format!("{:>7} ms |{:<50}| {:>3}%\n", lo, bar, level));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["workers", "time"]);
+        t.row(vec!["1".into(), "100".into()]);
+        t.row(vec!["13".into(), "9".into()]);
+        let s = t.render();
+        assert!(s.contains("| workers | time |"));
+        assert!(s.lines().count() == 4);
+        let widths: Vec<usize> = s.lines().map(str::len).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "aligned:\n{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn table_checks_columns() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn format_ms_scales() {
+        assert_eq!(format_ms(532.4), "532ms");
+        assert_eq!(format_ms(12_345.0), "12.3s");
+    }
+
+    #[test]
+    fn ascii_plot_shapes() {
+        let points: Vec<(u64, u64)> = (0..100).map(|t| (t * 10, if t < 50 { 0 } else { 100 })).collect();
+        let plot = ascii_plot(&points, 10);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines[0].ends_with("0%"));
+        assert!(lines[9].ends_with("100%"));
+        assert_eq!(ascii_plot(&[], 5), "(no samples)\n");
+    }
+}

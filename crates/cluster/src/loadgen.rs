@@ -1,0 +1,362 @@
+//! Synthetic load generators.
+//!
+//! The paper's adaptation experiments needed *repeatable* loading sequences,
+//! so the authors built two load simulators (§5.2.2). We reproduce them as
+//! deterministic [`LoadTrace`]s — piecewise-constant background-load
+//! schedules — plus a [`LoadGenerator`] that plays a trace against a node in
+//! real time (the thread runtime) or hands the phases to the discrete-event
+//! simulator (virtual time).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::node::Node;
+
+/// The traffic pattern a phase models. Load simulator 1 cycles through
+/// voice, web and multimedia traffic; simulator 2 is a pure CPU hog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// RTP packets for voice traffic.
+    RtpVoice,
+    /// Plain HTTP request/response traffic.
+    Http,
+    /// Multimedia streaming over HTTP.
+    MultimediaHttp,
+    /// CPU-bound busy loop (simulator 2).
+    CpuHog,
+    /// No generated load.
+    Idle,
+}
+
+/// One piecewise-constant segment of a load schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadPhase {
+    /// Phase start, milliseconds from trace start.
+    pub at_ms: u64,
+    /// Background CPU percent the generator imposes during the phase.
+    pub level: u64,
+    /// What the phase models.
+    pub kind: TrafficKind,
+}
+
+/// A deterministic background-load schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadTrace {
+    phases: Vec<LoadPhase>,
+    duration_ms: u64,
+}
+
+impl LoadTrace {
+    /// Builds a trace from phases (sorted by start time) and a total
+    /// duration after which the generator goes idle.
+    pub fn new(mut phases: Vec<LoadPhase>, duration_ms: u64) -> LoadTrace {
+        phases.sort_by_key(|p| p.at_ms);
+        LoadTrace {
+            phases,
+            duration_ms,
+        }
+    }
+
+    /// A constant-level trace.
+    pub fn constant(level: u64, kind: TrafficKind, duration_ms: u64) -> LoadTrace {
+        LoadTrace::new(
+            vec![LoadPhase {
+                at_ms: 0,
+                level,
+                kind,
+            }],
+            duration_ms,
+        )
+    }
+
+    /// **Load simulator 1**: scripted data transfers — RTP voice, HTTP and
+    /// multimedia-over-HTTP — that hold the worker between 30% and 50% CPU.
+    /// The pattern cycles deterministically every 3 segments.
+    pub fn simulator1(duration_ms: u64) -> LoadTrace {
+        let segment_ms = 500u64.min(duration_ms.max(1));
+        let mut phases = Vec::new();
+        let pattern = [
+            (34, TrafficKind::RtpVoice),
+            (46, TrafficKind::Http),
+            (40, TrafficKind::MultimediaHttp),
+            (30, TrafficKind::RtpVoice),
+            (50, TrafficKind::MultimediaHttp),
+            (38, TrafficKind::Http),
+        ];
+        let mut at = 0;
+        let mut i = 0;
+        while at < duration_ms {
+            let (level, kind) = pattern[i % pattern.len()];
+            phases.push(LoadPhase {
+                at_ms: at,
+                level,
+                kind,
+            });
+            at += segment_ms;
+            i += 1;
+        }
+        LoadTrace::new(phases, duration_ms)
+    }
+
+    /// **Load simulator 2**: pegs the CPU at 100% for the whole duration.
+    pub fn simulator2(duration_ms: u64) -> LoadTrace {
+        LoadTrace::constant(100, TrafficKind::CpuHog, duration_ms)
+    }
+
+    /// A square wave between idle and `level`, switching every
+    /// `period_ms` — the transient-load pattern used by the ablation
+    /// experiments (starts idle).
+    pub fn flapping(level: u64, duration_ms: u64, period_ms: u64) -> LoadTrace {
+        assert!(period_ms > 0);
+        let kind = if level >= 100 {
+            TrafficKind::CpuHog
+        } else {
+            TrafficKind::Http
+        };
+        let mut phases = Vec::new();
+        let mut at = 0;
+        let mut current = 0;
+        while at < duration_ms {
+            phases.push(LoadPhase {
+                at_ms: at,
+                level: current,
+                kind: if current == 0 { TrafficKind::Idle } else { kind },
+            });
+            current = if current == 0 { level } else { 0 };
+            at += period_ms;
+        }
+        LoadTrace::new(phases, duration_ms)
+    }
+
+    /// The scheduled phases.
+    pub fn phases(&self) -> &[LoadPhase] {
+        &self.phases
+    }
+
+    /// Total duration, after which the level is 0.
+    pub fn duration_ms(&self) -> u64 {
+        self.duration_ms
+    }
+
+    /// The load level at `t_ms` from trace start (0 after the end).
+    pub fn level_at(&self, t_ms: u64) -> u64 {
+        if t_ms >= self.duration_ms {
+            return 0;
+        }
+        self.phases
+            .iter()
+            .take_while(|p| p.at_ms <= t_ms)
+            .last()
+            .map(|p| p.level)
+            .unwrap_or(0)
+    }
+
+    /// Total time within `[from_ms, to_ms)` during which the trace level
+    /// is at least `threshold` — used to measure exactly how long a
+    /// framework task overlapped with externally generated load.
+    pub fn time_at_or_above(&self, threshold: u64, from_ms: u64, to_ms: u64) -> u64 {
+        if from_ms >= to_ms {
+            return 0;
+        }
+        // Build the boundary list: phase starts plus the trace end.
+        let mut total = 0;
+        let mut cursor = from_ms;
+        while cursor < to_ms {
+            let level = self.level_at(cursor);
+            // Next change point after `cursor`.
+            let next_change = self
+                .phases
+                .iter()
+                .map(|p| p.at_ms)
+                .chain(std::iter::once(self.duration_ms))
+                .filter(|&at| at > cursor)
+                .min()
+                .unwrap_or(to_ms)
+                .min(to_ms);
+            if level >= threshold {
+                total += next_change - cursor;
+            }
+            if next_change == cursor {
+                break; // defensive: no progress possible
+            }
+            cursor = next_change;
+        }
+        total
+    }
+
+    /// The traffic kind at `t_ms`.
+    pub fn kind_at(&self, t_ms: u64) -> TrafficKind {
+        if t_ms >= self.duration_ms {
+            return TrafficKind::Idle;
+        }
+        self.phases
+            .iter()
+            .take_while(|p| p.at_ms <= t_ms)
+            .last()
+            .map(|p| p.kind)
+            .unwrap_or(TrafficKind::Idle)
+    }
+}
+
+/// Plays a [`LoadTrace`] against a node's background load in real time.
+#[derive(Debug)]
+pub struct LoadGenerator {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LoadGenerator {
+    /// Starts playback in a background thread; the node's background load
+    /// follows the trace until it ends (then drops to 0) or the generator
+    /// is stopped.
+    pub fn start(node: &Node, trace: LoadTrace) -> LoadGenerator {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let load = node.load();
+        let thread = std::thread::spawn(move || {
+            let begun = Instant::now();
+            while !stop2.load(Ordering::SeqCst) {
+                let t_ms = begun.elapsed().as_millis() as u64;
+                if t_ms >= trace.duration_ms() {
+                    break;
+                }
+                load.set_background(trace.level_at(t_ms));
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            load.set_background(0);
+        });
+        LoadGenerator {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops playback and restores 0% background load.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for LoadGenerator {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeSpec;
+
+    #[test]
+    fn simulator1_stays_in_band() {
+        let trace = LoadTrace::simulator1(10_000);
+        for t in (0..10_000).step_by(100) {
+            let level = trace.level_at(t);
+            assert!((30..=50).contains(&level), "t={t} level={level}");
+        }
+        assert_eq!(trace.level_at(10_000), 0);
+    }
+
+    #[test]
+    fn simulator1_is_deterministic() {
+        assert_eq!(LoadTrace::simulator1(5000), LoadTrace::simulator1(5000));
+    }
+
+    #[test]
+    fn simulator1_cycles_traffic_kinds() {
+        let trace = LoadTrace::simulator1(3000);
+        let kinds: std::collections::HashSet<_> = (0..3000)
+            .step_by(250)
+            .map(|t| format!("{:?}", trace.kind_at(t)))
+            .collect();
+        assert!(kinds.len() >= 3, "kinds seen: {kinds:?}");
+    }
+
+    #[test]
+    fn simulator2_pegs_cpu() {
+        let trace = LoadTrace::simulator2(1000);
+        assert_eq!(trace.level_at(0), 100);
+        assert_eq!(trace.level_at(999), 100);
+        assert_eq!(trace.level_at(1000), 0);
+        assert_eq!(trace.kind_at(500), TrafficKind::CpuHog);
+    }
+
+    #[test]
+    fn level_before_first_phase_is_zero() {
+        let trace = LoadTrace::new(
+            vec![LoadPhase {
+                at_ms: 100,
+                level: 60,
+                kind: TrafficKind::Http,
+            }],
+            200,
+        );
+        assert_eq!(trace.level_at(0), 0);
+        assert_eq!(trace.level_at(150), 60);
+        assert_eq!(trace.kind_at(0), TrafficKind::Idle);
+    }
+
+    #[test]
+    fn flapping_square_wave() {
+        let trace = LoadTrace::flapping(40, 10_000, 1_000);
+        assert_eq!(trace.level_at(0), 0);
+        assert_eq!(trace.level_at(1_500), 40);
+        assert_eq!(trace.level_at(2_500), 0);
+        assert_eq!(trace.level_at(9_500), 40);
+        assert_eq!(trace.level_at(10_000), 0, "past the end");
+        // Exactly half the time is loaded.
+        assert_eq!(trace.time_at_or_above(25, 0, 10_000), 5_000);
+    }
+
+    #[test]
+    fn time_at_or_above_integrates_windows() {
+        let trace = LoadTrace::new(
+            vec![
+                LoadPhase { at_ms: 0, level: 0, kind: TrafficKind::Idle },
+                LoadPhase { at_ms: 100, level: 50, kind: TrafficKind::Http },
+                LoadPhase { at_ms: 300, level: 0, kind: TrafficKind::Idle },
+            ],
+            400,
+        );
+        assert_eq!(trace.time_at_or_above(25, 0, 400), 200);
+        assert_eq!(trace.time_at_or_above(25, 150, 250), 100);
+        assert_eq!(trace.time_at_or_above(25, 0, 100), 0);
+        assert_eq!(trace.time_at_or_above(60, 0, 400), 0, "above the level");
+        // Beyond the trace end the level is 0.
+        assert_eq!(trace.time_at_or_above(25, 250, 1000), 50);
+        assert_eq!(trace.time_at_or_above(25, 300, 200), 0, "empty interval");
+    }
+
+    #[test]
+    fn generator_drives_node_background_load() {
+        let node = Node::new(NodeSpec::new("w", 800, 256));
+        let generator = LoadGenerator::start(&node, LoadTrace::simulator2(10_000));
+        // Wait for the generator thread to apply the level.
+        let begun = Instant::now();
+        while node.cpu_load() != 100 && begun.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(node.cpu_load(), 100);
+        generator.stop();
+        assert_eq!(node.cpu_load(), 0, "stop restores idle");
+    }
+
+    #[test]
+    fn generator_ends_with_trace() {
+        let node = Node::new(NodeSpec::new("w", 800, 256));
+        let generator = LoadGenerator::start(&node, LoadTrace::simulator2(30));
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(node.cpu_load(), 0);
+        drop(generator);
+    }
+}

@@ -1,0 +1,176 @@
+//! CPU load accounting and usage history.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The two components of a node's CPU utilisation: work done for the
+/// framework, and background load from the node's own user. The rule-base
+/// protocol exists precisely to keep the first out of the way of the second.
+#[derive(Debug, Default)]
+pub struct LoadMix {
+    framework: AtomicU64,
+    background: AtomicU64,
+}
+
+impl LoadMix {
+    /// Sets the framework-work component (percent).
+    pub fn set_framework(&self, pct: u64) {
+        self.framework.store(pct.min(100), Ordering::Relaxed);
+    }
+
+    /// Sets the background component (percent).
+    pub fn set_background(&self, pct: u64) {
+        self.background.store(pct.min(100), Ordering::Relaxed);
+    }
+
+    /// The framework component.
+    pub fn framework(&self) -> u64 {
+        self.framework.load(Ordering::Relaxed)
+    }
+
+    /// The background component.
+    pub fn background(&self) -> u64 {
+        self.background.load(Ordering::Relaxed)
+    }
+
+    /// The CPU share the framework process actually gets: background
+    /// (interactive, higher-priority) load squeezes it out. This is what
+    /// the worker-agent exports as `acc_framework_load`, so the inference
+    /// engine's `external = total - framework` stays meaningful even when
+    /// the node is saturated.
+    pub fn framework_effective(&self) -> u64 {
+        self.framework() * (100 - self.background()) / 100
+    }
+
+    /// Total utilisation: background plus the framework's effective share,
+    /// saturating at 100%.
+    pub fn total(&self) -> u64 {
+        (self.framework_effective() + self.background()).min(100)
+    }
+}
+
+/// One point of a CPU usage history plot — the x/y pairs of the paper's
+/// figures 9(a), 10(a), 11(a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsagePoint {
+    /// Milliseconds since the experiment epoch.
+    pub at_ms: u64,
+    /// CPU utilisation percent.
+    pub load: u64,
+}
+
+/// A bounded time series of utilisation samples.
+#[derive(Debug, Clone)]
+pub struct UsageHistory {
+    points: std::collections::VecDeque<UsagePoint>,
+    capacity: usize,
+}
+
+impl UsageHistory {
+    /// History retaining the last `capacity` points.
+    pub fn new(capacity: usize) -> UsageHistory {
+        UsageHistory {
+            points: std::collections::VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn record(&mut self, at_ms: u64, load: u64) {
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+        }
+        self.points.push_back(UsagePoint { at_ms, load });
+    }
+
+    /// All samples, oldest first.
+    pub fn points(&self) -> impl Iterator<Item = &UsagePoint> {
+        self.points.iter()
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Peak utilisation over the window.
+    pub fn peak(&self) -> Option<UsagePoint> {
+        self.points.iter().copied().max_by_key(|p| p.load)
+    }
+
+    /// Mean utilisation over the window.
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|p| p.load as f64).sum::<f64>() / self.points.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loadmix_clamps_inputs() {
+        let m = LoadMix::default();
+        m.set_framework(250);
+        assert_eq!(m.framework(), 100);
+        m.set_background(300);
+        assert_eq!(m.background(), 100);
+    }
+
+    #[test]
+    fn background_squeezes_framework_share() {
+        let m = LoadMix::default();
+        m.set_framework(98);
+        assert_eq!(m.framework_effective(), 98, "idle node: full share");
+        assert_eq!(m.total(), 98);
+        m.set_background(50);
+        assert_eq!(m.framework_effective(), 49, "half squeezed out");
+        assert_eq!(m.total(), 99);
+        m.set_background(100);
+        assert_eq!(m.framework_effective(), 0, "hogged node: no share");
+        assert_eq!(m.total(), 100);
+    }
+
+    #[test]
+    fn external_load_is_recoverable_under_saturation() {
+        // The monitoring invariant: total - framework_effective equals the
+        // background load even when the node is saturated.
+        let m = LoadMix::default();
+        for bg in [0u64, 10, 25, 50, 90, 100] {
+            m.set_framework(98);
+            m.set_background(bg);
+            assert_eq!(m.total() - m.framework_effective(), bg, "bg {bg}");
+        }
+    }
+
+    #[test]
+    fn history_bounded_and_ordered() {
+        let mut h = UsageHistory::new(2);
+        h.record(0, 10);
+        h.record(1, 20);
+        h.record(2, 30);
+        let pts: Vec<_> = h.points().copied().collect();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0], UsagePoint { at_ms: 1, load: 20 });
+        assert_eq!(pts[1], UsagePoint { at_ms: 2, load: 30 });
+    }
+
+    #[test]
+    fn peak_and_mean() {
+        let mut h = UsageHistory::new(10);
+        assert!(h.peak().is_none());
+        assert!(h.mean().is_none());
+        h.record(0, 10);
+        h.record(1, 90);
+        h.record(2, 50);
+        assert_eq!(h.peak().unwrap().load, 90);
+        assert!((h.mean().unwrap() - 50.0).abs() < 1e-12);
+    }
+}

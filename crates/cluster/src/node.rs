@@ -1,0 +1,151 @@
+//! Cluster nodes.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::meter::{LoadMix, UsageHistory};
+
+/// Static description of a machine: the paper's testbeds mix 300 MHz and
+/// 800 MHz Pentium-class PCs with 64–256 MB of RAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Host name.
+    pub name: String,
+    /// Clock speed in MHz; used as the relative speed factor.
+    pub speed_mhz: u32,
+    /// Number of processors (the paper's testbed machines had one).
+    pub cores: u32,
+    /// Physical memory in MB.
+    pub memory_mb: u32,
+}
+
+impl NodeSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, speed_mhz: u32, memory_mb: u32) -> NodeSpec {
+        NodeSpec {
+            name: name.into(),
+            speed_mhz,
+            cores: 1,
+            memory_mb,
+        }
+    }
+
+    /// Speed relative to a reference clock (e.g. the 800 MHz master).
+    pub fn speed_factor(&self, reference_mhz: u32) -> f64 {
+        self.speed_mhz as f64 / reference_mhz as f64
+    }
+}
+
+/// A live node: spec plus mutable load state shared with its SNMP agent and
+/// any load generators targeting it.
+#[derive(Debug, Clone)]
+pub struct Node {
+    spec: NodeSpec,
+    load: Arc<LoadMix>,
+    history: Arc<parking_lot::Mutex<UsageHistory>>,
+    started: Instant,
+}
+
+impl Node {
+    /// Brings a node "online".
+    pub fn new(spec: NodeSpec) -> Node {
+        Node {
+            spec,
+            load: Arc::new(LoadMix::default()),
+            history: Arc::new(parking_lot::Mutex::new(UsageHistory::new(4096))),
+            started: Instant::now(),
+        }
+    }
+
+    /// The node's static description.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Shared load-mix handle (SNMP agents and load generators hold this).
+    pub fn load(&self) -> Arc<LoadMix> {
+        self.load.clone()
+    }
+
+    /// Total CPU utilisation percent in `[0, 100]` — what `hrProcessorLoad`
+    /// reports.
+    pub fn cpu_load(&self) -> u64 {
+        self.load.total()
+    }
+
+    /// Free memory estimate in KB: total minus a load-proportional working
+    /// set. A crude model, but it gives the monitoring layer a second,
+    /// consistent variable to poll.
+    pub fn free_memory_kb(&self) -> u64 {
+        let total_kb = self.spec.memory_mb as u64 * 1024;
+        let used = total_kb * self.cpu_load() / 100;
+        total_kb.saturating_sub(used / 2).max(total_kb / 10)
+    }
+
+    /// Agent uptime in SNMP TimeTicks (hundredths of a second).
+    pub fn uptime_ticks(&self) -> u64 {
+        (self.started.elapsed().as_millis() / 10) as u64
+    }
+
+    /// Records the current utilisation into the usage history, stamped with
+    /// the caller's clock (milliseconds since experiment start).
+    pub fn record_usage(&self, at_ms: u64) {
+        let load = self.cpu_load();
+        self.history.lock().record(at_ms, load);
+    }
+
+    /// A copy of the recorded usage history.
+    pub fn usage_history(&self) -> UsageHistory {
+        self.history.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_speed_factor() {
+        let slow = NodeSpec::new("w1", 300, 64);
+        let fast = NodeSpec::new("w2", 800, 256);
+        assert!((slow.speed_factor(800) - 0.375).abs() < 1e-12);
+        assert!((fast.speed_factor(800) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_load_blends_framework_and_background() {
+        let node = Node::new(NodeSpec::new("w", 800, 256));
+        assert_eq!(node.cpu_load(), 0);
+        node.load().set_framework(40);
+        node.load().set_background(30);
+        // Background squeezes the framework share: 30 + 40·0.7 = 58.
+        assert_eq!(node.cpu_load(), 58);
+        node.load().set_background(100);
+        assert_eq!(node.cpu_load(), 100, "hogged node reads saturated");
+    }
+
+    #[test]
+    fn free_memory_shrinks_under_load() {
+        let node = Node::new(NodeSpec::new("w", 300, 64));
+        let idle = node.free_memory_kb();
+        node.load().set_background(100);
+        let busy = node.free_memory_kb();
+        assert!(busy < idle);
+        assert!(busy >= 64 * 1024 / 10, "floor at 10% of RAM");
+    }
+
+    #[test]
+    fn usage_history_records() {
+        let node = Node::new(NodeSpec::new("w", 800, 256));
+        node.load().set_background(25);
+        node.record_usage(0);
+        node.load().set_background(75);
+        node.record_usage(100);
+        let h = node.usage_history();
+        let points: Vec<_> = h.points().collect();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].load, 25);
+        assert_eq!(points[1].load, 75);
+        assert_eq!(points[1].at_ms, 100);
+    }
+}

@@ -1,0 +1,103 @@
+//! The paper's experimental testbeds (§5).
+//!
+//! * Ray tracing and web-page pre-fetching: a five-PC cluster of 800 MHz
+//!   Pentium III machines with 256 MB RAM.
+//! * Option pricing: a thirteen-PC cluster of 300 MHz machines with 64 MB
+//!   RAM.
+//! * In both cases the master (which hosts the memory-hungry Jini
+//!   infrastructure) runs on an 800 MHz / 256 MB machine.
+
+use crate::node::NodeSpec;
+
+/// The master machine used for every experiment: 800 MHz PIII, 256 MB.
+pub const MASTER_SPEC: (u32, u32) = (800, 256);
+
+/// A named cluster configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Testbed {
+    /// Human-readable label.
+    pub name: String,
+    /// The master node's spec.
+    pub master: NodeSpec,
+    /// Worker node specs.
+    pub workers: Vec<NodeSpec>,
+}
+
+impl Testbed {
+    /// Number of worker nodes.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// A copy of this testbed truncated to the first `n` workers — how the
+    /// scalability experiments sweep worker counts.
+    pub fn with_workers(&self, n: usize) -> Testbed {
+        Testbed {
+            name: format!("{}[{n}]", self.name),
+            master: self.master.clone(),
+            workers: self.workers.iter().take(n).cloned().collect(),
+        }
+    }
+}
+
+fn master() -> NodeSpec {
+    NodeSpec::new("master", MASTER_SPEC.0, MASTER_SPEC.1)
+}
+
+/// The 5 × 800 MHz / 256 MB cluster used for ray tracing and pre-fetching.
+pub fn ray_tracing_testbed() -> Testbed {
+    Testbed {
+        name: "5x800MHz".into(),
+        master: master(),
+        workers: (1..=5)
+            .map(|i| NodeSpec::new(format!("w{i:02}"), 800, 256))
+            .collect(),
+    }
+}
+
+/// The 13 × 300 MHz / 64 MB cluster used for option pricing.
+pub fn option_pricing_testbed() -> Testbed {
+    Testbed {
+        name: "13x300MHz".into(),
+        master: master(),
+        workers: (1..=13)
+            .map(|i| NodeSpec::new(format!("w{i:02}"), 300, 64))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_shapes_match_the_paper() {
+        let rt = ray_tracing_testbed();
+        assert_eq!(rt.worker_count(), 5);
+        assert!(rt.workers.iter().all(|w| w.speed_mhz == 800 && w.memory_mb == 256));
+
+        let op = option_pricing_testbed();
+        assert_eq!(op.worker_count(), 13);
+        assert!(op.workers.iter().all(|w| w.speed_mhz == 300 && w.memory_mb == 64));
+
+        // The master is always the fast machine (Jini is memory-hungry).
+        assert_eq!(op.master.speed_mhz, 800);
+        assert_eq!(op.master.memory_mb, 256);
+    }
+
+    #[test]
+    fn with_workers_truncates() {
+        let tb = option_pricing_testbed().with_workers(4);
+        assert_eq!(tb.worker_count(), 4);
+        assert_eq!(tb.workers[0].name, "w01");
+        assert_eq!(tb.workers[3].name, "w04");
+    }
+
+    #[test]
+    fn worker_names_unique() {
+        let tb = option_pricing_testbed();
+        let names: std::collections::HashSet<_> =
+            tb.workers.iter().map(|w| w.name.clone()).collect();
+        assert_eq!(names.len(), tb.worker_count());
+    }
+}

@@ -1,0 +1,450 @@
+//! End-to-end wiring: the whole framework in one handle.
+//!
+//! [`AdaptiveCluster`] assembles the space, the Jini-style federation, the
+//! bundle server, the network management module and any number of worker
+//! nodes, then runs applications through the master module. It is the
+//! programmatic equivalent of deploying the paper's framework on a cluster.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acc_cluster::{Node, NodeSpec};
+use acc_federation::{Attributes, DiscoveryBus, LookupService, Registrar, ServiceItem};
+use acc_snmp::{host_resources_mib, oids, transport::InProcTransport, Agent, Manager};
+use acc_tuplespace::{remote::SpaceServer, RemoteSpace, Space, SpaceHandle, StoreHandle};
+
+use crate::config::FrameworkConfig;
+use crate::loader::{BundleServer, CodeBundle, ExecutorRegistry};
+use crate::master::{Master, RunReport};
+use crate::monitor::MonitoringAgent;
+use crate::rulebase::{duplex_pair, WorkerId};
+use crate::signal::{SignalLogEntry, WorkerState};
+use crate::task::Application;
+use crate::worker::{WorkerConfig, WorkerRuntime};
+
+/// Builder for [`AdaptiveCluster`].
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    config: FrameworkConfig,
+    space_name: String,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder with the given framework configuration.
+    pub fn new(config: FrameworkConfig) -> ClusterBuilder {
+        ClusterBuilder {
+            config,
+            space_name: "JavaSpaces".into(),
+        }
+    }
+
+    /// Names the hosted space service.
+    pub fn space_name(mut self, name: impl Into<String>) -> ClusterBuilder {
+        self.space_name = name.into();
+        self
+    }
+
+    /// Brings the cluster up: hosts the space, announces the lookup
+    /// service, registers the space with the federation, and starts the
+    /// network management module.
+    pub fn build(self) -> AdaptiveCluster {
+        let epoch = Instant::now();
+        let bus = DiscoveryBus::new();
+        let lookup = LookupService::new("lus-0");
+        bus.announce(lookup.clone());
+        let space = Space::new(self.space_name.clone());
+        // Join protocol: publish the space proxy in the federation.
+        let registrar = Registrar::join(
+            &bus,
+            ServiceItem::new(
+                self.space_name.clone(),
+                Attributes::build().set("kind", "tuple-space").done(),
+                space.clone(),
+            ),
+            None,
+        )
+        .expect("registering the space cannot fail on a fresh lookup");
+        let bundle_server = BundleServer::new(
+            self.config.class_load_base,
+            self.config.class_load_per_kb,
+        );
+        let monitor = MonitoringAgent::new(self.config.clone(), epoch);
+        AdaptiveCluster {
+            config: self.config,
+            epoch,
+            bus,
+            lookup,
+            _registrar: registrar,
+            space,
+            space_name: self.space_name,
+            bundle_server,
+            registry: ExecutorRegistry::new(),
+            monitor,
+            manager: Manager::new("public"),
+            binding: None,
+            workers: Vec::new(),
+            sampler: None,
+            space_server: None,
+        }
+    }
+}
+
+/// A worker node under cluster management.
+pub struct ManagedWorker {
+    /// The node model (load meter, usage history).
+    pub node: Node,
+    runtime: WorkerRuntime,
+}
+
+impl ManagedWorker {
+    /// The management-assigned worker id.
+    pub fn id(&self) -> WorkerId {
+        self.runtime.id()
+    }
+
+    /// The worker's name.
+    pub fn name(&self) -> &str {
+        self.runtime.name()
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> WorkerState {
+        self.runtime.state()
+    }
+
+    /// Signals handled so far (reaction-time log).
+    pub fn signal_log(&self) -> Vec<SignalLogEntry> {
+        self.runtime.signal_log()
+    }
+
+    /// Tasks completed so far.
+    pub fn tasks_done(&self) -> u64 {
+        self.runtime.tasks_done()
+    }
+}
+
+/// The assembled framework: space + federation + management + workers.
+pub struct AdaptiveCluster {
+    config: FrameworkConfig,
+    epoch: Instant,
+    #[allow(dead_code)]
+    bus: Arc<DiscoveryBus>,
+    lookup: Arc<LookupService>,
+    _registrar: Registrar,
+    space: SpaceHandle,
+    space_name: String,
+    bundle_server: Arc<BundleServer>,
+    registry: Arc<ExecutorRegistry>,
+    monitor: Arc<MonitoringAgent>,
+    manager: Manager,
+    binding: Option<(String, String)>,
+    workers: Vec<ManagedWorker>,
+    sampler: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
+    space_server: Option<SpaceServer>,
+}
+
+impl std::fmt::Debug for AdaptiveCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveCluster")
+            .field("space", &self.space_name)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl AdaptiveCluster {
+    /// Shorthand: default configuration, default space name.
+    pub fn with_defaults() -> AdaptiveCluster {
+        ClusterBuilder::new(FrameworkConfig::default()).build()
+    }
+
+    /// The experiment epoch all millisecond timestamps are relative to.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The hosted space.
+    pub fn space(&self) -> SpaceHandle {
+        self.space.clone()
+    }
+
+    /// The network management module.
+    pub fn monitor(&self) -> Arc<MonitoringAgent> {
+        self.monitor.clone()
+    }
+
+    /// Installs an application: publishes its code bundle on the bundle
+    /// server and registers its executor so workers can link it. Must be
+    /// called before [`AdaptiveCluster::add_worker`].
+    pub fn install(&mut self, app: &dyn Application) {
+        let bundle_name = app.bundle_name();
+        self.bundle_server.publish(CodeBundle::synthetic(
+            bundle_name.clone(),
+            1,
+            app.bundle_kb(),
+        ));
+        self.registry.register(bundle_name.clone(), app.executor());
+        self.binding = Some((app.job_name(), bundle_name));
+    }
+
+    /// Starts serving the space over TCP so remote workers can join, and
+    /// returns the address. Idempotent.
+    pub fn serve_space(&mut self) -> std::io::Result<std::net::SocketAddr> {
+        if self.space_server.is_none() {
+            self.space_server = Some(SpaceServer::spawn(self.space.clone(), "127.0.0.1:0")?);
+        }
+        Ok(self.space_server.as_ref().expect("just set").addr())
+    }
+
+    /// Adds a worker whose space access goes through the TCP proxy — the
+    /// deployment shape, where worker machines reach the master's space
+    /// over the network. Requires [`AdaptiveCluster::serve_space`].
+    pub fn add_remote_worker(&mut self, spec: NodeSpec) -> std::io::Result<WorkerId> {
+        let addr = self.serve_space()?;
+        let proxy: StoreHandle = Arc::new(RemoteSpace::connect(addr)?);
+        Ok(self.add_worker_with_store(spec, proxy))
+    }
+
+    /// Adds a worker node: brings up its SNMP agent, registers it over the
+    /// rule-base protocol, and starts monitoring it. The worker serves the
+    /// currently installed application.
+    ///
+    /// # Panics
+    /// If no application has been installed yet.
+    pub fn add_worker(&mut self, spec: NodeSpec) -> WorkerId {
+        let store: StoreHandle = self.space.clone();
+        self.add_worker_with_store(spec, store)
+    }
+
+    fn add_worker_with_store(&mut self, spec: NodeSpec, store: StoreHandle) -> WorkerId {
+        let (job, bundle_name) = self
+            .binding
+            .clone()
+            .expect("install an application before adding workers");
+        let node = Node::new(spec);
+
+        // Rule-base registration: client (worker) and server (management)
+        // handshake over a fresh duplex.
+        let (client_side, server_side) = duplex_pair();
+        let rulebase = self.monitor.rulebase();
+        let accept = std::thread::spawn(move || {
+            rulebase
+                .accept(server_side, Duration::from_secs(5))
+                .expect("worker registration handshake")
+        });
+        let runtime = WorkerRuntime::spawn(WorkerConfig {
+            name: node.spec().name.clone(),
+            space: store,
+            bundle_server: self.bundle_server.clone(),
+            registry: self.registry.clone(),
+            duplex: client_side,
+            bundle_name,
+            job,
+            node_load: Some(node.load()),
+            epoch: self.epoch,
+            framework: self.config.clone(),
+        })
+        .expect("worker registration");
+        let id = accept.join().expect("accept thread");
+        debug_assert_eq!(id, runtime.id());
+
+        // SNMP worker-agent for the node, including the worker runtime's
+        // participation gauge.
+        let n1 = node.clone();
+        let n2 = node.clone();
+        let n3 = node.clone();
+        let mut mib = host_resources_mib(
+            node.spec().name.clone(),
+            node.spec().memory_mb as u64 * 1024,
+            move || n1.cpu_load(),
+            move || n2.free_memory_kb(),
+            move || n3.uptime_ticks(),
+        );
+        let load_for_mib = node.load();
+        mib.register_gauge(oids::acc_framework_load(), move || {
+            load_for_mib.framework_effective()
+        });
+        mib.register_gauge(oids::acc_worker_threads(), runtime.participation_gauge());
+        let agent = Arc::new(Agent::new(self.config.community.clone(), mib));
+        let session = self
+            .manager
+            .session(Box::new(InProcTransport::new(agent)));
+
+        // Monitoring: register with the inference engine and start polling.
+        self.monitor.watch(id, session);
+
+        self.workers.push(ManagedWorker { node, runtime });
+        id
+    }
+
+    /// The managed workers.
+    pub fn workers(&self) -> &[ManagedWorker] {
+        &self.workers
+    }
+
+    /// Looks the space service up through the federation — the path a
+    /// remote master uses — and returns its proxy.
+    pub fn find_space(&self) -> Option<SpaceHandle> {
+        let found = self.lookup.lookup_named(
+            &self.space_name,
+            &Attributes::build().set("kind", "tuple-space").done(),
+        );
+        found.first().and_then(|item| item.proxy::<Space>())
+    }
+
+    /// Runs an installed application to completion through the master
+    /// module. The space is discovered via the federation, exactly as a
+    /// Jini client would.
+    pub fn run(&mut self, app: &mut dyn Application) -> RunReport {
+        let space = self.find_space().expect("space registered in federation");
+        let master = Master::new(space);
+        master.run(app).expect("space open for the run's duration")
+    }
+
+    /// Starts a background sampler recording every node's CPU usage into
+    /// its usage history at the given interval (the data behind the
+    /// "Worker CPU Usage" plots).
+    pub fn start_usage_sampler(&mut self, interval: Duration) {
+        if self.sampler.is_some() {
+            return;
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let nodes: Vec<Node> = self.workers.iter().map(|w| w.node.clone()).collect();
+        let epoch = self.epoch;
+        let thread = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                let at_ms = epoch.elapsed().as_millis() as u64;
+                for node in &nodes {
+                    node.record_usage(at_ms);
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        self.sampler = Some((stop, thread));
+    }
+
+    /// Tears the cluster down: stops monitoring, closes the space (waking
+    /// blocked workers), and joins every worker thread.
+    pub fn shutdown(mut self) {
+        if let Some((stop, thread)) = self.sampler.take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
+        }
+        self.monitor.stop();
+        self.space.close();
+        for worker in self.workers.drain(..) {
+            worker.runtime.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{ExecError, TaskEntry, TaskExecutor, TaskSpec};
+    use acc_tuplespace::Payload;
+
+    /// Sums integers 0..n by squaring each in a task.
+    struct SumSquares {
+        n: u64,
+        total: u64,
+    }
+
+    impl Application for SumSquares {
+        fn job_name(&self) -> String {
+            "sum-squares".into()
+        }
+        fn bundle_name(&self) -> String {
+            "sum-squares-bundle".into()
+        }
+        fn bundle_kb(&self) -> usize {
+            4
+        }
+        fn plan(&mut self) -> Vec<TaskSpec> {
+            (0..self.n).map(|i| TaskSpec::new(i, &i)).collect()
+        }
+        fn executor(&self) -> Arc<dyn TaskExecutor> {
+            struct Exec;
+            impl TaskExecutor for Exec {
+                fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+                    let x: u64 = task.input()?;
+                    Ok((x * x).to_bytes())
+                }
+            }
+            Arc::new(Exec)
+        }
+        fn absorb(&mut self, _task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+            self.total += u64::from_bytes(payload).map_err(ExecError::Decode)?;
+            Ok(())
+        }
+    }
+
+    fn fast_config() -> FrameworkConfig {
+        FrameworkConfig {
+            poll_interval: Duration::from_millis(10),
+            class_load_base: Duration::from_millis(2),
+            class_load_per_kb: Duration::ZERO,
+            task_poll_timeout: Duration::from_millis(10),
+            ..FrameworkConfig::default()
+        }
+    }
+
+    #[test]
+    fn end_to_end_adaptive_run() {
+        let mut cluster = ClusterBuilder::new(fast_config())
+            .space_name("test-space")
+            .build();
+        let mut app = SumSquares { n: 30, total: 0 };
+        cluster.install(&app);
+        for i in 0..3 {
+            cluster.add_worker(NodeSpec::new(format!("w{i:02}"), 800, 256));
+        }
+        let report = cluster.run(&mut app);
+        assert!(report.complete, "failures: {:?}", report.failures);
+        assert_eq!(report.results_collected, 30);
+        let expected: u64 = (0..30u64).map(|i| i * i).sum();
+        assert_eq!(app.total, expected);
+        assert!(report.times.parallel_ms > 0.0);
+        // At least one worker was started by the inference engine and did
+        // the work.
+        assert!(cluster.workers().iter().any(|w| w.tasks_done() > 0));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn loaded_worker_is_excluded() {
+        let mut cluster = ClusterBuilder::new(fast_config()).build();
+        let mut app = SumSquares { n: 10, total: 0 };
+        cluster.install(&app);
+        cluster.add_worker(NodeSpec::new("busy", 800, 256));
+        cluster.add_worker(NodeSpec::new("idle", 800, 256));
+        // Peg the first node before any work shows up.
+        cluster.workers()[0].node.load().set_background(100);
+        std::thread::sleep(Duration::from_millis(80));
+        let report = cluster.run(&mut app);
+        assert!(report.complete);
+        // All tasks went to the idle worker.
+        assert_eq!(cluster.workers()[0].tasks_done(), 0);
+        assert_eq!(cluster.workers()[1].tasks_done(), 10);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn find_space_through_federation() {
+        let cluster = ClusterBuilder::new(fast_config())
+            .space_name("fed-space")
+            .build();
+        let space = cluster.find_space().unwrap();
+        assert_eq!(space.name(), "fed-space");
+        cluster.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "install an application")]
+    fn add_worker_requires_install() {
+        let mut cluster = ClusterBuilder::new(fast_config()).build();
+        cluster.add_worker(NodeSpec::new("w", 800, 256));
+    }
+}

@@ -1,0 +1,274 @@
+//! The inference engine: threshold rules mapping CPU load to signals.
+//!
+//! The network management module's decision-making component (paper §4.4).
+//! It keeps, per registered worker, the worker's believed state and the
+//! recent sample trend, and decides which signal (if any) moves the worker
+//! toward the state the current load calls for.
+//!
+//! The decision variable is the worker's **external** load: total CPU minus
+//! the framework's own contribution (both polled over SNMP). Deciding on
+//! total load would make the framework stop itself whenever a task pegs the
+//! CPU; the paper's Fig. 10(a) shows compute spikes at 78–100% that do *not*
+//! trigger signals, so the decision variable must exclude framework work.
+//!
+//! This module is pure (no threads, no clocks) and is reused verbatim by
+//! the discrete-event simulator.
+
+use std::collections::HashMap;
+
+use crate::config::Thresholds;
+use crate::rulebase::WorkerId;
+use crate::signal::{Signal, WorkerState};
+
+/// The state a given load level calls for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesiredState {
+    /// Load in the idle band: the node may compute.
+    Running,
+    /// Load in the pause band: back off temporarily.
+    Paused,
+    /// Load in the stop band: back off and release resources.
+    Stopped,
+}
+
+/// Classifies an external-load sample against the thresholds.
+pub fn desired_for_load(load: u64, thresholds: Thresholds) -> DesiredState {
+    if load < thresholds.idle_max {
+        DesiredState::Running
+    } else if load < thresholds.pause_max {
+        DesiredState::Paused
+    } else {
+        DesiredState::Stopped
+    }
+}
+
+/// The signal that moves a worker from `state` toward `desired`, if any.
+///
+/// Note the asymmetry the paper's protocol implies: a Stopped worker whose
+/// node becomes *moderately* loaded is left stopped (we never start work on
+/// a busy machine), and a Paused worker under heavy load is stopped so its
+/// resources are fully released.
+pub fn signal_toward(state: WorkerState, desired: DesiredState) -> Option<Signal> {
+    match (state, desired) {
+        (WorkerState::Stopped, DesiredState::Running) => Some(Signal::Start),
+        (WorkerState::Paused, DesiredState::Running) => Some(Signal::Resume),
+        (WorkerState::Running, DesiredState::Paused) => Some(Signal::Pause),
+        (WorkerState::Running, DesiredState::Stopped) => Some(Signal::Stop),
+        (WorkerState::Paused, DesiredState::Stopped) => Some(Signal::Stop),
+        _ => None,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WorkerBelief {
+    state: WorkerState,
+    /// Last desired state observed, and how many consecutive samples agreed.
+    trend: Option<(DesiredState, usize)>,
+    /// Signal sent but not yet acknowledged; suppress duplicates meanwhile.
+    in_flight: Option<Signal>,
+}
+
+/// Per-worker decision state for the whole cluster.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    thresholds: Thresholds,
+    hysteresis: usize,
+    workers: HashMap<WorkerId, WorkerBelief>,
+}
+
+impl InferenceEngine {
+    /// Creates an engine with the given rules. `hysteresis` is the number
+    /// of consecutive samples that must agree before a signal is emitted.
+    pub fn new(thresholds: Thresholds, hysteresis: usize) -> InferenceEngine {
+        InferenceEngine {
+            thresholds,
+            hysteresis: hysteresis.max(1),
+            workers: HashMap::new(),
+        }
+    }
+
+    /// Registers a worker; its initial state is Stopped (it has not loaded
+    /// any application classes yet).
+    pub fn register(&mut self, id: WorkerId) {
+        self.workers.insert(
+            id,
+            WorkerBelief {
+                state: WorkerState::Stopped,
+                trend: None,
+                in_flight: None,
+            },
+        );
+    }
+
+    /// Removes a worker (node left the cluster).
+    pub fn unregister(&mut self, id: WorkerId) {
+        self.workers.remove(&id);
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when no workers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The engine's belief about a worker's state.
+    pub fn state_of(&self, id: WorkerId) -> Option<WorkerState> {
+        self.workers.get(&id).map(|w| w.state)
+    }
+
+    /// Feeds one external-load sample; returns the signal to send, if any.
+    /// While a signal is unacknowledged no further signal is emitted for
+    /// that worker (the paper's protocol is strictly request/ack per step).
+    pub fn on_sample(&mut self, id: WorkerId, external_load: u64) -> Option<Signal> {
+        let thresholds = self.thresholds;
+        let hysteresis = self.hysteresis;
+        let worker = self.workers.get_mut(&id)?;
+        if worker.in_flight.is_some() {
+            return None;
+        }
+        let desired = desired_for_load(external_load, thresholds);
+        let run = match worker.trend {
+            Some((d, n)) if d == desired => n + 1,
+            _ => 1,
+        };
+        worker.trend = Some((desired, run));
+        if run < hysteresis {
+            return None;
+        }
+        let signal = signal_toward(worker.state, desired)?;
+        worker.in_flight = Some(signal);
+        Some(signal)
+    }
+
+    /// A worker acknowledged a signal, reporting its new state.
+    pub fn on_ack(&mut self, id: WorkerId, new_state: WorkerState) {
+        if let Some(worker) = self.workers.get_mut(&id) {
+            worker.state = new_state;
+            worker.in_flight = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(hysteresis: usize) -> (InferenceEngine, WorkerId) {
+        let mut e = InferenceEngine::new(Thresholds::paper(), hysteresis);
+        let id = WorkerId(1);
+        e.register(id);
+        (e, id)
+    }
+
+    #[test]
+    fn bands_classify_as_in_the_paper() {
+        let t = Thresholds::paper();
+        assert_eq!(desired_for_load(0, t), DesiredState::Running);
+        assert_eq!(desired_for_load(24, t), DesiredState::Running);
+        assert_eq!(desired_for_load(25, t), DesiredState::Paused);
+        assert_eq!(desired_for_load(49, t), DesiredState::Paused);
+        assert_eq!(desired_for_load(50, t), DesiredState::Stopped);
+        assert_eq!(desired_for_load(100, t), DesiredState::Stopped);
+    }
+
+    #[test]
+    fn idle_node_gets_start() {
+        let (mut e, id) = engine(1);
+        assert_eq!(e.on_sample(id, 5), Some(Signal::Start));
+    }
+
+    #[test]
+    fn in_flight_suppresses_duplicates_until_ack() {
+        let (mut e, id) = engine(1);
+        assert_eq!(e.on_sample(id, 5), Some(Signal::Start));
+        assert_eq!(e.on_sample(id, 5), None, "unacked: no duplicate");
+        e.on_ack(id, WorkerState::Running);
+        assert_eq!(e.on_sample(id, 5), None, "already running");
+    }
+
+    #[test]
+    fn full_paper_scenario() {
+        // The scripted sequence of Figs. 9–11: start, hog the CPU (stop),
+        // unload (restart), moderate load (pause), unload (resume).
+        let (mut e, id) = engine(1);
+        assert_eq!(e.on_sample(id, 2), Some(Signal::Start));
+        e.on_ack(id, WorkerState::Running);
+        assert_eq!(e.on_sample(id, 100), Some(Signal::Stop));
+        e.on_ack(id, WorkerState::Stopped);
+        assert_eq!(e.on_sample(id, 3), Some(Signal::Start));
+        e.on_ack(id, WorkerState::Running);
+        assert_eq!(e.on_sample(id, 46), Some(Signal::Pause));
+        e.on_ack(id, WorkerState::Paused);
+        assert_eq!(e.on_sample(id, 4), Some(Signal::Resume));
+        e.on_ack(id, WorkerState::Running);
+    }
+
+    #[test]
+    fn stopped_node_under_moderate_load_stays_stopped() {
+        let (mut e, id) = engine(1);
+        assert_eq!(e.on_sample(id, 40), None);
+        assert_eq!(e.state_of(id), Some(WorkerState::Stopped));
+    }
+
+    #[test]
+    fn paused_node_under_heavy_load_is_stopped() {
+        let (mut e, id) = engine(1);
+        e.on_sample(id, 1);
+        e.on_ack(id, WorkerState::Running);
+        e.on_sample(id, 30);
+        e.on_ack(id, WorkerState::Paused);
+        assert_eq!(e.on_sample(id, 90), Some(Signal::Stop));
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_agreement() {
+        let (mut e, id) = engine(3);
+        assert_eq!(e.on_sample(id, 5), None);
+        assert_eq!(e.on_sample(id, 5), None);
+        assert_eq!(e.on_sample(id, 5), Some(Signal::Start));
+    }
+
+    #[test]
+    fn hysteresis_resets_on_band_change() {
+        let (mut e, id) = engine(2);
+        assert_eq!(e.on_sample(id, 5), None);
+        assert_eq!(e.on_sample(id, 60), None, "band changed: trend resets");
+        assert_eq!(e.on_sample(id, 5), None);
+        assert_eq!(e.on_sample(id, 5), Some(Signal::Start));
+    }
+
+    #[test]
+    fn unknown_worker_ignored() {
+        let mut e = InferenceEngine::new(Thresholds::paper(), 1);
+        assert_eq!(e.on_sample(WorkerId(99), 0), None);
+        e.on_ack(WorkerId(99), WorkerState::Running); // no panic
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn unregister_removes() {
+        let (mut e, id) = engine(1);
+        assert_eq!(e.len(), 1);
+        e.unregister(id);
+        assert!(e.state_of(id).is_none());
+    }
+
+    #[test]
+    fn signal_toward_exhaustive() {
+        use DesiredState as D;
+        use WorkerState as W;
+        assert_eq!(signal_toward(W::Stopped, D::Running), Some(Signal::Start));
+        assert_eq!(signal_toward(W::Stopped, D::Paused), None);
+        assert_eq!(signal_toward(W::Stopped, D::Stopped), None);
+        assert_eq!(signal_toward(W::Running, D::Running), None);
+        assert_eq!(signal_toward(W::Running, D::Paused), Some(Signal::Pause));
+        assert_eq!(signal_toward(W::Running, D::Stopped), Some(Signal::Stop));
+        assert_eq!(signal_toward(W::Paused, D::Running), Some(Signal::Resume));
+        assert_eq!(signal_toward(W::Paused, D::Paused), None);
+        assert_eq!(signal_toward(W::Paused, D::Stopped), Some(Signal::Stop));
+    }
+}

@@ -1,0 +1,279 @@
+//! The remote node configuration engine (paper §4.3).
+//!
+//! Workers are thin: they carry no application code. At Start time a worker
+//! fetches the application's executable bundle from a bundle server at the
+//! master (the paper downloads jar files from a web server via the JVM's
+//! dynamic class loader) and *links* it against the local executor
+//! registry.
+//!
+//! **Substitution note.** Rust cannot safely load machine code at runtime,
+//! so bundles resolve by name+checksum to pre-registered [`TaskExecutor`]
+//! factories. What the paper's experiments actually measure is the *cost*
+//! of class loading on Start versus its absence on Resume; the bundle
+//! fetch models exactly that cost (base + per-KB transfer/verify), and the
+//! name-indirection preserves "workers need no pre-installed application
+//! code".
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::task::TaskExecutor;
+
+/// An executable bundle: the analogue of a jar file served from the
+/// master's web server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodeBundle {
+    /// Bundle name (what task entries reference).
+    pub name: String,
+    /// Version; bumping it forces re-linking.
+    pub version: u32,
+    /// The "jar" contents (opaque; sized realistically so transfer cost is
+    /// meaningful).
+    pub bytes: Vec<u8>,
+    checksum: u64,
+}
+
+impl CodeBundle {
+    /// Packages a bundle, computing its checksum.
+    pub fn new(name: impl Into<String>, version: u32, bytes: Vec<u8>) -> CodeBundle {
+        let checksum = Self::fletcher64(&bytes);
+        CodeBundle {
+            name: name.into(),
+            version,
+            bytes,
+            checksum,
+        }
+    }
+
+    /// A bundle with synthetic contents of roughly `kb` kilobytes — used
+    /// when the application's real "code size" is being modeled.
+    pub fn synthetic(name: impl Into<String>, version: u32, kb: usize) -> CodeBundle {
+        let name = name.into();
+        let mut bytes = Vec::with_capacity(kb * 1024);
+        let seed = name.as_bytes();
+        for i in 0..kb * 1024 {
+            bytes.push(seed[i % seed.len()].wrapping_add((i / 7) as u8));
+        }
+        CodeBundle::new(name, version, bytes)
+    }
+
+    /// Size in whole KB (rounded up).
+    pub fn size_kb(&self) -> u64 {
+        (self.bytes.len() as u64).div_ceil(1024)
+    }
+
+    /// The bundle's integrity checksum.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Verifies contents against the recorded checksum.
+    pub fn verify(&self) -> bool {
+        Self::fletcher64(&self.bytes) == self.checksum
+    }
+
+    fn fletcher64(bytes: &[u8]) -> u64 {
+        let mut a: u64 = 0;
+        let mut b: u64 = 0;
+        for chunk in bytes.chunks(4) {
+            let mut word = [0u8; 4];
+            word[..chunk.len()].copy_from_slice(chunk);
+            a = (a + u32::from_le_bytes(word) as u64) % 0xFFFF_FFFF;
+            b = (b + a) % 0xFFFF_FFFF;
+        }
+        (b << 32) | a
+    }
+}
+
+/// Errors from the configuration engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    /// No bundle published under that name.
+    NoSuchBundle(String),
+    /// The bundle's checksum did not verify.
+    ChecksumMismatch(String),
+    /// No executor registered for the bundle name.
+    LinkFailure(String),
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadError::NoSuchBundle(name) => write!(f, "no such bundle: {name}"),
+            LoadError::ChecksumMismatch(name) => write!(f, "checksum mismatch: {name}"),
+            LoadError::LinkFailure(name) => write!(f, "no executor registered for: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Serves code bundles to workers, with a modeled transfer cost — the web
+/// server residing at the master.
+#[derive(Debug)]
+pub struct BundleServer {
+    bundles: Mutex<HashMap<String, CodeBundle>>,
+    base_cost: Duration,
+    per_kb_cost: Duration,
+}
+
+impl BundleServer {
+    /// Creates a server with the given transfer-cost model.
+    pub fn new(base_cost: Duration, per_kb_cost: Duration) -> Arc<BundleServer> {
+        Arc::new(BundleServer {
+            bundles: Mutex::new(HashMap::new()),
+            base_cost,
+            per_kb_cost,
+        })
+    }
+
+    /// Publishes (or replaces) a bundle.
+    pub fn publish(&self, bundle: CodeBundle) {
+        self.bundles.lock().insert(bundle.name.clone(), bundle);
+    }
+
+    /// Fetches a bundle and the modeled transfer cost the caller should pay
+    /// (the worker runtime sleeps for it — this is the Start-time
+    /// class-loading overhead).
+    pub fn fetch(&self, name: &str) -> Result<(CodeBundle, Duration), LoadError> {
+        let bundle = self
+            .bundles
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LoadError::NoSuchBundle(name.to_owned()))?;
+        let cost = self.base_cost + self.per_kb_cost * (bundle.size_kb() as u32);
+        Ok((bundle, cost))
+    }
+
+    /// Names of all published bundles.
+    pub fn published(&self) -> Vec<String> {
+        let mut names: Vec<_> = self.bundles.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// The worker-side link table: bundle name → executor.
+#[derive(Default)]
+pub struct ExecutorRegistry {
+    executors: Mutex<HashMap<String, Arc<dyn TaskExecutor>>>,
+}
+
+impl fmt::Debug for ExecutorRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorRegistry")
+            .field("executors", &self.executors.lock().len())
+            .finish()
+    }
+}
+
+impl ExecutorRegistry {
+    /// An empty registry.
+    pub fn new() -> Arc<ExecutorRegistry> {
+        Arc::new(ExecutorRegistry::default())
+    }
+
+    /// Registers the executor a bundle name links to.
+    pub fn register(&self, bundle_name: impl Into<String>, executor: Arc<dyn TaskExecutor>) {
+        self.executors.lock().insert(bundle_name.into(), executor);
+    }
+
+    /// Links a fetched bundle: verifies integrity and resolves the
+    /// executor.
+    pub fn link(&self, bundle: &CodeBundle) -> Result<Arc<dyn TaskExecutor>, LoadError> {
+        if !bundle.verify() {
+            return Err(LoadError::ChecksumMismatch(bundle.name.clone()));
+        }
+        self.executors
+            .lock()
+            .get(&bundle.name)
+            .cloned()
+            .ok_or_else(|| LoadError::LinkFailure(bundle.name.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{ExecError, TaskEntry};
+
+    struct EchoExecutor;
+    impl TaskExecutor for EchoExecutor {
+        fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+            Ok(task.payload.clone())
+        }
+    }
+
+    #[test]
+    fn bundle_checksum_verifies() {
+        let b = CodeBundle::synthetic("render", 1, 8);
+        assert!(b.verify());
+        assert_eq!(b.size_kb(), 8);
+        let mut tampered = b.clone();
+        tampered.bytes[0] ^= 0xFF;
+        assert!(!tampered.verify());
+    }
+
+    #[test]
+    fn fetch_costs_scale_with_size() {
+        let server = BundleServer::new(Duration::from_millis(10), Duration::from_millis(1));
+        server.publish(CodeBundle::synthetic("small", 1, 2));
+        server.publish(CodeBundle::synthetic("large", 1, 100));
+        let (_, small_cost) = server.fetch("small").unwrap();
+        let (_, large_cost) = server.fetch("large").unwrap();
+        assert_eq!(small_cost, Duration::from_millis(12));
+        assert_eq!(large_cost, Duration::from_millis(110));
+    }
+
+    #[test]
+    fn fetch_missing_bundle_fails() {
+        let server = BundleServer::new(Duration::ZERO, Duration::ZERO);
+        assert_eq!(
+            server.fetch("ghost"),
+            Err(LoadError::NoSuchBundle("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn publish_lists_and_replaces() {
+        let server = BundleServer::new(Duration::ZERO, Duration::ZERO);
+        server.publish(CodeBundle::synthetic("a", 1, 1));
+        server.publish(CodeBundle::synthetic("a", 2, 1));
+        server.publish(CodeBundle::synthetic("b", 1, 1));
+        assert_eq!(server.published(), vec!["a".to_owned(), "b".to_owned()]);
+        let (bundle, _) = server.fetch("a").unwrap();
+        assert_eq!(bundle.version, 2);
+    }
+
+    #[test]
+    fn link_resolves_registered_executor() {
+        let registry = ExecutorRegistry::new();
+        registry.register("render", Arc::new(EchoExecutor));
+        let bundle = CodeBundle::synthetic("render", 1, 4);
+        let exec = registry.link(&bundle).unwrap();
+        let task = TaskEntry::new("j", 1, vec![5]);
+        assert_eq!(exec.execute(&task).unwrap(), vec![5]);
+    }
+
+    #[test]
+    fn link_failures() {
+        let registry = ExecutorRegistry::new();
+        let bundle = CodeBundle::synthetic("ghost", 1, 1);
+        assert!(matches!(
+            registry.link(&bundle),
+            Err(LoadError::LinkFailure(_))
+        ));
+        registry.register("ghost", Arc::new(EchoExecutor));
+        let mut tampered = bundle.clone();
+        tampered.bytes[10] ^= 1;
+        assert!(matches!(
+            registry.link(&tampered),
+            Err(LoadError::ChecksumMismatch(_))
+        ));
+    }
+}

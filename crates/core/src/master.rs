@@ -1,0 +1,272 @@
+//! The master module (paper §4.1–4.2).
+//!
+//! The master defines the problem domain: it decomposes the application
+//! into independent tasks during the *task-planning* phase, writes them
+//! into the space, and during the *result-aggregation* phase removes result
+//! entries and assimilates them into the final solution. All of the paper's
+//! master-side metrics (task planning time, task aggregation time, max
+//! worker time, parallel time, max master overhead) are measured here.
+
+use std::time::{Duration, Instant};
+
+use acc_tuplespace::{SpaceError, StoreHandle};
+
+use crate::metrics::PhaseTimes;
+use crate::task::{result_template, Application, ExecError, ResultEntry, TaskEntry};
+
+/// Outcome of one application run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Phase timings (the paper's figures plot these).
+    pub times: PhaseTimes,
+    /// Results successfully collected and absorbed.
+    pub results_collected: usize,
+    /// Per-task aggregation failures (decode errors etc.).
+    pub failures: Vec<(u64, ExecError)>,
+    /// True when every planned task's result arrived before the deadline.
+    pub complete: bool,
+}
+
+/// The master process: task planning and result aggregation over a space.
+#[derive(Clone)]
+pub struct Master {
+    space: StoreHandle,
+    /// How long to wait for each outstanding result before giving up.
+    pub result_timeout: Duration,
+}
+
+impl Master {
+    /// Creates a master over a space (local or remote).
+    pub fn new(space: StoreHandle) -> Master {
+        Master {
+            space,
+            result_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Runs an application end-to-end: plan → (workers compute) → aggregate.
+    ///
+    /// Returns a [`RunReport`] with the paper's phase timings. If a result
+    /// does not arrive within `result_timeout`, aggregation stops and the
+    /// report is marked incomplete (`complete == false`).
+    ///
+    /// Task and result entries are matched by job name only, so a run
+    /// assumes a space with no leftover entries for this job. Re-running a
+    /// job after an incomplete run on the *same* space would mix the old
+    /// run's stragglers into the new aggregation — use a fresh space (as
+    /// [`crate::AdaptiveCluster`] does) or drain the job's entries first.
+    pub fn run(&self, app: &mut dyn Application) -> Result<RunReport, SpaceError> {
+        let job = app.job_name();
+        let run_start = Instant::now();
+        let mut times = PhaseTimes::default();
+
+        // ------------------------------------------------------------
+        // Task-planning phase.
+        // ------------------------------------------------------------
+        let planning_start = Instant::now();
+        let specs = app.plan();
+        times.tasks = specs.len();
+        let mut max_overhead = 0.0f64;
+        for spec in &specs {
+            let per_task = Instant::now();
+            let entry = TaskEntry::new(job.clone(), spec.task_id, spec.payload.clone());
+            self.space.write(entry.to_tuple())?;
+            max_overhead = max_overhead.max(ms_since(per_task));
+        }
+        times.task_planning_ms = ms_since(planning_start);
+
+        // ------------------------------------------------------------
+        // Result-aggregation phase. The master blocks on the space until
+        // each outstanding result arrives; workers run concurrently.
+        // ------------------------------------------------------------
+        let template = result_template(&job);
+        let mut report = RunReport::default();
+        let aggregation_start = Instant::now();
+        let mut aggregation_busy = 0.0f64;
+        for _ in 0..specs.len() {
+            let Some(tuple) = self.space.take(&template, Some(self.result_timeout))? else {
+                break; // deadline: a worker died or was stopped for good
+            };
+            let per_task = Instant::now();
+            match ResultEntry::from_tuple(&tuple) {
+                None => report
+                    .failures
+                    .push((u64::MAX, ExecError::App("malformed result entry".into()))),
+                Some(result) => {
+                    times.max_worker_ms = times.max_worker_ms.max(result.span_ms);
+                    let slot = times
+                        .per_worker_ms
+                        .entry(result.worker.clone())
+                        .or_insert(0.0);
+                    *slot = slot.max(result.span_ms);
+                    match result.error {
+                        // A poison task exhausted its retries: account for
+                        // it so the run terminates, but report the failure.
+                        Some(error) => report
+                            .failures
+                            .push((result.task_id, ExecError::App(error))),
+                        None => match app.absorb(result.task_id, &result.payload) {
+                            Ok(()) => report.results_collected += 1,
+                            Err(e) => report.failures.push((result.task_id, e)),
+                        },
+                    }
+                }
+            }
+            let elapsed = ms_since(per_task);
+            aggregation_busy += elapsed;
+            max_overhead = max_overhead.max(elapsed);
+        }
+        // Task aggregation time is the wall time of the aggregation phase:
+        // it tracks max worker time, since the master waits for the last
+        // task to complete (paper §5.2.1).
+        times.task_aggregation_ms = ms_since(aggregation_start);
+        let _ = aggregation_busy;
+        times.max_master_overhead_ms = max_overhead;
+        times.parallel_ms = ms_since(run_start);
+        report.complete = report.results_collected == specs.len();
+        report.times = times;
+        Ok(report)
+    }
+}
+
+fn ms_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{task_template, TaskExecutor, TaskSpec};
+    use acc_tuplespace::{Payload, Space, SpaceHandle};
+    use std::sync::Arc;
+
+    /// Doubles each input; trivially correct so aggregation is checkable.
+    struct Doubler {
+        n: u64,
+        outputs: Vec<u64>,
+    }
+
+    impl Application for Doubler {
+        fn job_name(&self) -> String {
+            "double".into()
+        }
+        fn bundle_name(&self) -> String {
+            "double-bundle".into()
+        }
+        fn plan(&mut self) -> Vec<TaskSpec> {
+            (0..self.n).map(|i| TaskSpec::new(i, &(i * 10))).collect()
+        }
+        fn executor(&self) -> Arc<dyn TaskExecutor> {
+            struct Exec;
+            impl TaskExecutor for Exec {
+                fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+                    let x: u64 = task.input()?;
+                    Ok((x * 2).to_bytes())
+                }
+            }
+            Arc::new(Exec)
+        }
+        fn absorb(&mut self, _task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+            self.outputs
+                .push(u64::from_bytes(payload).map_err(ExecError::Decode)?);
+            Ok(())
+        }
+    }
+
+    /// A bare-bones inline worker: takes tasks, executes, writes results.
+    fn spawn_inline_worker(
+        space: SpaceHandle,
+        job: &str,
+        exec: Arc<dyn TaskExecutor>,
+        name: &str,
+    ) -> std::thread::JoinHandle<()> {
+        let template = task_template(job);
+        let job = job.to_owned();
+        let name = name.to_owned();
+        std::thread::spawn(move || {
+            let first = Instant::now();
+            while let Ok(Some(tuple)) =
+                space.take(&template, Some(Duration::from_millis(200)))
+            {
+                let task = TaskEntry::from_tuple(&tuple).unwrap();
+                let t0 = Instant::now();
+                let payload = exec.execute(&task).unwrap();
+                let result = ResultEntry {
+                    job: job.clone(),
+                    task_id: task.task_id,
+                    worker: name.clone(),
+                    payload,
+                    compute_ms: ms_since(t0),
+                    span_ms: ms_since(first),
+                    error: None,
+                };
+                space.write(result.to_tuple()).unwrap();
+            }
+        })
+    }
+
+    #[test]
+    fn plan_compute_aggregate_roundtrip() {
+        let space = Space::new("test");
+        let mut app = Doubler { n: 20, outputs: vec![] };
+        let exec = app.executor();
+        let w1 = spawn_inline_worker(space.clone(), "double", exec.clone(), "w1");
+        let w2 = spawn_inline_worker(space.clone(), "double", exec, "w2");
+        let master = Master::new(space.clone());
+        let report = master.run(&mut app).unwrap();
+        w1.join().unwrap();
+        w2.join().unwrap();
+
+        assert!(report.complete);
+        assert_eq!(report.results_collected, 20);
+        assert!(report.failures.is_empty());
+        let mut outputs = app.outputs.clone();
+        outputs.sort_unstable();
+        assert_eq!(outputs, (0..20).map(|i| i * 20).collect::<Vec<_>>());
+        assert_eq!(report.times.tasks, 20);
+        assert!(report.times.parallel_ms > 0.0);
+        assert!(report.times.task_planning_ms >= 0.0);
+        assert!(report.times.workers_used() >= 1);
+        // The space is drained: no leftover tasks or results.
+        assert_eq!(space.len(), 0);
+    }
+
+    #[test]
+    fn missing_worker_times_out_incomplete() {
+        let space = Space::new("test");
+        let mut app = Doubler { n: 3, outputs: vec![] };
+        let mut master = Master::new(space.clone());
+        master.result_timeout = Duration::from_millis(50);
+        let report = master.run(&mut app).unwrap();
+        assert!(!report.complete);
+        assert_eq!(report.results_collected, 0);
+        // Tasks remain in the space for a future worker.
+        assert_eq!(space.count(&task_template("double")), 3);
+    }
+
+    #[test]
+    fn aggregation_tracks_worker_spans() {
+        let space = Space::new("test");
+        // Hand-write two results with known spans before running aggregation.
+        let mut app = Doubler { n: 2, outputs: vec![] };
+        let master = Master::new(space.clone());
+        // Pre-seed results; plan() writes tasks but the workers "already ran".
+        for (id, span) in [(0u64, 120.0f64), (1, 80.0)] {
+            let r = ResultEntry {
+                job: "double".into(),
+                task_id: id,
+                worker: format!("w{id}"),
+                payload: (id * 7).to_bytes(),
+                compute_ms: span / 2.0,
+                span_ms: span,
+                error: None,
+            };
+            space.write(r.to_tuple()).unwrap();
+        }
+        let report = master.run(&mut app).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.times.max_worker_ms, 120.0);
+        assert_eq!(report.times.per_worker_ms["w0"], 120.0);
+        assert_eq!(report.times.per_worker_ms["w1"], 80.0);
+    }
+}

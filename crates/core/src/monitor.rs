@@ -1,0 +1,382 @@
+//! The monitoring agent: SNMP polling feeding the inference engine.
+//!
+//! The network management module's sensing half (paper §4.1): it keeps one
+//! SNMP session per registered worker, polls the worker's CPU load at a
+//! fixed interval, and hands each sample to the [`InferenceEngine`]; any
+//! resulting signal is delivered through the rule-base server.
+//!
+//! Two variables are polled per tick: `hrProcessorLoad.1` (total CPU) and
+//! the private `acc_framework_load` (the worker process's own share). The
+//! inference engine decides on their difference — the *external* load — so
+//! the framework never reacts to its own computation.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use acc_snmp::{oids, Session, SnmpValue};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::config::FrameworkConfig;
+use crate::inference::InferenceEngine;
+use crate::rulebase::{RuleBaseServer, RuleMessage, WorkerId};
+use crate::signal::{Signal, WorkerState};
+
+/// One monitoring decision: the data behind the adaptation experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionLogEntry {
+    /// Milliseconds since the experiment epoch.
+    pub at_ms: u64,
+    /// The worker sampled.
+    pub worker: WorkerId,
+    /// Total CPU load polled from the node.
+    pub total_load: u64,
+    /// External (non-framework) load — the decision variable.
+    pub external_load: u64,
+    /// The signal sent, if the inference engine acted.
+    pub signal: Option<Signal>,
+}
+
+struct Watcher {
+    stop: Sender<()>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+/// The sensing + deciding half of the network management module.
+pub struct MonitoringAgent {
+    config: FrameworkConfig,
+    epoch: Instant,
+    engine: Arc<Mutex<InferenceEngine>>,
+    rulebase: Arc<RuleBaseServer>,
+    decisions: Arc<Mutex<Vec<DecisionLogEntry>>>,
+    watchers: Mutex<Vec<Watcher>>,
+}
+
+impl std::fmt::Debug for MonitoringAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitoringAgent")
+            .field("watchers", &self.watchers.lock().len())
+            .finish()
+    }
+}
+
+impl MonitoringAgent {
+    /// Creates the agent (and its rule-base server) for a deployment.
+    pub fn new(config: FrameworkConfig, epoch: Instant) -> Arc<MonitoringAgent> {
+        let engine = Arc::new(Mutex::new(InferenceEngine::new(
+            config.thresholds,
+            config.hysteresis,
+        )));
+        let engine_for_acks = engine.clone();
+        let rulebase = RuleBaseServer::new(Arc::new(move |id, msg| match msg {
+            RuleMessage::Ack { new_state, .. } => engine_for_acks.lock().on_ack(id, new_state),
+            RuleMessage::Bye => engine_for_acks.lock().unregister(id),
+            _ => {}
+        }));
+        Arc::new(MonitoringAgent {
+            config,
+            epoch,
+            engine,
+            rulebase,
+            decisions: Arc::new(Mutex::new(Vec::new())),
+            watchers: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The rule-base server workers register with.
+    pub fn rulebase(&self) -> Arc<RuleBaseServer> {
+        self.rulebase.clone()
+    }
+
+    /// The inference engine's belief about a worker's state.
+    pub fn state_of(&self, id: WorkerId) -> Option<WorkerState> {
+        self.engine.lock().state_of(id)
+    }
+
+    /// All decisions taken so far.
+    pub fn decisions(&self) -> Vec<DecisionLogEntry> {
+        self.decisions.lock().clone()
+    }
+
+    /// Registers a worker with the inference engine and starts its polling
+    /// loop over the given SNMP session.
+    pub fn watch(self: &Arc<Self>, id: WorkerId, session: Session) {
+        self.engine.lock().register(id);
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        // Hold the agent weakly: a watch thread must not keep the agent
+        // alive, or dropping the cluster without shutdown() would leak
+        // pollers forever (Arc cycle agent → watchers → thread → agent).
+        let agent = Arc::downgrade(self);
+        let interval = self.config.poll_interval;
+        let thread = std::thread::spawn(move || {
+            let oids_wanted = [oids::hr_processor_load_1(), oids::acc_framework_load()];
+            loop {
+                let Some(agent) = agent.upgrade() else { break };
+                if let Ok(values) = session.get_many(&oids_wanted) {
+                    let total = gauge(&values, 0);
+                    let framework = gauge(&values, 1);
+                    let external = total.saturating_sub(framework);
+                    let signal = agent.engine.lock().on_sample(id, external);
+                    if let Some(sig) = signal {
+                        agent.rulebase.send_signal(id, sig);
+                    }
+                    agent.decisions.lock().push(DecisionLogEntry {
+                        at_ms: agent.epoch.elapsed().as_millis() as u64,
+                        worker: id,
+                        total_load: total,
+                        external_load: external,
+                        signal,
+                    });
+                }
+                drop(agent);
+                // Interruptible sleep: stop() wakes us immediately.
+                match stop_rx.recv_timeout(interval) {
+                    Ok(()) => break,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        self.watchers.lock().push(Watcher {
+            stop: stop_tx,
+            thread,
+        });
+    }
+
+    /// Trap-driven alternative to [`MonitoringAgent::watch`] (extension):
+    /// instead of polling, consume band-crossing traps pushed by the
+    /// worker-agent's `ThresholdWatch`. Each trap's first gauge varbind is
+    /// taken as the worker's *external* load.
+    pub fn watch_traps(
+        self: &Arc<Self>,
+        id: WorkerId,
+        traps: std::sync::mpsc::Receiver<acc_snmp::Message>,
+    ) {
+        self.engine.lock().register(id);
+        let (stop_tx, stop_rx) = bounded::<()>(1);
+        let agent = Arc::downgrade(self);
+        let thread = std::thread::spawn(move || loop {
+            if stop_rx.try_recv().is_ok() {
+                break;
+            }
+            match traps.recv_timeout(std::time::Duration::from_millis(50)) {
+                Ok(msg) => {
+                    let Some(agent) = agent.upgrade() else { break };
+                    let Some(external) = msg
+                        .pdu
+                        .varbinds
+                        .first()
+                        .and_then(|(_, value)| value.as_u64())
+                    else {
+                        continue;
+                    };
+                    let signal = agent.engine.lock().on_sample(id, external);
+                    if let Some(sig) = signal {
+                        agent.rulebase.send_signal(id, sig);
+                    }
+                    agent.decisions.lock().push(DecisionLogEntry {
+                        at_ms: agent.epoch.elapsed().as_millis() as u64,
+                        worker: id,
+                        total_load: external,
+                        external_load: external,
+                        signal,
+                    });
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {}
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        });
+        self.watchers.lock().push(Watcher {
+            stop: stop_tx,
+            thread,
+        });
+    }
+
+    /// Stops every polling loop and joins the threads.
+    pub fn stop(&self) {
+        let watchers: Vec<Watcher> = self.watchers.lock().drain(..).collect();
+        for w in &watchers {
+            let _ = w.stop.try_send(());
+        }
+        for w in watchers {
+            let _ = w.thread.join();
+        }
+    }
+}
+
+impl Drop for MonitoringAgent {
+    fn drop(&mut self) {
+        // Watch threads hold the agent weakly, so Drop can run while they
+        // still exist; their next upgrade() fails and they exit. Nothing to
+        // join here (the handles may be the very threads dropping us).
+        self.watchers.lock().clear();
+    }
+}
+
+fn gauge(values: &[(acc_snmp::Oid, SnmpValue)], index: usize) -> u64 {
+    values
+        .get(index)
+        .and_then(|(_, v)| v.as_u64())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rulebase::{client_register, duplex_pair};
+    use acc_cluster::{Node, NodeSpec};
+    use std::time::Duration;
+    use acc_snmp::{host_resources_mib, transport::InProcTransport, Agent, Manager};
+
+    fn node_session(node: &Node) -> Session {
+        let n1 = node.clone();
+        let n2 = node.clone();
+        let n3 = node.clone();
+        let mut mib = host_resources_mib(
+            node.spec().name.clone(),
+            node.spec().memory_mb as u64 * 1024,
+            move || n1.cpu_load(),
+            move || n2.free_memory_kb(),
+            move || n3.uptime_ticks(),
+        );
+        let load = node.load();
+        mib.register_gauge(oids::acc_framework_load(), move || load.framework_effective());
+        let agent = Arc::new(Agent::new("public", mib));
+        Manager::new("public").session(Box::new(InProcTransport::new(agent)))
+    }
+
+    #[test]
+    fn idle_node_gets_started_loaded_node_gets_stopped() {
+        let config = FrameworkConfig {
+            poll_interval: Duration::from_millis(10),
+            ..FrameworkConfig::default()
+        };
+        let monitor = MonitoringAgent::new(config, Instant::now());
+        let node = Node::new(NodeSpec::new("w01", 800, 256));
+        let session = node_session(&node);
+
+        // Fake worker endpoint: a bare duplex we poll manually.
+        let (client, server_side) = duplex_pair();
+        let rb = monitor.rulebase();
+        let reg = std::thread::spawn(move || {
+            client_register(&client, "w01", Duration::from_secs(2)).map(|id| (client, id))
+        });
+        rb.accept(server_side, Duration::from_secs(2)).unwrap();
+        let (client, id) = reg.join().unwrap().unwrap();
+
+        monitor.watch(id, session);
+        // Idle → Start.
+        let msg = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(
+            msg,
+            RuleMessage::Signal {
+                signal: Signal::Start
+            }
+        );
+        client.send(RuleMessage::Ack {
+            signal: Signal::Start,
+            new_state: WorkerState::Running,
+        });
+        // Pile on background load → Stop.
+        node.load().set_background(95);
+        let msg = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(
+            msg,
+            RuleMessage::Signal {
+                signal: Signal::Stop
+            }
+        );
+        client.send(RuleMessage::Ack {
+            signal: Signal::Stop,
+            new_state: WorkerState::Stopped,
+        });
+        monitor.stop();
+        let decisions = monitor.decisions();
+        assert!(decisions.iter().any(|d| d.signal == Some(Signal::Start)));
+        assert!(decisions.iter().any(|d| d.signal == Some(Signal::Stop)));
+    }
+
+    #[test]
+    fn trap_driven_watch_produces_signals() {
+        use acc_snmp::{oids, ThresholdWatch, TrapSender};
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let config = FrameworkConfig::default();
+        let monitor = MonitoringAgent::new(config, Instant::now());
+        let (sender, rx) = TrapSender::channel("public");
+        let external = Arc::new(AtomicU64::new(0));
+        let external2 = external.clone();
+        let watch = ThresholdWatch::spawn(
+            sender,
+            oids::hr_processor_load_1(),
+            vec![25, 50],
+            Duration::from_millis(5),
+            move || external2.load(Ordering::Relaxed),
+        );
+
+        let (client, server_side) = duplex_pair();
+        let rb = monitor.rulebase();
+        let reg = std::thread::spawn(move || {
+            client_register(&client, "trapped", Duration::from_secs(2)).map(|id| (client, id))
+        });
+        rb.accept(server_side, Duration::from_secs(2)).unwrap();
+        let (client, id) = reg.join().unwrap().unwrap();
+        monitor.watch_traps(id, rx);
+
+        // Initial idle band → Start.
+        assert_eq!(
+            client.recv_timeout(Duration::from_secs(2)),
+            Some(RuleMessage::Signal {
+                signal: Signal::Start
+            })
+        );
+        client.send(RuleMessage::Ack {
+            signal: Signal::Start,
+            new_state: WorkerState::Running,
+        });
+        // Into the stop band → Stop, with no polling anywhere.
+        external.store(90, Ordering::Relaxed);
+        assert_eq!(
+            client.recv_timeout(Duration::from_secs(2)),
+            Some(RuleMessage::Signal {
+                signal: Signal::Stop
+            })
+        );
+        watch.stop();
+        monitor.stop();
+    }
+
+    #[test]
+    fn framework_load_is_discounted() {
+        let config = FrameworkConfig {
+            poll_interval: Duration::from_millis(10),
+            ..FrameworkConfig::default()
+        };
+        let monitor = MonitoringAgent::new(config, Instant::now());
+        let node = Node::new(NodeSpec::new("w02", 800, 256));
+        // The node is busy — but it's all framework work.
+        node.load().set_framework(98);
+        let session = node_session(&node);
+        let (client, server_side) = duplex_pair();
+        let rb = monitor.rulebase();
+        let reg = std::thread::spawn(move || {
+            client_register(&client, "w02", Duration::from_secs(2)).map(|id| (client, id))
+        });
+        rb.accept(server_side, Duration::from_secs(2)).unwrap();
+        let (client, id) = reg.join().unwrap().unwrap();
+        monitor.watch(id, session);
+        // External load is 0 → the worker is asked to Start, never Stop.
+        let msg = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(
+            msg,
+            RuleMessage::Signal {
+                signal: Signal::Start
+            }
+        );
+        monitor.stop();
+        assert!(monitor
+            .decisions()
+            .iter()
+            .all(|d| d.external_load == 0 && d.total_load >= 98));
+    }
+}

@@ -1,0 +1,254 @@
+//! Execution policy: limits on what foreign tasks may do on a host.
+//!
+//! The paper lists security among the challenges of cycle stealing:
+//! "policies must be defined and enforced to ensure that external
+//! application tasks adhere to the limits and restrictions set on
+//! resource/data access and utilization" (§1) — in Java, the sandbox
+//! model. The Rust equivalent here is an explicit [`ExecutionPolicy`]
+//! enforced around every task execution: payload/result size caps and a
+//! wall-clock execution budget.
+//!
+//! On a wall-clock violation the executing thread cannot be killed
+//! (executors are arbitrary code), so it is *abandoned*: its eventual
+//! result is discarded, the violation is reported, and the task goes back
+//! to the space for a healthier worker. The abandoned thread dies with
+//! the process — the same containment story as a hung Java thread.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::task::{ExecError, TaskEntry, TaskExecutor};
+
+/// Limits applied to every task execution on a worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionPolicy {
+    /// Largest task payload a worker will accept, bytes.
+    pub max_payload_bytes: usize,
+    /// Largest result a worker will return, bytes.
+    pub max_result_bytes: usize,
+    /// Wall-clock budget for one task execution (`None` = unbounded).
+    pub max_execution: Option<Duration>,
+}
+
+impl Default for ExecutionPolicy {
+    fn default() -> Self {
+        ExecutionPolicy {
+            max_payload_bytes: 16 << 20,
+            max_result_bytes: 16 << 20,
+            max_execution: None,
+        }
+    }
+}
+
+/// How an execution violated the policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyViolation {
+    /// The task payload exceeded `max_payload_bytes`.
+    PayloadTooLarge {
+        /// Actual size.
+        got: usize,
+        /// Allowed maximum.
+        limit: usize,
+    },
+    /// The produced result exceeded `max_result_bytes`.
+    ResultTooLarge {
+        /// Actual size.
+        got: usize,
+        /// Allowed maximum.
+        limit: usize,
+    },
+    /// The execution exceeded its wall-clock budget and was abandoned.
+    Timeout {
+        /// The budget that was exceeded.
+        limit: Duration,
+    },
+}
+
+impl fmt::Display for PolicyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyViolation::PayloadTooLarge { got, limit } => {
+                write!(f, "payload {got} B exceeds limit {limit} B")
+            }
+            PolicyViolation::ResultTooLarge { got, limit } => {
+                write!(f, "result {got} B exceeds limit {limit} B")
+            }
+            PolicyViolation::Timeout { limit } => {
+                write!(f, "execution exceeded {limit:?} and was abandoned")
+            }
+        }
+    }
+}
+
+/// Outcome of a policed execution.
+pub type PolicedResult = Result<Vec<u8>, PolicedError>;
+
+/// Either the application failed, or the policy stopped it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicedError {
+    /// The executor itself failed.
+    App(ExecError),
+    /// The policy was violated.
+    Policy(PolicyViolation),
+}
+
+impl fmt::Display for PolicedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicedError::App(e) => write!(f, "{e}"),
+            PolicedError::Policy(v) => write!(f, "policy violation: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for PolicedError {}
+
+/// Runs one task under the policy.
+pub fn execute_policed(
+    executor: &Arc<dyn TaskExecutor>,
+    task: &TaskEntry,
+    policy: &ExecutionPolicy,
+) -> PolicedResult {
+    if task.payload.len() > policy.max_payload_bytes {
+        return Err(PolicedError::Policy(PolicyViolation::PayloadTooLarge {
+            got: task.payload.len(),
+            limit: policy.max_payload_bytes,
+        }));
+    }
+    let raw = match policy.max_execution {
+        None => executor.execute(task).map_err(PolicedError::App)?,
+        Some(limit) => {
+            // Run on a helper thread; abandon it on timeout. The channel
+            // send fails harmlessly if we already gave up.
+            let (tx, rx) = mpsc::channel();
+            let executor = executor.clone();
+            let task = task.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(executor.execute(&task));
+            });
+            match rx.recv_timeout(limit) {
+                Ok(result) => result.map_err(PolicedError::App)?,
+                Err(_) => {
+                    return Err(PolicedError::Policy(PolicyViolation::Timeout { limit }))
+                }
+            }
+        }
+    };
+    if raw.len() > policy.max_result_bytes {
+        return Err(PolicedError::Policy(PolicyViolation::ResultTooLarge {
+            got: raw.len(),
+            limit: policy.max_result_bytes,
+        }));
+    }
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl TaskExecutor for Echo {
+        fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+            Ok(task.payload.clone())
+        }
+    }
+
+    struct Sleeper(Duration);
+    impl TaskExecutor for Sleeper {
+        fn execute(&self, _: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+            std::thread::sleep(self.0);
+            Ok(vec![1])
+        }
+    }
+
+    struct Bloater(usize);
+    impl TaskExecutor for Bloater {
+        fn execute(&self, _: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+            Ok(vec![0; self.0])
+        }
+    }
+
+    fn task(payload_len: usize) -> TaskEntry {
+        TaskEntry::new("j", 0, vec![0; payload_len])
+    }
+
+    #[test]
+    fn compliant_execution_passes_through() {
+        let exec: Arc<dyn TaskExecutor> = Arc::new(Echo);
+        let got = execute_policed(&exec, &task(64), &ExecutionPolicy::default()).unwrap();
+        assert_eq!(got.len(), 64);
+    }
+
+    #[test]
+    fn oversized_payload_rejected_before_execution() {
+        let exec: Arc<dyn TaskExecutor> = Arc::new(Echo);
+        let policy = ExecutionPolicy {
+            max_payload_bytes: 16,
+            ..ExecutionPolicy::default()
+        };
+        let err = execute_policed(&exec, &task(17), &policy).unwrap_err();
+        assert_eq!(
+            err,
+            PolicedError::Policy(PolicyViolation::PayloadTooLarge { got: 17, limit: 16 })
+        );
+    }
+
+    #[test]
+    fn oversized_result_rejected() {
+        let exec: Arc<dyn TaskExecutor> = Arc::new(Bloater(100));
+        let policy = ExecutionPolicy {
+            max_result_bytes: 99,
+            ..ExecutionPolicy::default()
+        };
+        let err = execute_policed(&exec, &task(1), &policy).unwrap_err();
+        assert!(matches!(
+            err,
+            PolicedError::Policy(PolicyViolation::ResultTooLarge { got: 100, limit: 99 })
+        ));
+    }
+
+    #[test]
+    fn runaway_execution_is_abandoned() {
+        let exec: Arc<dyn TaskExecutor> = Arc::new(Sleeper(Duration::from_secs(5)));
+        let policy = ExecutionPolicy {
+            max_execution: Some(Duration::from_millis(30)),
+            ..ExecutionPolicy::default()
+        };
+        let begun = std::time::Instant::now();
+        let err = execute_policed(&exec, &task(1), &policy).unwrap_err();
+        assert!(matches!(
+            err,
+            PolicedError::Policy(PolicyViolation::Timeout { .. })
+        ));
+        assert!(
+            begun.elapsed() < Duration::from_secs(2),
+            "gave up promptly, did not wait for the sleeper"
+        );
+    }
+
+    #[test]
+    fn fast_execution_within_budget_succeeds() {
+        let exec: Arc<dyn TaskExecutor> = Arc::new(Sleeper(Duration::from_millis(5)));
+        let policy = ExecutionPolicy {
+            max_execution: Some(Duration::from_secs(2)),
+            ..ExecutionPolicy::default()
+        };
+        assert!(execute_policed(&exec, &task(1), &policy).is_ok());
+    }
+
+    #[test]
+    fn app_errors_pass_through_unchanged() {
+        struct Failer;
+        impl TaskExecutor for Failer {
+            fn execute(&self, _: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+                Err(ExecError::App("boom".into()))
+            }
+        }
+        let exec: Arc<dyn TaskExecutor> = Arc::new(Failer);
+        let err = execute_policed(&exec, &task(1), &ExecutionPolicy::default()).unwrap_err();
+        assert_eq!(err, PolicedError::App(ExecError::App("boom".into())));
+    }
+}

@@ -1,0 +1,551 @@
+//! The rule-base protocol (paper §4.4, Fig. 4).
+//!
+//! The interaction between the network management module and the worker
+//! module:
+//!
+//! 1. the server listens for client connections;
+//! 2. the SNMP client on a worker connects and identifies itself;
+//! 3. the server assigns a client id and adds it to its worker list;
+//! 4. the server polls the worker over SNMP (see [`crate::monitor`]);
+//! 5. the inference engine decides a signal for the client;
+//! 6. the signal is sent to the client through the server;
+//! 7. the client delivers the signal to the executing worker application;
+//! 8. the worker acknowledges with its new state, and monitoring continues.
+//!
+//! Messages travel over a [`Duplex`] — a bidirectional, message-oriented
+//! link with an in-process implementation ([`duplex_pair`]) and a real TCP
+//! implementation ([`tcp`]) using length-prefixed frames (the paper used
+//! Java sockets here).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use acc_tuplespace::{Payload, PayloadError, WireReader, WireWriter};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::signal::{Signal, WorkerState};
+
+/// Identifier the management module assigns to each registered worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u64);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker#{}", self.0)
+    }
+}
+
+/// A rule-base protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuleMessage {
+    /// Client → server: a worker announces itself (step 2).
+    Register {
+        /// The worker's host name.
+        worker_name: String,
+    },
+    /// Server → client: registration accepted, id assigned (step 3).
+    Registered {
+        /// The assigned id.
+        worker_id: WorkerId,
+    },
+    /// Server → client: a management signal (step 7).
+    Signal {
+        /// The signal to act on.
+        signal: Signal,
+    },
+    /// Client → server: signal acted upon (step 8).
+    Ack {
+        /// The signal being acknowledged.
+        signal: Signal,
+        /// The worker's state after acting.
+        new_state: WorkerState,
+    },
+    /// Client → server: the worker is leaving the cluster.
+    Bye,
+}
+
+fn state_code(state: WorkerState) -> u8 {
+    match state {
+        WorkerState::Stopped => 0,
+        WorkerState::Running => 1,
+        WorkerState::Paused => 2,
+    }
+}
+
+fn state_from_code(code: u8) -> Option<WorkerState> {
+    match code {
+        0 => Some(WorkerState::Stopped),
+        1 => Some(WorkerState::Running),
+        2 => Some(WorkerState::Paused),
+        _ => None,
+    }
+}
+
+impl Payload for RuleMessage {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            RuleMessage::Register { worker_name } => {
+                w.put_u8(1);
+                w.put_str(worker_name);
+            }
+            RuleMessage::Registered { worker_id } => {
+                w.put_u8(2);
+                w.put_u64(worker_id.0);
+            }
+            RuleMessage::Signal { signal } => {
+                w.put_u8(3);
+                w.put_u8(signal.code());
+            }
+            RuleMessage::Ack { signal, new_state } => {
+                w.put_u8(4);
+                w.put_u8(signal.code());
+                w.put_u8(state_code(*new_state));
+            }
+            RuleMessage::Bye => w.put_u8(5),
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        match r.get_u8()? {
+            1 => Ok(RuleMessage::Register {
+                worker_name: r.get_str()?,
+            }),
+            2 => Ok(RuleMessage::Registered {
+                worker_id: WorkerId(r.get_u64()?),
+            }),
+            3 => Ok(RuleMessage::Signal {
+                signal: Signal::from_code(r.get_u8()?)
+                    .ok_or(PayloadError::Corrupt("signal code"))?,
+            }),
+            4 => Ok(RuleMessage::Ack {
+                signal: Signal::from_code(r.get_u8()?)
+                    .ok_or(PayloadError::Corrupt("signal code"))?,
+                new_state: state_from_code(r.get_u8()?)
+                    .ok_or(PayloadError::Corrupt("state code"))?,
+            }),
+            5 => Ok(RuleMessage::Bye),
+            _ => Err(PayloadError::Corrupt("message tag")),
+        }
+    }
+}
+
+/// A bidirectional, message-oriented link.
+#[derive(Debug, Clone)]
+pub struct Duplex {
+    tx: Sender<RuleMessage>,
+    rx: Receiver<RuleMessage>,
+}
+
+impl Duplex {
+    /// Sends a message; returns false if the peer is gone.
+    pub fn send(&self, msg: RuleMessage) -> bool {
+        self.tx.send(msg).is_ok()
+    }
+
+    /// Receives with a timeout; `None` on timeout or disconnect.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<RuleMessage> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(msg) => Some(msg),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => None,
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<RuleMessage> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocking receive; `None` when the peer hung up.
+    pub fn recv(&self) -> Option<RuleMessage> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Creates a cross-wired pair of in-process duplexes.
+pub fn duplex_pair() -> (Duplex, Duplex) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    (
+        Duplex { tx: a_tx, rx: a_rx },
+        Duplex { tx: b_tx, rx: b_rx },
+    )
+}
+
+/// Client-side handshake: register over `duplex` and await the assigned id.
+pub fn client_register(duplex: &Duplex, worker_name: &str, timeout: Duration) -> Option<WorkerId> {
+    duplex.send(RuleMessage::Register {
+        worker_name: worker_name.to_owned(),
+    });
+    match duplex.recv_timeout(timeout)? {
+        RuleMessage::Registered { worker_id } => Some(worker_id),
+        _ => None,
+    }
+}
+
+/// Callback invoked when a worker acknowledges a signal or says goodbye.
+pub type AckCallback = Arc<dyn Fn(WorkerId, RuleMessage) + Send + Sync>;
+
+struct WorkerLink {
+    name: String,
+    duplex: Duplex,
+}
+
+/// The management-side endpoint of the rule-base protocol: the worker
+/// registry plus signal fan-out.
+pub struct RuleBaseServer {
+    inner: Mutex<ServerInner>,
+    on_message: AckCallback,
+}
+
+struct ServerInner {
+    next_id: u64,
+    workers: HashMap<WorkerId, WorkerLink>,
+}
+
+impl fmt::Debug for RuleBaseServer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuleBaseServer")
+            .field("workers", &self.inner.lock().workers.len())
+            .finish()
+    }
+}
+
+impl RuleBaseServer {
+    /// Creates a server. `on_message` receives every Ack/Bye from workers
+    /// (the monitoring agent wires this to the inference engine).
+    pub fn new(on_message: AckCallback) -> Arc<RuleBaseServer> {
+        Arc::new(RuleBaseServer {
+            inner: Mutex::new(ServerInner {
+                next_id: 0,
+                workers: HashMap::new(),
+            }),
+            on_message,
+        })
+    }
+
+    /// Accepts one client connection: performs the Register/Registered
+    /// handshake and spawns a reader pump for its acks. Returns the
+    /// assigned id, or `None` if the client spoke out of protocol.
+    pub fn accept(self: &Arc<Self>, duplex: Duplex, timeout: Duration) -> Option<WorkerId> {
+        let name = match duplex.recv_timeout(timeout)? {
+            RuleMessage::Register { worker_name } => worker_name,
+            _ => return None,
+        };
+        let id = {
+            let mut inner = self.inner.lock();
+            inner.next_id += 1;
+            let id = WorkerId(inner.next_id);
+            inner.workers.insert(
+                id,
+                WorkerLink {
+                    name,
+                    duplex: duplex.clone(),
+                },
+            );
+            id
+        };
+        duplex.send(RuleMessage::Registered { worker_id: id });
+        // Reader pump: forward worker messages to the callback until the
+        // worker hangs up or says Bye.
+        let server = self.clone();
+        std::thread::spawn(move || loop {
+            match duplex.recv() {
+                Some(RuleMessage::Bye) | None => {
+                    (server.on_message)(id, RuleMessage::Bye);
+                    server.inner.lock().workers.remove(&id);
+                    break;
+                }
+                Some(msg) => (server.on_message)(id, msg),
+            }
+        });
+        Some(id)
+    }
+
+    /// Sends a signal to a worker (step 6 of the protocol).
+    pub fn send_signal(&self, id: WorkerId, signal: Signal) -> bool {
+        let inner = self.inner.lock();
+        match inner.workers.get(&id) {
+            Some(link) => link.duplex.send(RuleMessage::Signal { signal }),
+            None => false,
+        }
+    }
+
+    /// The registered workers: `(id, name)` pairs.
+    pub fn workers(&self) -> Vec<(WorkerId, String)> {
+        let inner = self.inner.lock();
+        let mut list: Vec<_> = inner
+            .workers
+            .iter()
+            .map(|(id, link)| (*id, link.name.clone()))
+            .collect();
+        list.sort_by_key(|(id, _)| *id);
+        list
+    }
+}
+
+/// Rule-base protocol over real TCP loopback sockets with length-prefixed
+/// frames — the deployment transport (the paper used Java sockets).
+pub mod tcp {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{SocketAddr, TcpListener, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn write_frame(stream: &mut TcpStream, msg: &RuleMessage) -> std::io::Result<()> {
+        let bytes = msg.to_bytes();
+        stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
+        stream.write_all(&bytes)?;
+        stream.flush()
+    }
+
+    fn read_frame(stream: &mut TcpStream) -> std::io::Result<RuleMessage> {
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > 1 << 16 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "frame too large",
+            ));
+        }
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body)?;
+        RuleMessage::from_bytes(&body)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Turns a connected stream into a [`Duplex`] by spawning pump threads.
+    fn duplex_over(stream: TcpStream) -> std::io::Result<Duplex> {
+        let (local, remote_facing) = duplex_pair();
+        let mut write_stream = stream.try_clone()?;
+        let mut read_stream = stream;
+        // Writer pump: local sends → socket.
+        let writer_rx = remote_facing.rx.clone();
+        std::thread::spawn(move || {
+            while let Ok(msg) = writer_rx.recv() {
+                if write_frame(&mut write_stream, &msg).is_err() {
+                    break;
+                }
+                if msg == RuleMessage::Bye {
+                    break;
+                }
+            }
+            let _ = write_stream.shutdown(std::net::Shutdown::Write);
+        });
+        // Reader pump: socket → local receives.
+        let reader_tx = remote_facing.tx.clone();
+        std::thread::spawn(move || {
+            while let Ok(msg) = read_frame(&mut read_stream) {
+                if reader_tx.send(msg).is_err() {
+                    break;
+                }
+            }
+        });
+        Ok(local)
+    }
+
+    /// Accepts rule-base clients over TCP, handing each accepted [`Duplex`]
+    /// to the provided server.
+    #[derive(Debug)]
+    pub struct RuleBaseTcpListener {
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl RuleBaseTcpListener {
+        /// Binds an ephemeral loopback port and serves `server`.
+        pub fn spawn(server: Arc<RuleBaseServer>) -> std::io::Result<RuleBaseTcpListener> {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            let addr = listener.local_addr()?;
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop2 = stop.clone();
+            let thread = std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let _ = stream.set_nodelay(true);
+                    if let Ok(duplex) = duplex_over(stream) {
+                        let _ = server.accept(duplex, Duration::from_secs(2));
+                    }
+                }
+            });
+            Ok(RuleBaseTcpListener {
+                addr,
+                stop,
+                thread: Some(thread),
+            })
+        }
+
+        /// The address workers connect to.
+        pub fn addr(&self) -> SocketAddr {
+            self.addr
+        }
+    }
+
+    impl Drop for RuleBaseTcpListener {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.addr);
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    /// Connects a worker-side duplex to a listening management module.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Duplex> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        duplex_over(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn message_codec_roundtrip() {
+        let msgs = vec![
+            RuleMessage::Register {
+                worker_name: "w01".into(),
+            },
+            RuleMessage::Registered {
+                worker_id: WorkerId(7),
+            },
+            RuleMessage::Signal {
+                signal: Signal::Pause,
+            },
+            RuleMessage::Ack {
+                signal: Signal::Stop,
+                new_state: WorkerState::Stopped,
+            },
+            RuleMessage::Bye,
+        ];
+        for msg in msgs {
+            assert_eq!(RuleMessage::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn corrupt_messages_rejected() {
+        assert!(RuleMessage::from_bytes(&[9]).is_err());
+        assert!(RuleMessage::from_bytes(&[3, 99]).is_err());
+        assert!(RuleMessage::from_bytes(&[4, 1, 77]).is_err());
+        assert!(RuleMessage::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn duplex_pair_cross_wired() {
+        let (a, b) = duplex_pair();
+        a.send(RuleMessage::Bye);
+        assert_eq!(b.try_recv(), Some(RuleMessage::Bye));
+        b.send(RuleMessage::Signal {
+            signal: Signal::Start,
+        });
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(100)),
+            Some(RuleMessage::Signal {
+                signal: Signal::Start
+            })
+        );
+        assert_eq!(a.try_recv(), None);
+    }
+
+    fn counting_server() -> (Arc<RuleBaseServer>, Arc<AtomicUsize>) {
+        let acks = Arc::new(AtomicUsize::new(0));
+        let acks2 = acks.clone();
+        let server = RuleBaseServer::new(Arc::new(move |_, msg| {
+            if matches!(msg, RuleMessage::Ack { .. }) {
+                acks2.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+        (server, acks)
+    }
+
+    #[test]
+    fn register_signal_ack_flow() {
+        let (server, acks) = counting_server();
+        let (client_side, server_side) = duplex_pair();
+        // Client registers in a thread (accept blocks on the handshake).
+        let reg = std::thread::spawn(move || {
+            client_register(&client_side, "w01", Duration::from_secs(2)).map(|id| (client_side, id))
+        });
+        let id = server.accept(server_side, Duration::from_secs(2)).unwrap();
+        let (client_side, client_id) = reg.join().unwrap().unwrap();
+        assert_eq!(id, client_id);
+        assert_eq!(server.workers(), vec![(id, "w01".to_owned())]);
+
+        assert!(server.send_signal(id, Signal::Start));
+        assert_eq!(
+            client_side.recv_timeout(Duration::from_secs(1)),
+            Some(RuleMessage::Signal {
+                signal: Signal::Start
+            })
+        );
+        client_side.send(RuleMessage::Ack {
+            signal: Signal::Start,
+            new_state: WorkerState::Running,
+        });
+        let begun = std::time::Instant::now();
+        while acks.load(Ordering::SeqCst) == 0 && begun.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(acks.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn bye_unregisters() {
+        let (server, _) = counting_server();
+        let (client_side, server_side) = duplex_pair();
+        let reg = std::thread::spawn(move || {
+            client_register(&client_side, "w02", Duration::from_secs(2)).map(|id| (client_side, id))
+        });
+        let id = server.accept(server_side, Duration::from_secs(2)).unwrap();
+        let (client_side, _) = reg.join().unwrap().unwrap();
+        assert_eq!(server.workers().len(), 1);
+        client_side.send(RuleMessage::Bye);
+        let begun = std::time::Instant::now();
+        while !server.workers().is_empty() && begun.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(server.workers().is_empty());
+        assert!(!server.send_signal(id, Signal::Stop));
+    }
+
+    #[test]
+    fn tcp_register_signal_ack() {
+        let (server, acks) = counting_server();
+        let listener = tcp::RuleBaseTcpListener::spawn(server.clone()).unwrap();
+        let duplex = tcp::connect(listener.addr()).unwrap();
+        let id = client_register(&duplex, "tcp-worker", Duration::from_secs(2)).unwrap();
+        // Give the server a beat to finish registering.
+        let begun = std::time::Instant::now();
+        while server.workers().is_empty() && begun.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(server.send_signal(id, Signal::Start));
+        assert_eq!(
+            duplex.recv_timeout(Duration::from_secs(2)),
+            Some(RuleMessage::Signal {
+                signal: Signal::Start
+            })
+        );
+        duplex.send(RuleMessage::Ack {
+            signal: Signal::Start,
+            new_state: WorkerState::Running,
+        });
+        let begun = std::time::Instant::now();
+        while acks.load(Ordering::SeqCst) == 0 && begun.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(acks.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Signals and the worker state machine (paper Fig. 5).
+//!
+//! The rule-base defines four signals — Start, Stop, Pause, Resume — and
+//! three worker states — Running, Paused, Stopped. The transition function
+//! here is pure and shared verbatim by the thread runtime and the
+//! discrete-event simulator, so both enforce identical semantics:
+//!
+//! * `Stopped --Start--> Running` (requires remote class loading);
+//! * `Running --Stop--> Stopped` (worker thread killed; classes must be
+//!   reloaded on the next Start);
+//! * `Running --Pause--> Paused` (classes stay in memory);
+//! * `Paused --Resume--> Running` (no class-loading cost — the point of the
+//!   Paused state);
+//! * `Paused --Stop--> Stopped` (a transient load increase turned out to be
+//!   sustained).
+
+use std::fmt;
+
+/// A management signal sent to a worker by the network management module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Begin participating: load classes remotely, then compute.
+    Start,
+    /// Back off permanently: finish the current task, clean up, exit.
+    Stop,
+    /// Back off temporarily: finish the current task, keep state in memory.
+    Pause,
+    /// Load has dropped again: resume the interrupted worker thread.
+    Resume,
+}
+
+impl Signal {
+    /// Wire code for the rule-base protocol.
+    pub fn code(self) -> u8 {
+        match self {
+            Signal::Start => 1,
+            Signal::Stop => 2,
+            Signal::Pause => 3,
+            Signal::Resume => 4,
+        }
+    }
+
+    /// Inverse of [`Signal::code`].
+    pub fn from_code(code: u8) -> Option<Signal> {
+        match code {
+            1 => Some(Signal::Start),
+            2 => Some(Signal::Stop),
+            3 => Some(Signal::Pause),
+            4 => Some(Signal::Resume),
+            _ => None,
+        }
+    }
+
+    /// All signals, for exhaustive tests.
+    pub fn all() -> [Signal; 4] {
+        [Signal::Start, Signal::Stop, Signal::Pause, Signal::Resume]
+    }
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Signal::Start => "Start",
+            Signal::Stop => "Stop",
+            Signal::Pause => "Pause",
+            Signal::Resume => "Resume",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A worker's lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkerState {
+    /// Not participating; classes not loaded.
+    Stopped,
+    /// Computing tasks (or waiting for one).
+    Running,
+    /// Temporarily backed off; classes still loaded.
+    Paused,
+}
+
+impl WorkerState {
+    /// The transition function of Fig. 5. Returns the successor state, or
+    /// `None` when the signal is invalid in this state (e.g. Resume while
+    /// Running) — invalid signals are ignored by workers.
+    pub fn apply(self, signal: Signal) -> Option<WorkerState> {
+        match (self, signal) {
+            (WorkerState::Stopped, Signal::Start) => Some(WorkerState::Running),
+            (WorkerState::Running, Signal::Stop) => Some(WorkerState::Stopped),
+            (WorkerState::Running, Signal::Pause) => Some(WorkerState::Paused),
+            (WorkerState::Paused, Signal::Resume) => Some(WorkerState::Running),
+            (WorkerState::Paused, Signal::Stop) => Some(WorkerState::Stopped),
+            _ => None,
+        }
+    }
+
+    /// Does entering `self` via `signal` require remote class loading?
+    /// Only a Start from Stopped does; Resume explicitly avoids it.
+    pub fn requires_class_load(signal: Signal) -> bool {
+        signal == Signal::Start
+    }
+}
+
+impl fmt::Display for WorkerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WorkerState::Stopped => "Stopped",
+            WorkerState::Running => "Running",
+            WorkerState::Paused => "Paused",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One entry of a worker's signal log: the data behind the paper's
+/// "reaction time" plots (Figs. 9b/10b/11b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalLogEntry {
+    /// The signal delivered.
+    pub signal: Signal,
+    /// Milliseconds (experiment clock) when the worker-side client received
+    /// the signal — "Client Signal" time.
+    pub client_signal_ms: u64,
+    /// Milliseconds when the worker finished acting on it (task drained,
+    /// state switched, classes loaded if needed) — "Worker Signal" time.
+    pub worker_signal_ms: u64,
+    /// State after the transition.
+    pub new_state: WorkerState,
+}
+
+impl SignalLogEntry {
+    /// The reaction latency the paper plots.
+    pub fn reaction_ms(&self) -> u64 {
+        self.worker_signal_ms.saturating_sub(self.client_signal_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_codes_roundtrip() {
+        for s in Signal::all() {
+            assert_eq!(Signal::from_code(s.code()), Some(s));
+        }
+        assert_eq!(Signal::from_code(0), None);
+        assert_eq!(Signal::from_code(9), None);
+    }
+
+    #[test]
+    fn paper_transitions_accepted() {
+        assert_eq!(
+            WorkerState::Stopped.apply(Signal::Start),
+            Some(WorkerState::Running)
+        );
+        assert_eq!(
+            WorkerState::Running.apply(Signal::Stop),
+            Some(WorkerState::Stopped)
+        );
+        assert_eq!(
+            WorkerState::Running.apply(Signal::Pause),
+            Some(WorkerState::Paused)
+        );
+        assert_eq!(
+            WorkerState::Paused.apply(Signal::Resume),
+            Some(WorkerState::Running)
+        );
+        assert_eq!(
+            WorkerState::Paused.apply(Signal::Stop),
+            Some(WorkerState::Stopped)
+        );
+    }
+
+    #[test]
+    fn invalid_transitions_rejected() {
+        assert_eq!(WorkerState::Stopped.apply(Signal::Stop), None);
+        assert_eq!(WorkerState::Stopped.apply(Signal::Pause), None);
+        assert_eq!(WorkerState::Stopped.apply(Signal::Resume), None);
+        assert_eq!(WorkerState::Running.apply(Signal::Start), None);
+        assert_eq!(WorkerState::Running.apply(Signal::Resume), None);
+        assert_eq!(WorkerState::Paused.apply(Signal::Start), None);
+        assert_eq!(WorkerState::Paused.apply(Signal::Pause), None);
+    }
+
+    #[test]
+    fn only_start_loads_classes() {
+        assert!(WorkerState::requires_class_load(Signal::Start));
+        assert!(!WorkerState::requires_class_load(Signal::Resume));
+        assert!(!WorkerState::requires_class_load(Signal::Pause));
+        assert!(!WorkerState::requires_class_load(Signal::Stop));
+    }
+
+    #[test]
+    fn reaction_time() {
+        let e = SignalLogEntry {
+            signal: Signal::Pause,
+            client_signal_ms: 100,
+            worker_signal_ms: 130,
+            new_state: WorkerState::Paused,
+        };
+        assert_eq!(e.reaction_ms(), 30);
+    }
+}

@@ -1,0 +1,286 @@
+//! Task and result entries, and the application interface.
+//!
+//! The master decomposes an application into tasks that are "JavaSpaces
+//! enabled": serialized into tuples and written into the space. Workers
+//! retrieve them by value-based lookup on the job name, compute, and write
+//! result tuples back (paper §4.2).
+
+use std::fmt;
+use std::sync::Arc;
+
+use acc_tuplespace::{Payload, PayloadError, Template, Tuple};
+
+/// Tuple type for task entries.
+pub const TASK_TYPE: &str = "acc.task";
+/// Tuple type for result entries.
+pub const RESULT_TYPE: &str = "acc.result";
+
+/// A unit of work produced during task planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Unique id within the job.
+    pub task_id: u64,
+    /// Serialized application input (a [`Payload`] encoding).
+    pub payload: Vec<u8>,
+}
+
+impl TaskSpec {
+    /// Creates a spec from an encodable input.
+    pub fn new(task_id: u64, input: &impl Payload) -> TaskSpec {
+        TaskSpec {
+            task_id,
+            payload: input.to_bytes(),
+        }
+    }
+}
+
+/// A task as it travels through the space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskEntry {
+    /// The job this task belongs to.
+    pub job: String,
+    /// Unique id within the job.
+    pub task_id: u64,
+    /// Serialized application input.
+    pub payload: Vec<u8>,
+    /// How many times this task has failed and been requeued.
+    pub retries: u32,
+}
+
+impl TaskEntry {
+    /// A fresh task (no retries yet).
+    pub fn new(job: impl Into<String>, task_id: u64, payload: Vec<u8>) -> TaskEntry {
+        TaskEntry {
+            job: job.into(),
+            task_id,
+            payload,
+            retries: 0,
+        }
+    }
+
+    /// Serializes into a space tuple.
+    pub fn to_tuple(&self) -> Tuple {
+        Tuple::build(TASK_TYPE)
+            .field("job", self.job.as_str())
+            .field("task_id", self.task_id as i64)
+            .field("payload", self.payload.clone())
+            .field("retries", self.retries as i64)
+            .done()
+    }
+
+    /// Deserializes from a space tuple.
+    pub fn from_tuple(tuple: &Tuple) -> Option<TaskEntry> {
+        if tuple.type_name() != TASK_TYPE {
+            return None;
+        }
+        Some(TaskEntry {
+            job: tuple.get_str("job")?.to_owned(),
+            task_id: tuple.get_int("task_id")? as u64,
+            payload: tuple.get_bytes("payload")?.to_vec(),
+            retries: tuple.get_int("retries").unwrap_or(0) as u32,
+        })
+    }
+
+    /// Decodes the payload into the application's input type.
+    pub fn input<T: Payload>(&self) -> Result<T, ExecError> {
+        T::from_bytes(&self.payload).map_err(ExecError::Decode)
+    }
+}
+
+/// A result as it travels through the space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultEntry {
+    /// The job this result belongs to.
+    pub job: String,
+    /// Which task produced it.
+    pub task_id: u64,
+    /// The worker that computed it.
+    pub worker: String,
+    /// Serialized application output (empty when `error` is set).
+    pub payload: Vec<u8>,
+    /// How long the task's computation took at the worker (ms).
+    pub compute_ms: f64,
+    /// The worker's cumulative busy span — first task access to this result
+    /// write (ms). The paper's Max Worker Time is the max of the final
+    /// spans.
+    pub span_ms: f64,
+    /// Set when the task exhausted its retries: the terminal error, so the
+    /// master can account for the task instead of waiting forever.
+    pub error: Option<String>,
+}
+
+impl ResultEntry {
+    /// Serializes into a space tuple.
+    pub fn to_tuple(&self) -> Tuple {
+        let mut builder = Tuple::build(RESULT_TYPE)
+            .field("job", self.job.as_str())
+            .field("task_id", self.task_id as i64)
+            .field("worker", self.worker.as_str())
+            .field("payload", self.payload.clone())
+            .field("compute_ms", self.compute_ms)
+            .field("span_ms", self.span_ms);
+        if let Some(error) = &self.error {
+            builder = builder.field("error", error.as_str());
+        }
+        builder.done()
+    }
+
+    /// Deserializes from a space tuple.
+    pub fn from_tuple(tuple: &Tuple) -> Option<ResultEntry> {
+        if tuple.type_name() != RESULT_TYPE {
+            return None;
+        }
+        Some(ResultEntry {
+            job: tuple.get_str("job")?.to_owned(),
+            task_id: tuple.get_int("task_id")? as u64,
+            worker: tuple.get_str("worker")?.to_owned(),
+            payload: tuple.get_bytes("payload")?.to_vec(),
+            compute_ms: tuple.get_float("compute_ms")?,
+            span_ms: tuple.get_float("span_ms")?,
+            error: tuple.get_str("error").map(str::to_owned),
+        })
+    }
+}
+
+/// Template matching every task of a job — the worker's value-based lookup.
+pub fn task_template(job: &str) -> Template {
+    Template::build(TASK_TYPE).eq("job", job).done()
+}
+
+/// Template matching every result of a job — the master's aggregation
+/// lookup.
+pub fn result_template(job: &str) -> Template {
+    Template::build(RESULT_TYPE).eq("job", job).done()
+}
+
+/// Errors surfaced while executing or aggregating tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A payload failed to decode.
+    Decode(PayloadError),
+    /// Application-level failure.
+    App(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Decode(e) => write!(f, "payload decode failed: {e}"),
+            ExecError::App(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The worker-side solution content: what the dynamically loaded classes do.
+/// Implementations are registered in the [`crate::ExecutorRegistry`] and
+/// linked when a worker loads the application's code bundle.
+pub trait TaskExecutor: Send + Sync {
+    /// Computes one task, returning the serialized result payload.
+    fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError>;
+}
+
+/// An application as the framework sees it: planning, the executor bundle,
+/// and result aggregation. Concrete applications expose richer typed APIs
+/// on top.
+pub trait Application {
+    /// Unique job name (tags task and result entries in the space).
+    fn job_name(&self) -> String;
+
+    /// Name of the code bundle workers must load to compute this job.
+    fn bundle_name(&self) -> String;
+
+    /// Approximate size of the code bundle in KB (drives the modeled
+    /// class-loading cost).
+    fn bundle_kb(&self) -> usize {
+        64
+    }
+
+    /// Task-planning phase: decompose the problem into task specs.
+    fn plan(&mut self) -> Vec<TaskSpec>;
+
+    /// The executor the bundle links to (runs on workers).
+    fn executor(&self) -> Arc<dyn TaskExecutor>;
+
+    /// Result-aggregation phase: absorb one task's result payload.
+    fn absorb(&mut self, task_id: u64, payload: &[u8]) -> Result<(), ExecError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> TaskEntry {
+        TaskEntry::new("render", 5, vec![1, 2, 3])
+    }
+
+    fn result() -> ResultEntry {
+        ResultEntry {
+            job: "render".into(),
+            task_id: 5,
+            worker: "w01".into(),
+            payload: vec![9, 9],
+            compute_ms: 12.5,
+            span_ms: 40.0,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn task_tuple_roundtrip() {
+        let t = task();
+        assert_eq!(TaskEntry::from_tuple(&t.to_tuple()), Some(t));
+    }
+
+    #[test]
+    fn result_tuple_roundtrip() {
+        let r = result();
+        assert_eq!(ResultEntry::from_tuple(&r.to_tuple()), Some(r));
+    }
+
+    #[test]
+    fn from_tuple_rejects_other_types() {
+        assert_eq!(TaskEntry::from_tuple(&result().to_tuple()), None);
+        assert_eq!(ResultEntry::from_tuple(&task().to_tuple()), None);
+    }
+
+    #[test]
+    fn templates_select_by_job() {
+        let t1 = task().to_tuple();
+        let mut other = task();
+        other.job = "other".into();
+        let t2 = other.to_tuple();
+        let tmpl = task_template("render");
+        assert!(tmpl.matches(&t1));
+        assert!(!tmpl.matches(&t2));
+        assert!(!result_template("render").matches(&t1));
+        assert!(result_template("render").matches(&result().to_tuple()));
+    }
+
+    #[test]
+    fn retried_task_roundtrips() {
+        let mut t = task();
+        t.retries = 2;
+        assert_eq!(TaskEntry::from_tuple(&t.to_tuple()), Some(t));
+    }
+
+    #[test]
+    fn error_result_roundtrips() {
+        let mut r = result();
+        r.error = Some("exhausted retries".into());
+        r.payload = vec![];
+        assert_eq!(ResultEntry::from_tuple(&r.to_tuple()), Some(r));
+    }
+
+    #[test]
+    fn task_spec_encodes_payload() {
+        let spec = TaskSpec::new(3, &42u64);
+        let entry = TaskEntry::new("j", spec.task_id, spec.payload);
+        assert_eq!(entry.input::<u64>().unwrap(), 42);
+        assert!(matches!(
+            entry.input::<String>(),
+            Err(ExecError::Decode(_))
+        ));
+    }
+}

@@ -1,0 +1,545 @@
+//! The worker module (paper §4.1–4.4).
+//!
+//! A worker is a thin, application-agnostic process. Its behaviour:
+//!
+//! * it registers with the network management module over the rule-base
+//!   protocol and then obeys Start / Stop / Pause / Resume signals;
+//! * on Start it performs remote node configuration — fetches the
+//!   application's code bundle from the master's bundle server (paying the
+//!   modeled class-loading cost) and links the executor;
+//! * while Running it takes task entries from the space by value-based
+//!   lookup, computes them, and writes result entries back;
+//! * signals only take effect *between* tasks: the currently executing task
+//!   always completes and its result is written into the space first, so no
+//!   work is ever lost;
+//! * on Pause the executor stays linked (Resume skips class loading); on
+//!   Stop it is dropped (the next Start reloads).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acc_cluster::LoadMix;
+use acc_tuplespace::{StoreHandle, Template};
+use parking_lot::Mutex;
+
+use crate::config::FrameworkConfig;
+use crate::loader::{BundleServer, ExecutorRegistry};
+use crate::policy::execute_policed;
+use crate::rulebase::{client_register, Duplex, RuleMessage, WorkerId};
+use crate::signal::{Signal, SignalLogEntry, WorkerState};
+use crate::task::{task_template, ResultEntry, TaskEntry, TaskExecutor};
+
+/// Everything a worker runtime needs to operate.
+pub struct WorkerConfig {
+    /// The worker's host name (reported in result entries).
+    pub name: String,
+    /// The shared space (local handle or remote proxy).
+    pub space: StoreHandle,
+    /// Where to fetch code bundles from.
+    pub bundle_server: Arc<BundleServer>,
+    /// The local link table.
+    pub registry: Arc<ExecutorRegistry>,
+    /// Client side of the rule-base protocol link.
+    pub duplex: Duplex,
+    /// The code bundle this worker loads on Start.
+    pub bundle_name: String,
+    /// The job whose tasks this worker takes.
+    pub job: String,
+    /// The node's load meter, so the framework's own CPU use is visible to
+    /// monitoring (`None` for tests without a node model).
+    pub node_load: Option<Arc<LoadMix>>,
+    /// Experiment epoch for millisecond timestamps.
+    pub epoch: Instant,
+    /// Framework tunables (task poll timeout, etc.).
+    pub framework: FrameworkConfig,
+}
+
+/// CPU percent the worker's process shows while computing a task.
+const COMPUTE_LOAD: u64 = 98;
+/// CPU percent during remote class loading (the paper's Start-time peak).
+const CLASS_LOAD_LOAD: u64 = 80;
+/// CPU percent while running but waiting for a task.
+const IDLE_RUNNING_LOAD: u64 = 2;
+
+/// Handle to a spawned worker runtime.
+pub struct WorkerRuntime {
+    name: String,
+    id: WorkerId,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<Mutex<WorkerState>>,
+    log: Arc<Mutex<Vec<SignalLogEntry>>>,
+    tasks_done: Arc<Mutex<u64>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerRuntime")
+            .field("name", &self.name)
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl WorkerRuntime {
+    /// Registers over the rule-base link and spawns the worker loop.
+    /// Returns `None` if registration fails (management module gone).
+    pub fn spawn(config: WorkerConfig) -> Option<WorkerRuntime> {
+        let id = client_register(&config.duplex, &config.name, Duration::from_secs(5))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let state = Arc::new(Mutex::new(WorkerState::Stopped));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let tasks_done = Arc::new(Mutex::new(0u64));
+        let name = config.name.clone();
+        let loop_state = LoopState {
+            config,
+            shutdown: shutdown.clone(),
+            state: state.clone(),
+            log: log.clone(),
+            tasks_done: tasks_done.clone(),
+        };
+        let thread = std::thread::spawn(move || worker_loop(loop_state));
+        Some(WorkerRuntime {
+            name,
+            id,
+            shutdown,
+            state,
+            log,
+            tasks_done,
+            thread: Some(thread),
+        })
+    }
+
+    /// The management-assigned worker id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// The worker's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The worker's current state.
+    pub fn state(&self) -> WorkerState {
+        *self.state.lock()
+    }
+
+    /// Signals handled so far (reaction-time log, Figs. 9b–11b).
+    pub fn signal_log(&self) -> Vec<SignalLogEntry> {
+        self.log.lock().clone()
+    }
+
+    /// Tasks completed so far.
+    pub fn tasks_done(&self) -> u64 {
+        *self.tasks_done.lock()
+    }
+
+    /// A cheap probe suitable for exporting over SNMP
+    /// (`acc_worker_threads`): 1 while the worker participates in the
+    /// computation (Running or Paused), 0 once Stopped.
+    pub fn participation_gauge(&self) -> impl Fn() -> u64 + Send + Sync + 'static {
+        let state = self.state.clone();
+        move || match *state.lock() {
+            WorkerState::Stopped => 0,
+            WorkerState::Running | WorkerState::Paused => 1,
+        }
+    }
+
+    /// Stops the loop and joins the thread.
+    pub fn shutdown(mut self) {
+        self.stop_join();
+    }
+
+    fn stop_join(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for WorkerRuntime {
+    fn drop(&mut self) {
+        self.stop_join();
+    }
+}
+
+struct LoopState {
+    config: WorkerConfig,
+    shutdown: Arc<AtomicBool>,
+    state: Arc<Mutex<WorkerState>>,
+    log: Arc<Mutex<Vec<SignalLogEntry>>>,
+    tasks_done: Arc<Mutex<u64>>,
+}
+
+fn worker_loop(ls: LoopState) {
+    let template: Template = task_template(&ls.config.job);
+    let mut executor: Option<Arc<dyn TaskExecutor>> = None;
+    let mut first_access: Option<Instant> = None;
+    let set_load = |pct: u64| {
+        if let Some(load) = &ls.config.node_load {
+            load.set_framework(pct);
+        }
+    };
+
+    loop {
+        if ls.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let state = *ls.state.lock();
+        match state {
+            WorkerState::Stopped | WorkerState::Paused => {
+                set_load(0);
+                // Blocked on the signal channel; nothing else to do.
+                if let Some(msg) = ls.config.duplex.recv_timeout(Duration::from_millis(25)) {
+                    handle_message(&ls, msg, &mut executor, &set_load);
+                }
+            }
+            WorkerState::Running => {
+                // Signals are drained between tasks (paper §4.3: the node
+                // configuration engine forwards the signal before the
+                // worker fetches the next task).
+                if let Some(msg) = ls.config.duplex.try_recv() {
+                    handle_message(&ls, msg, &mut executor, &set_load);
+                    continue;
+                }
+                let Some(exec) = executor.clone() else {
+                    // Running without linked code should not happen; recover
+                    // by stopping.
+                    *ls.state.lock() = WorkerState::Stopped;
+                    continue;
+                };
+                set_load(IDLE_RUNNING_LOAD);
+                let taken = ls
+                    .config
+                    .space
+                    .take(&template, Some(ls.config.framework.task_poll_timeout));
+                match taken {
+                    Err(_) => break, // space closed: cluster shutting down
+                    Ok(None) => {}   // no task yet; loop to re-check signals
+                    Ok(Some(tuple)) => {
+                        let Some(task) = TaskEntry::from_tuple(&tuple) else {
+                            continue;
+                        };
+                        if first_access.is_none() {
+                            first_access = Some(Instant::now());
+                        }
+                        set_load(COMPUTE_LOAD);
+                        let compute_start = Instant::now();
+                        let outcome =
+                            execute_policed(&exec, &task, &ls.config.framework.policy);
+                        let compute_ms = compute_start.elapsed().as_secs_f64() * 1e3;
+                        set_load(IDLE_RUNNING_LOAD);
+                        let span_ms = first_access
+                            .map(|f| f.elapsed().as_secs_f64() * 1e3)
+                            .unwrap_or(compute_ms);
+                        match outcome {
+                            Ok(payload) => {
+                                let result = ResultEntry {
+                                    job: task.job.clone(),
+                                    task_id: task.task_id,
+                                    worker: ls.config.name.clone(),
+                                    payload,
+                                    compute_ms,
+                                    span_ms,
+                                    error: None,
+                                };
+                                if ls.config.space.write(result.to_tuple()).is_err() {
+                                    break;
+                                }
+                                *ls.tasks_done.lock() += 1;
+                            }
+                            Err(e) if task.retries < ls.config.framework.max_task_retries => {
+                                // Return the task to the space (with its
+                                // retry count bumped) so another attempt —
+                                // possibly on another worker — can succeed.
+                                let _ = e;
+                                let mut retry = task.clone();
+                                retry.retries += 1;
+                                let _ = ls.config.space.write(retry.to_tuple());
+                            }
+                            Err(e) => {
+                                // Poison task: write a terminal error result
+                                // so the master can account for it.
+                                let result = ResultEntry {
+                                    job: task.job.clone(),
+                                    task_id: task.task_id,
+                                    worker: ls.config.name.clone(),
+                                    payload: Vec::new(),
+                                    compute_ms,
+                                    span_ms,
+                                    error: Some(e.to_string()),
+                                };
+                                if ls.config.space.write(result.to_tuple()).is_err() {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    set_load(0);
+    ls.config.duplex.send(RuleMessage::Bye);
+}
+
+fn handle_message(
+    ls: &LoopState,
+    msg: RuleMessage,
+    executor: &mut Option<Arc<dyn TaskExecutor>>,
+    set_load: &impl Fn(u64),
+) {
+    let RuleMessage::Signal { signal } = msg else {
+        return;
+    };
+    let client_signal_ms = ls.config.epoch.elapsed().as_millis() as u64;
+    let current = *ls.state.lock();
+    let Some(next) = current.apply(signal) else {
+        // Invalid in this state: re-ack with the current state so the
+        // inference engine can resynchronise.
+        ls.config.duplex.send(RuleMessage::Ack {
+            signal,
+            new_state: current,
+        });
+        return;
+    };
+    // Act on the signal.
+    match signal {
+        Signal::Start => {
+            // Remote node configuration: fetch + verify + link, paying the
+            // modeled class-loading cost. This is the overhead Resume
+            // avoids.
+            set_load(CLASS_LOAD_LOAD);
+            match ls.config.bundle_server.fetch(&ls.config.bundle_name) {
+                Ok((bundle, cost)) => {
+                    std::thread::sleep(cost);
+                    match ls.config.registry.link(&bundle) {
+                        Ok(exec) => *executor = Some(exec),
+                        Err(_) => {
+                            set_load(0);
+                            ls.config.duplex.send(RuleMessage::Ack {
+                                signal,
+                                new_state: current,
+                            });
+                            return;
+                        }
+                    }
+                }
+                Err(_) => {
+                    set_load(0);
+                    ls.config.duplex.send(RuleMessage::Ack {
+                        signal,
+                        new_state: current,
+                    });
+                    return;
+                }
+            }
+            set_load(IDLE_RUNNING_LOAD);
+        }
+        Signal::Stop => {
+            // Shutdown/cleanup: drop the linked classes; the next Start
+            // must reload them.
+            *executor = None;
+            set_load(0);
+        }
+        Signal::Pause => {
+            // Temporary back-off: classes stay in memory.
+            set_load(0);
+        }
+        Signal::Resume => {
+            // No class loading: remove the lock on the interrupted thread.
+            if executor.is_none() {
+                // Lost our classes somehow; treat as a failed resume.
+                ls.config.duplex.send(RuleMessage::Ack {
+                    signal,
+                    new_state: current,
+                });
+                return;
+            }
+            set_load(IDLE_RUNNING_LOAD);
+        }
+    }
+    *ls.state.lock() = next;
+    let worker_signal_ms = ls.config.epoch.elapsed().as_millis() as u64;
+    ls.log.lock().push(SignalLogEntry {
+        signal,
+        client_signal_ms,
+        worker_signal_ms,
+        new_state: next,
+    });
+    ls.config.duplex.send(RuleMessage::Ack {
+        signal,
+        new_state: next,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::CodeBundle;
+    use crate::rulebase::{duplex_pair, RuleBaseServer};
+    use crate::task::{ExecError, TaskSpec};
+    use acc_tuplespace::{Payload, Space, SpaceHandle};
+
+    struct SquareExec;
+    impl TaskExecutor for SquareExec {
+        fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+            let x: u64 = task.input()?;
+            Ok((x * x).to_bytes())
+        }
+    }
+
+    struct Rig {
+        space: SpaceHandle,
+        server: Arc<RuleBaseServer>,
+        worker: WorkerRuntime,
+    }
+
+    fn rig() -> Rig {
+        let space = Space::new("rig");
+        let server = RuleBaseServer::new(Arc::new(|_, _| {}));
+        let bundle_server = BundleServer::new(Duration::from_millis(5), Duration::ZERO);
+        bundle_server.publish(CodeBundle::synthetic("sq", 1, 1));
+        let registry = ExecutorRegistry::new();
+        registry.register("sq", Arc::new(SquareExec));
+        let (client, server_side) = duplex_pair();
+        let server2 = server.clone();
+        let accept = std::thread::spawn(move || {
+            server2.accept(server_side, Duration::from_secs(5)).unwrap()
+        });
+        let worker = WorkerRuntime::spawn(WorkerConfig {
+            name: "w01".into(),
+            space: space.clone(),
+            bundle_server,
+            registry,
+            duplex: client,
+            bundle_name: "sq".into(),
+            job: "squares".into(),
+            node_load: None,
+            epoch: Instant::now(),
+            framework: FrameworkConfig {
+                task_poll_timeout: Duration::from_millis(10),
+                ..FrameworkConfig::default()
+            },
+        })
+        .unwrap();
+        let id = accept.join().unwrap();
+        assert_eq!(id, worker.id());
+        Rig {
+            space,
+            server,
+            worker,
+        }
+    }
+
+    fn wait_for(pred: impl Fn() -> bool, what: &str) {
+        let begun = Instant::now();
+        while !pred() {
+            assert!(
+                begun.elapsed() < Duration::from_secs(5),
+                "timed out waiting for {what}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    fn put_task(space: &SpaceHandle, id: u64, x: u64) {
+        let spec = TaskSpec::new(id, &x);
+        let entry = TaskEntry::new("squares", spec.task_id, spec.payload);
+        space.write(entry.to_tuple()).unwrap();
+    }
+
+    #[test]
+    fn worker_idles_until_started() {
+        let r = rig();
+        put_task(&r.space, 0, 4);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(r.worker.state(), WorkerState::Stopped);
+        assert_eq!(r.worker.tasks_done(), 0);
+        assert_eq!(r.space.len(), 1, "task untouched while stopped");
+    }
+
+    #[test]
+    fn start_compute_result_flow() {
+        let r = rig();
+        put_task(&r.space, 0, 6);
+        r.server.send_signal(r.worker.id(), Signal::Start);
+        wait_for(|| r.worker.tasks_done() == 1, "task completion");
+        let result = r
+            .space
+            .take(
+                &crate::task::result_template("squares"),
+                Some(Duration::from_secs(2)),
+            )
+            .unwrap()
+            .unwrap();
+        let entry = ResultEntry::from_tuple(&result).unwrap();
+        assert_eq!(u64::from_bytes(&entry.payload).unwrap(), 36);
+        assert_eq!(entry.worker, "w01");
+        assert!(entry.span_ms >= 0.0);
+        // The Start transition is in the signal log with a class-load cost.
+        let log = r.worker.signal_log();
+        assert_eq!(log[0].signal, Signal::Start);
+        assert!(log[0].reaction_ms() >= 5, "class loading cost paid");
+        r.worker.shutdown();
+    }
+
+    #[test]
+    fn pause_stops_consumption_resume_restarts() {
+        let r = rig();
+        r.server.send_signal(r.worker.id(), Signal::Start);
+        wait_for(|| r.worker.state() == WorkerState::Running, "start");
+        r.server.send_signal(r.worker.id(), Signal::Pause);
+        wait_for(|| r.worker.state() == WorkerState::Paused, "pause");
+        put_task(&r.space, 1, 3);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(r.worker.tasks_done(), 0, "paused: no consumption");
+        r.server.send_signal(r.worker.id(), Signal::Resume);
+        wait_for(|| r.worker.tasks_done() == 1, "resume computes");
+        // Resume must be much cheaper than Start (no class loading).
+        let log = r.worker.signal_log();
+        let start = log.iter().find(|e| e.signal == Signal::Start).unwrap();
+        let resume = log.iter().find(|e| e.signal == Signal::Resume).unwrap();
+        assert!(resume.reaction_ms() <= start.reaction_ms());
+        r.worker.shutdown();
+    }
+
+    #[test]
+    fn stop_then_start_reloads_classes() {
+        let r = rig();
+        r.server.send_signal(r.worker.id(), Signal::Start);
+        wait_for(|| r.worker.state() == WorkerState::Running, "start");
+        r.server.send_signal(r.worker.id(), Signal::Stop);
+        wait_for(|| r.worker.state() == WorkerState::Stopped, "stop");
+        r.server.send_signal(r.worker.id(), Signal::Start);
+        wait_for(|| r.worker.state() == WorkerState::Running, "restart");
+        let log = r.worker.signal_log();
+        let starts: Vec<_> = log.iter().filter(|e| e.signal == Signal::Start).collect();
+        assert_eq!(starts.len(), 2);
+        assert!(starts[1].reaction_ms() >= 5, "restart pays class load again");
+        r.worker.shutdown();
+    }
+
+    #[test]
+    fn invalid_signal_is_ignored() {
+        let r = rig();
+        r.server.send_signal(r.worker.id(), Signal::Resume);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(r.worker.state(), WorkerState::Stopped);
+        assert!(r.worker.signal_log().is_empty());
+        r.worker.shutdown();
+    }
+
+    #[test]
+    fn space_close_terminates_worker() {
+        let r = rig();
+        r.server.send_signal(r.worker.id(), Signal::Start);
+        wait_for(|| r.worker.state() == WorkerState::Running, "start");
+        r.space.close();
+        // The loop exits; shutdown() joins promptly.
+        r.worker.shutdown();
+    }
+}

@@ -1,0 +1,145 @@
+//! Service attributes and associative matching.
+//!
+//! Jini lookup is attribute-based: a client sends the list of attributes it
+//! requires and the lookup server returns services whose attribute sets
+//! contain them. [`Attributes`] is a canonical (sorted, unique-key) set of
+//! string key/value pairs.
+
+use std::fmt;
+
+/// A canonical set of `key = value` attribute pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Attributes {
+    /// Sorted by key; keys unique.
+    pairs: Vec<(String, String)>,
+}
+
+impl Attributes {
+    /// An empty attribute set (matches everything when used as a query).
+    pub fn none() -> Attributes {
+        Attributes::default()
+    }
+
+    /// Starts building an attribute set.
+    pub fn build() -> AttributesBuilder {
+        AttributesBuilder { pairs: Vec::new() }
+    }
+
+    /// Value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .binary_search_by(|(k, _)| k.as_str().cmp(key))
+            .ok()
+            .map(|i| self.pairs[i].1.as_str())
+    }
+
+    /// All pairs, sorted by key.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Associative matching: does this (service) attribute set contain every
+    /// pair of `query`?
+    pub fn satisfies(&self, query: &Attributes) -> bool {
+        query
+            .pairs
+            .iter()
+            .all(|(k, v)| self.get(k) == Some(v.as_str()))
+    }
+}
+
+impl fmt::Display for Attributes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`Attributes`].
+#[derive(Debug)]
+pub struct AttributesBuilder {
+    pairs: Vec<(String, String)>,
+}
+
+impl AttributesBuilder {
+    /// Sets an attribute (overwriting any earlier value for the key).
+    pub fn set(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.pairs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.pairs.push((key, value));
+        }
+        self
+    }
+
+    /// Finishes the set.
+    pub fn done(mut self) -> Attributes {
+        self.pairs.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Attributes { pairs: self.pairs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_get() {
+        let a = Attributes::build().set("kind", "space").set("ver", "1").done();
+        assert_eq!(a.get("kind"), Some("space"));
+        assert_eq!(a.get("ver"), Some("1"));
+        assert_eq!(a.get("missing"), None);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn later_set_overwrites() {
+        let a = Attributes::build().set("k", "1").set("k", "2").done();
+        assert_eq!(a.get("k"), Some("2"));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn subset_matching() {
+        let service = Attributes::build()
+            .set("kind", "space")
+            .set("zone", "lab")
+            .done();
+        assert!(service.satisfies(&Attributes::none()));
+        assert!(service.satisfies(&Attributes::build().set("kind", "space").done()));
+        assert!(service.satisfies(&service.clone()));
+        assert!(!service.satisfies(&Attributes::build().set("kind", "db").done()));
+        assert!(!service.satisfies(&Attributes::build().set("extra", "x").done()));
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let a = Attributes::build().set("a", "1").set("b", "2").done();
+        let b = Attributes::build().set("b", "2").set("a", "1").done();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display() {
+        let a = Attributes::build().set("b", "2").set("a", "1").done();
+        assert_eq!(format!("{a}"), "{a=1, b=2}");
+    }
+}

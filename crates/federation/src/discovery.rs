@@ -1,0 +1,171 @@
+//! Discovery: how clients and services find lookup services.
+//!
+//! The Jini discovery protocol drops a multicast packet on a well-known
+//! port; lookup servers answer with their address. In-process, the
+//! [`DiscoveryBus`] plays the role of that well-known multicast group:
+//! lookup services [`announce`](DiscoveryBus::announce) themselves, clients
+//! [`discover`](DiscoveryBus::discover) the current set, and interested
+//! parties subscribe to arrival events.
+
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::lookup::LookupService;
+
+/// Fired when a lookup service joins the bus.
+#[derive(Clone)]
+pub struct DiscoveryEvent {
+    /// The newly announced lookup service.
+    pub lookup: Arc<LookupService>,
+}
+
+impl fmt::Debug for DiscoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiscoveryEvent")
+            .field("lookup", &self.lookup.name())
+            .finish()
+    }
+}
+
+type DiscoveryListener = Box<dyn Fn(DiscoveryEvent) + Send + Sync>;
+
+/// The well-known "multicast group" on which lookup services announce
+/// themselves.
+#[derive(Default)]
+pub struct DiscoveryBus {
+    inner: Mutex<BusInner>,
+}
+
+#[derive(Default)]
+struct BusInner {
+    lookups: Vec<Arc<LookupService>>,
+    listeners: Vec<DiscoveryListener>,
+}
+
+impl fmt::Debug for DiscoveryBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DiscoveryBus")
+            .field("lookups", &self.inner.lock().lookups.len())
+            .finish()
+    }
+}
+
+impl DiscoveryBus {
+    /// Creates an empty bus.
+    pub fn new() -> Arc<DiscoveryBus> {
+        Arc::new(DiscoveryBus::default())
+    }
+
+    /// A lookup service announces its presence (the Jini announcement
+    /// packet). Subscribed listeners are notified.
+    pub fn announce(&self, lookup: Arc<LookupService>) {
+        let listeners_ev = {
+            let mut inner = self.inner.lock();
+            if inner
+                .lookups
+                .iter()
+                .any(|l| Arc::ptr_eq(l, &lookup))
+            {
+                return;
+            }
+            inner.lookups.push(lookup.clone());
+            DiscoveryEvent { lookup }
+        };
+        let inner = self.inner.lock();
+        for l in &inner.listeners {
+            l(listeners_ev.clone());
+        }
+    }
+
+    /// A lookup service leaves the bus.
+    pub fn retract(&self, lookup: &Arc<LookupService>) {
+        self.inner
+            .lock()
+            .lookups
+            .retain(|l| !Arc::ptr_eq(l, lookup));
+    }
+
+    /// The discovery request: returns every announced lookup service.
+    pub fn discover(&self) -> Vec<Arc<LookupService>> {
+        self.inner.lock().lookups.clone()
+    }
+
+    /// Finds an announced lookup service by name.
+    pub fn discover_named(&self, name: &str) -> Option<Arc<LookupService>> {
+        self.inner
+            .lock()
+            .lookups
+            .iter()
+            .find(|l| l.name() == name)
+            .cloned()
+    }
+
+    /// Subscribes to future announcements.
+    pub fn subscribe(&self, listener: DiscoveryListener) {
+        self.inner.lock().listeners.push(listener);
+    }
+
+    /// Channel-backed subscription helper.
+    pub fn subscribe_channel(&self) -> mpsc::Receiver<DiscoveryEvent> {
+        let (tx, rx) = mpsc::channel();
+        self.subscribe(Box::new(move |ev| {
+            let _ = tx.send(ev);
+        }));
+        rx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_then_discover() {
+        let bus = DiscoveryBus::new();
+        assert!(bus.discover().is_empty());
+        let lus = LookupService::new("lus-1");
+        bus.announce(lus.clone());
+        let found = bus.discover();
+        assert_eq!(found.len(), 1);
+        assert!(Arc::ptr_eq(&found[0], &lus));
+    }
+
+    #[test]
+    fn duplicate_announce_ignored() {
+        let bus = DiscoveryBus::new();
+        let lus = LookupService::new("lus-1");
+        bus.announce(lus.clone());
+        bus.announce(lus.clone());
+        assert_eq!(bus.discover().len(), 1);
+    }
+
+    #[test]
+    fn retract_removes() {
+        let bus = DiscoveryBus::new();
+        let lus = LookupService::new("lus-1");
+        bus.announce(lus.clone());
+        bus.retract(&lus);
+        assert!(bus.discover().is_empty());
+    }
+
+    #[test]
+    fn discover_named() {
+        let bus = DiscoveryBus::new();
+        bus.announce(LookupService::new("a"));
+        bus.announce(LookupService::new("b"));
+        assert_eq!(bus.discover_named("b").unwrap().name(), "b");
+        assert!(bus.discover_named("c").is_none());
+    }
+
+    #[test]
+    fn subscription_sees_announcements() {
+        let bus = DiscoveryBus::new();
+        let rx = bus.subscribe_channel();
+        bus.announce(LookupService::new("late"));
+        let ev = rx.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+        assert_eq!(ev.lookup.name(), "late");
+    }
+}

@@ -1,0 +1,52 @@
+//! # acc-federation
+//!
+//! A Jini-style service federation (paper §3): the runtime infrastructure
+//! through which the JavaSpaces service is published and found.
+//!
+//! * A [`DiscoveryBus`] stands in for the Jini multicast discovery protocol:
+//!   lookup services announce their presence on a well-known bus; clients
+//!   broadcast a discovery request and receive the registered lookup
+//!   services.
+//! * A [`LookupService`] maintains the mapping between each service and its
+//!   [`Attributes`]; clients perform associative lookup by attribute subset.
+//! * [`Registrar`] implements the join protocol: discover all lookup
+//!   services, register with each under a lease, and renew.
+//!
+//! Service proxies are `Arc<dyn Any + Send + Sync>` — the analogue of the
+//! serialized proxy object a Jini client downloads: the tuple-space handle
+//! itself travels through the lookup service.
+//!
+//! ```
+//! use acc_federation::{Attributes, DiscoveryBus, LookupService, ServiceItem};
+//! use std::sync::Arc;
+//!
+//! let bus = DiscoveryBus::new();
+//! let lookup = LookupService::new("lus-0");
+//! bus.announce(lookup.clone());
+//!
+//! // A service provider joins the federation…
+//! let item = ServiceItem::new(
+//!     "JavaSpaces",
+//!     Attributes::build().set("kind", "tuple-space").done(),
+//!     Arc::new(42u32),
+//! );
+//! lookup.register(item, None).unwrap();
+//!
+//! // …and a client discovers and queries it.
+//! let found = bus.discover()[0]
+//!     .lookup(&Attributes::build().set("kind", "tuple-space").done());
+//! assert_eq!(found.len(), 1);
+//! assert_eq!(*found[0].proxy::<u32>().unwrap(), 42);
+//! ```
+
+#![warn(missing_docs)]
+
+mod attributes;
+mod discovery;
+mod lookup;
+mod registrar;
+
+pub use attributes::Attributes;
+pub use discovery::{DiscoveryBus, DiscoveryEvent};
+pub use lookup::{LookupError, LookupService, ServiceId, ServiceItem, ServiceRegistration};
+pub use registrar::Registrar;

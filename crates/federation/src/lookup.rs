@@ -1,0 +1,309 @@
+//! The lookup service: the federation's service directory.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::attributes::Attributes;
+
+/// Identifier assigned to a registered service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub u64);
+
+/// Errors from lookup-service operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupError {
+    /// The registration does not exist or its lease already expired.
+    NotRegistered,
+}
+
+impl fmt::Display for LookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LookupError::NotRegistered => write!(f, "service is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+/// A service as advertised in the federation: a human-readable name, its
+/// attributes, and the proxy object clients use to talk to it.
+#[derive(Clone)]
+pub struct ServiceItem {
+    id: Option<ServiceId>,
+    name: String,
+    attributes: Attributes,
+    proxy: Arc<dyn Any + Send + Sync>,
+}
+
+impl fmt::Debug for ServiceItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceItem")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("attributes", &self.attributes)
+            .finish()
+    }
+}
+
+impl ServiceItem {
+    /// Creates an item to be registered.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Attributes,
+        proxy: Arc<dyn Any + Send + Sync>,
+    ) -> ServiceItem {
+        ServiceItem {
+            id: None,
+            name: name.into(),
+            attributes,
+            proxy,
+        }
+    }
+
+    /// Identifier assigned at registration (present on items returned by
+    /// [`LookupService::lookup`]).
+    pub fn id(&self) -> Option<ServiceId> {
+        self.id
+    }
+
+    /// The advertised service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The advertised attribute set.
+    pub fn attributes(&self) -> &Attributes {
+        &self.attributes
+    }
+
+    /// Downcasts the service proxy. This is the "downloaded proxy object"
+    /// of Jini: a typed handle to the remote service.
+    pub fn proxy<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        self.proxy.clone().downcast::<T>().ok()
+    }
+}
+
+struct Registered {
+    item: ServiceItem,
+    expires: Option<Instant>,
+}
+
+/// A granted registration: the service's id plus its lease deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceRegistration {
+    /// The id under which the service is registered.
+    pub id: ServiceId,
+    /// When the registration lapses unless renewed; `None` = forever.
+    pub expires: Option<Instant>,
+}
+
+/// An attribute-indexed directory of services — the Jini lookup service.
+pub struct LookupService {
+    name: String,
+    inner: Mutex<LookupInner>,
+}
+
+#[derive(Default)]
+struct LookupInner {
+    next_id: u64,
+    services: Vec<Registered>,
+}
+
+impl fmt::Debug for LookupService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LookupService")
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+impl LookupService {
+    /// Creates an empty lookup service.
+    pub fn new(name: impl Into<String>) -> Arc<LookupService> {
+        Arc::new(LookupService {
+            name: name.into(),
+            inner: Mutex::new(LookupInner::default()),
+        })
+    }
+
+    /// The lookup service's own name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a service under an optional lease duration (`None` =
+    /// forever). Returns the granted registration.
+    pub fn register(
+        &self,
+        item: ServiceItem,
+        lease: Option<Duration>,
+    ) -> Result<ServiceRegistration, LookupError> {
+        let mut inner = self.inner.lock();
+        inner.next_id += 1;
+        let id = ServiceId(inner.next_id);
+        let expires = lease.map(|d| Instant::now() + d);
+        let mut item = item;
+        item.id = Some(id);
+        inner.services.push(Registered { item, expires });
+        Ok(ServiceRegistration { id, expires })
+    }
+
+    /// Associative lookup: every live service whose attributes contain the
+    /// query's pairs. An empty query returns all services.
+    pub fn lookup(&self, query: &Attributes) -> Vec<ServiceItem> {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        inner.services.retain(|r| r.expires.is_none_or(|e| e > now));
+        inner
+            .services
+            .iter()
+            .filter(|r| r.item.attributes.satisfies(query))
+            .map(|r| r.item.clone())
+            .collect()
+    }
+
+    /// Like [`LookupService::lookup`] but also filters by service name.
+    pub fn lookup_named(&self, name: &str, query: &Attributes) -> Vec<ServiceItem> {
+        self.lookup(query)
+            .into_iter()
+            .filter(|item| item.name == name)
+            .collect()
+    }
+
+    /// Renews a registration's lease.
+    pub fn renew(&self, id: ServiceId, lease: Option<Duration>) -> Result<(), LookupError> {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        inner.services.retain(|r| r.expires.is_none_or(|e| e > now));
+        let reg = inner
+            .services
+            .iter_mut()
+            .find(|r| r.item.id == Some(id))
+            .ok_or(LookupError::NotRegistered)?;
+        reg.expires = lease.map(|d| now + d);
+        Ok(())
+    }
+
+    /// Cancels a registration.
+    pub fn cancel(&self, id: ServiceId) -> Result<(), LookupError> {
+        let mut inner = self.inner.lock();
+        let before = inner.services.len();
+        inner.services.retain(|r| r.item.id != Some(id));
+        if inner.services.len() == before {
+            Err(LookupError::NotRegistered)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of live registrations.
+    pub fn len(&self) -> usize {
+        self.lookup(&Attributes::none()).len()
+    }
+
+    /// True when no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn item(name: &str, kind: &str) -> ServiceItem {
+        ServiceItem::new(
+            name,
+            Attributes::build().set("kind", kind).done(),
+            Arc::new(name.to_owned()),
+        )
+    }
+
+    #[test]
+    fn register_and_lookup_by_attribute() {
+        let lus = LookupService::new("lus");
+        lus.register(item("space-a", "tuple-space"), None).unwrap();
+        lus.register(item("db-b", "database"), None).unwrap();
+        let found = lus.lookup(&Attributes::build().set("kind", "tuple-space").done());
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name(), "space-a");
+        assert!(found[0].id().is_some());
+    }
+
+    #[test]
+    fn empty_query_returns_all() {
+        let lus = LookupService::new("lus");
+        lus.register(item("a", "x"), None).unwrap();
+        lus.register(item("b", "y"), None).unwrap();
+        assert_eq!(lus.lookup(&Attributes::none()).len(), 2);
+        assert_eq!(lus.len(), 2);
+    }
+
+    #[test]
+    fn lookup_named_filters() {
+        let lus = LookupService::new("lus");
+        lus.register(item("a", "x"), None).unwrap();
+        lus.register(item("b", "x"), None).unwrap();
+        let q = Attributes::build().set("kind", "x").done();
+        assert_eq!(lus.lookup_named("a", &q).len(), 1);
+        assert_eq!(lus.lookup_named("c", &q).len(), 0);
+    }
+
+    #[test]
+    fn proxy_downcast() {
+        let lus = LookupService::new("lus");
+        lus.register(item("a", "x"), None).unwrap();
+        let found = lus.lookup(&Attributes::none());
+        let proxy: Arc<String> = found[0].proxy().unwrap();
+        assert_eq!(*proxy, "a");
+        assert!(found[0].proxy::<u32>().is_none());
+    }
+
+    #[test]
+    fn lease_expiry_drops_service() {
+        let lus = LookupService::new("lus");
+        lus.register(item("a", "x"), Some(Duration::from_millis(10)))
+            .unwrap();
+        thread::sleep(Duration::from_millis(25));
+        assert!(lus.is_empty());
+    }
+
+    #[test]
+    fn renew_keeps_service_alive() {
+        let lus = LookupService::new("lus");
+        let reg = lus
+            .register(item("a", "x"), Some(Duration::from_millis(40)))
+            .unwrap();
+        lus.renew(reg.id, Some(Duration::from_secs(60))).unwrap();
+        thread::sleep(Duration::from_millis(60));
+        assert_eq!(lus.len(), 1);
+    }
+
+    #[test]
+    fn renew_after_expiry_fails() {
+        let lus = LookupService::new("lus");
+        let reg = lus
+            .register(item("a", "x"), Some(Duration::from_millis(5)))
+            .unwrap();
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            lus.renew(reg.id, Some(Duration::from_secs(1))),
+            Err(LookupError::NotRegistered)
+        );
+    }
+
+    #[test]
+    fn cancel_removes() {
+        let lus = LookupService::new("lus");
+        let reg = lus.register(item("a", "x"), None).unwrap();
+        lus.cancel(reg.id).unwrap();
+        assert!(lus.is_empty());
+        assert_eq!(lus.cancel(reg.id), Err(LookupError::NotRegistered));
+    }
+}

@@ -1,0 +1,129 @@
+//! The join protocol: how a service becomes part of the federation.
+//!
+//! A service provider discovers every lookup service on the bus and
+//! registers itself with each; the [`Registrar`] tracks the granted
+//! registrations so they can be renewed or cancelled together.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::discovery::DiscoveryBus;
+use crate::lookup::{LookupError, LookupService, ServiceId, ServiceItem};
+
+/// Tracks one service's registrations across all discovered lookup services.
+#[derive(Debug)]
+pub struct Registrar {
+    registrations: Vec<(Arc<LookupService>, ServiceId)>,
+    lease: Option<Duration>,
+}
+
+impl Registrar {
+    /// Runs the join protocol: discover all lookup services and register
+    /// `item` with each under `lease`.
+    pub fn join(
+        bus: &DiscoveryBus,
+        item: ServiceItem,
+        lease: Option<Duration>,
+    ) -> Result<Registrar, LookupError> {
+        let mut registrations = Vec::new();
+        for lookup in bus.discover() {
+            // Each lookup assigns its own id; the proxy Arc is shared.
+            let reg = lookup.register(item.clone(), lease)?;
+            registrations.push((lookup, reg.id));
+        }
+        Ok(Registrar {
+            registrations,
+            lease,
+        })
+    }
+
+    /// Number of lookup services this service is registered with.
+    pub fn len(&self) -> usize {
+        self.registrations.len()
+    }
+
+    /// True when the service is registered nowhere.
+    pub fn is_empty(&self) -> bool {
+        self.registrations.is_empty()
+    }
+
+    /// Renews every registration for this service. Registrations that have
+    /// lapsed are dropped from the set; returns how many were renewed.
+    pub fn renew_all(&mut self) -> usize {
+        let lease = self.lease;
+        self.registrations
+            .retain(|(lookup, id)| lookup.renew(*id, lease).is_ok());
+        self.registrations.len()
+    }
+
+    /// Cancels every registration.
+    pub fn cancel_all(&mut self) {
+        for (lookup, id) in self.registrations.drain(..) {
+            let _ = lookup.cancel(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::Attributes;
+    use std::time::Duration;
+
+    fn item() -> ServiceItem {
+        ServiceItem::new(
+            "JavaSpaces",
+            Attributes::build().set("kind", "tuple-space").done(),
+            Arc::new(7u32),
+        )
+    }
+
+    #[test]
+    fn join_registers_with_every_lookup() {
+        let bus = DiscoveryBus::new();
+        bus.announce(LookupService::new("a"));
+        bus.announce(LookupService::new("b"));
+        let reg = Registrar::join(&bus, item(), None).unwrap();
+        assert_eq!(reg.len(), 2);
+        for lookup in bus.discover() {
+            let found = lookup.lookup(&Attributes::build().set("kind", "tuple-space").done());
+            assert_eq!(found.len(), 1);
+            assert_eq!(*found[0].proxy::<u32>().unwrap(), 7);
+        }
+    }
+
+    #[test]
+    fn cancel_all_unregisters() {
+        let bus = DiscoveryBus::new();
+        bus.announce(LookupService::new("a"));
+        let mut reg = Registrar::join(&bus, item(), None).unwrap();
+        reg.cancel_all();
+        assert!(reg.is_empty());
+        assert!(bus.discover()[0].is_empty());
+    }
+
+    #[test]
+    fn renew_all_counts_live_registrations() {
+        let bus = DiscoveryBus::new();
+        bus.announce(LookupService::new("a"));
+        let mut reg = Registrar::join(&bus, item(), Some(Duration::from_secs(60))).unwrap();
+        assert_eq!(reg.renew_all(), 1);
+    }
+
+    #[test]
+    fn renew_all_drops_lapsed() {
+        let bus = DiscoveryBus::new();
+        bus.announce(LookupService::new("a"));
+        let mut reg = Registrar::join(&bus, item(), Some(Duration::from_millis(5))).unwrap();
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(reg.renew_all(), 0);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn join_with_no_lookups_is_empty() {
+        let bus = DiscoveryBus::new();
+        let reg = Registrar::join(&bus, item(), None).unwrap();
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,255 @@
+//! Baseline — job-level parallelism (the Condor model of paper §2).
+//!
+//! The paper contrasts two approaches to opportunistic computing:
+//! *job-level parallelism* (Condor): the entire job runs on one idle
+//! machine; when that machine becomes busy the job is checkpointed and
+//! migrated elsewhere. *Adaptive parallelism* (this framework): the job is
+//! decomposed into tasks spread across all idle machines; an eviction
+//! costs at most the current task.
+//!
+//! This module implements the job-level baseline so the two can be
+//! compared quantitatively under identical load churn.
+
+use acc_cluster::{LoadTrace, NodeSpec};
+use acc_core::Thresholds;
+
+use crate::cluster::{simulate, SimConfig};
+use crate::model::AppProfile;
+
+/// Cost parameters of the checkpoint/migrate machinery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobLevelCosts {
+    /// Writing the checkpoint image on eviction, ms.
+    pub checkpoint_ms: f64,
+    /// Transferring + restoring the image on the new machine, ms.
+    pub migrate_ms: f64,
+    /// Scheduler poll/matchmaking interval, ms.
+    pub poll_ms: f64,
+}
+
+impl Default for JobLevelCosts {
+    fn default() -> Self {
+        JobLevelCosts {
+            checkpoint_ms: 2_000.0,
+            migrate_ms: 3_000.0,
+            poll_ms: 250.0,
+        }
+    }
+}
+
+/// Outcome of a job-level (single-job, migrating) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobLevelOutcome {
+    /// Wall time to complete the job, ms.
+    pub completion_ms: f64,
+    /// Number of checkpoint+migrate events.
+    pub migrations: u64,
+    /// True if the job finished within the horizon.
+    pub complete: bool,
+}
+
+/// Simulates one job of `work_ms` (reference-machine milliseconds) under
+/// job-level parallelism: the job occupies exactly one idle machine at a
+/// time and is checkpointed/migrated when its host enters the stop band.
+pub fn simulate_job_level(
+    work_ms: f64,
+    workers: &[NodeSpec],
+    traces: &[Option<LoadTrace>],
+    costs: JobLevelCosts,
+    horizon_ms: f64,
+) -> JobLevelOutcome {
+    assert_eq!(workers.len(), traces.len());
+    let thresholds = Thresholds::paper();
+    let reference = 800.0;
+    let step = costs.poll_ms.max(1.0);
+    let mut t = 0.0f64;
+    let mut remaining = work_ms;
+    let mut host: Option<usize> = None;
+    let mut migrations = 0u64;
+    let mut ever_placed = false;
+
+    let load_at = |w: usize, t: f64| -> u64 {
+        traces[w]
+            .as_ref()
+            .map(|tr| tr.level_at(t as u64))
+            .unwrap_or(0)
+    };
+
+    while remaining > 0.0 && t < horizon_ms {
+        match host {
+            None => {
+                // Matchmaking: place the job on the first idle machine.
+                if let Some(w) = (0..workers.len())
+                    .find(|&w| load_at(w, t) < thresholds.idle_max)
+                {
+                    host = Some(w);
+                    if ever_placed {
+                        // Restore from checkpoint on the new machine.
+                        t += costs.migrate_ms;
+                    }
+                    ever_placed = true;
+                } else {
+                    t += step;
+                }
+            }
+            Some(w) => {
+                let load = load_at(w, t);
+                if load >= thresholds.pause_max {
+                    // Eviction: checkpoint and leave.
+                    t += costs.checkpoint_ms;
+                    host = None;
+                    migrations += 1;
+                    continue;
+                }
+                // One scheduler interval of progress at this machine's
+                // speed, shared with whatever background load exists.
+                let speed = workers[w].speed_mhz as f64 / reference;
+                let availability = (1.0 - load as f64 / 100.0).max(0.05);
+                remaining -= step * speed * availability;
+                t += step;
+            }
+        }
+    }
+    JobLevelOutcome {
+        completion_ms: t,
+        migrations,
+        complete: remaining <= 0.0,
+    }
+}
+
+/// One row of the baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Application label.
+    pub app: String,
+    /// Adaptive parallelism (this framework) completion, ms.
+    pub adaptive_ms: f64,
+    /// Job-level parallelism completion, ms.
+    pub job_level_ms: f64,
+    /// Migrations the job-level run paid.
+    pub migrations: u64,
+}
+
+/// Compares the two models on the application's own testbed, with load
+/// simulator 2 hitting each worker in turn for `churn_period_ms` (a
+/// round-robin eviction pattern).
+pub fn run_baseline_comparison(profile: &AppProfile, churn_period_ms: u64) -> BaselineRow {
+    let n = profile.testbed.worker_count();
+    // Round-robin interference: worker w is hogged during its slice of
+    // each churn cycle.
+    let traces: Vec<Option<LoadTrace>> = (0..n)
+        .map(|w| {
+            let mut phases = Vec::new();
+            let slice = churn_period_ms / n as u64;
+            let total = 3_600_000u64;
+            let mut at = 0;
+            while at < total {
+                // Worker w is hogged during its slice of each churn cycle.
+                phases.push(acc_cluster::LoadPhase {
+                    at_ms: at + w as u64 * slice,
+                    level: 100,
+                    kind: acc_cluster::TrafficKind::CpuHog,
+                });
+                phases.push(acc_cluster::LoadPhase {
+                    at_ms: at + (w as u64 + 1) * slice,
+                    level: 0,
+                    kind: acc_cluster::TrafficKind::Idle,
+                });
+                at += churn_period_ms;
+            }
+            Some(LoadTrace::new(phases, total))
+        })
+        .collect();
+
+    let mut cfg = SimConfig::new(profile.clone(), n);
+    cfg.traces = traces.clone();
+    cfg.horizon_ms = 3_600_000.0;
+    let adaptive = simulate(cfg);
+    assert!(adaptive.complete, "adaptive run must complete under churn");
+
+    let job = simulate_job_level(
+        profile.serial_compute_ms(),
+        &profile.testbed.workers,
+        &traces,
+        JobLevelCosts::default(),
+        3_600_000.0,
+    );
+    BaselineRow {
+        app: profile.name.clone(),
+        adaptive_ms: adaptive.times.parallel_ms,
+        job_level_ms: job.completion_ms,
+        migrations: job.migrations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_cluster::{LoadPhase, TrafficKind};
+
+    fn idle_workers(n: usize) -> (Vec<NodeSpec>, Vec<Option<LoadTrace>>) {
+        let workers: Vec<NodeSpec> = (0..n)
+            .map(|i| NodeSpec::new(format!("w{i}"), 800, 256))
+            .collect();
+        let traces = vec![None; n];
+        (workers, traces)
+    }
+
+    #[test]
+    fn job_level_on_idle_machine_is_just_the_work() {
+        let (workers, traces) = idle_workers(1);
+        let out = simulate_job_level(10_000.0, &workers, &traces, JobLevelCosts::default(), 1e9);
+        assert!(out.complete);
+        assert_eq!(out.migrations, 0);
+        assert!((out.completion_ms - 10_000.0).abs() < 500.0, "{out:?}");
+    }
+
+    #[test]
+    fn job_level_pays_for_evictions() {
+        // The only machine is hogged in the middle of the run.
+        let (workers, _) = idle_workers(2);
+        let trace0 = LoadTrace::new(
+            vec![
+                LoadPhase { at_ms: 0, level: 0, kind: TrafficKind::Idle },
+                LoadPhase { at_ms: 2_000, level: 100, kind: TrafficKind::CpuHog },
+                LoadPhase { at_ms: 30_000, level: 0, kind: TrafficKind::Idle },
+            ],
+            3_600_000,
+        );
+        let traces = vec![Some(trace0), None];
+        let out = simulate_job_level(10_000.0, &workers, &traces, JobLevelCosts::default(), 1e9);
+        assert!(out.complete);
+        assert_eq!(out.migrations, 1, "one eviction → one migration");
+        // Work (10 s) + checkpoint (2 s) + migrate (3 s), modulo stepping.
+        assert!(out.completion_ms > 14_000.0 && out.completion_ms < 16_500.0, "{out:?}");
+    }
+
+    #[test]
+    fn job_level_slower_than_slowest_machine_never() {
+        let (workers, traces) = idle_workers(3);
+        let out = simulate_job_level(5_000.0, &workers, &traces, JobLevelCosts::default(), 1e9);
+        // Only one machine is ever used: no speedup from the other two.
+        assert!(out.completion_ms >= 5_000.0 - 500.0);
+    }
+
+    #[test]
+    fn adaptive_beats_job_level_under_churn() {
+        for profile in [AppProfile::ray_tracing(), AppProfile::prefetch()] {
+            let row = run_baseline_comparison(&profile, 60_000);
+            assert!(
+                row.adaptive_ms < row.job_level_ms,
+                "{}: adaptive {} vs job-level {}",
+                row.app,
+                row.adaptive_ms,
+                row.job_level_ms
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_baseline_comparison(&AppProfile::prefetch(), 60_000);
+        let b = run_baseline_comparison(&AppProfile::prefetch(), 60_000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,651 @@
+//! The discrete-event core: one simulated run of the framework.
+//!
+//! Virtual time is in integer microseconds. The event loop models exactly
+//! the mechanisms of the thread runtime — master planning writes, worker
+//! take/compute/write cycles, SNMP polls, inference decisions, signal
+//! delivery, class loading on Start — and reuses the *real* policy code
+//! ([`acc_core::InferenceEngine`], [`acc_core::WorkerState::apply`]) so the
+//! two runtimes cannot drift apart semantically.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use acc_cluster::{LoadTrace, NodeSpec, UsagePoint};
+use acc_core::{
+    InferenceEngine, PhaseTimes, Signal, SignalLogEntry, WorkerId, WorkerState,
+};
+
+use crate::model::{AppProfile, CostModel};
+
+fn us(ms: f64) -> u64 {
+    (ms * 1000.0).round().max(0.0) as u64
+}
+
+fn to_ms(us: u64) -> f64 {
+    us as f64 / 1000.0
+}
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Framework-level costs.
+    pub cost: CostModel,
+    /// The application's shape.
+    pub profile: AppProfile,
+    /// The participating worker nodes.
+    pub workers: Vec<NodeSpec>,
+    /// Optional background-load trace per worker (same length as
+    /// `workers`; `None` = always idle).
+    pub traces: Vec<Option<LoadTrace>>,
+    /// Record worker CPU usage every this many ms (0 disables).
+    pub usage_sample_ms: f64,
+    /// Hard stop (safety cap / scripted-experiment length), ms.
+    pub horizon_ms: f64,
+}
+
+impl SimConfig {
+    /// A run of `profile` on the first `n` workers of its testbed, with no
+    /// background load.
+    pub fn new(profile: AppProfile, n: usize) -> SimConfig {
+        let workers = profile.testbed.with_workers(n).workers;
+        let traces = vec![None; workers.len()];
+        SimConfig {
+            cost: CostModel::default(),
+            profile,
+            workers,
+            traces,
+            usage_sample_ms: 0.0,
+            horizon_ms: 600_000.0,
+        }
+    }
+}
+
+/// Per-worker results of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimWorkerReport {
+    /// Node name.
+    pub name: String,
+    /// Tasks computed.
+    pub tasks_done: u64,
+    /// Final lifecycle state.
+    pub final_state: WorkerState,
+    /// Signals handled, with reaction times.
+    pub signal_log: Vec<SignalLogEntry>,
+    /// CPU usage samples (if sampling was enabled).
+    pub usage: Vec<UsagePoint>,
+    /// Virtual time this worker spent computing while its node carried
+    /// external load above the idle band — the intrusiveness the
+    /// monitoring loop exists to minimise.
+    pub intrusion_ms: f64,
+}
+
+/// The outcome of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The paper's phase timings.
+    pub times: PhaseTimes,
+    /// Did every task complete before the horizon?
+    pub complete: bool,
+    /// End of the run (last master activity), ms.
+    pub end_ms: f64,
+    /// Per-worker detail.
+    pub workers: Vec<SimWorkerReport>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// Master finished writing task #i into the space.
+    TaskReady(usize),
+    /// SNMP poll tick for worker w.
+    Poll(usize),
+    /// A signal reaches worker w's rule-base client.
+    SignalArrive(usize, u8),
+    /// Worker w finishes its current activity (compute or class load).
+    WorkerFree(usize),
+    /// Worker w's ack reaches the inference engine.
+    AckArrive(usize, u8),
+    /// Periodic usage-history sample.
+    UsageSample,
+}
+
+fn state_code(s: WorkerState) -> u8 {
+    match s {
+        WorkerState::Stopped => 0,
+        WorkerState::Running => 1,
+        WorkerState::Paused => 2,
+    }
+}
+
+fn state_from(code: u8) -> WorkerState {
+    match code {
+        0 => WorkerState::Stopped,
+        1 => WorkerState::Running,
+        _ => WorkerState::Paused,
+    }
+}
+
+#[derive(Debug)]
+struct WState {
+    name: String,
+    speed: f64,
+    state: WorkerState,
+    loaded: bool,
+    /// Busy computing or class loading until this time.
+    busy_until: Option<u64>,
+    class_loading: bool,
+    pending: VecDeque<(Signal, u64)>,
+    first_take: Option<u64>,
+    last_result: u64,
+    tasks_done: u64,
+    signal_log: Vec<SignalLogEntry>,
+    usage: Vec<UsagePoint>,
+    trace: Option<LoadTrace>,
+    intrusion_us: u64,
+}
+
+impl WState {
+    fn background(&self, t: u64) -> u64 {
+        self.trace
+            .as_ref()
+            .map(|tr| tr.level_at(to_ms(t) as u64))
+            .unwrap_or(0)
+    }
+
+    fn framework_load(&self) -> u64 {
+        if self.class_loading {
+            80
+        } else if self.busy_until.is_some() {
+            98
+        } else if self.state == WorkerState::Running {
+            2
+        } else {
+            0
+        }
+    }
+
+    fn total_load(&self, t: u64) -> u64 {
+        (self.background(t) + self.framework_load()).min(100)
+    }
+
+    fn idle_running(&self) -> bool {
+        self.state == WorkerState::Running && self.busy_until.is_none() && self.loaded
+    }
+}
+
+struct Sim {
+    cfg: SimConfig,
+    clock: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    workers: Vec<WState>,
+    engine: InferenceEngine,
+    /// Tasks become ready in index order (the master plans sequentially)
+    /// and are claimed oldest-first, so two counters suffice.
+    tasks_ready: usize,
+    tasks_claimed: usize,
+    results: Vec<u64>,
+    horizon: u64,
+}
+
+impl Sim {
+    fn push(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.queue.push(Reverse((at, self.seq, ev)));
+    }
+
+    fn run(mut self) -> SimOutcome {
+        let profile = self.cfg.profile.clone();
+        // Master planning schedule.
+        for i in 0..profile.tasks {
+            let at = us(profile.plan_fixed_ms + profile.plan_per_task_ms * (i + 1) as f64);
+            self.push(at, Ev::TaskReady(i));
+        }
+        // First polls, staggered 1 ms apart like real pollers starting up.
+        for w in 0..self.workers.len() {
+            self.push(us(1.0) + w as u64 * 1000, Ev::Poll(w));
+        }
+        if self.cfg.usage_sample_ms > 0.0 {
+            self.push(0, Ev::UsageSample);
+        }
+
+        while let Some(Reverse((t, _, ev))) = self.queue.pop() {
+            if t > self.horizon {
+                break;
+            }
+            self.clock = t;
+            if self.results.len() == self.cfg.profile.tasks {
+                break;
+            }
+            match ev {
+                Ev::TaskReady(i) => {
+                    self.tasks_ready = self.tasks_ready.max(i + 1);
+                    self.dispatch_all(t);
+                }
+                Ev::Poll(w) => self.poll(w, t),
+                Ev::SignalArrive(w, code) => {
+                    let signal = Signal::from_code(code).expect("valid code");
+                    self.workers[w].pending.push_back((signal, t));
+                    if self.workers[w].busy_until.is_none() {
+                        self.process_signals(w, t);
+                        // A Resume leaves the worker idle and Running; put
+                        // it back to work immediately.
+                        if self.workers[w].idle_running() {
+                            self.try_take(w, t);
+                        }
+                    }
+                }
+                Ev::AckArrive(w, state_code) => {
+                    self.engine
+                        .on_ack(WorkerId(w as u64 + 1), state_from(state_code));
+                }
+                Ev::WorkerFree(w) => self.worker_free(w, t),
+                Ev::UsageSample => {
+                    let at_ms = to_ms(t) as u64;
+                    for w in 0..self.workers.len() {
+                        let load = self.workers[w].total_load(t);
+                        self.workers[w].usage.push(UsagePoint { at_ms, load });
+                    }
+                    let next = t + us(self.cfg.usage_sample_ms);
+                    self.push(next, Ev::UsageSample);
+                }
+            }
+        }
+
+        self.finish(profile)
+    }
+
+    /// SNMP poll: sample the worker's *external* load and consult the
+    /// inference engine, exactly as `acc_core::monitor` does.
+    fn poll(&mut self, w: usize, t: u64) {
+        let external = self.workers[w].background(t);
+        if let Some(signal) = self.engine.on_sample(WorkerId(w as u64 + 1), external) {
+            self.push(
+                t + us(self.cfg.cost.signal_latency_ms),
+                Ev::SignalArrive(w, signal.code()),
+            );
+        }
+        self.push(t + us(self.cfg.cost.poll_interval_ms), Ev::Poll(w));
+    }
+
+    /// Worker finished computing or class loading.
+    fn worker_free(&mut self, w: usize, t: u64) {
+        let was_class_load = self.workers[w].class_loading;
+        self.workers[w].busy_until = None;
+        if was_class_load {
+            self.workers[w].class_loading = false;
+            self.workers[w].loaded = true;
+        }
+        // Signals take effect between tasks (after the current one wrote
+        // its result).
+        self.process_signals(w, t);
+        if self.workers[w].idle_running() {
+            self.try_take(w, t);
+        }
+    }
+
+    fn process_signals(&mut self, w: usize, t: u64) {
+        while let Some((signal, client_t)) = self.workers[w].pending.pop_front() {
+            let current = self.workers[w].state;
+            let Some(next) = current.apply(signal) else {
+                // Invalid in this state: re-ack to resynchronise the engine.
+                self.push(
+                    t + us(self.cfg.cost.signal_latency_ms),
+                    Ev::AckArrive(w, state_code(current)),
+                );
+                continue;
+            };
+            let worker_t;
+            match signal {
+                Signal::Start => {
+                    // Remote class loading: the worker is busy for the
+                    // loading period and only then starts taking tasks.
+                    let done = t + us(self.cfg.cost.class_load_ms);
+                    self.workers[w].class_loading = true;
+                    self.workers[w].loaded = false;
+                    self.workers[w].busy_until = Some(done);
+                    self.workers[w].state = next;
+                    worker_t = done;
+                    self.push(done, Ev::WorkerFree(w));
+                }
+                Signal::Resume => {
+                    debug_assert!(self.workers[w].loaded, "Resume implies classes loaded");
+                    self.workers[w].state = next;
+                    worker_t = t;
+                }
+                Signal::Pause => {
+                    self.workers[w].state = next;
+                    worker_t = t;
+                }
+                Signal::Stop => {
+                    self.workers[w].state = next;
+                    self.workers[w].loaded = false;
+                    worker_t = t;
+                }
+            }
+            self.workers[w].signal_log.push(SignalLogEntry {
+                signal,
+                client_signal_ms: to_ms(client_t) as u64,
+                worker_signal_ms: to_ms(worker_t) as u64,
+                new_state: next,
+            });
+            self.push(
+                worker_t + us(self.cfg.cost.signal_latency_ms),
+                Ev::AckArrive(w, state_code(next)),
+            );
+            if signal == Signal::Start {
+                // Busy class loading; later signals queue until it ends.
+                break;
+            }
+        }
+    }
+
+    /// Hand ready tasks to every idle running worker.
+    fn dispatch_all(&mut self, t: u64) {
+        for w in 0..self.workers.len() {
+            if self.workers[w].idle_running() {
+                self.try_take(w, t);
+            }
+        }
+    }
+
+    /// Worker-driven load balancing: the worker takes the oldest ready,
+    /// unclaimed task.
+    fn try_take(&mut self, w: usize, t: u64) {
+        if self.tasks_claimed >= self.tasks_ready {
+            return;
+        }
+        self.tasks_claimed += 1;
+        let worker = &mut self.workers[w];
+        if worker.first_take.is_none() {
+            worker.first_take = Some(t);
+        }
+        // Service time: take RTT + compute scaled by speed and by what the
+        // background load leaves of the CPU + write RTT.
+        let background = worker.background(t);
+        let availability = (1.0 - background as f64 / 100.0).max(0.05);
+        let compute_ms = self.cfg.profile.task_work_ms / worker.speed / availability;
+        let done = t + us(2.0 * self.cfg.cost.space_rtt_ms + compute_ms);
+        if let Some(trace) = &worker.trace {
+            // Exact overlap of this task's compute window with external
+            // load above the idle band: the intrusiveness metric.
+            let overlap_ms = trace.time_at_or_above(
+                self.cfg.cost.thresholds.idle_max,
+                to_ms(t) as u64,
+                to_ms(done) as u64,
+            );
+            worker.intrusion_us += overlap_ms * 1000;
+        }
+        worker.busy_until = Some(done);
+        worker.tasks_done += 1;
+        worker.last_result = done;
+        self.results.push(done);
+        self.push(done, Ev::WorkerFree(w));
+    }
+
+    fn finish(self, profile: AppProfile) -> SimOutcome {
+        let mut times = PhaseTimes {
+            tasks: profile.tasks,
+            task_planning_ms: profile.planning_ms(),
+            max_master_overhead_ms: profile.plan_per_task_ms.max(profile.agg_per_task_ms),
+            ..PhaseTimes::default()
+        };
+        for w in &self.workers {
+            if let Some(first) = w.first_take {
+                let span = to_ms(w.last_result.saturating_sub(first));
+                times.max_worker_ms = times.max_worker_ms.max(span);
+                times.per_worker_ms.insert(w.name.clone(), span);
+            }
+        }
+        // Master aggregation timeline: results are assimilated in arrival
+        // order, no earlier than the end of planning.
+        let mut arrivals = self.results.clone();
+        arrivals.sort_unstable();
+        let agg_start = us(times.task_planning_ms);
+        let mut master_free = agg_start;
+        for arrival in &arrivals {
+            let start = master_free.max(*arrival);
+            master_free = start + us(profile.agg_per_task_ms);
+        }
+        let complete = arrivals.len() == profile.tasks;
+        times.task_aggregation_ms = to_ms(master_free.saturating_sub(agg_start));
+        times.parallel_ms = to_ms(master_free);
+        let end_ms = to_ms(self.clock.max(master_free));
+        SimOutcome {
+            times,
+            complete,
+            end_ms,
+            workers: self
+                .workers
+                .into_iter()
+                .map(|w| SimWorkerReport {
+                    name: w.name,
+                    tasks_done: w.tasks_done,
+                    final_state: w.state,
+                    signal_log: w.signal_log,
+                    usage: w.usage,
+                    intrusion_ms: to_ms(w.intrusion_us),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Runs one simulation.
+pub fn simulate(cfg: SimConfig) -> SimOutcome {
+    assert_eq!(
+        cfg.workers.len(),
+        cfg.traces.len(),
+        "one trace slot per worker"
+    );
+    let reference = cfg.cost.reference_mhz;
+    let workers: Vec<WState> = cfg
+        .workers
+        .iter()
+        .zip(&cfg.traces)
+        .map(|(spec, trace)| WState {
+            name: spec.name.clone(),
+            speed: spec.speed_factor(reference),
+            state: WorkerState::Stopped,
+            loaded: false,
+            busy_until: None,
+            class_loading: false,
+            pending: VecDeque::new(),
+            first_take: None,
+            last_result: 0,
+            tasks_done: 0,
+            signal_log: Vec::new(),
+            usage: Vec::new(),
+            trace: trace.clone(),
+            intrusion_us: 0,
+        })
+        .collect();
+    let mut engine = InferenceEngine::new(cfg.cost.thresholds, cfg.cost.hysteresis);
+    for w in 0..workers.len() {
+        engine.register(WorkerId(w as u64 + 1));
+    }
+    let horizon = us(cfg.horizon_ms);
+    let tasks = cfg.profile.tasks;
+    let sim = Sim {
+        cfg,
+        clock: 0,
+        seq: 0,
+        queue: BinaryHeap::new(),
+        workers,
+        engine,
+        tasks_ready: 0,
+        tasks_claimed: 0,
+        results: Vec::with_capacity(tasks),
+        horizon,
+    };
+    sim.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_profile(tasks: usize) -> AppProfile {
+        AppProfile {
+            name: "test".into(),
+            tasks,
+            task_work_ms: 100.0,
+            plan_fixed_ms: 10.0,
+            plan_per_task_ms: 2.0,
+            agg_per_task_ms: 3.0,
+            testbed: acc_cluster::ray_tracing_testbed(),
+        }
+    }
+
+    #[test]
+    fn idle_cluster_completes_all_tasks() {
+        let out = simulate(SimConfig::new(quick_profile(20), 3));
+        assert!(out.complete);
+        let done: u64 = out.workers.iter().map(|w| w.tasks_done).sum();
+        assert_eq!(done, 20);
+        assert!(out.times.parallel_ms > 0.0);
+        assert!(out.times.max_worker_ms > 0.0);
+        // Every worker was started exactly once.
+        for w in &out.workers {
+            assert_eq!(
+                w.signal_log
+                    .iter()
+                    .filter(|e| e.signal == Signal::Start)
+                    .count(),
+                1,
+                "{}",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let a = simulate(SimConfig::new(quick_profile(30), 4));
+        let b = simulate(SimConfig::new(quick_profile(30), 4));
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.end_ms, b.end_ms);
+    }
+
+    #[test]
+    fn more_workers_do_not_slow_things_down() {
+        let t1 = simulate(SimConfig::new(quick_profile(40), 1)).times.parallel_ms;
+        let t2 = simulate(SimConfig::new(quick_profile(40), 2)).times.parallel_ms;
+        let t4 = simulate(SimConfig::new(quick_profile(40), 4)).times.parallel_ms;
+        assert!(t2 < t1, "t1 {t1} t2 {t2}");
+        assert!(t4 <= t2 + 1.0, "t2 {t2} t4 {t4}");
+    }
+
+    #[test]
+    fn loaded_worker_is_stopped_and_does_no_work() {
+        let mut cfg = SimConfig::new(quick_profile(20), 2);
+        cfg.traces[0] = Some(LoadTrace::simulator2(600_000));
+        let out = simulate(cfg);
+        assert!(out.complete);
+        assert_eq!(out.workers[0].tasks_done, 0, "hogged worker did nothing");
+        assert_eq!(out.workers[1].tasks_done, 20);
+        assert_eq!(out.workers[0].final_state, WorkerState::Stopped);
+    }
+
+    #[test]
+    fn moderately_loaded_worker_is_paused_not_started() {
+        let mut cfg = SimConfig::new(quick_profile(10), 2);
+        // Simulator 1 keeps the node in the pause band from the start, so
+        // the worker is never started at all.
+        cfg.traces[0] = Some(LoadTrace::simulator1(600_000));
+        let out = simulate(cfg);
+        assert!(out.complete);
+        assert_eq!(out.workers[0].tasks_done, 0);
+        assert!(out.workers[0].signal_log.is_empty(), "never started");
+    }
+
+    #[test]
+    fn horizon_caps_incomplete_runs() {
+        let mut cfg = SimConfig::new(quick_profile(50), 1);
+        // The only worker is hogged forever: nothing completes.
+        cfg.traces[0] = Some(LoadTrace::simulator2(10_000_000));
+        cfg.horizon_ms = 2_000.0;
+        let out = simulate(cfg);
+        assert!(!out.complete);
+        assert_eq!(out.workers[0].tasks_done, 0);
+    }
+
+    #[test]
+    fn start_pays_class_load_resume_does_not() {
+        // Load rises into the pause band mid-run, then clears.
+        let mut cfg = SimConfig::new(quick_profile(200), 1);
+        cfg.traces[0] = Some(LoadTrace::new(
+            vec![
+                acc_cluster::LoadPhase {
+                    at_ms: 3_000,
+                    level: 40,
+                    kind: acc_cluster::TrafficKind::Http,
+                },
+                acc_cluster::LoadPhase {
+                    at_ms: 5_000,
+                    level: 0,
+                    kind: acc_cluster::TrafficKind::Idle,
+                },
+            ],
+            8_000,
+        ));
+        cfg.horizon_ms = 60_000.0;
+        let out = simulate(cfg);
+        let log = &out.workers[0].signal_log;
+        let start = log.iter().find(|e| e.signal == Signal::Start).unwrap();
+        let pause = log.iter().find(|e| e.signal == Signal::Pause).unwrap();
+        let resume = log.iter().find(|e| e.signal == Signal::Resume).unwrap();
+        assert!(
+            start.reaction_ms() >= 300,
+            "Start pays ≈350 ms class load, got {}",
+            start.reaction_ms()
+        );
+        assert!(resume.reaction_ms() < 150, "Resume skips class load");
+        assert!(pause.reaction_ms() < 150, "Pause acts between tasks");
+    }
+
+    #[test]
+    fn intrusion_counts_only_loaded_overlap() {
+        // Worker computes from t=0; load rises into the pause band at 1 s
+        // with a slow poll, so some compute overlaps the loaded window.
+        let mut cfg = SimConfig::new(quick_profile(100), 1);
+        cfg.cost.poll_interval_ms = 5_000.0;
+        cfg.traces[0] = Some(LoadTrace::new(
+            vec![acc_cluster::LoadPhase {
+                at_ms: 1_000,
+                level: 40,
+                kind: acc_cluster::TrafficKind::Http,
+            }],
+            4_000,
+        ));
+        cfg.horizon_ms = 60_000.0;
+        let out = simulate(cfg);
+        let w = &out.workers[0];
+        assert!(
+            w.intrusion_ms > 500.0,
+            "compute overlapped the loaded window: {}",
+            w.intrusion_ms
+        );
+        assert!(
+            w.intrusion_ms <= 3_100.0,
+            "intrusion bounded by the loaded window: {}",
+            w.intrusion_ms
+        );
+
+        // With no trace there is never any intrusion.
+        let clean = simulate(SimConfig::new(quick_profile(20), 1));
+        assert_eq!(clean.workers[0].intrusion_ms, 0.0);
+    }
+
+    #[test]
+    fn usage_sampling_records_compute_spikes() {
+        let mut cfg = SimConfig::new(quick_profile(30), 1);
+        cfg.usage_sample_ms = 20.0;
+        let out = simulate(cfg);
+        let usage = &out.workers[0].usage;
+        assert!(!usage.is_empty());
+        assert!(
+            usage.iter().any(|p| p.load >= 98),
+            "compute shows as ~98% CPU"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Experiment 3 — dynamic worker behaviour under varying load (paper
+//! §5.2.3).
+//!
+//! Three runs per application: none, 25% and 50% of the available workers
+//! loaded by load simulator 2 for the whole run. The four reported
+//! parameters: Maximum Worker Time, Maximum Master Overhead, Task Planning
+//! and Aggregation Time, and Total Parallel Time. Max worker time and max
+//! master overhead stay (near) constant across the runs — the framework
+//! simply routes around stopped workers — while total parallel time
+//! degrades gracefully as capacity shrinks.
+
+use acc_cluster::LoadTrace;
+
+use crate::cluster::{simulate, SimConfig};
+use crate::model::AppProfile;
+
+/// One row of the dynamic-behaviour experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsRow {
+    /// Fraction of workers loaded by simulator 2 (0.0 / 0.25 / 0.5).
+    pub loaded_fraction: f64,
+    /// How many workers that is.
+    pub loaded_workers: usize,
+    /// Maximum worker computation time, ms.
+    pub max_worker_ms: f64,
+    /// Maximum instantaneous master overhead, ms.
+    pub max_master_overhead_ms: f64,
+    /// Task planning + aggregation time, ms.
+    pub planning_and_aggregation_ms: f64,
+    /// Total parallel time, ms.
+    pub total_parallel_ms: f64,
+    /// Tasks completed by loaded workers (should be 0: non-intrusiveness).
+    pub tasks_on_loaded_workers: u64,
+}
+
+/// Runs the three load levels for one application on its full testbed.
+pub fn run_dynamics(profile: &AppProfile) -> Vec<DynamicsRow> {
+    [0.0, 0.25, 0.5]
+        .into_iter()
+        .map(|fraction| run_one(profile, fraction))
+        .collect()
+}
+
+fn run_one(profile: &AppProfile, fraction: f64) -> DynamicsRow {
+    let n = profile.testbed.worker_count();
+    let loaded = (n as f64 * fraction).floor() as usize;
+    let mut cfg = SimConfig::new(profile.clone(), n);
+    for trace in cfg.traces.iter_mut().take(loaded) {
+        *trace = Some(LoadTrace::simulator2(3_600_000));
+    }
+    cfg.horizon_ms = 3_600_000.0;
+    let out = simulate(cfg);
+    assert!(out.complete, "the unloaded workers must finish the job");
+    let tasks_on_loaded_workers = out
+        .workers
+        .iter()
+        .take(loaded)
+        .map(|w| w.tasks_done)
+        .sum();
+    DynamicsRow {
+        loaded_fraction: fraction,
+        loaded_workers: loaded,
+        max_worker_ms: out.times.max_worker_ms,
+        max_master_overhead_ms: out.times.max_master_overhead_ms,
+        planning_and_aggregation_ms: out.times.planning_and_aggregation_ms(),
+        total_parallel_ms: out.times.parallel_ms,
+        tasks_on_loaded_workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loaded_workers_never_compute() {
+        for profile in AppProfile::all() {
+            for row in run_dynamics(&profile) {
+                assert_eq!(
+                    row.tasks_on_loaded_workers, 0,
+                    "{}: non-intrusiveness violated",
+                    profile.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn master_overhead_constant_across_load_levels() {
+        for profile in AppProfile::all() {
+            let rows = run_dynamics(&profile);
+            let base = rows[0].max_master_overhead_ms;
+            for row in &rows {
+                assert!((row.max_master_overhead_ms - base).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn raytracing_parallel_time_degrades_gracefully() {
+        let rows = run_dynamics(&AppProfile::ray_tracing());
+        // Fewer workers ⇒ no faster; 50% loaded is slower than unloaded.
+        assert!(rows[1].total_parallel_ms >= rows[0].total_parallel_ms - 1.0);
+        assert!(rows[2].total_parallel_ms > rows[0].total_parallel_ms);
+        // But degradation is bounded: halving workers costs at most ~2.5×.
+        assert!(rows[2].total_parallel_ms < 2.5 * rows[0].total_parallel_ms);
+    }
+
+    #[test]
+    fn pricing_parallel_time_insensitive_while_planning_bound() {
+        // Option pricing with 13 workers is planning-bound, so losing 25%
+        // of the workers barely moves total parallel time.
+        let rows = run_dynamics(&AppProfile::option_pricing());
+        let ratio = rows[1].total_parallel_ms / rows[0].total_parallel_ms;
+        assert!(ratio < 1.35, "ratio {ratio}");
+    }
+}

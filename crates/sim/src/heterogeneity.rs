@@ -1,0 +1,132 @@
+//! Extension experiment — heterogeneity.
+//!
+//! The paper argues the bag-of-tasks model is "naturally load-balanced"
+//! because distribution is worker-driven (§3.1): fast nodes simply take
+//! more tasks. This experiment quantifies that on a mixed 300/800 MHz
+//! cluster by comparing the framework's worker-driven dynamics against a
+//! static partitioning that hands every worker `tasks / n` tasks up front
+//! (what an MPI-style decomposition would do).
+
+use acc_cluster::{NodeSpec, Testbed};
+
+use crate::cluster::{simulate, SimConfig};
+use crate::model::AppProfile;
+
+/// One row of the heterogeneity experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeterogeneityRow {
+    /// Cluster label.
+    pub cluster: String,
+    /// Framework (worker-driven bag of tasks) parallel time, ms.
+    pub bag_of_tasks_ms: f64,
+    /// Static equal partitioning parallel time, ms (analytic).
+    pub static_partition_ms: f64,
+    /// Tasks taken by the fastest and slowest node under the framework.
+    pub fast_node_tasks: u64,
+    /// Tasks taken by the slowest node.
+    pub slow_node_tasks: u64,
+}
+
+/// A mixed cluster: half 800 MHz, half 300 MHz machines.
+pub fn mixed_testbed(n: usize) -> Testbed {
+    Testbed {
+        name: format!("mixed-{n}"),
+        master: NodeSpec::new("master", 800, 256),
+        workers: (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    NodeSpec::new(format!("fast{i:02}"), 800, 256)
+                } else {
+                    NodeSpec::new(format!("slow{i:02}"), 300, 64)
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Runs the comparison for one application profile on a mixed cluster of
+/// `n` workers.
+pub fn run_heterogeneity(profile: &AppProfile, n: usize) -> HeterogeneityRow {
+    let testbed = mixed_testbed(n);
+    let mut hetero_profile = profile.clone();
+    hetero_profile.testbed = testbed.clone();
+    let out = simulate(SimConfig::new(hetero_profile.clone(), n));
+    assert!(out.complete, "mixed-cluster run must complete");
+
+    // Static partitioning baseline (analytic): each node computes an
+    // equal share at its own speed; the job ends when the slowest is done.
+    let share = (profile.tasks as f64 / n as f64).ceil();
+    let reference = 800.0;
+    let static_ms = testbed
+        .workers
+        .iter()
+        .map(|w| share * profile.task_work_ms / (w.speed_mhz as f64 / reference))
+        .fold(0.0f64, f64::max)
+        + hetero_profile.planning_ms();
+
+    let fast_node_tasks = out
+        .workers
+        .iter()
+        .filter(|w| w.name.starts_with("fast"))
+        .map(|w| w.tasks_done)
+        .max()
+        .unwrap_or(0);
+    let slow_node_tasks = out
+        .workers
+        .iter()
+        .filter(|w| w.name.starts_with("slow"))
+        .map(|w| w.tasks_done)
+        .min()
+        .unwrap_or(0);
+    HeterogeneityRow {
+        cluster: testbed.name,
+        bag_of_tasks_ms: out.times.parallel_ms,
+        static_partition_ms: static_ms,
+        fast_node_tasks,
+        slow_node_tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_testbed_alternates_speeds() {
+        let tb = mixed_testbed(4);
+        assert_eq!(tb.workers[0].speed_mhz, 800);
+        assert_eq!(tb.workers[1].speed_mhz, 300);
+        assert_eq!(tb.worker_count(), 4);
+    }
+
+    #[test]
+    fn worker_driven_beats_static_partitioning() {
+        let row = run_heterogeneity(&AppProfile::ray_tracing(), 4);
+        assert!(
+            row.bag_of_tasks_ms < row.static_partition_ms * 0.85,
+            "bag {} vs static {}",
+            row.bag_of_tasks_ms,
+            row.static_partition_ms
+        );
+    }
+
+    #[test]
+    fn fast_nodes_take_more_tasks() {
+        let row = run_heterogeneity(&AppProfile::ray_tracing(), 4);
+        assert!(
+            row.fast_node_tasks > row.slow_node_tasks,
+            "fast {} vs slow {}",
+            row.fast_node_tasks,
+            row.slow_node_tasks
+        );
+        // Roughly in proportion to speed (800/300 ≈ 2.7), allow slack.
+        assert!(row.fast_node_tasks as f64 >= 1.5 * row.slow_node_tasks.max(1) as f64);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_heterogeneity(&AppProfile::prefetch(), 4);
+        let b = run_heterogeneity(&AppProfile::prefetch(), 4);
+        assert_eq!(a, b);
+    }
+}

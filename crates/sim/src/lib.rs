@@ -1,0 +1,54 @@
+//! # acc-sim
+//!
+//! A deterministic discrete-event simulator of the adaptive master–worker
+//! runtime, used to regenerate the paper's evaluation on one machine.
+//!
+//! **Why a simulator?** The paper's experiments ran on physical testbeds —
+//! thirteen 300 MHz PCs for option pricing, five 800 MHz PCs for ray
+//! tracing and pre-fetching. Threads on a modern laptop cannot faithfully
+//! reproduce a 13-machine cluster's queueing behaviour, so the figures are
+//! regenerated in virtual time. The simulator is *not* a separate model of
+//! the policies: it calls [`acc_core::InferenceEngine`] and
+//! [`acc_core::WorkerState::apply`] directly, so the adaptation semantics
+//! are exactly those of the real runtime; only time is virtual.
+//!
+//! Modules:
+//! * [`model`] — the cost model (per-task work, master planning and
+//!   aggregation costs, class-loading cost, SNMP poll interval) with
+//!   per-application profiles calibrated to the paper's configurations;
+//! * [`cluster`] — the event loop: task planning, worker service,
+//!   SNMP polling, inference, signal delivery, state transitions;
+//! * [`scalability`] — Figures 6–8 (parallel time decomposition versus
+//!   number of workers);
+//! * [`signals`] — Figures 9–11 (worker CPU usage under the scripted load
+//!   sequence, and signal reaction times);
+//! * [`dynamics`] — §5.2.3 (application behaviour with 0% / 25% / 50% of
+//!   the workers loaded).
+//!
+//! ```
+//! use acc_sim::{run_scalability, AppProfile};
+//!
+//! // Figure 7's first and last points: ray tracing on 1 and 5 workers.
+//! let rows = run_scalability(&AppProfile::ray_tracing(), None);
+//! assert_eq!(rows.len(), 5);
+//! let speedup = rows[0].parallel_ms / rows[4].parallel_ms;
+//! assert!(speedup > 3.5, "near-linear scaling, got {speedup}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cluster;
+pub mod dynamics;
+pub mod heterogeneity;
+pub mod model;
+pub mod scalability;
+pub mod signals;
+
+pub use baseline::{run_baseline_comparison, simulate_job_level, BaselineRow, JobLevelCosts};
+pub use cluster::{SimConfig, SimOutcome, SimWorkerReport};
+pub use dynamics::{run_dynamics, DynamicsRow};
+pub use heterogeneity::{mixed_testbed, run_heterogeneity, HeterogeneityRow};
+pub use model::{AppProfile, CostModel};
+pub use scalability::{run_scalability, ScalabilityRow};
+pub use signals::{run_adaptation, AdaptationReport};

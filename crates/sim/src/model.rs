@@ -1,0 +1,171 @@
+//! The simulator's cost model and per-application profiles.
+//!
+//! Costs are expressed at a *reference* machine speed (the 800 MHz master)
+//! and scaled by each node's speed factor. The per-application numbers are
+//! calibrated to the paper's observed behaviour:
+//!
+//! * **option pricing** (Fig. 6) — master task creation is expensive
+//!   relative to task compute on the slow 300 MHz workers, so speedup
+//!   holds to ~4 workers and then task planning dominates;
+//! * **ray tracing** (Fig. 7) — compute-heavy tasks, flat ≈500 ms task
+//!   planning, near-linear scaling;
+//! * **pre-fetching** (Fig. 8) — cheap planning, modest compute, heavy
+//!   result assimilation: task aggregation dominates, scaling stops ≈4.
+
+use acc_cluster::Testbed;
+
+/// Framework-level costs, independent of the application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Reference clock the per-task costs are expressed at (MHz).
+    pub reference_mhz: u32,
+    /// One space round trip (take or write) as seen by a worker, ms.
+    pub space_rtt_ms: f64,
+    /// Remote class loading on Start, ms (Resume skips this).
+    pub class_load_ms: f64,
+    /// Management → worker signal delivery latency, ms.
+    pub signal_latency_ms: f64,
+    /// SNMP poll interval, ms.
+    pub poll_interval_ms: f64,
+    /// Threshold hysteresis (consecutive samples before acting).
+    pub hysteresis: usize,
+    /// Inference-engine load bands (paper: 25 / 50).
+    pub thresholds: acc_core::Thresholds,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            reference_mhz: 800,
+            space_rtt_ms: 4.0,
+            class_load_ms: 350.0,
+            signal_latency_ms: 3.0,
+            poll_interval_ms: 250.0,
+            hysteresis: 1,
+            thresholds: acc_core::Thresholds::paper(),
+        }
+    }
+}
+
+/// An application's shape, as the simulator needs it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    /// Label used in reports.
+    pub name: String,
+    /// Number of tasks the master plans.
+    pub tasks: usize,
+    /// Compute work of one task on the reference machine at 100%
+    /// availability, ms.
+    pub task_work_ms: f64,
+    /// Fixed master cost before the first task entry is written, ms.
+    pub plan_fixed_ms: f64,
+    /// Master cost to create + serialize + write one task entry, ms.
+    pub plan_per_task_ms: f64,
+    /// Master cost to take + assimilate one result entry, ms.
+    pub agg_per_task_ms: f64,
+    /// The testbed this application was evaluated on.
+    pub testbed: Testbed,
+}
+
+impl AppProfile {
+    /// Option pricing: 100 subtasks of 100 MC simulations on the 13×300 MHz
+    /// cluster (paper §5.1.1, Fig. 6).
+    pub fn option_pricing() -> AppProfile {
+        AppProfile {
+            name: "option-pricing".into(),
+            tasks: 100,
+            task_work_ms: 140.0,
+            plan_fixed_ms: 60.0,
+            plan_per_task_ms: 95.0,
+            agg_per_task_ms: 12.0,
+            testbed: acc_cluster::option_pricing_testbed(),
+        }
+    }
+
+    /// Ray tracing: 24 strips of 25×600 pixels on the 5×800 MHz cluster
+    /// (paper §5.1.2, Fig. 7). Task planning is flat at ≈500 ms.
+    pub fn ray_tracing() -> AppProfile {
+        AppProfile {
+            name: "ray-tracing".into(),
+            tasks: 24,
+            task_work_ms: 2600.0,
+            plan_fixed_ms: 380.0,
+            plan_per_task_ms: 5.0,
+            agg_per_task_ms: 35.0,
+            testbed: acc_cluster::ray_tracing_testbed(),
+        }
+    }
+
+    /// Pre-fetching: 25 strip tasks on the 5×800 MHz cluster (paper
+    /// §5.1.3, Fig. 8). Aggregation (assembling the resultant matrix)
+    /// dominates.
+    pub fn prefetch() -> AppProfile {
+        AppProfile {
+            name: "page-prefetch".into(),
+            tasks: 25,
+            task_work_ms: 220.0,
+            plan_fixed_ms: 30.0,
+            plan_per_task_ms: 3.0,
+            agg_per_task_ms: 56.0,
+            testbed: acc_cluster::ray_tracing_testbed(),
+        }
+    }
+
+    /// All three paper applications.
+    pub fn all() -> Vec<AppProfile> {
+        vec![
+            AppProfile::option_pricing(),
+            AppProfile::ray_tracing(),
+            AppProfile::prefetch(),
+        ]
+    }
+
+    /// Total master planning time, ms.
+    pub fn planning_ms(&self) -> f64 {
+        self.plan_fixed_ms + self.plan_per_task_ms * self.tasks as f64
+    }
+
+    /// Serial compute time on one reference-speed worker, ms.
+    pub fn serial_compute_ms(&self) -> f64 {
+        self.task_work_ms * self.tasks as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_task_counts() {
+        assert_eq!(AppProfile::option_pricing().tasks, 100);
+        assert_eq!(AppProfile::ray_tracing().tasks, 24);
+        assert_eq!(AppProfile::prefetch().tasks, 25);
+    }
+
+    #[test]
+    fn profiles_reproduce_dominance_relations() {
+        // Pricing: planning must be large relative to per-worker compute on
+        // the slow testbed once ≥4 workers share the work.
+        let pricing = AppProfile::option_pricing();
+        let worker_speed = 300.0 / 800.0;
+        let compute_4_workers = pricing.serial_compute_ms() / worker_speed / 4.0;
+        assert!(pricing.planning_ms() > 0.5 * compute_4_workers);
+
+        // Ray tracing: planning is negligible next to compute.
+        let rt = AppProfile::ray_tracing();
+        assert!(rt.planning_ms() < 0.02 * rt.serial_compute_ms());
+        assert!((rt.planning_ms() - 500.0).abs() < 100.0, "≈500 ms flat");
+
+        // Prefetch: aggregation exceeds the 4-worker compute share.
+        let pf = AppProfile::prefetch();
+        let agg = pf.agg_per_task_ms * pf.tasks as f64;
+        assert!(agg > pf.serial_compute_ms() / 4.0);
+    }
+
+    #[test]
+    fn testbeds_are_the_papers() {
+        assert_eq!(AppProfile::option_pricing().testbed.worker_count(), 13);
+        assert_eq!(AppProfile::ray_tracing().testbed.worker_count(), 5);
+        assert_eq!(AppProfile::prefetch().testbed.worker_count(), 5);
+    }
+}

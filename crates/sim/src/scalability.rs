@@ -1,0 +1,106 @@
+//! Experiment 1 — scalability analysis (paper §5.2.1, Figures 6–8).
+//!
+//! For each worker count, one simulated run reports the paper's four
+//! series: Max Worker Time, Parallel Time, Task Planning Time and Task
+//! Aggregation Time.
+
+use crate::cluster::{simulate, SimConfig};
+use crate::model::AppProfile;
+
+/// One point of a scalability figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityRow {
+    /// Number of workers.
+    pub workers: usize,
+    /// Max Worker Time, ms.
+    pub max_worker_ms: f64,
+    /// Parallel Time, ms.
+    pub parallel_ms: f64,
+    /// Task Planning Time, ms.
+    pub task_planning_ms: f64,
+    /// Task Aggregation Time, ms.
+    pub task_aggregation_ms: f64,
+}
+
+/// Sweeps worker counts `1..=max_workers` (the full testbed when `None`).
+pub fn run_scalability(profile: &AppProfile, max_workers: Option<usize>) -> Vec<ScalabilityRow> {
+    let cap = max_workers.unwrap_or(profile.testbed.worker_count());
+    (1..=cap)
+        .map(|n| {
+            let out = simulate(SimConfig::new(profile.clone(), n));
+            assert!(out.complete, "scalability runs must complete");
+            ScalabilityRow {
+                workers: n,
+                max_worker_ms: out.times.max_worker_ms,
+                parallel_ms: out.times.parallel_ms,
+                task_planning_ms: out.times.task_planning_ms,
+                task_aggregation_ms: out.times.task_aggregation_ms,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_pricing_shape() {
+        let rows = run_scalability(&AppProfile::option_pricing(), None);
+        assert_eq!(rows.len(), 13);
+        // Initial speedup: parallel time falls sharply to 4 workers.
+        assert!(rows[3].parallel_ms < rows[0].parallel_ms / 2.5);
+        // Beyond ~4 workers planning dominates and the curve flattens:
+        // going 6 → 13 workers buys almost nothing.
+        let gain_late = rows[5].parallel_ms / rows[12].parallel_ms;
+        assert!(gain_late < 1.3, "late gain {gain_late}");
+        // Task planning is constant and dominates parallel time late.
+        assert!(rows[12].task_planning_ms > 0.6 * rows[12].parallel_ms);
+        // Max worker time decreases with workers until the master-bound
+        // regime, where workers idle-wait for the planner and spans
+        // flatten near the planning time.
+        assert!(rows[12].max_worker_ms < rows[0].max_worker_ms / 3.0);
+        assert!(rows[3].max_worker_ms < rows[0].max_worker_ms / 2.5);
+    }
+
+    #[test]
+    fn fig7_raytracing_shape() {
+        let rows = run_scalability(&AppProfile::ray_tracing(), None);
+        assert_eq!(rows.len(), 5);
+        // Near-linear scaling: 5 workers ≥ 3.5× speedup.
+        let speedup = rows[0].parallel_ms / rows[4].parallel_ms;
+        assert!(speedup > 3.5, "speedup {speedup}");
+        // Parallel time is dominated by max worker time at every point.
+        for row in &rows {
+            assert!(row.max_worker_ms > 0.75 * row.parallel_ms, "{row:?}");
+        }
+        // Task planning flat ≈500 ms across the sweep.
+        for row in &rows {
+            assert!((row.task_planning_ms - 500.0).abs() < 100.0);
+        }
+        // Aggregation follows max worker time (master waits for the last
+        // task).
+        for row in &rows {
+            assert!(row.task_aggregation_ms > 0.7 * row.max_worker_ms);
+        }
+    }
+
+    #[test]
+    fn fig8_prefetch_shape() {
+        let rows = run_scalability(&AppProfile::prefetch(), None);
+        assert_eq!(rows.len(), 5);
+        // Scales up to ~4 workers, then flattens.
+        assert!(rows[3].parallel_ms <= rows[0].parallel_ms);
+        let late_gain = rows[3].parallel_ms / rows[4].parallel_ms;
+        assert!(late_gain < 1.1, "late gain {late_gain}");
+        // Aggregation dominates parallel time.
+        for row in &rows[2..] {
+            assert!(
+                row.task_aggregation_ms > 0.5 * row.parallel_ms,
+                "aggregation must dominate: {row:?}"
+            );
+        }
+        // Planning is small.
+        assert!(rows[0].task_planning_ms < 200.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Experiment 2 — adaptation protocol analysis (paper §5.2.2, Figs 9–11).
+//!
+//! One worker computes a long stream of tasks while the scripted load
+//! sequence of the paper plays against it:
+//!
+//! 1. the worker starts idle → **Start** (with the class-loading CPU peak);
+//! 2. load simulator 2 pegs the CPU at 100% → **Stop**;
+//! 3. simulator 2 stops → **Start** again ("Restart", paying class loading
+//!    again);
+//! 4. load simulator 1 raises the CPU to 30–50% → **Pause**;
+//! 5. simulator 1 stops → **Resume** (no class loading).
+//!
+//! The report carries the worker's CPU usage history (part a of each
+//! figure) and the client/worker signal times (part b).
+
+use acc_cluster::{LoadPhase, LoadTrace, TrafficKind, UsagePoint};
+use acc_core::{Signal, SignalLogEntry};
+
+use crate::cluster::{simulate, SimConfig};
+use crate::model::AppProfile;
+
+/// Output of one adaptation-protocol run.
+#[derive(Debug, Clone)]
+pub struct AdaptationReport {
+    /// Application label.
+    pub app: String,
+    /// Worker CPU usage over the experiment (Figs 9a/10a/11a).
+    pub usage: Vec<UsagePoint>,
+    /// Signals with client/worker times (Figs 9b/10b/11b).
+    pub signals: Vec<SignalLogEntry>,
+    /// Tasks the worker completed despite the interference.
+    pub tasks_done: u64,
+}
+
+/// Duration of each phase of the scripted sequence, ms.
+const PHASE_MS: u64 = 8_000;
+
+/// The scripted load sequence: idle / sim2 / idle / sim1 / idle.
+pub fn scripted_trace() -> LoadTrace {
+    let mut phases = vec![LoadPhase {
+        at_ms: 0,
+        level: 0,
+        kind: TrafficKind::Idle,
+    }];
+    // Load simulator 2: 100% CPU.
+    phases.push(LoadPhase {
+        at_ms: PHASE_MS,
+        level: 100,
+        kind: TrafficKind::CpuHog,
+    });
+    phases.push(LoadPhase {
+        at_ms: 2 * PHASE_MS,
+        level: 0,
+        kind: TrafficKind::Idle,
+    });
+    // Load simulator 1: 30–50% band (interleaved traffic kinds).
+    for (i, (level, kind)) in [
+        (34, TrafficKind::RtpVoice),
+        (46, TrafficKind::Http),
+        (40, TrafficKind::MultimediaHttp),
+        (38, TrafficKind::Http),
+    ]
+    .iter()
+    .enumerate()
+    {
+        phases.push(LoadPhase {
+            at_ms: 3 * PHASE_MS + i as u64 * (PHASE_MS / 4),
+            level: *level,
+            kind: *kind,
+        });
+    }
+    phases.push(LoadPhase {
+        at_ms: 4 * PHASE_MS,
+        level: 0,
+        kind: TrafficKind::Idle,
+    });
+    LoadTrace::new(phases, 5 * PHASE_MS)
+}
+
+/// Runs the adaptation-protocol experiment for one application profile.
+pub fn run_adaptation(profile: &AppProfile) -> AdaptationReport {
+    let mut profile = profile.clone();
+    // A long stream of tasks so the worker always has work available.
+    profile.tasks = 100_000;
+    profile.plan_per_task_ms = 0.01;
+    profile.plan_fixed_ms = 0.0;
+    let mut cfg = SimConfig::new(profile.clone(), 1);
+    cfg.traces[0] = Some(scripted_trace());
+    cfg.usage_sample_ms = 100.0;
+    cfg.horizon_ms = (5 * PHASE_MS) as f64;
+    let out = simulate(cfg);
+    let worker = &out.workers[0];
+    AdaptationReport {
+        app: profile.name,
+        usage: worker.usage.clone(),
+        signals: worker.signal_log.clone(),
+        tasks_done: worker.tasks_done,
+    }
+}
+
+impl AdaptationReport {
+    /// The ordered signal kinds observed.
+    pub fn signal_sequence(&self) -> Vec<Signal> {
+        self.signals.iter().map(|e| e.signal).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_trace_matches_paper_sequence() {
+        let trace = scripted_trace();
+        assert_eq!(trace.level_at(100), 0);
+        assert_eq!(trace.level_at(PHASE_MS + 100), 100);
+        assert_eq!(trace.level_at(2 * PHASE_MS + 100), 0);
+        let sim1 = trace.level_at(3 * PHASE_MS + 100);
+        assert!((30..=50).contains(&sim1));
+        assert_eq!(trace.level_at(4 * PHASE_MS + 100), 0);
+    }
+
+    #[test]
+    fn signal_sequence_is_start_stop_start_pause_resume() {
+        for profile in AppProfile::all() {
+            let report = run_adaptation(&profile);
+            assert_eq!(
+                report.signal_sequence(),
+                vec![
+                    Signal::Start,
+                    Signal::Stop,
+                    Signal::Start,
+                    Signal::Pause,
+                    Signal::Resume
+                ],
+                "{}",
+                report.app
+            );
+        }
+    }
+
+    #[test]
+    fn reaction_times_are_minimal_and_starts_pay_class_load() {
+        let profile = AppProfile::ray_tracing();
+        let report = run_adaptation(&profile);
+        // A signal takes effect only after the in-flight task completes
+        // (paper §4.3), so the worst-case reaction is one task time.
+        let task_bound = profile.task_work_ms + 200.0;
+        for entry in &report.signals {
+            match entry.signal {
+                Signal::Start => {
+                    assert!(entry.reaction_ms() >= 300, "class load: {entry:?}");
+                    assert!(entry.reaction_ms() < 1_000, "still small: {entry:?}");
+                }
+                _ => assert!(
+                    (entry.reaction_ms() as f64) < task_bound,
+                    "reaction bounded by the current task: {entry:?}"
+                ),
+            }
+        }
+        // A Resume to an idle worker is effectively instantaneous.
+        let resume = report
+            .signals
+            .iter()
+            .find(|e| e.signal == Signal::Resume)
+            .unwrap();
+        assert!(resume.reaction_ms() < 100, "{resume:?}");
+    }
+
+    #[test]
+    fn usage_history_shows_the_load_script() {
+        let report = run_adaptation(&AppProfile::option_pricing());
+        let peak = report.usage.iter().map(|p| p.load).max().unwrap();
+        assert_eq!(peak, 100, "simulator 2 peak visible");
+        // During the sim2 window the worker is stopped: load is exactly
+        // the background 100%.
+        let mid_sim2 = report
+            .usage
+            .iter()
+            .find(|p| p.at_ms > PHASE_MS + 2_000 && p.at_ms < 2 * PHASE_MS - 1_000)
+            .unwrap();
+        assert_eq!(mid_sim2.load, 100);
+        // After resume the worker computes again: high load at the end.
+        assert!(report.tasks_done > 0);
+    }
+
+    #[test]
+    fn worker_keeps_computing_between_interferences() {
+        let report = run_adaptation(&AppProfile::prefetch());
+        // The worker computed during idle windows (1 + 3 + 5).
+        assert!(report.tasks_done > 10, "did {} tasks", report.tasks_done);
+    }
+
+    #[test]
+    fn worker_computes_again_after_resume() {
+        // Regression: a Resume to an idle worker must put it straight back
+        // to work, not leave it idling until the next task-ready event.
+        let report = run_adaptation(&AppProfile::option_pricing());
+        let post_resume: Vec<u64> = report
+            .usage
+            .iter()
+            .filter(|p| p.at_ms > 4 * PHASE_MS + 1_000)
+            .map(|p| p.load)
+            .collect();
+        assert!(!post_resume.is_empty());
+        let mean = post_resume.iter().sum::<u64>() as f64 / post_resume.len() as f64;
+        assert!(mean > 80.0, "post-resume mean load {mean}");
+    }
+}

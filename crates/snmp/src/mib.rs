@@ -1,0 +1,198 @@
+//! The agent-side management information base.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::oid::Oid;
+use crate::pdu::{ErrorStatus, SnmpValue};
+
+type Getter = Arc<dyn Fn() -> SnmpValue + Send + Sync>;
+type Setter = Arc<dyn Fn(SnmpValue) -> Result<(), ErrorStatus> + Send + Sync>;
+
+struct Variable {
+    getter: Getter,
+    setter: Option<Setter>,
+}
+
+/// A tree of managed variables keyed by [`Oid`], in MIB walk order.
+#[derive(Default)]
+pub struct Mib {
+    vars: BTreeMap<Oid, Variable>,
+}
+
+impl fmt::Debug for Mib {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mib").field("vars", &self.vars.len()).finish()
+    }
+}
+
+impl Mib {
+    /// An empty MIB.
+    pub fn new() -> Mib {
+        Mib::default()
+    }
+
+    /// Registers a constant value.
+    pub fn register_const(&mut self, oid: Oid, value: SnmpValue) {
+        self.register(oid, move || value.clone());
+    }
+
+    /// Registers a dynamic read-only variable.
+    pub fn register(&mut self, oid: Oid, getter: impl Fn() -> SnmpValue + Send + Sync + 'static) {
+        self.vars.insert(
+            oid,
+            Variable {
+                getter: Arc::new(getter),
+                setter: None,
+            },
+        );
+    }
+
+    /// Registers a dynamic gauge (convenience for CPU-load style variables).
+    pub fn register_gauge(&mut self, oid: Oid, getter: impl Fn() -> u64 + Send + Sync + 'static) {
+        self.register(oid, move || SnmpValue::Gauge(getter()));
+    }
+
+    /// Registers a writable variable.
+    pub fn register_writable(
+        &mut self,
+        oid: Oid,
+        getter: impl Fn() -> SnmpValue + Send + Sync + 'static,
+        setter: impl Fn(SnmpValue) -> Result<(), ErrorStatus> + Send + Sync + 'static,
+    ) {
+        self.vars.insert(
+            oid,
+            Variable {
+                getter: Arc::new(getter),
+                setter: Some(Arc::new(setter)),
+            },
+        );
+    }
+
+    /// Reads a variable.
+    pub fn get(&self, oid: &Oid) -> Option<SnmpValue> {
+        self.vars.get(oid).map(|v| (v.getter)())
+    }
+
+    /// Returns the first variable strictly after `oid` in walk order.
+    pub fn next(&self, oid: &Oid) -> Option<(Oid, SnmpValue)> {
+        use std::ops::Bound;
+        self.vars
+            .range((Bound::Excluded(oid.clone()), Bound::Unbounded))
+            .next()
+            .map(|(o, v)| (o.clone(), (v.getter)()))
+    }
+
+    /// Writes a variable; errors mirror SNMP semantics.
+    pub fn set(&self, oid: &Oid, value: SnmpValue) -> Result<(), ErrorStatus> {
+        match self.vars.get(oid) {
+            None => Err(ErrorStatus::NoSuchName),
+            Some(var) => match &var.setter {
+                None => Err(ErrorStatus::ReadOnly),
+                Some(setter) => setter(value),
+            },
+        }
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// True when no variables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.vars.is_empty()
+    }
+
+    /// Walks the entire MIB in order (for diagnostics).
+    pub fn walk(&self) -> Vec<(Oid, SnmpValue)> {
+        self.vars
+            .iter()
+            .map(|(o, v)| (o.clone(), (v.getter)()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn get_const_and_dynamic() {
+        let mut mib = Mib::new();
+        mib.register_const(Oid::parse("1.1").unwrap(), SnmpValue::Int(5));
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = counter.clone();
+        mib.register(Oid::parse("1.2").unwrap(), move || {
+            SnmpValue::Counter(c2.fetch_add(1, Ordering::Relaxed))
+        });
+        assert_eq!(mib.get(&Oid::parse("1.1").unwrap()), Some(SnmpValue::Int(5)));
+        assert_eq!(mib.get(&Oid::parse("1.2").unwrap()), Some(SnmpValue::Counter(0)));
+        assert_eq!(mib.get(&Oid::parse("1.2").unwrap()), Some(SnmpValue::Counter(1)));
+        assert_eq!(mib.get(&Oid::parse("9.9").unwrap()), None);
+    }
+
+    #[test]
+    fn next_walks_in_order() {
+        let mut mib = Mib::new();
+        for s in ["1.3.1", "1.3.1.1", "1.3.2", "1.4"] {
+            mib.register_const(Oid::parse(s).unwrap(), SnmpValue::Null);
+        }
+        let (n1, _) = mib.next(&Oid::parse("1.3").unwrap()).unwrap();
+        assert_eq!(n1.to_string(), "1.3.1");
+        let (n2, _) = mib.next(&n1).unwrap();
+        assert_eq!(n2.to_string(), "1.3.1.1");
+        let (n3, _) = mib.next(&n2).unwrap();
+        assert_eq!(n3.to_string(), "1.3.2");
+        let (n4, _) = mib.next(&n3).unwrap();
+        assert_eq!(n4.to_string(), "1.4");
+        assert!(mib.next(&n4).is_none());
+    }
+
+    #[test]
+    fn set_semantics() {
+        let mut mib = Mib::new();
+        mib.register_const(Oid::parse("1.1").unwrap(), SnmpValue::Int(1));
+        let cell = Arc::new(AtomicU64::new(0));
+        let get_cell = cell.clone();
+        let set_cell = cell.clone();
+        mib.register_writable(
+            Oid::parse("1.2").unwrap(),
+            move || SnmpValue::Gauge(get_cell.load(Ordering::Relaxed)),
+            move |v| match v.as_u64() {
+                Some(n) => {
+                    set_cell.store(n, Ordering::Relaxed);
+                    Ok(())
+                }
+                None => Err(ErrorStatus::BadValue),
+            },
+        );
+        assert_eq!(
+            mib.set(&Oid::parse("1.1").unwrap(), SnmpValue::Int(2)),
+            Err(ErrorStatus::ReadOnly)
+        );
+        assert_eq!(
+            mib.set(&Oid::parse("9.9").unwrap(), SnmpValue::Int(2)),
+            Err(ErrorStatus::NoSuchName)
+        );
+        mib.set(&Oid::parse("1.2").unwrap(), SnmpValue::Gauge(7)).unwrap();
+        assert_eq!(mib.get(&Oid::parse("1.2").unwrap()), Some(SnmpValue::Gauge(7)));
+        assert_eq!(
+            mib.set(&Oid::parse("1.2").unwrap(), SnmpValue::Null),
+            Err(ErrorStatus::BadValue)
+        );
+    }
+
+    #[test]
+    fn walk_lists_everything() {
+        let mut mib = Mib::new();
+        mib.register_gauge(Oid::parse("1.1").unwrap(), || 1);
+        mib.register_gauge(Oid::parse("1.2").unwrap(), || 2);
+        let walked = mib.walk();
+        assert_eq!(walked.len(), 2);
+        assert_eq!(walked[0].1, SnmpValue::Gauge(1));
+        assert_eq!(walked[1].1, SnmpValue::Gauge(2));
+    }
+}

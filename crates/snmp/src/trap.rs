@@ -1,0 +1,307 @@
+//! SNMP traps: agent-initiated notifications.
+//!
+//! Polling (the paper's mechanism) asks every node "how busy are you?" at
+//! a fixed cadence; traps invert the arrow — the worker-agent notifies the
+//! manager the moment a watched gauge crosses a band boundary. This module
+//! provides the trap path as an extension: a [`TrapSender`] bound to a
+//! sink, a [`TrapCollector`] receiving traps over TCP, and a
+//! [`ThresholdWatch`] that samples a gauge and emits a trap on each band
+//! change.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::codec::{decode_message, encode_message};
+use crate::oid::Oid;
+use crate::pdu::{ErrorStatus, Message, Pdu, PduType, SnmpError, SnmpValue, VERSION_2C};
+
+/// Where encoded trap frames go.
+pub type TrapSink = Arc<dyn Fn(Vec<u8>) + Send + Sync>;
+
+/// Agent-side trap emitter.
+#[derive(Clone)]
+pub struct TrapSender {
+    community: String,
+    sink: TrapSink,
+}
+
+impl std::fmt::Debug for TrapSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrapSender")
+            .field("community", &self.community)
+            .finish()
+    }
+}
+
+impl TrapSender {
+    /// Creates a sender delivering frames to `sink`.
+    pub fn new(community: impl Into<String>, sink: TrapSink) -> TrapSender {
+        TrapSender {
+            community: community.into(),
+            sink,
+        }
+    }
+
+    /// A sender that pushes decoded messages into a channel (in-process
+    /// delivery). Returns the receiver alongside.
+    pub fn channel(community: impl Into<String>) -> (TrapSender, mpsc::Receiver<Message>) {
+        let (tx, rx) = mpsc::channel();
+        let sender = TrapSender::new(
+            community,
+            Arc::new(move |bytes: Vec<u8>| {
+                if let Ok(msg) = decode_message(&bytes) {
+                    let _ = tx.send(msg);
+                }
+            }),
+        );
+        (sender, rx)
+    }
+
+    /// A sender that writes length-prefixed frames to a TCP collector.
+    pub fn tcp(community: impl Into<String>, addr: SocketAddr) -> std::io::Result<TrapSender> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let stream = parking_lot::Mutex::new(stream);
+        Ok(TrapSender::new(
+            community,
+            Arc::new(move |bytes: Vec<u8>| {
+                let mut stream = stream.lock();
+                let _ = stream.write_all(&(bytes.len() as u32).to_le_bytes());
+                let _ = stream.write_all(&bytes);
+                let _ = stream.flush();
+            }),
+        ))
+    }
+
+    /// Emits one trap carrying the given varbinds.
+    pub fn send(&self, varbinds: Vec<(Oid, SnmpValue)>) {
+        let msg = Message {
+            version: VERSION_2C,
+            community: self.community.clone(),
+            pdu_type: PduType::Trap,
+            pdu: Pdu {
+                request_id: 0,
+                error_status: ErrorStatus::NoError,
+                error_index: 0,
+                varbinds,
+            },
+        };
+        (self.sink)(encode_message(&msg));
+    }
+}
+
+/// Manager-side TCP trap collector: accepts agent connections and fans
+/// received traps into a channel.
+#[derive(Debug)]
+pub struct TrapCollector {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    rx: mpsc::Receiver<Message>,
+}
+
+impl TrapCollector {
+    /// Binds an ephemeral loopback port and starts collecting.
+    pub fn spawn(community: impl Into<String>) -> std::io::Result<TrapCollector> {
+        let community = community.into();
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let (tx, rx) = mpsc::channel::<Message>();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                let tx = tx.clone();
+                let community = community.clone();
+                std::thread::spawn(move || loop {
+                    let mut len_buf = [0u8; 4];
+                    if stream.read_exact(&mut len_buf).is_err() {
+                        break;
+                    }
+                    let len = u32::from_le_bytes(len_buf) as usize;
+                    if len > 1 << 16 {
+                        break;
+                    }
+                    let mut body = vec![0u8; len];
+                    if stream.read_exact(&mut body).is_err() {
+                        break;
+                    }
+                    match decode_message(&body) {
+                        Ok(msg)
+                            if msg.pdu_type == PduType::Trap
+                                && msg.community == community =>
+                        {
+                            let _ = tx.send(msg);
+                        }
+                        _ => {} // wrong community or malformed: drop silently
+                    }
+                });
+            }
+        });
+        Ok(TrapCollector {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            rx,
+        })
+    }
+
+    /// The address agents send traps to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the next trap.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, SnmpError> {
+        self.rx
+            .recv_timeout(timeout)
+            .map_err(|e| SnmpError::Transport(e.to_string()))
+    }
+}
+
+impl Drop for TrapCollector {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Samples a gauge and emits a trap whenever its value moves into a
+/// different band. Bands are the half-open intervals between the given
+/// ascending boundaries — pass the framework's 25/50 thresholds to get
+/// run/pause/stop band-crossing notifications.
+#[derive(Debug)]
+pub struct ThresholdWatch {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThresholdWatch {
+    /// Starts watching. `gauge` is sampled every `interval`; a trap with
+    /// `(oid, Gauge(value))` is sent on every band change (and once for
+    /// the initial band).
+    pub fn spawn(
+        sender: TrapSender,
+        oid: Oid,
+        boundaries: Vec<u64>,
+        interval: Duration,
+        gauge: impl Fn() -> u64 + Send + 'static,
+    ) -> ThresholdWatch {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let thread = std::thread::spawn(move || {
+            let band_of = |v: u64| boundaries.iter().filter(|&&b| v >= b).count();
+            let mut last_band: Option<usize> = None;
+            while !stop2.load(Ordering::SeqCst) {
+                let value = gauge();
+                let band = band_of(value);
+                if last_band != Some(band) {
+                    last_band = Some(band);
+                    sender.send(vec![(oid.clone(), SnmpValue::Gauge(value))]);
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        ThresholdWatch {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops the watch.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ThresholdWatch {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::oids;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn channel_sender_delivers_decoded_traps() {
+        let (sender, rx) = TrapSender::channel("public");
+        sender.send(vec![(oids::hr_processor_load_1(), SnmpValue::Gauge(88))]);
+        let msg = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(msg.pdu_type, PduType::Trap);
+        assert_eq!(msg.pdu.varbinds[0].1, SnmpValue::Gauge(88));
+    }
+
+    #[test]
+    fn tcp_collector_receives_traps() {
+        let collector = TrapCollector::spawn("public").unwrap();
+        let sender = TrapSender::tcp("public", collector.addr()).unwrap();
+        sender.send(vec![(oids::hr_processor_load_1(), SnmpValue::Gauge(55))]);
+        let msg = collector.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.community, "public");
+        assert_eq!(msg.pdu.varbinds[0].1, SnmpValue::Gauge(55));
+    }
+
+    #[test]
+    fn wrong_community_traps_are_dropped() {
+        let collector = TrapCollector::spawn("public").unwrap();
+        let bad = TrapSender::tcp("private", collector.addr()).unwrap();
+        bad.send(vec![(oids::sys_uptime(), SnmpValue::TimeTicks(1))]);
+        let good = TrapSender::tcp("public", collector.addr()).unwrap();
+        good.send(vec![(oids::sys_uptime(), SnmpValue::TimeTicks(2))]);
+        // Only the matching-community trap arrives.
+        let msg = collector.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(msg.pdu.varbinds[0].1, SnmpValue::TimeTicks(2));
+        assert!(collector.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn threshold_watch_fires_on_band_changes_only() {
+        let (sender, rx) = TrapSender::channel("public");
+        let load = Arc::new(AtomicU64::new(5));
+        let load2 = load.clone();
+        let watch = ThresholdWatch::spawn(
+            sender,
+            oids::hr_processor_load_1(),
+            vec![25, 50],
+            Duration::from_millis(5),
+            move || load2.load(Ordering::Relaxed),
+        );
+        // Initial band (run band) fires once.
+        let first = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(first.pdu.varbinds[0].1, SnmpValue::Gauge(5));
+        // Stay in band: silence.
+        load.store(10, Ordering::Relaxed);
+        assert!(rx.recv_timeout(Duration::from_millis(60)).is_err());
+        // Cross into the pause band.
+        load.store(40, Ordering::Relaxed);
+        let second = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(second.pdu.varbinds[0].1, SnmpValue::Gauge(40));
+        // Cross into the stop band.
+        load.store(95, Ordering::Relaxed);
+        let third = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(third.pdu.varbinds[0].1, SnmpValue::Gauge(95));
+        watch.stop();
+    }
+}

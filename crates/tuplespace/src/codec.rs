@@ -1,0 +1,243 @@
+//! [`Payload`] codecs for [`Value`], [`Tuple`] and [`Template`] — what the
+//! remote-space protocol (and anything else that ships tuples across a
+//! wire) serializes.
+
+use crate::payload::{Payload, PayloadError, WireReader, WireWriter};
+use crate::template::{Constraint, Template};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+impl Payload for Value {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Value::Int(v) => {
+                w.put_u8(0);
+                w.put_i64(*v);
+            }
+            Value::Float(v) => {
+                w.put_u8(1);
+                w.put_f64(*v);
+            }
+            Value::Bool(v) => {
+                w.put_u8(2);
+                w.put_bool(*v);
+            }
+            Value::Str(v) => {
+                w.put_u8(3);
+                w.put_str(v);
+            }
+            Value::Bytes(v) => {
+                w.put_u8(4);
+                w.put_blob(v);
+            }
+            Value::List(items) => {
+                w.put_u8(5);
+                w.put_u32(items.len() as u32);
+                for item in items {
+                    item.encode(w);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        match r.get_u8()? {
+            0 => Ok(Value::Int(r.get_i64()?)),
+            1 => Ok(Value::Float(r.get_f64()?)),
+            2 => Ok(Value::Bool(r.get_bool()?)),
+            3 => Ok(Value::Str(r.get_str()?)),
+            4 => Ok(Value::Bytes(r.get_blob()?)),
+            5 => {
+                let n = r.get_u32()? as usize;
+                if n > 1 << 20 {
+                    return Err(PayloadError::Corrupt("list length"));
+                }
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(Value::decode(r)?);
+                }
+                Ok(Value::List(items))
+            }
+            _ => Err(PayloadError::Corrupt("value tag")),
+        }
+    }
+}
+
+impl Payload for Tuple {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(self.type_name());
+        w.put_u32(self.len() as u32);
+        for (name, value) in self.fields() {
+            w.put_str(name);
+            value.encode(w);
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        let type_name = r.get_str()?;
+        let n = r.get_u32()? as usize;
+        if n > 1 << 16 {
+            return Err(PayloadError::Corrupt("field count"));
+        }
+        let mut builder = Tuple::build(type_name);
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let value = Value::decode(r)?;
+            builder = builder.field(name, value);
+        }
+        Ok(builder.done())
+    }
+}
+
+impl Payload for Template {
+    fn encode(&self, w: &mut WireWriter) {
+        match self.type_name() {
+            Some(ty) => {
+                w.put_bool(true);
+                w.put_str(ty);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_u32(self.constraints().len() as u32);
+        for (name, constraint) in self.constraints() {
+            w.put_str(name);
+            match constraint {
+                Constraint::Exact(v) => {
+                    w.put_u8(0);
+                    v.encode(w);
+                }
+                Constraint::OneOf(vs) => {
+                    w.put_u8(1);
+                    w.put_u32(vs.len() as u32);
+                    for v in vs {
+                        v.encode(w);
+                    }
+                }
+                Constraint::IntRange(lo, hi) => {
+                    w.put_u8(2);
+                    w.put_i64(*lo);
+                    w.put_i64(*hi);
+                }
+                Constraint::FloatRange(lo, hi) => {
+                    w.put_u8(3);
+                    w.put_f64(*lo);
+                    w.put_f64(*hi);
+                }
+                Constraint::Exists => w.put_u8(4),
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        let mut builder = if r.get_bool()? {
+            Template::build(r.get_str()?)
+        } else {
+            Template::any_type()
+        };
+        let n = r.get_u32()? as usize;
+        if n > 1 << 16 {
+            return Err(PayloadError::Corrupt("constraint count"));
+        }
+        for _ in 0..n {
+            let name = r.get_str()?;
+            builder = match r.get_u8()? {
+                0 => builder.eq(name, Value::decode(r)?),
+                1 => {
+                    let k = r.get_u32()? as usize;
+                    if k > 1 << 16 {
+                        return Err(PayloadError::Corrupt("one-of length"));
+                    }
+                    let mut vs = Vec::with_capacity(k.min(1024));
+                    for _ in 0..k {
+                        vs.push(Value::decode(r)?);
+                    }
+                    builder.one_of(name, vs)
+                }
+                2 => {
+                    let lo = r.get_i64()?;
+                    let hi = r.get_i64()?;
+                    builder.int_range(name, lo, hi)
+                }
+                3 => {
+                    let lo = r.get_f64()?;
+                    let hi = r.get_f64()?;
+                    builder.float_range(name, lo, hi)
+                }
+                4 => builder.exists(name),
+                _ => return Err(PayloadError::Corrupt("constraint tag")),
+            };
+        }
+        Ok(builder.done())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_tuple() -> Tuple {
+        Tuple::build("acc.task")
+            .field("id", 42i64)
+            .field("weight", -1.5f64)
+            .field("live", true)
+            .field("label", "strip-3")
+            .field("payload", vec![0u8, 255, 128])
+            .field(
+                "coords",
+                vec![Value::Int(1), Value::Str("x".into()), Value::List(vec![Value::Bool(false)])],
+            )
+            .done()
+    }
+
+    #[test]
+    fn value_roundtrip_all_variants() {
+        for v in [
+            Value::Int(i64::MIN),
+            Value::Float(f64::NAN),
+            Value::Bool(true),
+            Value::Str("héllo".into()),
+            Value::Bytes(vec![1, 2, 3]),
+            Value::List(vec![Value::Int(1), Value::List(vec![])]),
+        ] {
+            assert_eq!(Value::from_bytes(&v.to_bytes()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = rich_tuple();
+        assert_eq!(Tuple::from_bytes(&t.to_bytes()).unwrap(), t);
+    }
+
+    #[test]
+    fn template_roundtrip_all_constraints() {
+        let tmpl = Template::build("acc.task")
+            .eq("id", 42i64)
+            .one_of("label", vec!["a".into(), "b".into()])
+            .int_range("x", -5, 5)
+            .float_range("y", 0.0, 1.0)
+            .exists("payload")
+            .done();
+        let decoded = Template::from_bytes(&tmpl.to_bytes()).unwrap();
+        assert_eq!(decoded, tmpl);
+
+        let any = Template::any_type().exists("k").done();
+        assert_eq!(Template::from_bytes(&any.to_bytes()).unwrap(), any);
+    }
+
+    #[test]
+    fn decoded_template_still_matches() {
+        let tmpl = Template::build("acc.task").eq("id", 42i64).done();
+        let decoded = Template::from_bytes(&tmpl.to_bytes()).unwrap();
+        assert!(decoded.matches(&rich_tuple()));
+    }
+
+    #[test]
+    fn corrupt_tags_rejected() {
+        assert!(Value::from_bytes(&[9]).is_err());
+        let mut bytes = rich_tuple().to_bytes();
+        let last = bytes.len() - 1;
+        bytes.truncate(last);
+        assert!(Tuple::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Event notification (`notify` in JavaSpaces terms).
+//!
+//! Listeners register a [`crate::Template`]; whenever a matching tuple
+//! becomes visible (plain write, or transactional write at commit), the
+//! listener is invoked with a [`SpaceEvent`]. Delivery is synchronous on the
+//! writing thread, after the space lock is released; listeners that need a
+//! queue can use [`crate::Space::notify_channel`].
+
+/// Opaque handle identifying an event registration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventCookie(pub(crate) u64);
+
+/// A notification that a tuple matching a registered template was written.
+#[derive(Debug, Clone)]
+pub struct SpaceEvent {
+    /// The registration this event belongs to.
+    pub cookie: EventCookie,
+    /// Per-registration sequence number, starting at 1.
+    pub seq: u64,
+    /// The tuple that was written. A copy — the entry may already have been
+    /// taken by the time the listener runs.
+    pub tuple: crate::Tuple,
+}
+
+pub(crate) type Listener = Box<dyn Fn(SpaceEvent) + Send + Sync>;
+
+pub(crate) struct Registration {
+    pub cookie: EventCookie,
+    pub template: crate::Template,
+    pub listener: Listener,
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cookies_are_ordered() {
+        assert!(EventCookie(1) < EventCookie(2));
+        assert_eq!(EventCookie(3), EventCookie(3));
+    }
+}

@@ -1,0 +1,419 @@
+//! Binary payload codec.
+//!
+//! JavaSpaces requires entries crossing the space to be serializable; the
+//! Rust analogue is the [`Payload`] trait, a small hand-rolled binary codec
+//! over [`bytes`]. Application task bodies implement `Payload` and travel
+//! through the space as `Value::Bytes` fields, so the space itself stays
+//! application-agnostic — the separation of concerns §3 of the paper credits
+//! to JavaSpaces.
+//!
+//! All integers are little-endian. Strings and byte blobs are length-prefixed
+//! with a `u32`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Errors raised while decoding a payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// A length prefix or tag had an impossible value.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PayloadError::Truncated => write!(f, "payload truncated"),
+            PayloadError::Corrupt(what) => write!(f, "payload corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
+
+/// Types that can be serialized into a space entry and back.
+pub trait Payload: Sized {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut WireWriter);
+    /// Decodes a value from the front of `r`.
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError>;
+
+    /// Convenience: encode to a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish().to_vec()
+    }
+
+    /// Convenience: decode from a byte slice, requiring full consumption.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, PayloadError> {
+        let mut r = WireReader::new(Bytes::copy_from_slice(bytes));
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(PayloadError::Corrupt("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+/// Append-only encoder.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends an `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.put_f64_le(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn put_blob(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_u32(v.len() as u32);
+        for x in v {
+            self.put_f64(*x);
+        }
+    }
+
+    /// Appends a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, v: &[u32]) {
+        self.put_u32(v.len() as u32);
+        for x in v {
+            self.put_u32(*x);
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Consuming decoder over a byte buffer.
+#[derive(Debug)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Wraps a buffer for decoding.
+    pub fn new(buf: Bytes) -> Self {
+        Self { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, n: usize) -> Result<(), PayloadError> {
+        if self.buf.remaining() < n {
+            Err(PayloadError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, PayloadError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, PayloadError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, PayloadError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads an `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, PayloadError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, PayloadError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Reads a bool; only 0 and 1 are legal encodings.
+    pub fn get_bool(&mut self) -> Result<bool, PayloadError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(PayloadError::Corrupt("bool tag")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, PayloadError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        let raw = self.buf.split_to(len);
+        String::from_utf8(raw.to_vec()).map_err(|_| PayloadError::Corrupt("utf8"))
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn get_blob(&mut self) -> Result<Vec<u8>, PayloadError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        Ok(self.buf.split_to(len).to_vec())
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn get_f64_vec(&mut self) -> Result<Vec<f64>, PayloadError> {
+        let len = self.get_u32()? as usize;
+        self.need(len.checked_mul(8).ok_or(PayloadError::Corrupt("length"))?)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.buf.get_f64_le());
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u32` vector.
+    pub fn get_u32_vec(&mut self) -> Result<Vec<u32>, PayloadError> {
+        let len = self.get_u32()? as usize;
+        self.need(len.checked_mul(4).ok_or(PayloadError::Corrupt("length"))?)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.buf.get_u32_le());
+        }
+        Ok(out)
+    }
+}
+
+impl Payload for u32 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(*self);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        r.get_u32()
+    }
+}
+
+impl Payload for u64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(*self);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        r.get_u64()
+    }
+}
+
+impl Payload for i64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_i64(*self);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        r.get_i64()
+    }
+}
+
+impl Payload for f64 {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f64(*self);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        r.get_f64()
+    }
+}
+
+impl Payload for String {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(self);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        r.get_str()
+    }
+}
+
+impl Payload for Vec<f64> {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_f64_slice(self);
+    }
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        r.get_f64_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Sample {
+        id: u32,
+        label: String,
+        xs: Vec<f64>,
+        flag: bool,
+    }
+
+    impl Payload for Sample {
+        fn encode(&self, w: &mut WireWriter) {
+            w.put_u32(self.id);
+            w.put_str(&self.label);
+            w.put_f64_slice(&self.xs);
+            w.put_bool(self.flag);
+        }
+        fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+            Ok(Sample {
+                id: r.get_u32()?,
+                label: r.get_str()?,
+                xs: r.get_f64_vec()?,
+                flag: r.get_bool()?,
+            })
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip() {
+        let s = Sample {
+            id: 9,
+            label: "strip-3".into(),
+            xs: vec![1.0, -2.5, f64::MAX],
+            flag: true,
+        };
+        let bytes = s.to_bytes();
+        assert_eq!(Sample::from_bytes(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn truncated_fails() {
+        let s = Sample {
+            id: 1,
+            label: "x".into(),
+            xs: vec![],
+            flag: false,
+        };
+        let bytes = s.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Sample::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            u32::from_bytes(&bytes),
+            Err(PayloadError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        let mut r = WireReader::new(Bytes::from_static(&[2]));
+        assert_eq!(r.get_bool(), Err(PayloadError::Corrupt("bool tag")));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u32(2);
+        w.put_u8(0xff);
+        w.put_u8(0xfe);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_str(), Err(PayloadError::Corrupt("utf8")));
+    }
+
+    #[test]
+    fn primitive_impls_roundtrip() {
+        assert_eq!(u32::from_bytes(&5u32.to_bytes()).unwrap(), 5);
+        assert_eq!(u64::from_bytes(&7u64.to_bytes()).unwrap(), 7);
+        assert_eq!(i64::from_bytes(&(-3i64).to_bytes()).unwrap(), -3);
+        assert_eq!(f64::from_bytes(&1.25f64.to_bytes()).unwrap(), 1.25);
+        assert_eq!(
+            String::from_bytes(&"hello".to_string().to_bytes()).unwrap(),
+            "hello"
+        );
+        let xs = vec![0.5, 1.5];
+        assert_eq!(Vec::<f64>::from_bytes(&xs.to_bytes()).unwrap(), xs);
+    }
+
+    #[test]
+    fn u32_slice_roundtrip() {
+        let mut w = WireWriter::new();
+        w.put_u32_slice(&[1, 2, 3]);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn huge_length_prefix_is_truncation_not_panic() {
+        let mut w = WireWriter::new();
+        w.put_u32(u32::MAX);
+        let mut r = WireReader::new(w.finish());
+        assert_eq!(r.get_blob(), Err(PayloadError::Truncated));
+        let mut r2 = WireReader::new({
+            let mut w = WireWriter::new();
+            w.put_u32(u32::MAX);
+            w.finish()
+        });
+        assert!(r2.get_f64_vec().is_err());
+    }
+}

@@ -1,0 +1,541 @@
+//! A network-accessible space: TCP server and remote client.
+//!
+//! JavaSpaces is "a shared, **network-accessible** repository for Java
+//! objects" — masters and workers on different machines reach the same
+//! space. [`SpaceServer`] serves an in-process [`Space`] over TCP with
+//! length-prefixed frames; [`RemoteSpace`] is the client-side proxy and
+//! implements [`TupleStore`], so the framework's master and workers work
+//! against it unchanged.
+//!
+//! **Trust model:** the protocol is unauthenticated — any connector can
+//! read, take, or close the space, matching the paper's era (JavaSpaces
+//! relied on the deployment network's perimeter; its community-string-like
+//! controls lived in Jini security policies, out of scope here). Bind to
+//! loopback or a trusted segment.
+//!
+//! Protocol: one synchronous request/response per frame per connection.
+//! Blocking `read`/`take` block on the *server* (each connection gets its
+//! own service thread), exactly like a JavaSpaces proxy blocking on the
+//! remote call.
+//!
+//! ```
+//! use acc_tuplespace::{RemoteSpace, Space, SpaceServer, Template, Tuple, TupleStore};
+//!
+//! let space = Space::new("shared");
+//! let server = SpaceServer::spawn(space.clone(), "127.0.0.1:0").unwrap();
+//! let proxy = RemoteSpace::connect(server.addr()).unwrap();
+//!
+//! proxy.write(Tuple::build("task").field("id", 1i64).done()).unwrap();
+//! let got = space.take_if_exists(&Template::of_type("task")).unwrap();
+//! assert_eq!(got.unwrap().get_int("id"), Some(1));
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::error::{SpaceError, SpaceResult};
+use crate::lease::Lease;
+use crate::payload::{Payload, PayloadError, WireReader, WireWriter};
+use crate::space::{EntryId, Space};
+use crate::store::TupleStore;
+use crate::template::Template;
+use crate::tuple::Tuple;
+
+const MAX_FRAME: usize = 16 << 20;
+
+#[derive(Debug, PartialEq)]
+enum Request {
+    /// Write with optional lease (`None` = forever, `Some(ms)`).
+    Write(Tuple, Option<u64>),
+    /// Read with optional timeout in ms (`None` = wait forever).
+    Read(Template, Option<u64>),
+    /// Take with optional timeout in ms.
+    Take(Template, Option<u64>),
+    /// Count matching tuples.
+    Count(Template),
+    /// Close the space.
+    Close,
+    /// Is the space closed?
+    IsClosed,
+}
+
+impl Payload for Request {
+    fn encode(&self, w: &mut WireWriter) {
+        let put_opt = |w: &mut WireWriter, v: &Option<u64>| match v {
+            Some(ms) => {
+                w.put_bool(true);
+                w.put_u64(*ms);
+            }
+            None => w.put_bool(false),
+        };
+        match self {
+            Request::Write(tuple, lease) => {
+                w.put_u8(1);
+                tuple.encode(w);
+                put_opt(w, lease);
+            }
+            Request::Read(tmpl, timeout) => {
+                w.put_u8(2);
+                tmpl.encode(w);
+                put_opt(w, timeout);
+            }
+            Request::Take(tmpl, timeout) => {
+                w.put_u8(3);
+                tmpl.encode(w);
+                put_opt(w, timeout);
+            }
+            Request::Count(tmpl) => {
+                w.put_u8(4);
+                tmpl.encode(w);
+            }
+            Request::Close => w.put_u8(5),
+            Request::IsClosed => w.put_u8(6),
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        let get_opt = |r: &mut WireReader| -> Result<Option<u64>, PayloadError> {
+            if r.get_bool()? {
+                Ok(Some(r.get_u64()?))
+            } else {
+                Ok(None)
+            }
+        };
+        match r.get_u8()? {
+            1 => {
+                let tuple = Tuple::decode(r)?;
+                let lease = get_opt(r)?;
+                Ok(Request::Write(tuple, lease))
+            }
+            2 => {
+                let tmpl = Template::decode(r)?;
+                let timeout = get_opt(r)?;
+                Ok(Request::Read(tmpl, timeout))
+            }
+            3 => {
+                let tmpl = Template::decode(r)?;
+                let timeout = get_opt(r)?;
+                Ok(Request::Take(tmpl, timeout))
+            }
+            4 => Ok(Request::Count(Template::decode(r)?)),
+            5 => Ok(Request::Close),
+            6 => Ok(Request::IsClosed),
+            _ => Err(PayloadError::Corrupt("request tag")),
+        }
+    }
+}
+
+#[derive(Debug, PartialEq)]
+enum Response {
+    Id(EntryId),
+    MaybeTuple(Option<Tuple>),
+    Count(u64),
+    Bool(bool),
+    Unit,
+    Err(u8),
+}
+
+fn error_code(e: &SpaceError) -> u8 {
+    match e {
+        SpaceError::Closed => 1,
+        SpaceError::TxnInactive => 2,
+        SpaceError::NoSuchEntry => 3,
+        SpaceError::LeaseExpired => 4,
+        SpaceError::NoSuchRegistration => 5,
+    }
+}
+
+fn error_from(code: u8) -> SpaceError {
+    match code {
+        1 => SpaceError::Closed,
+        2 => SpaceError::TxnInactive,
+        3 => SpaceError::NoSuchEntry,
+        4 => SpaceError::LeaseExpired,
+        _ => SpaceError::NoSuchRegistration,
+    }
+}
+
+impl Payload for Response {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Response::Id(id) => {
+                w.put_u8(1);
+                w.put_u64(*id);
+            }
+            Response::MaybeTuple(None) => w.put_u8(2),
+            Response::MaybeTuple(Some(tuple)) => {
+                w.put_u8(3);
+                tuple.encode(w);
+            }
+            Response::Count(n) => {
+                w.put_u8(4);
+                w.put_u64(*n);
+            }
+            Response::Bool(b) => {
+                w.put_u8(5);
+                w.put_bool(*b);
+            }
+            Response::Unit => w.put_u8(6),
+            Response::Err(code) => {
+                w.put_u8(7);
+                w.put_u8(*code);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        match r.get_u8()? {
+            1 => Ok(Response::Id(r.get_u64()?)),
+            2 => Ok(Response::MaybeTuple(None)),
+            3 => Ok(Response::MaybeTuple(Some(Tuple::decode(r)?))),
+            4 => Ok(Response::Count(r.get_u64()?)),
+            5 => Ok(Response::Bool(r.get_bool()?)),
+            6 => Ok(Response::Unit),
+            7 => Ok(Response::Err(r.get_u8()?)),
+            _ => Err(PayloadError::Corrupt("response tag")),
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, payload: &impl Payload) -> std::io::Result<()> {
+    let bytes = payload.to_bytes();
+    stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
+    stream.write_all(&bytes)?;
+    stream.flush()
+}
+
+fn read_frame_bytes(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Serves one space over TCP loopback/network.
+#[derive(Debug)]
+pub struct SpaceServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SpaceServer {
+    /// Binds an ephemeral port on the given address (`"127.0.0.1:0"` for
+    /// loopback) and starts serving.
+    pub fn spawn(space: Arc<Space>, bind: &str) -> std::io::Result<SpaceServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                let _ = stream.set_nodelay(true);
+                let space = space.clone();
+                std::thread::spawn(move || {
+                    while let Ok(bytes) = read_frame_bytes(&mut stream) {
+                        let Ok(request) = Request::from_bytes(&bytes) else {
+                            break;
+                        };
+                        let response = serve(&space, request);
+                        if write_frame(&mut stream, &response).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        Ok(SpaceServer {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for SpaceServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve(space: &Arc<Space>, request: Request) -> Response {
+    fn map<T>(result: SpaceResult<T>, ok: impl FnOnce(T) -> Response) -> Response {
+        match result {
+            Ok(v) => ok(v),
+            Err(e) => Response::Err(error_code(&e)),
+        }
+    }
+    match request {
+        Request::Write(tuple, lease) => {
+            let lease = match lease {
+                Some(ms) => Lease::for_millis(ms),
+                None => Lease::Forever,
+            };
+            map(space.write_leased(tuple, lease), Response::Id)
+        }
+        Request::Read(tmpl, timeout) => map(
+            Space::read(space, &tmpl, timeout.map(Duration::from_millis)),
+            Response::MaybeTuple,
+        ),
+        Request::Take(tmpl, timeout) => map(
+            Space::take(space, &tmpl, timeout.map(Duration::from_millis)),
+            Response::MaybeTuple,
+        ),
+        Request::Count(tmpl) => Response::Count(Space::count(space, &tmpl) as u64),
+        Request::Close => {
+            Space::close(space);
+            Response::Unit
+        }
+        Request::IsClosed => Response::Bool(Space::is_closed(space)),
+    }
+}
+
+/// Client-side proxy to a [`SpaceServer`] — the "downloaded space proxy".
+/// One TCP connection, one request in flight at a time (clone-free; open
+/// one proxy per worker, as each worker owns its own connection).
+#[derive(Debug)]
+pub struct RemoteSpace {
+    stream: Mutex<TcpStream>,
+}
+
+impl RemoteSpace {
+    /// Connects to a space server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<RemoteSpace> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(RemoteSpace {
+            stream: Mutex::new(stream),
+        })
+    }
+
+    fn call(&self, request: Request) -> SpaceResult<Response> {
+        let mut stream = self.stream.lock();
+        write_frame(&mut stream, &request).map_err(|_| SpaceError::Closed)?;
+        let bytes = read_frame_bytes(&mut stream).map_err(|_| SpaceError::Closed)?;
+        Response::from_bytes(&bytes).map_err(|_| SpaceError::Closed)
+    }
+
+    fn expect_tuple(&self, request: Request) -> SpaceResult<Option<Tuple>> {
+        match self.call(request)? {
+            Response::MaybeTuple(t) => Ok(t),
+            Response::Err(code) => Err(error_from(code)),
+            _ => Err(SpaceError::Closed),
+        }
+    }
+}
+
+impl TupleStore for RemoteSpace {
+    fn write_leased(&self, tuple: Tuple, lease: Lease) -> SpaceResult<EntryId> {
+        let lease_ms = match lease {
+            Lease::Forever => None,
+            Lease::Duration(d) => Some(d.as_millis() as u64),
+        };
+        match self.call(Request::Write(tuple, lease_ms))? {
+            Response::Id(id) => Ok(id),
+            Response::Err(code) => Err(error_from(code)),
+            _ => Err(SpaceError::Closed),
+        }
+    }
+
+    fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.expect_tuple(Request::Read(
+            template.clone(),
+            timeout.map(|d| d.as_millis() as u64),
+        ))
+    }
+
+    fn take(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.expect_tuple(Request::Take(
+            template.clone(),
+            timeout.map(|d| d.as_millis() as u64),
+        ))
+    }
+
+    fn count(&self, template: &Template) -> SpaceResult<usize> {
+        match self.call(Request::Count(template.clone()))? {
+            Response::Count(n) => Ok(n as usize),
+            Response::Err(code) => Err(error_from(code)),
+            _ => Err(SpaceError::Closed),
+        }
+    }
+
+    fn close(&self) {
+        let _ = self.call(Request::Close);
+    }
+
+    fn is_closed(&self) -> bool {
+        matches!(self.call(Request::IsClosed), Ok(Response::Bool(true)) | Err(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreHandle;
+
+    fn tuple(id: i64) -> Tuple {
+        Tuple::build("t").field("id", id).done()
+    }
+
+    fn rig() -> (Arc<Space>, SpaceServer, RemoteSpace) {
+        let space = Space::new("served");
+        let server = SpaceServer::spawn(space.clone(), "127.0.0.1:0").unwrap();
+        let remote = RemoteSpace::connect(server.addr()).unwrap();
+        (space, server, remote)
+    }
+
+    #[test]
+    fn request_response_codecs_roundtrip() {
+        let requests = vec![
+            Request::Write(tuple(1), Some(5000)),
+            Request::Write(tuple(2), None),
+            Request::Read(Template::of_type("t"), Some(100)),
+            Request::Take(Template::any_type().done(), None),
+            Request::Count(Template::of_type("t")),
+            Request::Close,
+            Request::IsClosed,
+        ];
+        for r in requests {
+            assert_eq!(Request::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+        let responses = vec![
+            Response::Id(7),
+            Response::MaybeTuple(None),
+            Response::MaybeTuple(Some(tuple(3))),
+            Response::Count(12),
+            Response::Bool(true),
+            Response::Unit,
+            Response::Err(1),
+        ];
+        for r in responses {
+            assert_eq!(Response::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn remote_write_take_roundtrip() {
+        let (_space, _server, remote) = rig();
+        remote.write(tuple(1)).unwrap();
+        remote.write(tuple(2)).unwrap();
+        assert_eq!(remote.count(&Template::of_type("t")).unwrap(), 2);
+        let got = remote.take_if_exists(&Template::of_type("t")).unwrap();
+        assert_eq!(got.unwrap().get_int("id"), Some(1));
+    }
+
+    #[test]
+    fn remote_sees_local_writes_and_vice_versa() {
+        let (space, _server, remote) = rig();
+        space.write(tuple(10)).unwrap();
+        let got = remote.take_if_exists(&Template::of_type("t")).unwrap();
+        assert_eq!(got.unwrap().get_int("id"), Some(10));
+        remote.write(tuple(11)).unwrap();
+        let got = Space::take_if_exists(&space, &Template::of_type("t")).unwrap();
+        assert_eq!(got.unwrap().get_int("id"), Some(11));
+    }
+
+    #[test]
+    fn remote_blocking_take_waits_for_writer() {
+        let (space, _server, remote) = rig();
+        let handle = std::thread::spawn(move || {
+            remote
+                .take(&Template::of_type("t"), Some(Duration::from_secs(5)))
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        space.write(tuple(77)).unwrap();
+        let got = handle.join().unwrap().unwrap();
+        assert_eq!(got.get_int("id"), Some(77));
+    }
+
+    #[test]
+    fn remote_timeout_returns_none() {
+        let (_space, _server, remote) = rig();
+        let got = remote
+            .take(&Template::of_type("t"), Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn remote_close_propagates() {
+        let (space, _server, remote) = rig();
+        assert!(!remote.is_closed());
+        remote.close();
+        assert!(space.is_closed());
+        assert!(remote.is_closed());
+        assert_eq!(remote.write(tuple(1)), Err(SpaceError::Closed));
+    }
+
+    #[test]
+    fn leased_remote_writes_expire() {
+        let (_space, _server, remote) = rig();
+        remote
+            .write_leased(tuple(1), Lease::for_millis(10))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(remote.count(&Template::of_type("t")).unwrap(), 0);
+    }
+
+    #[test]
+    fn two_remote_workers_share_distinct_tasks() {
+        let (space, server, _unused) = rig();
+        for i in 0..40 {
+            space.write(tuple(i)).unwrap();
+        }
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let remote = RemoteSpace::connect(server.addr()).unwrap();
+            handles.push(std::thread::spawn(move || {
+                let store: StoreHandle = Arc::new(remote);
+                let mut got = Vec::new();
+                while let Ok(Some(t)) =
+                    store.take(&Template::of_type("t"), Some(Duration::from_millis(100)))
+                {
+                    got.push(t.get_int("id").unwrap());
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn server_drop_disconnects_clients() {
+        let (_space, server, remote) = rig();
+        drop(server);
+        std::thread::sleep(Duration::from_millis(20));
+        // New requests fail as Closed.
+        assert!(remote.write(tuple(1)).is_err());
+    }
+}

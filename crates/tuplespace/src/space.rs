@@ -1,0 +1,1099 @@
+//! The tuple space proper: storage, associative matching, blocking
+//! operations, leases, transactions and event dispatch.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{SpaceError, SpaceResult};
+use crate::events::{EventCookie, Registration, SpaceEvent};
+use crate::lease::Lease;
+use crate::stats::{SpaceStats, StatsSnapshot};
+use crate::template::Template;
+use crate::tuple::Tuple;
+use crate::txn::{Txn, TxnId};
+
+/// Identifier of a stored entry (monotone per space, never reused).
+pub type EntryId = u64;
+
+/// Shared handle to a space.
+pub type SpaceHandle = Arc<Space>;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LockState {
+    /// Visible to everyone.
+    Free,
+    /// Written under a transaction; visible only to that transaction until
+    /// commit.
+    PendingWrite(TxnId),
+    /// Taken under a transaction; invisible pending commit/abort.
+    TakenBy(TxnId),
+    /// Read under one or more transactions; readable by all, takeable by
+    /// nobody else.
+    ReadBy(Vec<TxnId>),
+}
+
+#[derive(Debug)]
+struct Stored {
+    id: EntryId,
+    tuple: Tuple,
+    expires: Option<Instant>,
+    lock: LockState,
+}
+
+impl Stored {
+    fn expired(&self, now: Instant) -> bool {
+        self.expires.is_some_and(|e| e <= now)
+    }
+
+    fn visible_to_read(&self, reader: Option<TxnId>) -> bool {
+        match &self.lock {
+            LockState::Free | LockState::ReadBy(_) => true,
+            LockState::PendingWrite(t) => reader == Some(*t),
+            LockState::TakenBy(_) => false,
+        }
+    }
+
+    fn takeable_by(&self, taker: Option<TxnId>) -> bool {
+        match &self.lock {
+            LockState::Free => true,
+            LockState::PendingWrite(t) => taker == Some(*t),
+            LockState::TakenBy(_) => false,
+            LockState::ReadBy(readers) => match taker {
+                Some(t) => readers.iter().all(|r| *r == t),
+                None => readers.is_empty(),
+            },
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct TxnRecord {
+    writes: Vec<EntryId>,
+    takes: Vec<EntryId>,
+    reads: Vec<EntryId>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    closed: bool,
+    next_id: EntryId,
+    next_txn: u64,
+    /// Entries bucketed by tuple type, FIFO within a bucket so matching is
+    /// deterministic (oldest entry wins).
+    by_type: BTreeMap<String, VecDeque<Stored>>,
+    txns: HashMap<TxnId, TxnRecord>,
+}
+
+/// A shared, associative repository of [`Tuple`]s — the Rust JavaSpaces.
+///
+/// All operations are thread-safe; blocking `read`/`take` calls park on a
+/// condition variable and are woken by writes, transaction commits/aborts,
+/// and [`Space::close`].
+pub struct Space {
+    name: String,
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    registrations: Mutex<Vec<Arc<RegistrationSlot>>>,
+    next_cookie: Mutex<u64>,
+    stats: SpaceStats,
+}
+
+struct RegistrationSlot {
+    reg: Mutex<Registration>,
+    active: std::sync::atomic::AtomicBool,
+}
+
+impl std::fmt::Debug for Space {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Space").field("name", &self.name).finish()
+    }
+}
+
+impl Space {
+    /// Creates a new, empty space.
+    pub fn new(name: impl Into<String>) -> SpaceHandle {
+        Arc::new(Space {
+            name: name.into(),
+            inner: Mutex::new(Inner::default()),
+            cond: Condvar::new(),
+            registrations: Mutex::new(Vec::new()),
+            next_cookie: Mutex::new(1),
+            stats: SpaceStats::default(),
+        })
+    }
+
+    /// The space's name (used for federation registration).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Closes the space: all blocked operations and all future operations
+    /// fail with [`SpaceError::Closed`]. Used to shut workers down.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// True once [`Space::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Writes a tuple with an infinite lease.
+    pub fn write(&self, tuple: Tuple) -> SpaceResult<EntryId> {
+        self.write_internal(tuple, Lease::Forever, None)
+    }
+
+    /// Writes a tuple under the given lease; the entry is reclaimed after
+    /// the lease expires.
+    pub fn write_leased(&self, tuple: Tuple, lease: Lease) -> SpaceResult<EntryId> {
+        self.write_internal(tuple, lease, None)
+    }
+
+    /// Blocking, non-destructive associative lookup. Returns a copy of some
+    /// tuple matching `template`, waiting up to `timeout` for one to arrive
+    /// (`None` waits indefinitely). `Ok(None)` signals timeout.
+    pub fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.read_internal(template, timeout, None)
+    }
+
+    /// Non-blocking read.
+    pub fn read_if_exists(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        self.read_internal(template, Some(Duration::ZERO), None)
+    }
+
+    /// Blocking destructive lookup: removes and returns a matching tuple.
+    pub fn take(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.take_internal(template, timeout, None)
+    }
+
+    /// Non-blocking take.
+    pub fn take_if_exists(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        self.take_internal(template, Some(Duration::ZERO), None)
+    }
+
+    /// Takes every currently matching tuple (non-blocking).
+    pub fn take_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.take_if_exists(template)? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    /// Writes a batch of tuples under one lock acquisition (the
+    /// JavaSpaces05 `write` batch operation). All become visible together;
+    /// waiters are woken once and events fire once per tuple afterwards.
+    pub fn write_all(&self, tuples: Vec<Tuple>) -> SpaceResult<Vec<EntryId>> {
+        let mut ids = Vec::with_capacity(tuples.len());
+        {
+            let mut inner = self.inner.lock();
+            if inner.closed {
+                return Err(SpaceError::Closed);
+            }
+            let now = Instant::now();
+            for tuple in &tuples {
+                inner.next_id += 1;
+                let id = inner.next_id;
+                ids.push(id);
+                SpaceStats::bump(&self.stats.writes);
+                SpaceStats::add(&self.stats.bytes_written, tuple.size_hint() as u64);
+                let stored = Stored {
+                    id,
+                    tuple: tuple.clone(),
+                    expires: Lease::Forever.deadline_from(now),
+                    lock: LockState::Free,
+                };
+                inner
+                    .by_type
+                    .entry(stored.tuple.type_name().to_owned())
+                    .or_default()
+                    .push_back(stored);
+            }
+        }
+        self.cond.notify_all();
+        self.fire_events(&tuples);
+        Ok(ids)
+    }
+
+    /// Takes up to `max` matching tuples (the JavaSpaces05 `take` batch
+    /// operation): blocks up to `timeout` for the *first* match, then
+    /// drains whatever else currently matches without further waiting.
+    pub fn take_up_to(
+        &self,
+        template: &Template,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Vec<Tuple>> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        match self.take(template, timeout)? {
+            None => return Ok(out),
+            Some(first) => out.push(first),
+        }
+        while out.len() < max {
+            match self.take_if_exists(template)? {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Copies every currently matching tuple (non-blocking).
+    pub fn read_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
+        let inner = self.inner.lock();
+        if inner.closed {
+            return Err(SpaceError::Closed);
+        }
+        let now = Instant::now();
+        let mut out = Vec::new();
+        for (ty, bucket) in &inner.by_type {
+            if let Some(want) = template.type_name() {
+                if want != ty {
+                    continue;
+                }
+            }
+            for stored in bucket {
+                if !stored.expired(now)
+                    && stored.visible_to_read(None)
+                    && template.matches(&stored.tuple)
+                {
+                    out.push(stored.tuple.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Counts currently matching, visible tuples.
+    pub fn count(&self, template: &Template) -> usize {
+        self.read_all(template).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Total number of live entries (all types), ignoring locks.
+    pub fn len(&self) -> usize {
+        let inner = self.inner.lock();
+        let now = Instant::now();
+        inner
+            .by_type
+            .values()
+            .flat_map(|b| b.iter())
+            .filter(|s| !s.expired(now))
+            .count()
+    }
+
+    /// True when the space holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renews the lease on an entry.
+    pub fn renew_lease(&self, id: EntryId, lease: Lease) -> SpaceResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(SpaceError::Closed);
+        }
+        let now = Instant::now();
+        for bucket in inner.by_type.values_mut() {
+            if let Some(stored) = bucket.iter_mut().find(|s| s.id == id) {
+                if stored.expired(now) {
+                    return Err(SpaceError::LeaseExpired);
+                }
+                stored.expires = lease.deadline_from(now);
+                return Ok(());
+            }
+        }
+        Err(SpaceError::NoSuchEntry)
+    }
+
+    /// Cancels an entry by id (equivalent to taking it).
+    pub fn cancel(&self, id: EntryId) -> SpaceResult<Tuple> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(SpaceError::Closed);
+        }
+        let now = Instant::now();
+        for bucket in inner.by_type.values_mut() {
+            if let Some(pos) = bucket
+                .iter()
+                .position(|s| s.id == id && !s.expired(now) && s.takeable_by(None))
+            {
+                let stored = bucket.remove(pos).expect("position just found");
+                return Ok(stored.tuple);
+            }
+        }
+        Err(SpaceError::NoSuchEntry)
+    }
+
+    /// Purges expired entries immediately; returns how many were reclaimed.
+    pub fn sweep(&self) -> usize {
+        let mut inner = self.inner.lock();
+        let now = Instant::now();
+        let mut removed = 0;
+        for bucket in inner.by_type.values_mut() {
+            let before = bucket.len();
+            bucket.retain(|s| !s.expired(now));
+            removed += before - bucket.len();
+        }
+        SpaceStats::add(&self.stats.expired, removed as u64);
+        removed
+    }
+
+    /// Begins a transaction.
+    pub fn txn(self: &Arc<Self>) -> SpaceResult<Txn> {
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return Err(SpaceError::Closed);
+        }
+        inner.next_txn += 1;
+        let id = TxnId(inner.next_txn);
+        inner.txns.insert(id, TxnRecord::default());
+        Ok(Txn::new(self.clone(), id))
+    }
+
+    /// Registers an event listener for writes matching `template`.
+    pub fn notify(
+        &self,
+        template: Template,
+        listener: Box<dyn Fn(SpaceEvent) + Send + Sync>,
+    ) -> EventCookie {
+        let cookie = {
+            let mut next = self.next_cookie.lock();
+            let c = EventCookie(*next);
+            *next += 1;
+            c
+        };
+        self.registrations.lock().push(Arc::new(RegistrationSlot {
+            reg: Mutex::new(Registration {
+                cookie,
+                template,
+                listener,
+                seq: 0,
+            }),
+            active: std::sync::atomic::AtomicBool::new(true),
+        }));
+        cookie
+    }
+
+    /// Registers a channel-backed listener; events are sent into the
+    /// returned receiver. The channel closes when the registration is
+    /// cancelled and dropped.
+    pub fn notify_channel(&self, template: Template) -> (EventCookie, mpsc::Receiver<SpaceEvent>) {
+        let (tx, rx) = mpsc::channel();
+        let cookie = self.notify(
+            template,
+            Box::new(move |ev| {
+                let _ = tx.send(ev);
+            }),
+        );
+        (cookie, rx)
+    }
+
+    /// Cancels an event registration.
+    pub fn cancel_notify(&self, cookie: EventCookie) -> SpaceResult<()> {
+        let mut regs = self.registrations.lock();
+        let before = regs.len();
+        regs.retain(|slot| {
+            if slot.reg.lock().cookie == cookie {
+                // Mark inactive so in-flight event snapshots skip it too.
+                slot.active
+                    .store(false, std::sync::atomic::Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+        if regs.len() == before {
+            Err(SpaceError::NoSuchRegistration)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals shared with Txn.
+    // ------------------------------------------------------------------
+
+    pub(crate) fn write_internal(
+        &self,
+        tuple: Tuple,
+        lease: Lease,
+        txn: Option<TxnId>,
+    ) -> SpaceResult<EntryId> {
+        let size = tuple.size_hint() as u64;
+        let (id, visible) = {
+            let mut inner = self.inner.lock();
+            if inner.closed {
+                return Err(SpaceError::Closed);
+            }
+            inner.next_id += 1;
+            let id = inner.next_id;
+            let lock = match txn {
+                Some(t) => {
+                    let rec = inner.txns.get_mut(&t).ok_or(SpaceError::TxnInactive)?;
+                    rec.writes.push(id);
+                    LockState::PendingWrite(t)
+                }
+                None => LockState::Free,
+            };
+            let stored = Stored {
+                id,
+                tuple: tuple.clone(),
+                expires: lease.deadline_from(Instant::now()),
+                lock,
+            };
+            inner
+                .by_type
+                .entry(stored.tuple.type_name().to_owned())
+                .or_default()
+                .push_back(stored);
+            SpaceStats::bump(&self.stats.writes);
+            SpaceStats::add(&self.stats.bytes_written, size);
+            (id, txn.is_none())
+        };
+        // Plain writes are instantly visible: wake waiters and fire events.
+        // Transactional writes fire at commit instead.
+        if visible {
+            self.cond.notify_all();
+            self.fire_events(std::slice::from_ref(&tuple));
+        }
+        Ok(id)
+    }
+
+    pub(crate) fn read_internal(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+        txn: Option<TxnId>,
+    ) -> SpaceResult<Option<Tuple>> {
+        self.wait_for(template, timeout, txn, false)
+    }
+
+    pub(crate) fn take_internal(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+        txn: Option<TxnId>,
+    ) -> SpaceResult<Option<Tuple>> {
+        self.wait_for(template, timeout, txn, true)
+    }
+
+    /// The single blocking matcher used by read and take.
+    fn wait_for(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+        txn: Option<TxnId>,
+        destructive: bool,
+    ) -> SpaceResult<Option<Tuple>> {
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let mut inner = self.inner.lock();
+        let mut waited = false;
+        loop {
+            if inner.closed {
+                return Err(SpaceError::Closed);
+            }
+            if let Some(t) = txn {
+                if !inner.txns.contains_key(&t) {
+                    return Err(SpaceError::TxnInactive);
+                }
+            }
+            if let Some(tuple) = Self::try_match(&mut inner, template, txn, destructive) {
+                SpaceStats::bump(if destructive {
+                    &self.stats.takes
+                } else {
+                    &self.stats.reads
+                });
+                return Ok(Some(tuple));
+            }
+            // No match: park until something changes or the deadline hits.
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        SpaceStats::bump(&self.stats.misses);
+                        return Ok(None);
+                    }
+                    if !waited {
+                        SpaceStats::bump(&self.stats.blocked_waits);
+                        waited = true;
+                    }
+                    if self.cond.wait_until(&mut inner, d).timed_out() {
+                        // Re-check one final time before reporting a miss: a
+                        // write may have landed exactly at the deadline.
+                        if let Some(tuple) = Self::try_match(&mut inner, template, txn, destructive)
+                        {
+                            SpaceStats::bump(if destructive {
+                                &self.stats.takes
+                            } else {
+                                &self.stats.reads
+                            });
+                            return Ok(Some(tuple));
+                        }
+                        if inner.closed {
+                            return Err(SpaceError::Closed);
+                        }
+                        SpaceStats::bump(&self.stats.misses);
+                        return Ok(None);
+                    }
+                }
+                None => {
+                    if !waited {
+                        SpaceStats::bump(&self.stats.blocked_waits);
+                        waited = true;
+                    }
+                    self.cond.wait(&mut inner);
+                }
+            }
+        }
+    }
+
+    /// Scans for the oldest visible match; applies take/read locking.
+    fn try_match(
+        inner: &mut Inner,
+        template: &Template,
+        txn: Option<TxnId>,
+        destructive: bool,
+    ) -> Option<Tuple> {
+        let now = Instant::now();
+        let type_filter = template.type_name().map(str::to_owned);
+        let keys: Vec<String> = match &type_filter {
+            Some(ty) => {
+                if inner.by_type.contains_key(ty) {
+                    vec![ty.clone()]
+                } else {
+                    Vec::new()
+                }
+            }
+            None => inner.by_type.keys().cloned().collect(),
+        };
+        for key in keys {
+            let bucket = inner.by_type.get_mut(&key).expect("key from map");
+            // Lazily drop expired entries while scanning.
+            bucket.retain(|s| !s.expired(now));
+            let pos = bucket.iter().position(|s| {
+                template.matches(&s.tuple)
+                    && if destructive {
+                        s.takeable_by(txn)
+                    } else {
+                        s.visible_to_read(txn)
+                    }
+            });
+            let Some(pos) = pos else { continue };
+            if destructive {
+                match txn {
+                    None => {
+                        let stored = bucket.remove(pos).expect("position just found");
+                        return Some(stored.tuple);
+                    }
+                    Some(t) => {
+                        let stored = &mut bucket[pos];
+                        let id = stored.id;
+                        let tuple = stored.tuple.clone();
+                        if stored.lock == LockState::PendingWrite(t) {
+                            // Taking back your own uncommitted write: the
+                            // entry simply disappears from the transaction.
+                            bucket.remove(pos);
+                            if let Some(rec) = inner.txns.get_mut(&t) {
+                                rec.writes.retain(|w| *w != id);
+                            }
+                        } else {
+                            stored.lock = LockState::TakenBy(t);
+                            if let Some(rec) = inner.txns.get_mut(&t) {
+                                rec.takes.push(id);
+                            }
+                        }
+                        return Some(tuple);
+                    }
+                }
+            } else {
+                let stored = &mut bucket[pos];
+                if let Some(t) = txn {
+                    match &mut stored.lock {
+                        LockState::Free => {
+                            stored.lock = LockState::ReadBy(vec![t]);
+                            let id = stored.id;
+                            if let Some(rec) = inner.txns.get_mut(&t) {
+                                rec.reads.push(id);
+                            }
+                        }
+                        LockState::ReadBy(readers) => {
+                            if !readers.contains(&t) {
+                                readers.push(t);
+                                let id = stored.id;
+                                if let Some(rec) = inner.txns.get_mut(&t) {
+                                    rec.reads.push(id);
+                                }
+                            }
+                        }
+                        // Reading your own pending write takes no lock.
+                        LockState::PendingWrite(_) | LockState::TakenBy(_) => {}
+                    }
+                }
+                return Some(stored.tuple.clone());
+            }
+        }
+        None
+    }
+
+    pub(crate) fn finish_txn(&self, id: TxnId, commit: bool) -> SpaceResult<()> {
+        let committed_tuples = {
+            let mut inner = self.inner.lock();
+            let rec = inner.txns.remove(&id).ok_or(SpaceError::TxnInactive)?;
+            let mut fire: Vec<Tuple> = Vec::new();
+            if commit {
+                for bucket in inner.by_type.values_mut() {
+                    for stored in bucket.iter_mut() {
+                        match &mut stored.lock {
+                            LockState::PendingWrite(t) if *t == id => {
+                                stored.lock = LockState::Free;
+                                fire.push(stored.tuple.clone());
+                            }
+                            LockState::ReadBy(readers) => {
+                                readers.retain(|r| *r != id);
+                                if readers.is_empty() {
+                                    stored.lock = LockState::Free;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    bucket.retain(|s| s.lock != LockState::TakenBy(id));
+                }
+                SpaceStats::bump(&self.stats.txns_committed);
+            } else {
+                for bucket in inner.by_type.values_mut() {
+                    bucket.retain(|s| s.lock != LockState::PendingWrite(id));
+                    for stored in bucket.iter_mut() {
+                        match &mut stored.lock {
+                            LockState::TakenBy(t) if *t == id => {
+                                stored.lock = LockState::Free;
+                            }
+                            LockState::ReadBy(readers) => {
+                                readers.retain(|r| *r != id);
+                                if readers.is_empty() {
+                                    stored.lock = LockState::Free;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                SpaceStats::bump(&self.stats.txns_aborted);
+                let _ = rec;
+            }
+            fire
+        };
+        // Entries became visible (commit) or available again (abort): wake
+        // all waiters either way.
+        self.cond.notify_all();
+        if !committed_tuples.is_empty() {
+            self.fire_events(&committed_tuples);
+        }
+        Ok(())
+    }
+
+    fn fire_events(&self, tuples: &[Tuple]) {
+        // Snapshot matching registrations without holding the main lock.
+        let slots: Vec<Arc<RegistrationSlot>> = self.registrations.lock().clone();
+        for slot in slots {
+            if !slot.active.load(std::sync::atomic::Ordering::Relaxed) {
+                continue;
+            }
+            let mut reg = slot.reg.lock();
+            for tuple in tuples {
+                if reg.template.matches(tuple) {
+                    reg.seq += 1;
+                    let ev = SpaceEvent {
+                        cookie: reg.cookie,
+                        seq: reg.seq,
+                        tuple: tuple.clone(),
+                    };
+                    (reg.listener)(ev);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+    use crate::tuple::Tuple;
+    use std::thread;
+
+    fn task(id: i64) -> Tuple {
+        Tuple::build("task").field("id", id).done()
+    }
+
+    #[test]
+    fn write_then_take() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        let got = s.take_if_exists(&Template::of_type("task")).unwrap();
+        assert_eq!(got.unwrap().get_int("id"), Some(1));
+        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_none());
+    }
+
+    #[test]
+    fn read_does_not_remove() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fifo_matching_order() {
+        let s = Space::new("t");
+        for i in 0..5 {
+            s.write(task(i)).unwrap();
+        }
+        for i in 0..5 {
+            let got = s.take_if_exists(&Template::of_type("task")).unwrap().unwrap();
+            assert_eq!(got.get_int("id"), Some(i));
+        }
+    }
+
+    #[test]
+    fn blocking_take_waits_for_writer() {
+        let s = Space::new("t");
+        let s2 = s.clone();
+        let h = thread::spawn(move || {
+            s2.take(&Template::of_type("task"), Some(Duration::from_secs(5)))
+                .unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        s.write(task(42)).unwrap();
+        let got = h.join().unwrap().unwrap();
+        assert_eq!(got.get_int("id"), Some(42));
+    }
+
+    #[test]
+    fn take_timeout_returns_none() {
+        let s = Space::new("t");
+        let got = s
+            .take(&Template::of_type("task"), Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(got.is_none());
+        assert_eq!(s.stats().misses, 1);
+    }
+
+    #[test]
+    fn close_wakes_blocked_takers() {
+        let s = Space::new("t");
+        let s2 = s.clone();
+        let h = thread::spawn(move || s2.take(&Template::of_type("task"), None));
+        thread::sleep(Duration::from_millis(30));
+        s.close();
+        assert_eq!(h.join().unwrap(), Err(SpaceError::Closed));
+        assert!(s.write(task(1)).is_err());
+    }
+
+    #[test]
+    fn lease_expiry_reclaims_entry() {
+        let s = Space::new("t");
+        s.write_leased(task(1), Lease::for_millis(10)).unwrap();
+        thread::sleep(Duration::from_millis(25));
+        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_none());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn renew_extends_lease() {
+        let s = Space::new("t");
+        let id = s.write_leased(task(1), Lease::for_millis(40)).unwrap();
+        s.renew_lease(id, Lease::forever()).unwrap();
+        thread::sleep(Duration::from_millis(60));
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+    }
+
+    #[test]
+    fn cancel_removes_by_id() {
+        let s = Space::new("t");
+        let id = s.write(task(7)).unwrap();
+        let t = s.cancel(id).unwrap();
+        assert_eq!(t.get_int("id"), Some(7));
+        assert_eq!(s.cancel(id), Err(SpaceError::NoSuchEntry));
+    }
+
+    #[test]
+    fn sweep_counts_expired() {
+        let s = Space::new("t");
+        s.write_leased(task(1), Lease::for_millis(5)).unwrap();
+        s.write(task(2)).unwrap();
+        thread::sleep(Duration::from_millis(15));
+        assert_eq!(s.sweep(), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn txn_write_invisible_until_commit() {
+        let s = Space::new("t");
+        let txn = s.txn().unwrap();
+        txn.write(task(1)).unwrap();
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_none());
+        txn.commit().unwrap();
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+    }
+
+    #[test]
+    fn txn_write_visible_to_self() {
+        let s = Space::new("t");
+        let txn = s.txn().unwrap();
+        txn.write(task(1)).unwrap();
+        assert!(txn
+            .read(&Template::of_type("task"), Some(Duration::ZERO))
+            .unwrap()
+            .is_some());
+        txn.abort().unwrap();
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_none());
+    }
+
+    #[test]
+    fn txn_take_restored_on_abort() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        let txn = s.txn().unwrap();
+        let got = txn.take_if_exists(&Template::of_type("task")).unwrap();
+        assert!(got.is_some());
+        // Invisible to others while taken.
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_none());
+        txn.abort().unwrap();
+        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_some());
+    }
+
+    #[test]
+    fn txn_take_removed_on_commit() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        let txn = s.txn().unwrap();
+        txn.take_if_exists(&Template::of_type("task")).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn txn_drop_aborts() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        {
+            let txn = s.txn().unwrap();
+            txn.take_if_exists(&Template::of_type("task")).unwrap();
+            // Dropped without commit — simulated crash.
+        }
+        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert_eq!(s.stats().txns_aborted, 1);
+    }
+
+    #[test]
+    fn read_lock_blocks_other_take_but_not_read() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        let txn = s.txn().unwrap();
+        txn.read(&Template::of_type("task"), Some(Duration::ZERO))
+            .unwrap()
+            .unwrap();
+        // Others can still read…
+        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+        // …but not take.
+        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_none());
+        txn.commit().unwrap();
+        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_some());
+    }
+
+    #[test]
+    fn take_back_own_pending_write() {
+        let s = Space::new("t");
+        let txn = s.txn().unwrap();
+        txn.write(task(1)).unwrap();
+        let got = txn.take_if_exists(&Template::of_type("task")).unwrap();
+        assert!(got.is_some());
+        txn.commit().unwrap();
+        // The write never became visible: taking your own pending write
+        // cancels it.
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn commit_wakes_blocked_taker() {
+        let s = Space::new("t");
+        let s2 = s.clone();
+        let h = thread::spawn(move || {
+            s2.take(&Template::of_type("task"), Some(Duration::from_secs(5)))
+                .unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        let txn = s.txn().unwrap();
+        txn.write(task(5)).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(h.join().unwrap().unwrap().get_int("id"), Some(5));
+    }
+
+    #[test]
+    fn notify_fires_on_matching_write_only() {
+        let s = Space::new("t");
+        let (_, rx) = s.notify_channel(Template::build("task").eq("id", 2i64).done());
+        s.write(task(1)).unwrap();
+        s.write(task(2)).unwrap();
+        let ev = rx.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(ev.tuple.get_int("id"), Some(2));
+        assert_eq!(ev.seq, 1);
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn notify_fires_on_commit_not_before() {
+        let s = Space::new("t");
+        let (_, rx) = s.notify_channel(Template::of_type("task"));
+        let txn = s.txn().unwrap();
+        txn.write(task(1)).unwrap();
+        assert!(rx.try_recv().is_err());
+        txn.commit().unwrap();
+        assert!(rx.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn cancel_notify_stops_events() {
+        let s = Space::new("t");
+        let (cookie, rx) = s.notify_channel(Template::of_type("task"));
+        s.cancel_notify(cookie).unwrap();
+        s.write(task(1)).unwrap();
+        assert!(rx.try_recv().is_err());
+        assert_eq!(
+            s.cancel_notify(cookie),
+            Err(SpaceError::NoSuchRegistration)
+        );
+    }
+
+    #[test]
+    fn many_concurrent_takers_each_get_distinct_task() {
+        let s = Space::new("t");
+        let n = 64;
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let s2 = s.clone();
+            handles.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(t) = s2
+                    .take(&Template::of_type("task"), Some(Duration::from_millis(200)))
+                    .unwrap()
+                {
+                    got.push(t.get_int("id").unwrap());
+                }
+                got
+            }));
+        }
+        for i in 0..n {
+            s.write(task(i)).unwrap();
+        }
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn write_all_is_batched_and_ordered() {
+        let s = Space::new("t");
+        let ids = s.write_all((0..5).map(task).collect()).unwrap();
+        assert_eq!(ids.len(), 5);
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 1), "contiguous ids");
+        for i in 0..5 {
+            let got = s.take_if_exists(&Template::of_type("task")).unwrap().unwrap();
+            assert_eq!(got.get_int("id"), Some(i), "FIFO preserved");
+        }
+    }
+
+    #[test]
+    fn write_all_fires_events_per_tuple() {
+        let s = Space::new("t");
+        let (_, rx) = s.notify_channel(Template::of_type("task"));
+        s.write_all(vec![task(1), task(2), task(3)]).unwrap();
+        let mut seen = 0;
+        while rx.recv_timeout(Duration::from_millis(200)).is_ok() {
+            seen += 1;
+        }
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn write_all_wakes_blocked_taker() {
+        let s = Space::new("t");
+        let s2 = s.clone();
+        let h = thread::spawn(move || {
+            s2.take_up_to(&Template::of_type("task"), 10, Some(Duration::from_secs(5)))
+                .unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        s.write_all((0..4).map(task).collect()).unwrap();
+        let got = h.join().unwrap();
+        assert_eq!(got.len(), 4, "first blocks, rest drained");
+    }
+
+    #[test]
+    fn take_up_to_caps_at_max() {
+        let s = Space::new("t");
+        s.write_all((0..10).map(task).collect()).unwrap();
+        let got = s
+            .take_up_to(&Template::of_type("task"), 3, Some(Duration::ZERO))
+            .unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(s.len(), 7);
+        let none = s
+            .take_up_to(&Template::of_type("task"), 0, Some(Duration::ZERO))
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn take_up_to_timeout_empty() {
+        let s = Space::new("t");
+        let got = s
+            .take_up_to(&Template::of_type("task"), 5, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        s.read_if_exists(&Template::of_type("task")).unwrap();
+        s.take_if_exists(&Template::of_type("task")).unwrap();
+        s.take_if_exists(&Template::of_type("task")).unwrap();
+        let st = s.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.reads, 1);
+        assert_eq!(st.takes, 1);
+        assert_eq!(st.misses, 1);
+        assert!(st.bytes_written > 0);
+    }
+
+    #[test]
+    fn type_wildcard_template_scans_all_types() {
+        let s = Space::new("t");
+        s.write(Tuple::build("alpha").field("x", 1i64).done()).unwrap();
+        s.write(Tuple::build("beta").field("x", 1i64).done()).unwrap();
+        let all = s.read_all(&Template::any_type().eq("x", 1i64).done()).unwrap();
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -1,0 +1,83 @@
+//! Space operation counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters describing traffic through a space. All methods use
+/// relaxed atomics: the counters are diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct SpaceStats {
+    pub(crate) writes: AtomicU64,
+    pub(crate) reads: AtomicU64,
+    pub(crate) takes: AtomicU64,
+    pub(crate) misses: AtomicU64,
+    pub(crate) blocked_waits: AtomicU64,
+    pub(crate) expired: AtomicU64,
+    pub(crate) txns_committed: AtomicU64,
+    pub(crate) txns_aborted: AtomicU64,
+    pub(crate) bytes_written: AtomicU64,
+}
+
+/// A point-in-time copy of [`SpaceStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Entries written (including transactional writes at commit time).
+    pub writes: u64,
+    /// Successful non-destructive reads.
+    pub reads: u64,
+    /// Successful takes.
+    pub takes: u64,
+    /// Read/take attempts that returned empty (timeout or if-exists miss).
+    pub misses: u64,
+    /// Number of times an operation blocked waiting for a match.
+    pub blocked_waits: u64,
+    /// Entries reclaimed by lease expiry.
+    pub expired: u64,
+    /// Transactions committed.
+    pub txns_committed: u64,
+    /// Transactions aborted.
+    pub txns_aborted: u64,
+    /// Total approximate bytes written into the space.
+    pub bytes_written: u64,
+}
+
+impl SpaceStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            takes: self.takes.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            blocked_waits: self.blocked_waits.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            txns_committed: self.txns_committed.load(Ordering::Relaxed),
+            txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_bump() {
+        let s = SpaceStats::default();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+        SpaceStats::bump(&s.writes);
+        SpaceStats::add(&s.bytes_written, 128);
+        let snap = s.snapshot();
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.bytes_written, 128);
+        assert_eq!(snap.takes, 0);
+    }
+}

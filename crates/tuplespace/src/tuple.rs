@@ -1,0 +1,221 @@
+//! Tuples: typed, named-field entries stored in a space.
+//!
+//! A [`Tuple`] is the Rust analogue of a JavaSpaces `Entry`: it carries a
+//! type name (the Java class) and a set of named fields (the entry's public
+//! fields). Fields are kept sorted by name so tuples have a canonical form.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// An immutable, named-field record stored in a [`crate::Space`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tuple {
+    type_name: Arc<str>,
+    /// Sorted by field name; unique names.
+    fields: Arc<[(String, Value)]>,
+}
+
+impl Tuple {
+    /// Starts building a tuple of the given type.
+    pub fn build(type_name: impl Into<String>) -> TupleBuilder {
+        TupleBuilder {
+            type_name: type_name.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// The tuple's type name (the analogue of the entry's Java class).
+    pub fn type_name(&self) -> &str {
+        &self.type_name
+    }
+
+    /// All fields, sorted by name.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the tuple has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.fields[i].1)
+    }
+
+    /// Integer field accessor.
+    pub fn get_int(&self, name: &str) -> Option<i64> {
+        self.get(name).and_then(Value::as_int)
+    }
+
+    /// Float field accessor.
+    pub fn get_float(&self, name: &str) -> Option<f64> {
+        self.get(name).and_then(Value::as_float)
+    }
+
+    /// Bool field accessor.
+    pub fn get_bool(&self, name: &str) -> Option<bool> {
+        self.get(name).and_then(Value::as_bool)
+    }
+
+    /// String field accessor.
+    pub fn get_str(&self, name: &str) -> Option<&str> {
+        self.get(name).and_then(Value::as_str)
+    }
+
+    /// Bytes field accessor.
+    pub fn get_bytes(&self, name: &str) -> Option<&[u8]> {
+        self.get(name).and_then(Value::as_bytes)
+    }
+
+    /// List field accessor.
+    pub fn get_list(&self, name: &str) -> Option<&[Value]> {
+        self.get(name).and_then(Value::as_list)
+    }
+
+    /// Approximate serialized size of the tuple in bytes. Drives space
+    /// statistics and the simulator's communication-cost model.
+    pub fn size_hint(&self) -> usize {
+        self.type_name.len()
+            + self
+                .fields
+                .iter()
+                .map(|(n, v)| n.len() + v.size_hint())
+                .sum::<usize>()
+    }
+
+    /// Returns a copy of this tuple with one field replaced or added.
+    pub fn with_field(&self, name: impl Into<String>, value: impl Into<Value>) -> Tuple {
+        let name = name.into();
+        let mut fields: Vec<(String, Value)> = self.fields.to_vec();
+        match fields.binary_search_by(|(n, _)| n.as_str().cmp(name.as_str())) {
+            Ok(i) => fields[i].1 = value.into(),
+            Err(i) => fields.insert(i, (name, value.into())),
+        }
+        Tuple {
+            type_name: self.type_name.clone(),
+            fields: fields.into(),
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{{", self.type_name)?;
+        for (i, (n, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`Tuple`]; later duplicate field names overwrite earlier ones.
+#[derive(Debug)]
+pub struct TupleBuilder {
+    type_name: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl TupleBuilder {
+    /// Adds (or overwrites) a field.
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((name, value));
+        }
+        self
+    }
+
+    /// Finishes the tuple.
+    pub fn done(mut self) -> Tuple {
+        self.fields.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Tuple {
+            type_name: self.type_name.into(),
+            fields: self.fields.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_access() {
+        let t = Tuple::build("task")
+            .field("id", 3i64)
+            .field("label", "strip")
+            .field("weight", 2.5f64)
+            .field("done", false)
+            .done();
+        assert_eq!(t.type_name(), "task");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get_int("id"), Some(3));
+        assert_eq!(t.get_str("label"), Some("strip"));
+        assert_eq!(t.get_float("weight"), Some(2.5));
+        assert_eq!(t.get_bool("done"), Some(false));
+        assert!(t.get("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_field_overwrites() {
+        let t = Tuple::build("t").field("x", 1i64).field("x", 2i64).done();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get_int("x"), Some(2));
+    }
+
+    #[test]
+    fn fields_are_sorted_canonically() {
+        let a = Tuple::build("t").field("b", 1i64).field("a", 2i64).done();
+        let b = Tuple::build("t").field("a", 2i64).field("b", 1i64).done();
+        assert_eq!(a, b);
+        assert_eq!(a.fields()[0].0, "a");
+    }
+
+    #[test]
+    fn with_field_replaces_and_inserts() {
+        let t = Tuple::build("t").field("a", 1i64).done();
+        let t2 = t.with_field("a", 9i64).with_field("z", "new");
+        assert_eq!(t2.get_int("a"), Some(9));
+        assert_eq!(t2.get_str("z"), Some("new"));
+        // Original untouched (immutability).
+        assert_eq!(t.get_int("a"), Some(1));
+        assert!(t.get("z").is_none());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = Tuple::build("task").field("id", 1i64).done();
+        assert_eq!(format!("{t}"), "task{id: 1}");
+    }
+
+    #[test]
+    fn size_hint_counts_names_and_values() {
+        let t = Tuple::build("tt").field("ab", 1i64).done();
+        assert_eq!(t.size_hint(), 2 + 2 + 8);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::build("empty").done();
+        assert!(t.is_empty());
+        assert_eq!(t.size_hint(), 5);
+    }
+}

@@ -1,0 +1,107 @@
+//! Transactions over space operations.
+//!
+//! The paper relies on JavaSpaces transactions for fault tolerance: "in event
+//! of a partial failure, the transaction either completes successfully or
+//! does not execute at all" (§3). A [`Txn`] buffers writes (invisible to
+//! other clients until commit), locks taken entries (restored on abort), and
+//! read-locks read entries (other clients may read but not take them).
+//!
+//! Dropping an active transaction aborts it, so a worker that panics while
+//! holding a task under a transaction returns the task to the space — the
+//! entry is never lost.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::error::SpaceResult;
+use crate::space::{EntryId, Space};
+use crate::template::Template;
+use crate::tuple::Tuple;
+
+/// Transaction identifier, unique within a space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub(crate) u64);
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Operations may still be performed under the transaction.
+    Active,
+    /// The transaction committed; its effects are visible.
+    Committed,
+    /// The transaction aborted; it had no effect.
+    Aborted,
+}
+
+/// A handle to an active transaction. Obtained from [`Space::txn`].
+#[derive(Debug)]
+pub struct Txn {
+    space: Arc<Space>,
+    id: TxnId,
+    finished: AtomicBool,
+}
+
+impl Txn {
+    pub(crate) fn new(space: Arc<Space>, id: TxnId) -> Txn {
+        Txn {
+            space,
+            id,
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// This transaction's identifier.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Writes a tuple under this transaction. It becomes visible to other
+    /// clients only at commit; reads/takes under this same transaction see it
+    /// immediately.
+    pub fn write(&self, tuple: Tuple) -> SpaceResult<EntryId> {
+        self.space.write_internal(tuple, crate::Lease::Forever, Some(self.id))
+    }
+
+    /// Reads a matching tuple under this transaction, blocking up to
+    /// `timeout` (`None` blocks indefinitely). The entry is read-locked until
+    /// the transaction finishes: others may read it but not take it.
+    pub fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.space.read_internal(template, timeout, Some(self.id))
+    }
+
+    /// Takes a matching tuple under this transaction. The entry is locked —
+    /// invisible to everyone — until commit (removed) or abort (restored).
+    pub fn take(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.space.take_internal(template, timeout, Some(self.id))
+    }
+
+    /// Non-blocking take under this transaction.
+    pub fn take_if_exists(&self, template: &Template) -> SpaceResult<Option<Tuple>> {
+        self.space
+            .take_internal(template, Some(Duration::ZERO), Some(self.id))
+    }
+
+    /// Commits: buffered writes become visible, taken entries are removed,
+    /// read locks are released.
+    pub fn commit(self) -> SpaceResult<()> {
+        self.finished.store(true, Ordering::SeqCst);
+        self.space.finish_txn(self.id, true)
+    }
+
+    /// Aborts: buffered writes are discarded, taken entries are restored,
+    /// read locks are released.
+    pub fn abort(self) -> SpaceResult<()> {
+        self.finished.store(true, Ordering::SeqCst);
+        self.space.finish_txn(self.id, false)
+    }
+}
+
+impl Drop for Txn {
+    fn drop(&mut self) {
+        if !self.finished.swap(true, Ordering::SeqCst) {
+            // Abort on drop: a crashed holder must not lose entries.
+            let _ = self.space.finish_txn(self.id, false);
+        }
+    }
+}

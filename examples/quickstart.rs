@@ -1,0 +1,100 @@
+//! Quickstart: the smallest complete use of the framework.
+//!
+//! Defines a trivial bag-of-tasks application (sum the squares of 0..N),
+//! brings up an adaptive cluster with three simulated worker nodes, runs
+//! the job through the master module, and prints the phase timings the
+//! paper's evaluation reports.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use adaptive_spaces::framework::{
+    Application, ClusterBuilder, ExecError, FrameworkConfig, TaskEntry, TaskExecutor, TaskSpec,
+};
+use adaptive_spaces::space::Payload;
+use adaptive_spaces::cluster::NodeSpec;
+
+/// The application: each task squares one integer; the master sums them.
+struct SumSquares {
+    n: u64,
+    total: u64,
+}
+
+struct SquareExecutor;
+
+impl TaskExecutor for SquareExecutor {
+    fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+        let x: u64 = task.input()?;
+        Ok((x * x).to_bytes())
+    }
+}
+
+impl Application for SumSquares {
+    fn job_name(&self) -> String {
+        "sum-squares".into()
+    }
+
+    fn bundle_name(&self) -> String {
+        "sum-squares-worker".into()
+    }
+
+    fn plan(&mut self) -> Vec<TaskSpec> {
+        (0..self.n).map(|i| TaskSpec::new(i, &i)).collect()
+    }
+
+    fn executor(&self) -> Arc<dyn TaskExecutor> {
+        Arc::new(SquareExecutor)
+    }
+
+    fn absorb(&mut self, _task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+        self.total += u64::from_bytes(payload).map_err(ExecError::Decode)?;
+        Ok(())
+    }
+}
+
+fn main() {
+    // 1. Bring the cluster up: space + federation + network management.
+    let config = FrameworkConfig {
+        poll_interval: Duration::from_millis(20),
+        ..FrameworkConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(config)
+        .space_name("quickstart-space")
+        .build();
+
+    // 2. Install the application (publishes its code bundle) and add
+    //    worker nodes. The inference engine will Start them when their
+    //    nodes are idle.
+    let mut app = SumSquares { n: 64, total: 0 };
+    cluster.install(&app);
+    for i in 0..3 {
+        cluster.add_worker(NodeSpec::new(format!("worker-{i}"), 800, 256));
+    }
+
+    // 3. Run the job through the master module.
+    let report = cluster.run(&mut app);
+
+    println!("sum of squares 0..{} = {}", app.n, app.total);
+    println!(
+        "expected                 = {}",
+        (0..app.n).map(|i| i * i).sum::<u64>()
+    );
+    println!();
+    println!("tasks planned        : {}", report.times.tasks);
+    println!("results collected    : {}", report.results_collected);
+    println!("task planning time   : {:8.2} ms", report.times.task_planning_ms);
+    println!("task aggregation time: {:8.2} ms", report.times.task_aggregation_ms);
+    println!("max worker time      : {:8.2} ms", report.times.max_worker_ms);
+    println!("parallel time        : {:8.2} ms", report.times.parallel_ms);
+    for worker in cluster.workers() {
+        println!(
+            "  {}: {} tasks, final state {}",
+            worker.name(),
+            worker.tasks_done(),
+            worker.state()
+        );
+    }
+    cluster.shutdown();
+}

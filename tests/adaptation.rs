@@ -1,0 +1,178 @@
+//! Integration tests of the adaptation path on the real thread runtime:
+//! load generators drive node CPU, SNMP polling and the inference engine
+//! react, workers obey signals between tasks, and no work is lost.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adaptive_spaces::cluster::{LoadGenerator, LoadTrace, NodeSpec};
+use adaptive_spaces::framework::{
+    Application, ClusterBuilder, ExecError, FrameworkConfig, Signal, TaskEntry, TaskExecutor,
+    TaskSpec, WorkerState,
+};
+use adaptive_spaces::space::Payload;
+
+struct SlowEcho {
+    tasks: u64,
+    seen: Vec<u64>,
+}
+
+struct SlowExecutor;
+
+impl TaskExecutor for SlowExecutor {
+    fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+        let x: u64 = task.input()?;
+        std::thread::sleep(Duration::from_millis(8));
+        Ok(x.to_bytes())
+    }
+}
+
+impl Application for SlowEcho {
+    fn job_name(&self) -> String {
+        "slow-echo".into()
+    }
+    fn bundle_name(&self) -> String {
+        "slow-echo-worker".into()
+    }
+    fn plan(&mut self) -> Vec<TaskSpec> {
+        (0..self.tasks).map(|i| TaskSpec::new(i, &i)).collect()
+    }
+    fn executor(&self) -> Arc<dyn TaskExecutor> {
+        Arc::new(SlowExecutor)
+    }
+    fn absorb(&mut self, _task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+        self.seen.push(u64::from_bytes(payload).map_err(ExecError::Decode)?);
+        Ok(())
+    }
+}
+
+fn fast_config() -> FrameworkConfig {
+    FrameworkConfig {
+        poll_interval: Duration::from_millis(10),
+        class_load_base: Duration::from_millis(2),
+        class_load_per_kb: Duration::ZERO,
+        task_poll_timeout: Duration::from_millis(5),
+        ..FrameworkConfig::default()
+    }
+}
+
+fn wait_for(pred: impl Fn() -> bool, what: &str) {
+    let begun = Instant::now();
+    while !pred() {
+        assert!(
+            begun.elapsed() < Duration::from_secs(10),
+            "timed out waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn hogged_worker_is_stopped_and_job_still_completes() {
+    let mut app = SlowEcho {
+        tasks: 60,
+        seen: vec![],
+    };
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    cluster.install(&app);
+    cluster.add_worker(NodeSpec::new("victim", 800, 256));
+    cluster.add_worker(NodeSpec::new("steady", 800, 256));
+
+    // Hog the victim for the whole run.
+    let victim = cluster.workers()[0].node.clone();
+    let hog = LoadGenerator::start(&victim, LoadTrace::simulator2(60_000));
+    wait_for(|| victim.cpu_load() == 100, "load generator");
+
+    let report = cluster.run(&mut app);
+    assert!(report.complete);
+    let mut seen = app.seen.clone();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..60).collect::<Vec<_>>(), "every result exactly once");
+    // The steady worker did (essentially) everything.
+    let victim_done = cluster.workers()[0].tasks_done();
+    let steady_done = cluster.workers()[1].tasks_done();
+    assert!(steady_done >= 55, "steady {steady_done}, victim {victim_done}");
+    hog.stop();
+    cluster.shutdown();
+}
+
+#[test]
+fn pause_resume_cycle_with_moderate_load() {
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    let app = SlowEcho {
+        tasks: 0,
+        seen: vec![],
+    };
+    cluster.install(&app);
+    cluster.add_worker(NodeSpec::new("solo", 800, 256));
+    let node = cluster.workers()[0].node.clone();
+
+    // The worker starts (idle node).
+    wait_for(
+        || cluster.workers()[0].state() == WorkerState::Running,
+        "start",
+    );
+    // Moderate load → Pause.
+    node.load().set_background(40);
+    wait_for(
+        || cluster.workers()[0].state() == WorkerState::Paused,
+        "pause",
+    );
+    // Load clears → Resume.
+    node.load().set_background(0);
+    wait_for(
+        || cluster.workers()[0].state() == WorkerState::Running,
+        "resume",
+    );
+    // Heavy load → Stop (from Running).
+    node.load().set_background(95);
+    wait_for(
+        || cluster.workers()[0].state() == WorkerState::Stopped,
+        "stop",
+    );
+
+    let log = cluster.workers()[0].signal_log();
+    let sequence: Vec<Signal> = log.iter().map(|e| e.signal).collect();
+    assert_eq!(
+        sequence,
+        vec![Signal::Start, Signal::Pause, Signal::Resume, Signal::Stop]
+    );
+    // Resume is cheaper than Start (no class loading).
+    let start = log.iter().find(|e| e.signal == Signal::Start).unwrap();
+    let resume = log.iter().find(|e| e.signal == Signal::Resume).unwrap();
+    assert!(resume.reaction_ms() <= start.reaction_ms());
+    cluster.shutdown();
+}
+
+#[test]
+fn signals_never_interrupt_a_task_mid_flight() {
+    // A worker computing 8 ms tasks that is paused mid-run must still
+    // deliver every result exactly once — the current task completes and
+    // its result reaches the space before the pause takes effect.
+    let mut app = SlowEcho {
+        tasks: 40,
+        seen: vec![],
+    };
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    cluster.install(&app);
+    cluster.add_worker(NodeSpec::new("flappy", 800, 256));
+    let node = cluster.workers()[0].node.clone();
+
+    // Flap the background load while the job runs.
+    let flapper = std::thread::spawn(move || {
+        for _ in 0..6 {
+            node.load().set_background(40);
+            std::thread::sleep(Duration::from_millis(40));
+            node.load().set_background(0);
+            std::thread::sleep(Duration::from_millis(40));
+        }
+    });
+    let report = cluster.run(&mut app);
+    flapper.join().unwrap();
+    assert!(report.complete);
+    let mut seen = app.seen.clone();
+    seen.sort_unstable();
+    seen.dedup();
+    assert_eq!(seen.len(), 40, "no duplicates, no losses");
+    cluster.shutdown();
+}

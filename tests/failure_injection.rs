@@ -1,0 +1,272 @@
+//! Failure injection: what happens when executors fail, workers vanish
+//! mid-task, payloads are corrupt, or results never come.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adaptive_spaces::cluster::NodeSpec;
+use adaptive_spaces::framework::{
+    task_template, Application, ClusterBuilder, ExecError, FrameworkConfig, Master, TaskEntry,
+    TaskExecutor, TaskSpec,
+};
+use adaptive_spaces::space::{Payload, Space, StoreHandle, Template};
+
+fn fast_config() -> FrameworkConfig {
+    FrameworkConfig {
+        poll_interval: Duration::from_millis(10),
+        class_load_base: Duration::from_millis(2),
+        class_load_per_kb: Duration::ZERO,
+        task_poll_timeout: Duration::from_millis(10),
+        ..FrameworkConfig::default()
+    }
+}
+
+/// Fails the first `failures` executions, then succeeds — a flaky worker
+/// library.
+struct FlakyApp {
+    n: u64,
+    outputs: u64,
+    failures: Arc<AtomicU64>,
+}
+
+struct FlakyExec {
+    remaining_failures: Arc<AtomicU64>,
+}
+
+impl TaskExecutor for FlakyExec {
+    fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+        let left = self.remaining_failures.load(Ordering::SeqCst);
+        if left > 0
+            && self
+                .remaining_failures
+                .compare_exchange(left, left - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            return Err(ExecError::App("injected failure".into()));
+        }
+        let x: u64 = task.input()?;
+        Ok(x.to_bytes())
+    }
+}
+
+impl Application for FlakyApp {
+    fn job_name(&self) -> String {
+        "flaky".into()
+    }
+    fn bundle_name(&self) -> String {
+        "flaky-worker".into()
+    }
+    fn plan(&mut self) -> Vec<TaskSpec> {
+        (0..self.n).map(|i| TaskSpec::new(i, &i)).collect()
+    }
+    fn executor(&self) -> Arc<dyn TaskExecutor> {
+        Arc::new(FlakyExec {
+            remaining_failures: self.failures.clone(),
+        })
+    }
+    fn absorb(&mut self, _task_id: u64, _payload: &[u8]) -> Result<(), ExecError> {
+        self.outputs += 1;
+        Ok(())
+    }
+}
+
+#[test]
+fn failed_executions_requeue_the_task() {
+    // 5 injected failures across 20 tasks: every failed task goes back to
+    // the space and is retried until it succeeds, so the run completes.
+    let failures = Arc::new(AtomicU64::new(5));
+    let mut app = FlakyApp {
+        n: 20,
+        outputs: 0,
+        failures: failures.clone(),
+    };
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    cluster.install(&app);
+    cluster.add_worker(NodeSpec::new("w1", 800, 256));
+    cluster.add_worker(NodeSpec::new("w2", 800, 256));
+    let report = cluster.run(&mut app);
+    assert!(report.complete, "all tasks eventually done");
+    assert_eq!(app.outputs, 20);
+    assert_eq!(failures.load(Ordering::SeqCst), 0, "failures were consumed");
+    cluster.shutdown();
+}
+
+#[test]
+fn master_reports_malformed_results_without_stalling() {
+    // An impostor writes a result entry whose payload is not decodable by
+    // the application; the master records the failure and keeps going.
+    struct StrictApp {
+        good: u64,
+    }
+    impl Application for StrictApp {
+        fn job_name(&self) -> String {
+            "strict".into()
+        }
+        fn bundle_name(&self) -> String {
+            "strict-worker".into()
+        }
+        fn plan(&mut self) -> Vec<TaskSpec> {
+            vec![TaskSpec::new(0, &1u64), TaskSpec::new(1, &2u64)]
+        }
+        fn executor(&self) -> Arc<dyn TaskExecutor> {
+            unreachable!("no workers in this test")
+        }
+        fn absorb(&mut self, _id: u64, payload: &[u8]) -> Result<(), ExecError> {
+            let _: u64 = u64::from_bytes(payload).map_err(ExecError::Decode)?;
+            self.good += 1;
+            Ok(())
+        }
+    }
+
+    let space = Space::new("strict");
+    // Seed one good and one corrupt result before the master runs.
+    for (id, payload) in [(0u64, 7u64.to_bytes()), (1, vec![1, 2, 3])] {
+        let result = adaptive_spaces::framework::ResultEntry {
+            job: "strict".into(),
+            task_id: id,
+            worker: "impostor".into(),
+            payload,
+            compute_ms: 1.0,
+            span_ms: 1.0,
+            error: None,
+        };
+        space.write(result.to_tuple()).unwrap();
+    }
+    let mut app = StrictApp { good: 0 };
+    let store: StoreHandle = space;
+    let master = Master::new(store);
+    let report = master.run(&mut app).unwrap();
+    assert_eq!(app.good, 1);
+    assert_eq!(report.results_collected, 1);
+    assert_eq!(report.failures.len(), 1);
+    assert!(!report.complete);
+}
+
+#[test]
+fn poison_task_terminates_with_error_result() {
+    // One task always fails; after max_task_retries the worker writes a
+    // terminal error result, so the run finishes (incomplete) instead of
+    // hanging or looping forever.
+    struct PoisonApp {
+        good: u64,
+    }
+    struct PoisonExec;
+    impl TaskExecutor for PoisonExec {
+        fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+            let x: u64 = task.input()?;
+            if x == 3 {
+                return Err(ExecError::App("always fails".into()));
+            }
+            Ok(x.to_bytes())
+        }
+    }
+    impl Application for PoisonApp {
+        fn job_name(&self) -> String {
+            "poison".into()
+        }
+        fn bundle_name(&self) -> String {
+            "poison-worker".into()
+        }
+        fn plan(&mut self) -> Vec<TaskSpec> {
+            (0..6).map(|i| TaskSpec::new(i, &i)).collect()
+        }
+        fn executor(&self) -> Arc<dyn TaskExecutor> {
+            Arc::new(PoisonExec)
+        }
+        fn absorb(&mut self, _: u64, _: &[u8]) -> Result<(), ExecError> {
+            self.good += 1;
+            Ok(())
+        }
+    }
+
+    let mut app = PoisonApp { good: 0 };
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    cluster.install(&app);
+    cluster.add_worker(NodeSpec::new("w1", 800, 256));
+    let report = cluster.run(&mut app);
+    assert!(!report.complete, "the poison task cannot succeed");
+    assert_eq!(report.results_collected, 5);
+    assert_eq!(app.good, 5);
+    assert_eq!(report.failures.len(), 1);
+    assert_eq!(report.failures[0].0, 3);
+    // Nothing left circulating in the space.
+    assert_eq!(cluster.space().len(), 0);
+    cluster.shutdown();
+}
+
+#[test]
+fn master_timeout_leaves_tasks_for_later() {
+    struct NoWorkers {
+        n: u64,
+    }
+    impl Application for NoWorkers {
+        fn job_name(&self) -> String {
+            "orphan".into()
+        }
+        fn bundle_name(&self) -> String {
+            "orphan-worker".into()
+        }
+        fn plan(&mut self) -> Vec<TaskSpec> {
+            (0..self.n).map(|i| TaskSpec::new(i, &i)).collect()
+        }
+        fn executor(&self) -> Arc<dyn TaskExecutor> {
+            unreachable!()
+        }
+        fn absorb(&mut self, _: u64, _: &[u8]) -> Result<(), ExecError> {
+            Ok(())
+        }
+    }
+    let space = Space::new("orphan");
+    let store: StoreHandle = space.clone();
+    let mut master = Master::new(store);
+    master.result_timeout = Duration::from_millis(30);
+    let report = master.run(&mut NoWorkers { n: 4 }).unwrap();
+    assert!(!report.complete);
+    assert_eq!(report.results_collected, 0);
+    // Tasks survive in the space: a late worker could still pick them up.
+    assert_eq!(space.count(&task_template("orphan")), 4);
+}
+
+#[test]
+fn crashed_holder_under_txn_loses_nothing() {
+    // A "worker" takes a task under a transaction and dies (drops the txn
+    // without committing). The task reappears and a healthy taker gets it.
+    let space = Space::new("crashy");
+    space
+        .write(
+            adaptive_spaces::space::Tuple::build("acc.task")
+                .field("job", "j")
+                .field("task_id", 0i64)
+                .field("payload", vec![1u8])
+                .done(),
+        )
+        .unwrap();
+    {
+        let txn = space.txn().unwrap();
+        let taken = txn.take_if_exists(&Template::of_type("acc.task")).unwrap();
+        assert!(taken.is_some());
+        // Simulated crash: txn dropped here without commit.
+    }
+    let recovered = space.take_if_exists(&Template::of_type("acc.task")).unwrap();
+    assert!(recovered.is_some(), "task restored after holder crash");
+}
+
+#[test]
+fn worker_dies_when_space_server_disappears() {
+    // A remote worker whose space server goes away exits its loop rather
+    // than spinning; the cluster can still be shut down cleanly.
+    let mut app = FlakyApp {
+        n: 0,
+        outputs: 0,
+        failures: Arc::new(AtomicU64::new(0)),
+    };
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    cluster.install(&app);
+    let _addr = cluster.serve_space().unwrap();
+    cluster.add_remote_worker(NodeSpec::new("doomed", 800, 256)).unwrap();
+    // Run the (empty) job, then tear down; join must not hang.
+    let report = cluster.run(&mut app);
+    assert!(report.complete);
+    cluster.shutdown();
+}

@@ -1,0 +1,306 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use adaptive_spaces::apps::prefetch::{LinkGraph, LruCache, PageRank, StochasticMatrix};
+use adaptive_spaces::framework::{Signal, WorkerState};
+use adaptive_spaces::snmp::codec::{decode_message, encode_message};
+use adaptive_spaces::snmp::{ErrorStatus, Message, Oid, Pdu, PduType, SnmpValue, VERSION_2C};
+use adaptive_spaces::space::{Space, Template, Tuple};
+
+// ---------------------------------------------------------------------
+// Tuple space: model-based conservation of entries.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(i64),
+    Take,
+    TakeSpecific(i64),
+    Read,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..20).prop_map(Op::Write),
+        Just(Op::Take),
+        (0i64..20).prop_map(Op::TakeSpecific),
+        Just(Op::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn space_conserves_entries(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+        let space = Space::new("prop");
+        // Model: multiset of ids currently in the space.
+        let mut model: Vec<i64> = Vec::new();
+        let all = Template::of_type("t");
+        for op in ops {
+            match op {
+                Op::Write(id) => {
+                    space.write(Tuple::build("t").field("id", id).done()).unwrap();
+                    model.push(id);
+                }
+                Op::Take => {
+                    let got = space.take_if_exists(&all).unwrap();
+                    match got {
+                        Some(tuple) => {
+                            let id = tuple.get_int("id").unwrap();
+                            let pos = model.iter().position(|&m| m == id);
+                            prop_assert!(pos.is_some(), "took an id not in the model");
+                            model.remove(pos.unwrap());
+                        }
+                        None => prop_assert!(model.is_empty()),
+                    }
+                }
+                Op::TakeSpecific(id) => {
+                    let tmpl = Template::build("t").eq("id", id).done();
+                    let got = space.take_if_exists(&tmpl).unwrap();
+                    match got {
+                        Some(tuple) => {
+                            prop_assert_eq!(tuple.get_int("id"), Some(id));
+                            let pos = model.iter().position(|&m| m == id);
+                            prop_assert!(pos.is_some());
+                            model.remove(pos.unwrap());
+                        }
+                        None => prop_assert!(!model.contains(&id)),
+                    }
+                }
+                Op::Read => {
+                    let got = space.read_if_exists(&all).unwrap();
+                    prop_assert_eq!(got.is_some(), !model.is_empty());
+                }
+            }
+            prop_assert_eq!(space.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn txn_abort_is_a_no_op(
+        ids in proptest::collection::vec(0i64..50, 1..30),
+        take_count in 0usize..10,
+        write_count in 0usize..10,
+    ) {
+        let space = Space::new("prop");
+        for &id in &ids {
+            space.write(Tuple::build("t").field("id", id).done()).unwrap();
+        }
+        let before: usize = space.len();
+        let txn = space.txn().unwrap();
+        for _ in 0..take_count {
+            let _ = txn.take_if_exists(&Template::of_type("t")).unwrap();
+        }
+        for i in 0..write_count {
+            txn.write(Tuple::build("t").field("id", 1000 + i as i64).done()).unwrap();
+        }
+        txn.abort().unwrap();
+        prop_assert_eq!(space.len(), before, "abort must restore everything");
+    }
+
+    #[test]
+    fn template_from_subset_always_matches(
+        fields in proptest::collection::btree_map("[a-z]{1,6}", -100i64..100, 1..8),
+        subset_mask in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let mut builder = Tuple::build("t");
+        for (name, value) in &fields {
+            builder = builder.field(name.clone(), *value);
+        }
+        let tuple = builder.done();
+        let mut tmpl = Template::build("t");
+        for (i, (name, value)) in fields.iter().enumerate() {
+            if *subset_mask.get(i).unwrap_or(&false) {
+                tmpl = tmpl.eq(name.clone(), *value);
+            }
+        }
+        prop_assert!(tmpl.done().matches(&tuple));
+    }
+
+    #[test]
+    fn template_with_extra_field_never_matches(
+        fields in proptest::collection::btree_map("[a-z]{1,6}", -100i64..100, 1..8),
+    ) {
+        let mut builder = Tuple::build("t");
+        for (name, value) in &fields {
+            builder = builder.field(name.clone(), *value);
+        }
+        let tuple = builder.done();
+        let tmpl = Template::build("t").eq("ZZ_not_a_field", 1i64).done();
+        prop_assert!(!tmpl.matches(&tuple));
+    }
+}
+
+// ---------------------------------------------------------------------
+// SNMP codec.
+// ---------------------------------------------------------------------
+
+fn snmp_value_strategy() -> impl Strategy<Value = SnmpValue> {
+    prop_oneof![
+        any::<i64>().prop_map(SnmpValue::Int),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(SnmpValue::Str),
+        proptest::collection::vec(0u32..100_000, 2..8)
+            .prop_map(|mut arcs| {
+                // First two arcs are constrained by BER encoding.
+                arcs[0] %= 3;
+                arcs[1] %= 40;
+                SnmpValue::Oid(Oid::from_arcs(arcs))
+            }),
+        Just(SnmpValue::Null),
+        any::<u64>().prop_map(SnmpValue::Counter),
+        any::<u64>().prop_map(SnmpValue::Gauge),
+        any::<u64>().prop_map(SnmpValue::TimeTicks),
+        Just(SnmpValue::NoSuchObject),
+        Just(SnmpValue::EndOfMibView),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn snmp_messages_roundtrip(
+        request_id in any::<i64>(),
+        community in "[a-zA-Z0-9]{0,16}",
+        values in proptest::collection::vec(snmp_value_strategy(), 0..6),
+    ) {
+        let msg = Message {
+            version: VERSION_2C,
+            community,
+            pdu_type: PduType::Response,
+            pdu: Pdu {
+                request_id,
+                error_status: ErrorStatus::NoError,
+                error_index: 0,
+                varbinds: values
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (Oid::from_arcs(vec![1, 3, 6, 1, i as u32 + 1]), v))
+                    .collect(),
+            },
+        };
+        let bytes = encode_message(&msg);
+        prop_assert_eq!(decode_message(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn snmp_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_message(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker state machine.
+// ---------------------------------------------------------------------
+
+fn signal_strategy() -> impl Strategy<Value = Signal> {
+    prop_oneof![
+        Just(Signal::Start),
+        Just(Signal::Stop),
+        Just(Signal::Pause),
+        Just(Signal::Resume),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn state_machine_never_reaches_undefined_states(
+        signals in proptest::collection::vec(signal_strategy(), 0..64),
+    ) {
+        let mut state = WorkerState::Stopped;
+        let mut loaded = false;
+        for signal in signals {
+            if let Some(next) = state.apply(signal) {
+                // Invariants of Fig. 5.
+                match signal {
+                    Signal::Start => {
+                        prop_assert_eq!(state, WorkerState::Stopped);
+                        prop_assert_eq!(next, WorkerState::Running);
+                        loaded = true;
+                    }
+                    Signal::Stop => {
+                        prop_assert_eq!(next, WorkerState::Stopped);
+                        loaded = false;
+                    }
+                    Signal::Pause => {
+                        prop_assert_eq!(state, WorkerState::Running);
+                        prop_assert_eq!(next, WorkerState::Paused);
+                        prop_assert!(loaded, "paused implies classes loaded");
+                    }
+                    Signal::Resume => {
+                        prop_assert_eq!(state, WorkerState::Paused);
+                        prop_assert_eq!(next, WorkerState::Running);
+                        prop_assert!(loaded, "resume must not need class loading");
+                    }
+                }
+                state = next;
+            }
+        }
+        // Whatever happened, Running/Paused imply loaded classes.
+        if state != WorkerState::Stopped {
+            prop_assert!(loaded);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// PageRank and LRU cache invariants.
+// ---------------------------------------------------------------------
+
+fn graph_strategy() -> impl Strategy<Value = LinkGraph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..n as u32, 0..6),
+            n,
+        )
+        .prop_map(move |mut successors| {
+            for (j, succ) in successors.iter_mut().enumerate() {
+                succ.retain(|&s| s as usize != j);
+                succ.sort_unstable();
+                succ.dedup();
+            }
+            LinkGraph { n, successors }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pagerank_is_a_probability_distribution(graph in graph_strategy()) {
+        let matrix = StochasticMatrix::from_graph(&graph);
+        prop_assert!(matrix.is_column_stochastic(1e-9));
+        let (ranks, iters) = PageRank::default().compute(&matrix);
+        prop_assert!(iters >= 1);
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        prop_assert!(ranks.iter().all(|&r| r > 0.0 && r < 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn lru_never_exceeds_capacity(
+        capacity in 1usize..16,
+        requests in proptest::collection::vec(0u32..64, 0..200),
+    ) {
+        let mut cache = LruCache::new(capacity);
+        let mut total = 0u64;
+        for page in requests {
+            cache.request(page);
+            total += 1;
+            prop_assert!(cache.hits() + cache.misses() == total);
+            // A just-requested page is always resident.
+            prop_assert!(cache.contains(page));
+        }
+        prop_assert!(cache.hit_rate() >= 0.0 && cache.hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn lru_immediate_rerequest_hits(page in 0u32..100) {
+        let mut cache = LruCache::new(4);
+        cache.request(page);
+        prop_assert!(cache.request(page), "second request must hit");
+    }
+}
