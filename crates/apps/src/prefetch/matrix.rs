@@ -144,7 +144,10 @@ mod tests {
         let v = vec![0.25; 4];
         let out = m.multiply(&v);
         let sum: f64 = out.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-12, "stochastic matrix preserves mass");
+        assert!(
+            (sum - 1.0).abs() < 1e-12,
+            "stochastic matrix preserves mass"
+        );
     }
 
     #[test]

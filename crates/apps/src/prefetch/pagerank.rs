@@ -29,7 +29,10 @@ impl PageRank {
     pub fn step_from_product(&self, product: &[f64]) -> Vec<f64> {
         let n = product.len();
         let teleport = (1.0 - self.damping) / n as f64;
-        product.iter().map(|&x| self.damping * x + teleport).collect()
+        product
+            .iter()
+            .map(|&x| self.damping * x + teleport)
+            .collect()
     }
 
     /// L1 distance between successive iterates.
@@ -84,7 +87,10 @@ mod tests {
         assert!(iters < 100, "should converge, took {iters}");
         let sum: f64 = ranks.iter().sum();
         assert!((sum - 1.0).abs() < 1e-8, "sum {sum}");
-        assert!(ranks.iter().all(|&r| r > 0.0), "teleport keeps all positive");
+        assert!(
+            ranks.iter().all(|&r| r > 0.0),
+            "teleport keeps all positive"
+        );
     }
 
     #[test]
@@ -109,7 +115,12 @@ mod tests {
         };
         let m = StochasticMatrix::from_graph(&graph);
         let (ranks, _) = PageRank::default().compute(&m);
-        assert!(ranks[0] > ranks[1] * 2.0, "hub {} vs leaf {}", ranks[0], ranks[1]);
+        assert!(
+            ranks[0] > ranks[1] * 2.0,
+            "hub {} vs leaf {}",
+            ranks[0],
+            ranks[1]
+        );
     }
 
     #[test]

@@ -141,9 +141,9 @@ impl TaskExecutor for StripMultiplyExecutor {
         if input.vector.len() != self.matrix.n() {
             return Err(ExecError::App("vector dimension mismatch".into()));
         }
-        let out = self
-            .matrix
-            .strip_multiply(input.row0 as usize, input.rows as usize, &input.vector);
+        let out =
+            self.matrix
+                .strip_multiply(input.row0 as usize, input.rows as usize, &input.vector);
         Ok(out.to_bytes())
     }
 }

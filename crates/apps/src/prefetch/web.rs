@@ -186,8 +186,7 @@ mod tests {
             }
         }
         let hubs = 300 / 50 + 1;
-        let hub_avg: f64 =
-            in_degree[..hubs].iter().sum::<usize>() as f64 / hubs as f64;
+        let hub_avg: f64 = in_degree[..hubs].iter().sum::<usize>() as f64 / hubs as f64;
         let rest_avg: f64 =
             in_degree[hubs..].iter().sum::<usize>() as f64 / (graph.n - hubs) as f64;
         assert!(

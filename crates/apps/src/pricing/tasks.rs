@@ -236,8 +236,16 @@ impl PricingApp {
             }
         }
         PricingResult {
-            high: if high_n > 0 { high_sum / high_n as f64 } else { f64::NAN },
-            low: if low_n > 0 { low_sum / low_n as f64 } else { f64::NAN },
+            high: if high_n > 0 {
+                high_sum / high_n as f64
+            } else {
+                f64::NAN
+            },
+            low: if low_n > 0 {
+                low_sum / low_n as f64
+            } else {
+                f64::NAN
+            },
         }
     }
 
@@ -318,11 +326,17 @@ mod tests {
             .map(|s| PricingTaskInput::from_bytes(&s.payload).unwrap())
             .collect();
         assert_eq!(
-            inputs.iter().filter(|i| i.estimator == Estimator::High).count(),
+            inputs
+                .iter()
+                .filter(|i| i.estimator == Estimator::High)
+                .count(),
             50
         );
         assert_eq!(
-            inputs.iter().filter(|i| i.estimator == Estimator::Low).count(),
+            inputs
+                .iter()
+                .filter(|i| i.estimator == Estimator::Low)
+                .count(),
             50
         );
         // Total simulations = 10 000 (5 000 trees, each estimated twice).

@@ -54,12 +54,7 @@ pub fn european_mc_antithetic(spec: &OptionSpec, pairs: u32, seed: u64) -> f64 {
 /// option with `branching` branches per node and `depth` exercise dates.
 /// Cost is `branching^depth` nodes — keep both small (the paper's tasks are
 /// coarse because they run many trees, not big ones).
-pub fn bg_tree_estimate(
-    spec: &OptionSpec,
-    branching: u32,
-    depth: u32,
-    seed: u64,
-) -> (f64, f64) {
+pub fn bg_tree_estimate(spec: &OptionSpec, branching: u32, depth: u32, seed: u64) -> (f64, f64) {
     assert!(branching >= 2, "leave-one-out needs at least 2 branches");
     assert!(depth >= 1);
     let mut rng = SplitMix64::new(seed);
@@ -89,8 +84,7 @@ fn node_estimate(
     for _ in 0..b {
         let z = rng.next_gaussian();
         let s_child = gbm_step(spec, s, dt, z);
-        let (high, low) =
-            node_estimate(spec, branching, remaining - 1, s_child, dt, discount, rng);
+        let (high, low) = node_estimate(spec, branching, remaining - 1, s_child, dt, discount, rng);
         child_high.push(high);
         child_low.push(low);
     }
@@ -205,10 +199,7 @@ mod tests {
         }
         let high = high_sum / trees as f64;
         let low = low_sum / trees as f64;
-        assert!(
-            high >= low,
-            "mean high {high} must dominate mean low {low}"
-        );
+        assert!(high >= low, "mean high {high} must dominate mean low {low}");
         // The bracket should be tight-ish and positive for an ATM call.
         assert!(low > 0.0);
         assert!(high < spec.spot);

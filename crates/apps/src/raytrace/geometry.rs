@@ -157,7 +157,11 @@ impl Surface for Plane {
         Some(HitRecord {
             t,
             point,
-            normal: if denom < 0.0 { self.normal } else { -self.normal },
+            normal: if denom < 0.0 {
+                self.normal
+            } else {
+                -self.normal
+            },
             material,
         })
     }
@@ -346,10 +350,16 @@ mod tests {
             checker: Some(Vec3::ZERO),
         };
         let hit_a = plane
-            .hit(&Ray::new(Vec3::new(0.5, 1.0, 0.5), Vec3::new(0.0, -1.0, 0.0)), 1e-9)
+            .hit(
+                &Ray::new(Vec3::new(0.5, 1.0, 0.5), Vec3::new(0.0, -1.0, 0.0)),
+                1e-9,
+            )
             .unwrap();
         let hit_b = plane
-            .hit(&Ray::new(Vec3::new(1.5, 1.0, 0.5), Vec3::new(0.0, -1.0, 0.0)), 1e-9)
+            .hit(
+                &Ray::new(Vec3::new(1.5, 1.0, 0.5), Vec3::new(0.0, -1.0, 0.0)),
+                1e-9,
+            )
             .unwrap();
         assert_ne!(hit_a.material.color, hit_b.material.color);
     }

@@ -34,6 +34,10 @@ mod tests {
             .flat_map(|y| (0..48).map(move |x| (x, y)))
             .map(|(x, y)| image.pixel(x, y))
             .collect();
-        assert!(distinct.len() > 20, "only {} distinct colors", distinct.len());
+        assert!(
+            distinct.len() > 20,
+            "only {} distinct colors",
+            distinct.len()
+        );
     }
 }

@@ -12,7 +12,6 @@ use acc_core::Thresholds;
 use acc_sim::cluster::{simulate, SimConfig};
 use acc_sim::AppProfile;
 
-
 /// Ablation 1 — Pause/Resume vs Stop/Start under transient load.
 /// Disabling the Paused state (pause band collapsed into the stop band)
 /// forces a full class reload after every transient, inflating parallel

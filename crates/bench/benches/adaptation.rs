@@ -6,9 +6,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use acc_core::{
-    client_register, duplex_pair, RuleBaseServer, RuleMessage, Signal, WorkerState,
-};
+use acc_core::{client_register, duplex_pair, RuleBaseServer, RuleMessage, Signal, WorkerState};
 use acc_sim::{run_adaptation, AppProfile};
 
 /// The virtual-time experiment behind Figs 9–11 (one per application).
@@ -57,8 +55,7 @@ fn bench_signal_roundtrip(c: &mut Criterion) {
 fn bench_signal_roundtrip_tcp(c: &mut Criterion) {
     c.bench_function("adaptation/rulebase_roundtrip_tcp", |b| {
         let server = RuleBaseServer::new(Arc::new(|_, _| {}));
-        let listener =
-            acc_core::rulebase::tcp::RuleBaseTcpListener::spawn(server.clone()).unwrap();
+        let listener = acc_core::rulebase::tcp::RuleBaseTcpListener::spawn(server.clone()).unwrap();
         let duplex = acc_core::rulebase::tcp::connect(listener.addr()).unwrap();
         let id = client_register(&duplex, "tcp-bench", Duration::from_secs(5)).unwrap();
         // Wait until the server registered the reader pump.

@@ -118,6 +118,70 @@ fn bench_leased_writes_and_sweep(c: &mut Criterion) {
     });
 }
 
+/// One producer feeding 1/4/16 long-lived takers, each taker draining its
+/// own tuple type with a blocking `take`. Takers park between tasks, so
+/// the wakeup policy dominates: a store that wakes every waiter per write
+/// (notify_all on one global condvar) pays O(takers) spurious wakeups and
+/// rescans per tuple, while per-type shards with targeted wakeups pay
+/// O(1). Taker threads persist across iterations so thread spawn/join
+/// cost (~1ms for 16 threads) stays out of the measurement.
+fn bench_concurrent_takers(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    const OPS: usize = 2048;
+    let mut group = c.benchmark_group("space/concurrent_takers");
+    for takers in [1usize, 4, 16] {
+        group.throughput(Throughput::Elements(OPS as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(takers),
+            &takers,
+            |b, &takers| {
+                let space = Space::new("bench");
+                let consumed = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..takers)
+                    .map(|t| {
+                        let space = space.clone();
+                        let consumed = consumed.clone();
+                        std::thread::spawn(move || {
+                            let template = Template::build(format!("acc.task.{t}"))
+                                .eq("job", "bench")
+                                .done();
+                            // Drain until the space closes at teardown.
+                            while let Ok(Some(_)) = space.take(&template, None) {
+                                consumed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        })
+                    })
+                    .collect();
+                let types: Vec<String> = (0..takers).map(|t| format!("acc.task.{t}")).collect();
+                b.iter(|| {
+                    consumed.store(0, Ordering::Relaxed);
+                    for i in 0..OPS {
+                        let t = i % takers;
+                        space
+                            .write(
+                                Tuple::build(types[t].as_str())
+                                    .field("job", "bench")
+                                    .field("task_id", (i / takers) as i64)
+                                    .done(),
+                            )
+                            .unwrap();
+                    }
+                    while consumed.load(Ordering::Relaxed) < OPS {
+                        std::thread::yield_now();
+                    }
+                });
+                space.close();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
@@ -127,6 +191,7 @@ criterion_group!(
     bench_template_match,
     bench_transactional_take,
     bench_notify_dispatch,
-    bench_leased_writes_and_sweep
+    bench_leased_writes_and_sweep,
+    bench_concurrent_takers
 );
 criterion_main!(benches);

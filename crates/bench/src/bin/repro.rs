@@ -14,8 +14,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "exp3", "table2", "ablations",
-            "hetero", "baseline",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "exp3",
+            "table2",
+            "ablations",
+            "hetero",
+            "baseline",
         ]
     } else {
         args.iter().map(String::as_str).collect()
@@ -91,7 +100,6 @@ fn heterogeneity() {
     }
     println!("{}", table.render());
 }
-
 
 /// The design ablations of DESIGN.md §5, in virtual time.
 fn ablations() {
@@ -170,7 +178,10 @@ fn ablations() {
             format!("{:.0}", out.times.parallel_ms),
         ]);
     }
-    println!("-- 3. Task granularity (option pricing, 4 workers) --\n{}", t.render());
+    println!(
+        "-- 3. Task granularity (option pricing, 4 workers) --\n{}",
+        t.render()
+    );
 
     // 4. Class-load cost under stop-inducing flaps.
     let mut t = Table::new(&["class load (ms)", "parallel (ms)"]);
@@ -191,9 +202,7 @@ fn ablations() {
 fn scalability_figure(label: &str, profile: &AppProfile, cap: Option<usize>) {
     println!(
         "== {label} — Scalability Analysis, {} ({} tasks, testbed {}) ==",
-        profile.name,
-        profile.tasks,
-        profile.testbed.name
+        profile.name, profile.tasks, profile.testbed.name
     );
     let rows = run_scalability(profile, cap);
     let mut table = Table::new(&[
@@ -246,7 +255,10 @@ fn adaptation_figure(label: &str, profile: &AppProfile) {
         ]);
     }
     println!("{}", table.render());
-    println!("tasks completed despite interference: {}", report.tasks_done);
+    println!(
+        "tasks completed despite interference: {}",
+        report.tasks_done
+    );
     println!();
 }
 
@@ -268,7 +280,11 @@ fn dynamics_experiment() {
         ]);
         for row in run_dynamics(&profile) {
             table.row(vec![
-                format!("{} ({:.0}%)", row.loaded_workers, row.loaded_fraction * 100.0),
+                format!(
+                    "{} ({:.0}%)",
+                    row.loaded_workers,
+                    row.loaded_fraction * 100.0
+                ),
                 format!("{:.0}", row.max_worker_ms),
                 format!("{:.1}", row.max_master_overhead_ms),
                 format!("{:.0}", row.planning_and_aggregation_ms),
@@ -284,12 +300,7 @@ fn dynamics_experiment() {
 /// empirically from the reproduced implementations.
 fn table2() {
     println!("== Table 2 — Classification of the Evaluated Applications ==");
-    let mut table = Table::new(&[
-        "metric",
-        "option pricing",
-        "ray tracing",
-        "pre-fetching",
-    ]);
+    let mut table = Table::new(&["metric", "option pricing", "ray tracing", "pre-fetching"]);
 
     // Scalability: the paper's class, with this reproduction's measured
     // speedup on the app's own testbed alongside.
@@ -308,7 +319,10 @@ fn table2() {
     ]);
     table.row(vec![
         "CPU per task (ref. machine)".into(),
-        format!("{:.0} ms (adaptable w/ #sims)", AppProfile::option_pricing().task_work_ms),
+        format!(
+            "{:.0} ms (adaptable w/ #sims)",
+            AppProfile::option_pricing().task_work_ms
+        ),
         format!("{:.0} ms (high)", AppProfile::ray_tracing().task_work_ms),
         format!("{:.0} ms (low)", AppProfile::prefetch().task_work_ms),
     ]);

@@ -120,7 +120,9 @@ mod tests {
 
     #[test]
     fn ascii_plot_shapes() {
-        let points: Vec<(u64, u64)> = (0..100).map(|t| (t * 10, if t < 50 { 0 } else { 100 })).collect();
+        let points: Vec<(u64, u64)> = (0..100)
+            .map(|t| (t * 10, if t < 50 { 0 } else { 100 }))
+            .collect();
         let plot = ascii_plot(&points, 10);
         let lines: Vec<&str> = plot.lines().collect();
         assert_eq!(lines.len(), 10);

@@ -122,7 +122,11 @@ impl LoadTrace {
             phases.push(LoadPhase {
                 at_ms: at,
                 level: current,
-                kind: if current == 0 { TrafficKind::Idle } else { kind },
+                kind: if current == 0 {
+                    TrafficKind::Idle
+                } else {
+                    kind
+                },
             });
             current = if current == 0 { level } else { 0 };
             at += period_ms;
@@ -322,9 +326,21 @@ mod tests {
     fn time_at_or_above_integrates_windows() {
         let trace = LoadTrace::new(
             vec![
-                LoadPhase { at_ms: 0, level: 0, kind: TrafficKind::Idle },
-                LoadPhase { at_ms: 100, level: 50, kind: TrafficKind::Http },
-                LoadPhase { at_ms: 300, level: 0, kind: TrafficKind::Idle },
+                LoadPhase {
+                    at_ms: 0,
+                    level: 0,
+                    kind: TrafficKind::Idle,
+                },
+                LoadPhase {
+                    at_ms: 100,
+                    level: 50,
+                    kind: TrafficKind::Http,
+                },
+                LoadPhase {
+                    at_ms: 300,
+                    level: 0,
+                    kind: TrafficKind::Idle,
+                },
             ],
             400,
         );

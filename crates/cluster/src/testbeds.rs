@@ -74,11 +74,17 @@ mod tests {
     fn testbed_shapes_match_the_paper() {
         let rt = ray_tracing_testbed();
         assert_eq!(rt.worker_count(), 5);
-        assert!(rt.workers.iter().all(|w| w.speed_mhz == 800 && w.memory_mb == 256));
+        assert!(rt
+            .workers
+            .iter()
+            .all(|w| w.speed_mhz == 800 && w.memory_mb == 256));
 
         let op = option_pricing_testbed();
         assert_eq!(op.worker_count(), 13);
-        assert!(op.workers.iter().all(|w| w.speed_mhz == 300 && w.memory_mb == 64));
+        assert!(op
+            .workers
+            .iter()
+            .all(|w| w.speed_mhz == 300 && w.memory_mb == 64));
 
         // The master is always the fast machine (Jini is memory-hungry).
         assert_eq!(op.master.speed_mhz, 800);

@@ -131,6 +131,9 @@ mod tests {
         let small = cfg.class_load_cost(10);
         let large = cfg.class_load_cost(1000);
         assert!(large > small);
-        assert_eq!(small, Duration::from_millis(40) + Duration::from_micros(2000));
+        assert_eq!(
+            small,
+            Duration::from_millis(40) + Duration::from_micros(2000)
+        );
     }
 }

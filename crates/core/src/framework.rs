@@ -65,10 +65,8 @@ impl ClusterBuilder {
             None,
         )
         .expect("registering the space cannot fail on a fresh lookup");
-        let bundle_server = BundleServer::new(
-            self.config.class_load_base,
-            self.config.class_load_per_kb,
-        );
+        let bundle_server =
+            BundleServer::new(self.config.class_load_base, self.config.class_load_per_kb);
         let monitor = MonitoringAgent::new(self.config.clone(), epoch);
         AdaptiveCluster {
             config: self.config,
@@ -267,9 +265,7 @@ impl AdaptiveCluster {
         });
         mib.register_gauge(oids::acc_worker_threads(), runtime.participation_gauge());
         let agent = Arc::new(Agent::new(self.config.community.clone(), mib));
-        let session = self
-            .manager
-            .session(Box::new(InProcTransport::new(agent)));
+        let session = self.manager.session(Box::new(InProcTransport::new(agent)));
 
         // Monitoring: register with the inference engine and start polling.
         self.monitor.watch(id, session);

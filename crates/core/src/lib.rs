@@ -44,9 +44,7 @@ pub use master::{Master, RunReport};
 pub use metrics::PhaseTimes;
 pub use monitor::{DecisionLogEntry, MonitoringAgent};
 pub use policy::{execute_policed, ExecutionPolicy, PolicedError, PolicyViolation};
-pub use rulebase::{
-    client_register, duplex_pair, Duplex, RuleBaseServer, RuleMessage, WorkerId,
-};
+pub use rulebase::{client_register, duplex_pair, Duplex, RuleBaseServer, RuleMessage, WorkerId};
 pub use signal::{Signal, SignalLogEntry, WorkerState};
 pub use task::{
     result_template, task_template, Application, ExecError, ResultEntry, TaskEntry, TaskExecutor,

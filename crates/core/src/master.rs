@@ -185,9 +185,7 @@ mod tests {
         let name = name.to_owned();
         std::thread::spawn(move || {
             let first = Instant::now();
-            while let Ok(Some(tuple)) =
-                space.take(&template, Some(Duration::from_millis(200)))
-            {
+            while let Ok(Some(tuple)) = space.take(&template, Some(Duration::from_millis(200))) {
                 let task = TaskEntry::from_tuple(&tuple).unwrap();
                 let t0 = Instant::now();
                 let payload = exec.execute(&task).unwrap();
@@ -208,7 +206,10 @@ mod tests {
     #[test]
     fn plan_compute_aggregate_roundtrip() {
         let space = Space::new("test");
-        let mut app = Doubler { n: 20, outputs: vec![] };
+        let mut app = Doubler {
+            n: 20,
+            outputs: vec![],
+        };
         let exec = app.executor();
         let w1 = spawn_inline_worker(space.clone(), "double", exec.clone(), "w1");
         let w2 = spawn_inline_worker(space.clone(), "double", exec, "w2");
@@ -234,7 +235,10 @@ mod tests {
     #[test]
     fn missing_worker_times_out_incomplete() {
         let space = Space::new("test");
-        let mut app = Doubler { n: 3, outputs: vec![] };
+        let mut app = Doubler {
+            n: 3,
+            outputs: vec![],
+        };
         let mut master = Master::new(space.clone());
         master.result_timeout = Duration::from_millis(50);
         let report = master.run(&mut app).unwrap();
@@ -248,7 +252,10 @@ mod tests {
     fn aggregation_tracks_worker_spans() {
         let space = Space::new("test");
         // Hand-write two results with known spans before running aggregation.
-        let mut app = Doubler { n: 2, outputs: vec![] };
+        let mut app = Doubler {
+            n: 2,
+            outputs: vec![],
+        };
         let master = Master::new(space.clone());
         // Pre-seed results; plan() writes tasks but the workers "already ran".
         for (id, span) in [(0u64, 120.0f64), (1, 80.0)] {

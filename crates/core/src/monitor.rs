@@ -214,10 +214,7 @@ impl Drop for MonitoringAgent {
 }
 
 fn gauge(values: &[(acc_snmp::Oid, SnmpValue)], index: usize) -> u64 {
-    values
-        .get(index)
-        .and_then(|(_, v)| v.as_u64())
-        .unwrap_or(0)
+    values.get(index).and_then(|(_, v)| v.as_u64()).unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -225,8 +222,8 @@ mod tests {
     use super::*;
     use crate::rulebase::{client_register, duplex_pair};
     use acc_cluster::{Node, NodeSpec};
-    use std::time::Duration;
     use acc_snmp::{host_resources_mib, transport::InProcTransport, Agent, Manager};
+    use std::time::Duration;
 
     fn node_session(node: &Node) -> Session {
         let n1 = node.clone();
@@ -240,7 +237,9 @@ mod tests {
             move || n3.uptime_ticks(),
         );
         let load = node.load();
-        mib.register_gauge(oids::acc_framework_load(), move || load.framework_effective());
+        mib.register_gauge(oids::acc_framework_load(), move || {
+            load.framework_effective()
+        });
         let agent = Arc::new(Agent::new("public", mib));
         Manager::new("public").session(Box::new(InProcTransport::new(agent)))
     }

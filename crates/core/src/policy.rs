@@ -130,9 +130,7 @@ pub fn execute_policed(
             });
             match rx.recv_timeout(limit) {
                 Ok(result) => result.map_err(PolicedError::App)?,
-                Err(_) => {
-                    return Err(PolicedError::Policy(PolicyViolation::Timeout { limit }))
-                }
+                Err(_) => return Err(PolicedError::Policy(PolicyViolation::Timeout { limit })),
             }
         }
     };
@@ -206,7 +204,10 @@ mod tests {
         let err = execute_policed(&exec, &task(1), &policy).unwrap_err();
         assert!(matches!(
             err,
-            PolicedError::Policy(PolicyViolation::ResultTooLarge { got: 100, limit: 99 })
+            PolicedError::Policy(PolicyViolation::ResultTooLarge {
+                got: 100,
+                limit: 99
+            })
         ));
     }
 

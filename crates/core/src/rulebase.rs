@@ -168,10 +168,7 @@ impl Duplex {
 pub fn duplex_pair() -> (Duplex, Duplex) {
     let (a_tx, b_rx) = unbounded();
     let (b_tx, a_rx) = unbounded();
-    (
-        Duplex { tx: a_tx, rx: a_rx },
-        Duplex { tx: b_tx, rx: b_rx },
-    )
+    (Duplex { tx: a_tx, rx: a_rx }, Duplex { tx: b_tx, rx: b_rx })
 }
 
 /// Client-side handshake: register over `duplex` and await the assigned id.

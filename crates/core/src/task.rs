@@ -278,9 +278,6 @@ mod tests {
         let spec = TaskSpec::new(3, &42u64);
         let entry = TaskEntry::new("j", spec.task_id, spec.payload);
         assert_eq!(entry.input::<u64>().unwrap(), 42);
-        assert!(matches!(
-            entry.input::<String>(),
-            Err(ExecError::Decode(_))
-        ));
+        assert!(matches!(entry.input::<String>(), Err(ExecError::Decode(_))));
     }
 }

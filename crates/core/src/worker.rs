@@ -228,8 +228,7 @@ fn worker_loop(ls: LoopState) {
                         }
                         set_load(COMPUTE_LOAD);
                         let compute_start = Instant::now();
-                        let outcome =
-                            execute_policed(&exec, &task, &ls.config.framework.policy);
+                        let outcome = execute_policed(&exec, &task, &ls.config.framework.policy);
                         let compute_ms = compute_start.elapsed().as_secs_f64() * 1e3;
                         set_load(IDLE_RUNNING_LOAD);
                         let span_ms = first_access
@@ -519,7 +518,10 @@ mod tests {
         let log = r.worker.signal_log();
         let starts: Vec<_> = log.iter().filter(|e| e.signal == Signal::Start).collect();
         assert_eq!(starts.len(), 2);
-        assert!(starts[1].reaction_ms() >= 5, "restart pays class load again");
+        assert!(
+            starts[1].reaction_ms() >= 5,
+            "restart pays class load again"
+        );
         r.worker.shutdown();
     }
 

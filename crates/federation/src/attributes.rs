@@ -103,7 +103,10 @@ mod tests {
 
     #[test]
     fn build_get() {
-        let a = Attributes::build().set("kind", "space").set("ver", "1").done();
+        let a = Attributes::build()
+            .set("kind", "space")
+            .set("ver", "1")
+            .done();
         assert_eq!(a.get("kind"), Some("space"));
         assert_eq!(a.get("ver"), Some("1"));
         assert_eq!(a.get("missing"), None);

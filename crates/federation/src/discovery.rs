@@ -64,11 +64,7 @@ impl DiscoveryBus {
     pub fn announce(&self, lookup: Arc<LookupService>) {
         let listeners_ev = {
             let mut inner = self.inner.lock();
-            if inner
-                .lookups
-                .iter()
-                .any(|l| Arc::ptr_eq(l, &lookup))
-            {
+            if inner.lookups.iter().any(|l| Arc::ptr_eq(l, &lookup)) {
                 return;
             }
             inner.lookups.push(lookup.clone());

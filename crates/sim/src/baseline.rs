@@ -79,9 +79,7 @@ pub fn simulate_job_level(
         match host {
             None => {
                 // Matchmaking: place the job on the first idle machine.
-                if let Some(w) = (0..workers.len())
-                    .find(|&w| load_at(w, t) < thresholds.idle_max)
-                {
+                if let Some(w) = (0..workers.len()).find(|&w| load_at(w, t) < thresholds.idle_max) {
                     host = Some(w);
                     if ever_placed {
                         // Restore from checkpoint on the new machine.
@@ -210,9 +208,21 @@ mod tests {
         let (workers, _) = idle_workers(2);
         let trace0 = LoadTrace::new(
             vec![
-                LoadPhase { at_ms: 0, level: 0, kind: TrafficKind::Idle },
-                LoadPhase { at_ms: 2_000, level: 100, kind: TrafficKind::CpuHog },
-                LoadPhase { at_ms: 30_000, level: 0, kind: TrafficKind::Idle },
+                LoadPhase {
+                    at_ms: 0,
+                    level: 0,
+                    kind: TrafficKind::Idle,
+                },
+                LoadPhase {
+                    at_ms: 2_000,
+                    level: 100,
+                    kind: TrafficKind::CpuHog,
+                },
+                LoadPhase {
+                    at_ms: 30_000,
+                    level: 0,
+                    kind: TrafficKind::Idle,
+                },
             ],
             3_600_000,
         );
@@ -221,7 +231,10 @@ mod tests {
         assert!(out.complete);
         assert_eq!(out.migrations, 1, "one eviction → one migration");
         // Work (10 s) + checkpoint (2 s) + migrate (3 s), modulo stepping.
-        assert!(out.completion_ms > 14_000.0 && out.completion_ms < 16_500.0, "{out:?}");
+        assert!(
+            out.completion_ms > 14_000.0 && out.completion_ms < 16_500.0,
+            "{out:?}"
+        );
     }
 
     #[test]

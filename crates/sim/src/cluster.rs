@@ -11,9 +11,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use acc_cluster::{LoadTrace, NodeSpec, UsagePoint};
-use acc_core::{
-    InferenceEngine, PhaseTimes, Signal, SignalLogEntry, WorkerId, WorkerState,
-};
+use acc_core::{InferenceEngine, PhaseTimes, Signal, SignalLogEntry, WorkerId, WorkerState};
 
 use crate::model::{AppProfile, CostModel};
 
@@ -528,9 +526,15 @@ mod tests {
 
     #[test]
     fn more_workers_do_not_slow_things_down() {
-        let t1 = simulate(SimConfig::new(quick_profile(40), 1)).times.parallel_ms;
-        let t2 = simulate(SimConfig::new(quick_profile(40), 2)).times.parallel_ms;
-        let t4 = simulate(SimConfig::new(quick_profile(40), 4)).times.parallel_ms;
+        let t1 = simulate(SimConfig::new(quick_profile(40), 1))
+            .times
+            .parallel_ms;
+        let t2 = simulate(SimConfig::new(quick_profile(40), 2))
+            .times
+            .parallel_ms;
+        let t4 = simulate(SimConfig::new(quick_profile(40), 4))
+            .times
+            .parallel_ms;
         assert!(t2 < t1, "t1 {t1} t2 {t2}");
         assert!(t4 <= t2 + 1.0, "t2 {t2} t4 {t4}");
     }

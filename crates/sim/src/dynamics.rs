@@ -51,12 +51,7 @@ fn run_one(profile: &AppProfile, fraction: f64) -> DynamicsRow {
     cfg.horizon_ms = 3_600_000.0;
     let out = simulate(cfg);
     assert!(out.complete, "the unloaded workers must finish the job");
-    let tasks_on_loaded_workers = out
-        .workers
-        .iter()
-        .take(loaded)
-        .map(|w| w.tasks_done)
-        .sum();
+    let tasks_on_loaded_workers = out.workers.iter().take(loaded).map(|w| w.tasks_done).sum();
     DynamicsRow {
         loaded_fraction: fraction,
         loaded_workers: loaded,

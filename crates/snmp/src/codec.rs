@@ -137,7 +137,11 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
     // pdu body
     let mut pdu = BytesMut::new();
     put_tlv(&mut pdu, TAG_INTEGER, &encode_i64(msg.pdu.request_id));
-    put_tlv(&mut pdu, TAG_INTEGER, &encode_i64(msg.pdu.error_status.code()));
+    put_tlv(
+        &mut pdu,
+        TAG_INTEGER,
+        &encode_i64(msg.pdu.error_status.code()),
+    );
     put_tlv(&mut pdu, TAG_INTEGER, &encode_i64(msg.pdu.error_index));
     put_tlv(&mut pdu, TAG_SEQUENCE, &vbl);
     // message
@@ -290,8 +294,7 @@ pub fn decode_message(bytes: &[u8]) -> Result<Message, SnmpError> {
     let community = String::from_utf8(community_raw.to_vec())
         .map_err(|_| SnmpError::Decode("community utf8".into()))?;
     let (pdu_tag, pdu_body) = r.get_tlv()?;
-    let pdu_type =
-        PduType::from_tag(pdu_tag).ok_or_else(|| SnmpError::Decode("pdu tag".into()))?;
+    let pdu_type = PduType::from_tag(pdu_tag).ok_or_else(|| SnmpError::Decode("pdu tag".into()))?;
     let mut p = Reader { buf: pdu_body };
     let request_id = decode_i64(&p.expect_tlv(TAG_INTEGER, "request id")?)?;
     let error_code = decode_i64(&p.expect_tlv(TAG_INTEGER, "error status")?)?;
@@ -344,7 +347,10 @@ mod tests {
                         Oid::parse("1.3.6.1.2.1.1.1.0").unwrap(),
                         SnmpValue::Str(b"worker-3".to_vec()),
                     ),
-                    (Oid::parse("1.3.6.1.2.1.1.3.0").unwrap(), SnmpValue::TimeTicks(987654)),
+                    (
+                        Oid::parse("1.3.6.1.2.1.1.3.0").unwrap(),
+                        SnmpValue::TimeTicks(987654),
+                    ),
                 ],
             },
         }

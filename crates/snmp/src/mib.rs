@@ -23,7 +23,9 @@ pub struct Mib {
 
 impl fmt::Debug for Mib {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Mib").field("vars", &self.vars.len()).finish()
+        f.debug_struct("Mib")
+            .field("vars", &self.vars.len())
+            .finish()
     }
 }
 
@@ -128,9 +130,18 @@ mod tests {
         mib.register(Oid::parse("1.2").unwrap(), move || {
             SnmpValue::Counter(c2.fetch_add(1, Ordering::Relaxed))
         });
-        assert_eq!(mib.get(&Oid::parse("1.1").unwrap()), Some(SnmpValue::Int(5)));
-        assert_eq!(mib.get(&Oid::parse("1.2").unwrap()), Some(SnmpValue::Counter(0)));
-        assert_eq!(mib.get(&Oid::parse("1.2").unwrap()), Some(SnmpValue::Counter(1)));
+        assert_eq!(
+            mib.get(&Oid::parse("1.1").unwrap()),
+            Some(SnmpValue::Int(5))
+        );
+        assert_eq!(
+            mib.get(&Oid::parse("1.2").unwrap()),
+            Some(SnmpValue::Counter(0))
+        );
+        assert_eq!(
+            mib.get(&Oid::parse("1.2").unwrap()),
+            Some(SnmpValue::Counter(1))
+        );
         assert_eq!(mib.get(&Oid::parse("9.9").unwrap()), None);
     }
 
@@ -177,8 +188,12 @@ mod tests {
             mib.set(&Oid::parse("9.9").unwrap(), SnmpValue::Int(2)),
             Err(ErrorStatus::NoSuchName)
         );
-        mib.set(&Oid::parse("1.2").unwrap(), SnmpValue::Gauge(7)).unwrap();
-        assert_eq!(mib.get(&Oid::parse("1.2").unwrap()), Some(SnmpValue::Gauge(7)));
+        mib.set(&Oid::parse("1.2").unwrap(), SnmpValue::Gauge(7))
+            .unwrap();
+        assert_eq!(
+            mib.get(&Oid::parse("1.2").unwrap()),
+            Some(SnmpValue::Gauge(7))
+        );
         assert_eq!(
             mib.set(&Oid::parse("1.2").unwrap(), SnmpValue::Null),
             Err(ErrorStatus::BadValue)

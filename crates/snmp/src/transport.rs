@@ -149,8 +149,7 @@ impl TcpTransport {
 
 impl Transport for TcpTransport {
     fn request(&mut self, bytes: &[u8]) -> Result<Vec<u8>, SnmpError> {
-        write_frame(&mut self.stream, bytes)
-            .map_err(|e| SnmpError::Transport(e.to_string()))?;
+        write_frame(&mut self.stream, bytes).map_err(|e| SnmpError::Transport(e.to_string()))?;
         read_frame(&mut self.stream).map_err(|e| SnmpError::Transport(e.to_string()))
     }
 }
@@ -214,8 +213,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut t = TcpTransport::connect(addr).unwrap();
                     for _ in 0..10 {
-                        let resp =
-                            decode_message(&t.request(&load_request()).unwrap()).unwrap();
+                        let resp = decode_message(&t.request(&load_request()).unwrap()).unwrap();
                         assert_eq!(resp.pdu.varbinds[0].1, SnmpValue::Gauge(33));
                     }
                 })

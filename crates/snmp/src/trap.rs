@@ -135,10 +135,7 @@ impl TrapCollector {
                         break;
                     }
                     match decode_message(&body) {
-                        Ok(msg)
-                            if msg.pdu_type == PduType::Trap
-                                && msg.community == community =>
-                        {
+                        Ok(msg) if msg.pdu_type == PduType::Trap && msg.community == community => {
                             let _ = tx.send(msg);
                         }
                         _ => {} // wrong community or malformed: drop silently

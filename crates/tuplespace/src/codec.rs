@@ -184,7 +184,11 @@ mod tests {
             .field("payload", vec![0u8, 255, 128])
             .field(
                 "coords",
-                vec![Value::Int(1), Value::Str("x".into()), Value::List(vec![Value::Bool(false)])],
+                vec![
+                    Value::Int(1),
+                    Value::Str("x".into()),
+                    Value::List(vec![Value::Bool(false)]),
+                ],
             )
             .done()
     }

@@ -18,6 +18,9 @@ pub enum SpaceError {
     NoSuchEntry,
     /// A lease operation referenced an expired lease.
     LeaseExpired,
+    /// The referenced entry exists but is locked by an active transaction
+    /// (pending write, taken, or read-locked) and cannot be cancelled.
+    EntryLocked,
     /// The event registration cookie is unknown.
     NoSuchRegistration,
 }
@@ -29,6 +32,7 @@ impl fmt::Display for SpaceError {
             SpaceError::TxnInactive => write!(f, "transaction is no longer active"),
             SpaceError::NoSuchEntry => write!(f, "no such entry"),
             SpaceError::LeaseExpired => write!(f, "lease has expired"),
+            SpaceError::EntryLocked => write!(f, "entry is locked by a transaction"),
             SpaceError::NoSuchRegistration => write!(f, "no such event registration"),
         }
     }

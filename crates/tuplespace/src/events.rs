@@ -24,13 +24,6 @@ pub struct SpaceEvent {
 
 pub(crate) type Listener = Box<dyn Fn(SpaceEvent) + Send + Sync>;
 
-pub(crate) struct Registration {
-    pub cookie: EventCookie,
-    pub template: crate::Template,
-    pub listener: Listener,
-    pub seq: u64,
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,6 +43,15 @@ impl Lease {
             Lease::Duration(d) => Some(now + *d),
         }
     }
+
+    /// Like [`Lease::deadline_from`] with the current instant, but skips
+    /// reading the clock entirely for `Forever` leases (the hot write path).
+    pub fn deadline(&self) -> Option<Instant> {
+        match self {
+            Lease::Forever => None,
+            Lease::Duration(d) => Some(Instant::now() + *d),
+        }
+    }
 }
 
 #[cfg(test)]

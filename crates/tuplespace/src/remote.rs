@@ -147,6 +147,7 @@ fn error_code(e: &SpaceError) -> u8 {
         SpaceError::NoSuchEntry => 3,
         SpaceError::LeaseExpired => 4,
         SpaceError::NoSuchRegistration => 5,
+        SpaceError::EntryLocked => 6,
     }
 }
 
@@ -156,6 +157,7 @@ fn error_from(code: u8) -> SpaceError {
         2 => SpaceError::TxnInactive,
         3 => SpaceError::NoSuchEntry,
         4 => SpaceError::LeaseExpired,
+        6 => SpaceError::EntryLocked,
         _ => SpaceError::NoSuchRegistration,
     }
 }
@@ -390,7 +392,10 @@ impl TupleStore for RemoteSpace {
     }
 
     fn is_closed(&self) -> bool {
-        matches!(self.call(Request::IsClosed), Ok(Response::Bool(true)) | Err(_))
+        matches!(
+            self.call(Request::IsClosed),
+            Ok(Response::Bool(true)) | Err(_)
+        )
     }
 }
 

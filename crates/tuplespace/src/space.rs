@@ -1,20 +1,54 @@
 //! The tuple space proper: storage, associative matching, blocking
 //! operations, leases, transactions and event dispatch.
+//!
+//! # Storage layout
+//!
+//! Entries are sharded by tuple type: each type owns a [`Shard`] with its
+//! own mutex and condition variable, so traffic on one type never contends
+//! with another and a write wakes only the waiters of its own type. Within
+//! a shard, entries live in a `BTreeMap<EntryId, Stored>` — ids are
+//! allocated from one monotone counter, so map order *is* arrival (FIFO)
+//! order. Two indexes accelerate the non-scan paths:
+//!
+//! * a per-shard field index (`field name → value → entry ids`) answers
+//!   `field == value` templates without scanning the shard;
+//! * a space-wide `EntryId → type` map routes `renew_lease`/`cancel`
+//!   straight to the owning shard.
+//!
+//! Templates with no type name ("wildcard" templates) are the rare case:
+//! blocking wildcard waiters park on a dedicated global condvar, and
+//! writers nudge it only when `wildcard_waiters` says somebody is parked.
+//!
+//! # Lock ordering
+//!
+//! To stay deadlock-free, locks are always acquired in this order (any
+//! prefix may be skipped, never reordered):
+//!
+//! 1. `global` (wildcard waiters only — held across their shard scan)
+//! 2. `shards` (the shard-map RwLock, held only to look up/create a shard)
+//! 3. `Shard::state` (at most one shard at a time)
+//! 4. `txns`
+//! 5. `entry_index` (leaf)
+//!
+//! Writers and `finish_txn` notify the global condvar only *after*
+//! dropping every shard lock, so they never hold `Shard::state` while
+//! acquiring `global`.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::error::{SpaceError, SpaceResult};
-use crate::events::{EventCookie, Registration, SpaceEvent};
+use crate::events::{EventCookie, Listener, SpaceEvent};
 use crate::lease::Lease;
 use crate::stats::{SpaceStats, StatsSnapshot};
-use crate::template::Template;
+use crate::template::{Constraint, Template};
 use crate::tuple::Tuple;
 use crate::txn::{Txn, TxnId};
+use crate::value::Value;
 
 /// Identifier of a stored entry (monotone per space, never reused).
 pub type EntryId = u64;
@@ -70,41 +104,206 @@ impl Stored {
     }
 }
 
-#[derive(Debug, Default)]
-struct TxnRecord {
-    writes: Vec<EntryId>,
-    takes: Vec<EntryId>,
-    reads: Vec<EntryId>,
+/// rustc-hash-style multiplicative hasher for the internal maps. Their
+/// keys are short field names, entry ids and value hashes, where
+/// SipHash's DoS resistance costs more than the whole map operation; the
+/// maps are not exposed to untrusted key distributions.
+#[derive(Default, Clone)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.mix(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let mut tail = 0u64;
+        for &b in chunks.remainder() {
+            tail = (tail << 8) | u64::from(b);
+        }
+        self.mix(tail ^ bytes.len() as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+#[derive(Default, Clone)]
+struct FxBuild;
+
+impl std::hash::BuildHasher for FxBuild {
+    type Hasher = FxHasher;
+
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
+
+/// Hash of an indexable [`Value`], used as the field-index key. Keying by
+/// hash instead of by owned value keeps the write path allocation-free;
+/// the (astronomically rare) collision only yields a false candidate,
+/// which the template-match check filters out. Floats hash by bit
+/// pattern, consistent with `Value`'s bitwise equality; `Bytes` and
+/// `List` values are not indexed (exact-matching them falls back to a
+/// scan).
+fn value_index_hash(value: &Value) -> Option<u64> {
+    use std::hash::{Hash, Hasher};
+    let mut h = FxHasher::default();
+    match value {
+        Value::Int(v) => (0u8, v).hash(&mut h),
+        Value::Bool(v) => (1u8, v).hash(&mut h),
+        Value::Str(v) => (2u8, v).hash(&mut h),
+        Value::Float(v) => (3u8, v.to_bits()).hash(&mut h),
+        Value::Bytes(_) | Value::List(_) => return None,
+    }
+    Some(h.finish())
 }
 
 #[derive(Debug, Default)]
-struct Inner {
-    closed: bool,
-    next_id: EntryId,
-    next_txn: u64,
-    /// Entries bucketed by tuple type, FIFO within a bucket so matching is
-    /// deterministic (oldest entry wins).
-    by_type: BTreeMap<String, VecDeque<Stored>>,
-    txns: HashMap<TxnId, TxnRecord>,
+struct ShardState {
+    /// Monotone ids make iteration order the arrival (FIFO) order.
+    entries: BTreeMap<EntryId, Stored>,
+    /// `field name → value hash → ids of entries carrying that value`.
+    /// Each id bucket is kept sorted, so index-served matches keep FIFO
+    /// semantics. Ids arrive nearly in order (they are allocated from a
+    /// monotone counter) and leave mostly from the front, so the sorted
+    /// deque behaves like a queue: O(1) amortized insert and remove.
+    index: FxMap<String, FxMap<u64, VecDeque<EntryId>>>,
+}
+
+impl ShardState {
+    fn index_insert(&mut self, stored: &Stored) {
+        for (name, value) in stored.tuple.fields() {
+            let Some(key) = value_index_hash(value) else {
+                continue;
+            };
+            // Clone the field name only the first time it is seen.
+            if !self.index.contains_key(name) {
+                self.index.insert(name.clone(), FxMap::default());
+            }
+            let ids = self
+                .index
+                .get_mut(name)
+                .expect("just ensured")
+                .entry(key)
+                .or_default();
+            match ids.back() {
+                Some(last) if *last > stored.id => {
+                    let pos = ids.partition_point(|id| *id < stored.id);
+                    ids.insert(pos, stored.id);
+                }
+                _ => ids.push_back(stored.id),
+            }
+        }
+    }
+
+    fn index_remove(&mut self, stored: &Stored) {
+        for (name, value) in stored.tuple.fields() {
+            let Some(key) = value_index_hash(value) else {
+                continue;
+            };
+            let Some(by_value) = self.index.get_mut(name) else {
+                continue;
+            };
+            if let Some(ids) = by_value.get_mut(&key) {
+                if let Ok(pos) = ids.binary_search(&stored.id) {
+                    ids.remove(pos);
+                }
+                if ids.is_empty() {
+                    by_value.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// Per-type storage: its own lock and its own condvar, so only waiters of
+/// this type are woken by writes of this type. `waiters` counts threads
+/// parked on `cond`, letting writers skip the notify syscall entirely
+/// when nobody is listening (the common case under steady throughput).
+#[derive(Default)]
+struct Shard {
+    state: Mutex<ShardState>,
+    cond: Condvar,
+    waiters: AtomicUsize,
+}
+
+#[derive(Debug, Default)]
+struct TxnRecord {
+    /// `(type, id)` of entries pending-written under the transaction.
+    writes: Vec<(Arc<str>, EntryId)>,
+    /// `(type, id)` of entries take-locked under the transaction.
+    takes: Vec<(Arc<str>, EntryId)>,
+    /// `(type, id)` of entries read-locked under the transaction.
+    reads: Vec<(Arc<str>, EntryId)>,
+}
+
+struct RegistrationSlot {
+    cookie: EventCookie,
+    template: Template,
+    listener: Listener,
+    seq: AtomicU64,
+    active: AtomicBool,
 }
 
 /// A shared, associative repository of [`Tuple`]s — the Rust JavaSpaces.
 ///
-/// All operations are thread-safe; blocking `read`/`take` calls park on a
-/// condition variable and are woken by writes, transaction commits/aborts,
-/// and [`Space::close`].
+/// All operations are thread-safe; blocking `read`/`take` calls park on
+/// their type's condition variable and are woken by writes of that type,
+/// transaction commits/aborts, and [`Space::close`].
 pub struct Space {
     name: String,
-    inner: Mutex<Inner>,
-    cond: Condvar,
-    registrations: Mutex<Vec<Arc<RegistrationSlot>>>,
-    next_cookie: Mutex<u64>,
+    closed: AtomicBool,
+    next_id: AtomicU64,
+    next_txn: AtomicU64,
+    next_cookie: AtomicU64,
+    shards: RwLock<BTreeMap<Arc<str>, Arc<Shard>>>,
+    txns: Mutex<FxMap<TxnId, TxnRecord>>,
+    /// Routes an [`EntryId`] to its owning shard without scanning.
+    entry_index: Mutex<FxMap<EntryId, Arc<str>>>,
+    /// Number of blocked waiters using type-wildcard templates; writers
+    /// skip the global condvar entirely while this is zero.
+    wildcard_waiters: AtomicUsize,
+    global: Mutex<()>,
+    global_cond: Condvar,
+    /// Copy-on-write so event dispatch snapshots the list with one Arc
+    /// clone instead of copying it under the lock.
+    registrations: Mutex<Arc<Vec<Arc<RegistrationSlot>>>>,
+    /// Mirror of `registrations.len()`, so writers skip event dispatch
+    /// without touching the registrations lock when nothing is registered.
+    reg_count: AtomicUsize,
     stats: SpaceStats,
-}
-
-struct RegistrationSlot {
-    reg: Mutex<Registration>,
-    active: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for Space {
@@ -118,10 +317,18 @@ impl Space {
     pub fn new(name: impl Into<String>) -> SpaceHandle {
         Arc::new(Space {
             name: name.into(),
-            inner: Mutex::new(Inner::default()),
-            cond: Condvar::new(),
-            registrations: Mutex::new(Vec::new()),
-            next_cookie: Mutex::new(1),
+            closed: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            next_txn: AtomicU64::new(0),
+            next_cookie: AtomicU64::new(1),
+            shards: RwLock::new(BTreeMap::new()),
+            txns: Mutex::new(FxMap::default()),
+            entry_index: Mutex::new(FxMap::default()),
+            wildcard_waiters: AtomicUsize::new(0),
+            global: Mutex::new(()),
+            global_cond: Condvar::new(),
+            registrations: Mutex::new(Arc::new(Vec::new())),
+            reg_count: AtomicUsize::new(0),
             stats: SpaceStats::default(),
         })
     }
@@ -139,15 +346,21 @@ impl Space {
     /// Closes the space: all blocked operations and all future operations
     /// fail with [`SpaceError::Closed`]. Used to shut workers down.
     pub fn close(&self) {
-        let mut inner = self.inner.lock();
-        inner.closed = true;
-        drop(inner);
-        self.cond.notify_all();
+        self.closed.store(true, Ordering::SeqCst);
+        // Notify each shard while holding its lock: a waiter that read
+        // `closed == false` still holds the shard lock until it parks, so
+        // the notification cannot slip in between check and park.
+        for (_, shard) in self.all_shards() {
+            let _state = shard.state.lock();
+            shard.cond.notify_all();
+        }
+        let _global = self.global.lock();
+        self.global_cond.notify_all();
     }
 
     /// True once [`Space::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().closed
+        self.closed.load(Ordering::SeqCst)
     }
 
     /// Writes a tuple with an infinite lease.
@@ -164,7 +377,11 @@ impl Space {
     /// Blocking, non-destructive associative lookup. Returns a copy of some
     /// tuple matching `template`, waiting up to `timeout` for one to arrive
     /// (`None` waits indefinitely). `Ok(None)` signals timeout.
-    pub fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+    pub fn read(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Option<Tuple>> {
         self.read_internal(template, timeout, None)
     }
 
@@ -174,7 +391,11 @@ impl Space {
     }
 
     /// Blocking destructive lookup: removes and returns a matching tuple.
-    pub fn take(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+    pub fn take(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Option<Tuple>> {
         self.take_internal(template, timeout, None)
     }
 
@@ -183,53 +404,88 @@ impl Space {
         self.take_internal(template, Some(Duration::ZERO), None)
     }
 
-    /// Takes every currently matching tuple (non-blocking).
+    /// Takes every currently matching tuple (non-blocking). Each shard is
+    /// drained under a single lock acquisition.
     pub fn take_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
-        let mut out = Vec::new();
-        while let Some(t) = self.take_if_exists(template)? {
-            out.push(t);
+        if self.is_closed() {
+            return Err(SpaceError::Closed);
         }
+        let mut out = Vec::new();
+        for (ty, shard) in self.select_shards(template.type_name()) {
+            let mut state = self.lock_shard(&shard);
+            while let Some(tuple) = self.try_match_shard(&ty, &mut state, template, None, true) {
+                SpaceStats::bump(&self.stats.takes);
+                out.push(tuple);
+            }
+        }
+        // The drain always ends on a failed probe, like the seed's
+        // take-until-empty loop did.
+        SpaceStats::bump(&self.stats.misses);
         Ok(out)
     }
 
-    /// Writes a batch of tuples under one lock acquisition (the
-    /// JavaSpaces05 `write` batch operation). All become visible together;
-    /// waiters are woken once and events fire once per tuple afterwards.
+    /// Writes a batch of tuples under one lock acquisition per touched
+    /// shard (the JavaSpaces05 `write` batch operation). All become visible
+    /// together; waiters are woken once per shard and events fire once per
+    /// tuple afterwards. Returns contiguous, input-ordered entry ids.
     pub fn write_all(&self, tuples: Vec<Tuple>) -> SpaceResult<Vec<EntryId>> {
-        let mut ids = Vec::with_capacity(tuples.len());
-        {
-            let mut inner = self.inner.lock();
-            if inner.closed {
-                return Err(SpaceError::Closed);
-            }
-            let now = Instant::now();
-            for tuple in &tuples {
-                inner.next_id += 1;
-                let id = inner.next_id;
-                ids.push(id);
-                SpaceStats::bump(&self.stats.writes);
-                SpaceStats::add(&self.stats.bytes_written, tuple.size_hint() as u64);
-                let stored = Stored {
-                    id,
-                    tuple: tuple.clone(),
-                    expires: Lease::Forever.deadline_from(now),
-                    lock: LockState::Free,
-                };
-                inner
-                    .by_type
-                    .entry(stored.tuple.type_name().to_owned())
-                    .or_default()
-                    .push_back(stored);
-            }
+        self.write_all_leased(tuples, Lease::Forever)
+    }
+
+    /// Batch write with an explicit lease applied to every tuple.
+    pub fn write_all_leased(&self, tuples: Vec<Tuple>, lease: Lease) -> SpaceResult<Vec<EntryId>> {
+        if self.is_closed() {
+            return Err(SpaceError::Closed);
         }
-        self.cond.notify_all();
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Reserve a contiguous id block so batch ids are dense even under
+        // concurrent writers.
+        let base = self
+            .next_id
+            .fetch_add(tuples.len() as u64, Ordering::Relaxed);
+        let expires = lease.deadline();
+        let mut by_type: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, tuple) in tuples.iter().enumerate() {
+            by_type.entry(tuple.type_name()).or_default().push(i);
+        }
+        let mut touched = Vec::with_capacity(by_type.len());
+        for (_, indexes) in by_type {
+            let ty = tuples[indexes[0]].type_name_arc();
+            let shard = self.shard_for(&ty);
+            {
+                let mut state = self.lock_shard(&shard);
+                let mut entry_index = self.entry_index.lock();
+                for i in indexes {
+                    let id = base + i as u64 + 1;
+                    let stored = Stored {
+                        id,
+                        tuple: tuples[i].clone(),
+                        expires,
+                        lock: LockState::Free,
+                    };
+                    SpaceStats::bump(&self.stats.writes);
+                    SpaceStats::add(&self.stats.bytes_written, stored.tuple.size_hint() as u64);
+                    state.index_insert(&stored);
+                    state.entries.insert(id, stored);
+                    entry_index.insert(id, ty.clone());
+                }
+            }
+            touched.push(shard);
+        }
+        for shard in touched {
+            self.notify_shard(&shard);
+        }
+        self.notify_wildcard_waiters();
         self.fire_events(&tuples);
-        Ok(ids)
+        Ok((base + 1..=base + tuples.len() as u64).collect())
     }
 
     /// Takes up to `max` matching tuples (the JavaSpaces05 `take` batch
     /// operation): blocks up to `timeout` for the *first* match, then
-    /// drains whatever else currently matches without further waiting.
+    /// drains whatever else currently matches — one shard lock acquisition
+    /// per shard — without further waiting.
     pub fn take_up_to(
         &self,
         template: &Template,
@@ -244,30 +500,36 @@ impl Space {
             None => return Ok(out),
             Some(first) => out.push(first),
         }
-        while out.len() < max {
-            match self.take_if_exists(template)? {
-                Some(t) => out.push(t),
-                None => break,
+        'shards: for (ty, shard) in self.select_shards(template.type_name()) {
+            let mut state = self.lock_shard(&shard);
+            while out.len() < max {
+                match self.try_match_shard(&ty, &mut state, template, None, true) {
+                    Some(tuple) => {
+                        SpaceStats::bump(&self.stats.takes);
+                        out.push(tuple);
+                    }
+                    None => continue 'shards,
+                }
             }
+            break;
+        }
+        if out.len() < max {
+            SpaceStats::bump(&self.stats.misses);
         }
         Ok(out)
     }
 
-    /// Copies every currently matching tuple (non-blocking).
+    /// Copies every currently matching tuple (non-blocking). Each shard is
+    /// scanned under a single lock acquisition.
     pub fn read_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
-        let inner = self.inner.lock();
-        if inner.closed {
+        if self.is_closed() {
             return Err(SpaceError::Closed);
         }
         let now = Instant::now();
         let mut out = Vec::new();
-        for (ty, bucket) in &inner.by_type {
-            if let Some(want) = template.type_name() {
-                if want != ty {
-                    continue;
-                }
-            }
-            for stored in bucket {
+        for (_, shard) in self.select_shards(template.type_name()) {
+            let state = self.lock_shard(&shard);
+            for stored in state.entries.values() {
                 if !stored.expired(now)
                     && stored.visible_to_read(None)
                     && template.matches(&stored.tuple)
@@ -284,70 +546,108 @@ impl Space {
         self.read_all(template).map(|v| v.len()).unwrap_or(0)
     }
 
-    /// Total number of live entries (all types), ignoring locks.
+    /// Number of entries a plain (non-transactional) `read` could observe
+    /// right now: live, not taken and not pending inside a transaction.
     pub fn len(&self) -> usize {
-        let inner = self.inner.lock();
         let now = Instant::now();
-        inner
-            .by_type
-            .values()
-            .flat_map(|b| b.iter())
-            .filter(|s| !s.expired(now))
-            .count()
+        self.all_shards()
+            .into_iter()
+            .map(|(_, shard)| {
+                self.lock_shard(&shard)
+                    .entries
+                    .values()
+                    .filter(|s| !s.expired(now) && s.visible_to_read(None))
+                    .count()
+            })
+            .sum()
     }
 
-    /// True when the space holds no live entries.
+    /// True when the space holds no read-visible entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
     /// Renews the lease on an entry.
     pub fn renew_lease(&self, id: EntryId, lease: Lease) -> SpaceResult<()> {
-        let mut inner = self.inner.lock();
-        if inner.closed {
+        if self.is_closed() {
             return Err(SpaceError::Closed);
         }
+        let Some(shard) = self.shard_of_entry(id) else {
+            return Err(SpaceError::NoSuchEntry);
+        };
+        let mut state = self.lock_shard(&shard);
         let now = Instant::now();
-        for bucket in inner.by_type.values_mut() {
-            if let Some(stored) = bucket.iter_mut().find(|s| s.id == id) {
-                if stored.expired(now) {
-                    return Err(SpaceError::LeaseExpired);
-                }
+        let expired = match state.entries.get_mut(&id) {
+            None => return Err(SpaceError::NoSuchEntry),
+            Some(stored) if stored.expired(now) => true,
+            Some(stored) => {
                 stored.expires = lease.deadline_from(now);
-                return Ok(());
+                false
             }
+        };
+        if expired {
+            self.remove_entry(&mut state, id);
+            return Err(SpaceError::LeaseExpired);
         }
-        Err(SpaceError::NoSuchEntry)
+        Ok(())
     }
 
-    /// Cancels an entry by id (equivalent to taking it).
+    /// Cancels an entry by id (equivalent to taking it). Distinguishes the
+    /// failure modes: an entry that was never there (or already consumed)
+    /// is [`SpaceError::NoSuchEntry`], one whose lease ran out is
+    /// [`SpaceError::LeaseExpired`], and one locked by an active
+    /// transaction is [`SpaceError::EntryLocked`].
     pub fn cancel(&self, id: EntryId) -> SpaceResult<Tuple> {
-        let mut inner = self.inner.lock();
-        if inner.closed {
+        if self.is_closed() {
             return Err(SpaceError::Closed);
         }
+        let Some(shard) = self.shard_of_entry(id) else {
+            return Err(SpaceError::NoSuchEntry);
+        };
+        let mut state = self.lock_shard(&shard);
         let now = Instant::now();
-        for bucket in inner.by_type.values_mut() {
-            if let Some(pos) = bucket
-                .iter()
-                .position(|s| s.id == id && !s.expired(now) && s.takeable_by(None))
-            {
-                let stored = bucket.remove(pos).expect("position just found");
-                return Ok(stored.tuple);
+        let status = match state.entries.get(&id) {
+            None => return Err(SpaceError::NoSuchEntry),
+            Some(stored) if stored.expired(now) => Err(SpaceError::LeaseExpired),
+            Some(stored) if !stored.takeable_by(None) => return Err(SpaceError::EntryLocked),
+            Some(_) => Ok(()),
+        };
+        match status {
+            Err(e) => {
+                self.remove_entry(&mut state, id);
+                Err(e)
+            }
+            Ok(()) => {
+                let stored = self.remove_entry(&mut state, id).expect("entry just found");
+                Ok(stored.tuple)
             }
         }
-        Err(SpaceError::NoSuchEntry)
     }
 
     /// Purges expired entries immediately; returns how many were reclaimed.
     pub fn sweep(&self) -> usize {
-        let mut inner = self.inner.lock();
         let now = Instant::now();
         let mut removed = 0;
-        for bucket in inner.by_type.values_mut() {
-            let before = bucket.len();
-            bucket.retain(|s| !s.expired(now));
-            removed += before - bucket.len();
+        for (_, shard) in self.all_shards() {
+            let mut state = self.lock_shard(&shard);
+            let dead: Vec<EntryId> = state
+                .entries
+                .values()
+                .filter(|s| s.expired(now))
+                .map(|s| s.id)
+                .collect();
+            removed += dead.len();
+            if dead.is_empty() {
+                continue;
+            }
+            // Batch the id-routing removals under one lock acquisition.
+            let mut entry_index = self.entry_index.lock();
+            for id in dead {
+                if let Some(stored) = state.entries.remove(&id) {
+                    state.index_remove(&stored);
+                    entry_index.remove(&id);
+                }
+            }
         }
         SpaceStats::add(&self.stats.expired, removed as u64);
         removed
@@ -355,37 +655,28 @@ impl Space {
 
     /// Begins a transaction.
     pub fn txn(self: &Arc<Self>) -> SpaceResult<Txn> {
-        let mut inner = self.inner.lock();
-        if inner.closed {
+        if self.is_closed() {
             return Err(SpaceError::Closed);
         }
-        inner.next_txn += 1;
-        let id = TxnId(inner.next_txn);
-        inner.txns.insert(id, TxnRecord::default());
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed) + 1);
+        self.txns.lock().insert(id, TxnRecord::default());
         Ok(Txn::new(self.clone(), id))
     }
 
     /// Registers an event listener for writes matching `template`.
-    pub fn notify(
-        &self,
-        template: Template,
-        listener: Box<dyn Fn(SpaceEvent) + Send + Sync>,
-    ) -> EventCookie {
-        let cookie = {
-            let mut next = self.next_cookie.lock();
-            let c = EventCookie(*next);
-            *next += 1;
-            c
-        };
-        self.registrations.lock().push(Arc::new(RegistrationSlot {
-            reg: Mutex::new(Registration {
-                cookie,
-                template,
-                listener,
-                seq: 0,
-            }),
-            active: std::sync::atomic::AtomicBool::new(true),
+    pub fn notify(&self, template: Template, listener: Listener) -> EventCookie {
+        let cookie = EventCookie(self.next_cookie.fetch_add(1, Ordering::Relaxed));
+        let mut regs = self.registrations.lock();
+        let mut next = Vec::clone(&regs);
+        next.push(Arc::new(RegistrationSlot {
+            cookie,
+            template,
+            listener,
+            seq: AtomicU64::new(0),
+            active: AtomicBool::new(true),
         }));
+        self.reg_count.store(next.len(), Ordering::Release);
+        *regs = Arc::new(next);
         cookie
     }
 
@@ -407,20 +698,118 @@ impl Space {
     pub fn cancel_notify(&self, cookie: EventCookie) -> SpaceResult<()> {
         let mut regs = self.registrations.lock();
         let before = regs.len();
-        regs.retain(|slot| {
-            if slot.reg.lock().cookie == cookie {
+        let mut next = Vec::clone(&regs);
+        next.retain(|slot| {
+            if slot.cookie == cookie {
                 // Mark inactive so in-flight event snapshots skip it too.
-                slot.active
-                    .store(false, std::sync::atomic::Ordering::Relaxed);
+                slot.active.store(false, Ordering::Relaxed);
                 false
             } else {
                 true
             }
         });
-        if regs.len() == before {
-            Err(SpaceError::NoSuchRegistration)
-        } else {
+        self.reg_count.store(next.len(), Ordering::Release);
+        let removed = next.len() != before;
+        *regs = Arc::new(next);
+        if removed {
             Ok(())
+        } else {
+            Err(SpaceError::NoSuchRegistration)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shard plumbing.
+    // ------------------------------------------------------------------
+
+    /// Looks up the shard for `ty`, creating it on first use (waiters need
+    /// a condvar to park on even before the first write of their type).
+    /// Returns the shared name allocation alongside the shard so hot paths
+    /// never re-allocate type names.
+    fn shard_entry(&self, ty: &str) -> (Arc<str>, Arc<Shard>) {
+        if let Some((name, shard)) = self.shards.read().get_key_value(ty) {
+            return (name.clone(), shard.clone());
+        }
+        let name: Arc<str> = Arc::from(ty);
+        let shard = self.shards.write().entry(name.clone()).or_default().clone();
+        (name, shard)
+    }
+
+    /// Same as [`Space::shard_entry`] but reuses the tuple's own name
+    /// allocation when the shard does not exist yet.
+    fn shard_for(&self, name: &Arc<str>) -> Arc<Shard> {
+        if let Some(shard) = self.shards.read().get(&**name) {
+            return shard.clone();
+        }
+        self.shards.write().entry(name.clone()).or_default().clone()
+    }
+
+    fn existing_shard(&self, ty: &str) -> Option<Arc<Shard>> {
+        self.shards.read().get(ty).cloned()
+    }
+
+    fn all_shards(&self) -> Vec<(Arc<str>, Arc<Shard>)> {
+        self.shards
+            .read()
+            .iter()
+            .map(|(ty, shard)| (ty.clone(), shard.clone()))
+            .collect()
+    }
+
+    /// The shards a template of type `ty` could match, in type order.
+    fn select_shards(&self, ty: Option<&str>) -> Vec<(Arc<str>, Arc<Shard>)> {
+        match ty {
+            Some(ty) => self
+                .shards
+                .read()
+                .get_key_value(ty)
+                .map(|(name, shard)| vec![(name.clone(), shard.clone())])
+                .unwrap_or_default(),
+            None => self.all_shards(),
+        }
+    }
+
+    /// Acquires a shard's state lock, counting contended acquisitions.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
+        match shard.state.try_lock() {
+            Some(guard) => guard,
+            None => {
+                SpaceStats::bump(&self.stats.shard_contention);
+                shard.state.lock()
+            }
+        }
+    }
+
+    fn shard_of_entry(&self, id: EntryId) -> Option<Arc<Shard>> {
+        let ty = self.entry_index.lock().get(&id).cloned()?;
+        self.existing_shard(&ty)
+    }
+
+    /// Removes an entry from a shard, keeping both indexes consistent.
+    fn remove_entry(&self, state: &mut ShardState, id: EntryId) -> Option<Stored> {
+        let stored = state.entries.remove(&id)?;
+        state.index_remove(&stored);
+        self.entry_index.lock().remove(&id);
+        Some(stored)
+    }
+
+    /// Wakes a shard's parked waiters, if any. The waiter count is bumped
+    /// under the shard lock before parking and the writer's data change
+    /// happened under that same lock, so a zero count here proves no
+    /// waiter can have missed the update — the syscall is safely skipped.
+    fn notify_shard(&self, shard: &Shard) {
+        if shard.waiters.load(Ordering::SeqCst) > 0 {
+            shard.cond.notify_all();
+        }
+    }
+
+    /// Wakes wildcard waiters, if any. Callers must not hold a shard lock:
+    /// `global` is only ever taken with no shard lock held (see module
+    /// docs), which is what makes the waiters' scan-then-park atomic.
+    fn notify_wildcard_waiters(&self) {
+        if self.wildcard_waiters.load(Ordering::SeqCst) > 0 {
+            let _global = self.global.lock();
+            self.global_cond.notify_all();
         }
     }
 
@@ -434,18 +823,19 @@ impl Space {
         lease: Lease,
         txn: Option<TxnId>,
     ) -> SpaceResult<EntryId> {
-        let size = tuple.size_hint() as u64;
-        let (id, visible) = {
-            let mut inner = self.inner.lock();
-            if inner.closed {
-                return Err(SpaceError::Closed);
-            }
-            inner.next_id += 1;
-            let id = inner.next_id;
+        if self.is_closed() {
+            return Err(SpaceError::Closed);
+        }
+        let ty = tuple.type_name_arc();
+        let shard = self.shard_for(&ty);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut state = self.lock_shard(&shard);
             let lock = match txn {
                 Some(t) => {
-                    let rec = inner.txns.get_mut(&t).ok_or(SpaceError::TxnInactive)?;
-                    rec.writes.push(id);
+                    let mut txns = self.txns.lock();
+                    let rec = txns.get_mut(&t).ok_or(SpaceError::TxnInactive)?;
+                    rec.writes.push((ty.clone(), id));
                     LockState::PendingWrite(t)
                 }
                 None => LockState::Free,
@@ -453,22 +843,20 @@ impl Space {
             let stored = Stored {
                 id,
                 tuple: tuple.clone(),
-                expires: lease.deadline_from(Instant::now()),
+                expires: lease.deadline(),
                 lock,
             };
-            inner
-                .by_type
-                .entry(stored.tuple.type_name().to_owned())
-                .or_default()
-                .push_back(stored);
             SpaceStats::bump(&self.stats.writes);
-            SpaceStats::add(&self.stats.bytes_written, size);
-            (id, txn.is_none())
-        };
-        // Plain writes are instantly visible: wake waiters and fire events.
-        // Transactional writes fire at commit instead.
-        if visible {
-            self.cond.notify_all();
+            SpaceStats::add(&self.stats.bytes_written, stored.tuple.size_hint() as u64);
+            state.index_insert(&stored);
+            state.entries.insert(id, stored);
+            self.entry_index.lock().insert(id, ty);
+        }
+        // Plain writes are instantly visible: wake this type's waiters and
+        // fire events. Transactional writes fire at commit instead.
+        if txn.is_none() {
+            self.notify_shard(&shard);
+            self.notify_wildcard_waiters();
             self.fire_events(std::slice::from_ref(&tuple));
         }
         Ok(id)
@@ -501,30 +889,52 @@ impl Space {
         destructive: bool,
     ) -> SpaceResult<Option<Tuple>> {
         let deadline = timeout.map(|d| Instant::now() + d);
-        let mut inner = self.inner.lock();
+        match template.type_name() {
+            Some(ty) => {
+                let (ty, shard) = self.shard_entry(ty);
+                self.wait_typed(&ty, &shard, template, deadline, txn, destructive)
+            }
+            None => {
+                // Count ourselves before the first scan: a writer that
+                // misses the counter must have run before the scan, so the
+                // scan sees its tuple.
+                self.wildcard_waiters.fetch_add(1, Ordering::SeqCst);
+                let result = self.wait_wildcard(template, deadline, txn, destructive);
+                self.wildcard_waiters.fetch_sub(1, Ordering::SeqCst);
+                result
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn wait_typed(
+        &self,
+        ty: &Arc<str>,
+        shard: &Shard,
+        template: &Template,
+        deadline: Option<Instant>,
+        txn: Option<TxnId>,
+        destructive: bool,
+    ) -> SpaceResult<Option<Tuple>> {
+        let mut state = self.lock_shard(shard);
         let mut waited = false;
         loop {
-            if inner.closed {
+            if self.is_closed() {
                 return Err(SpaceError::Closed);
             }
             if let Some(t) = txn {
-                if !inner.txns.contains_key(&t) {
+                if !self.txns.lock().contains_key(&t) {
                     return Err(SpaceError::TxnInactive);
                 }
             }
-            if let Some(tuple) = Self::try_match(&mut inner, template, txn, destructive) {
-                SpaceStats::bump(if destructive {
-                    &self.stats.takes
-                } else {
-                    &self.stats.reads
-                });
+            if let Some(tuple) = self.try_match_shard(ty, &mut state, template, txn, destructive) {
+                self.bump_match(destructive);
                 return Ok(Some(tuple));
             }
-            // No match: park until something changes or the deadline hits.
+            // No match: park until this type changes or the deadline hits.
             match deadline {
                 Some(d) => {
-                    let now = Instant::now();
-                    if now >= d {
+                    if Instant::now() >= d {
                         SpaceStats::bump(&self.stats.misses);
                         return Ok(None);
                     }
@@ -532,19 +942,19 @@ impl Space {
                         SpaceStats::bump(&self.stats.blocked_waits);
                         waited = true;
                     }
-                    if self.cond.wait_until(&mut inner, d).timed_out() {
+                    shard.waiters.fetch_add(1, Ordering::SeqCst);
+                    let timed_out = shard.cond.wait_until(&mut state, d).timed_out();
+                    shard.waiters.fetch_sub(1, Ordering::SeqCst);
+                    if timed_out {
                         // Re-check one final time before reporting a miss: a
                         // write may have landed exactly at the deadline.
-                        if let Some(tuple) = Self::try_match(&mut inner, template, txn, destructive)
+                        if let Some(tuple) =
+                            self.try_match_shard(ty, &mut state, template, txn, destructive)
                         {
-                            SpaceStats::bump(if destructive {
-                                &self.stats.takes
-                            } else {
-                                &self.stats.reads
-                            });
+                            self.bump_match(destructive);
                             return Ok(Some(tuple));
                         }
-                        if inner.closed {
+                        if self.is_closed() {
                             return Err(SpaceError::Closed);
                         }
                         SpaceStats::bump(&self.stats.misses);
@@ -556,174 +966,328 @@ impl Space {
                         SpaceStats::bump(&self.stats.blocked_waits);
                         waited = true;
                     }
-                    self.cond.wait(&mut inner);
+                    shard.waiters.fetch_add(1, Ordering::SeqCst);
+                    shard.cond.wait(&mut state);
+                    shard.waiters.fetch_sub(1, Ordering::SeqCst);
                 }
             }
         }
     }
 
-    /// Scans for the oldest visible match; applies take/read locking.
-    fn try_match(
-        inner: &mut Inner,
+    /// Wildcard (untyped-template) blocking path. Holds `global` across the
+    /// scan so a concurrent writer's wakeup (which also takes `global`)
+    /// cannot slip between our last look and our park.
+    fn wait_wildcard(
+        &self,
+        template: &Template,
+        deadline: Option<Instant>,
+        txn: Option<TxnId>,
+        destructive: bool,
+    ) -> SpaceResult<Option<Tuple>> {
+        let mut global = self.global.lock();
+        let mut waited = false;
+        loop {
+            if self.is_closed() {
+                return Err(SpaceError::Closed);
+            }
+            if let Some(t) = txn {
+                if !self.txns.lock().contains_key(&t) {
+                    return Err(SpaceError::TxnInactive);
+                }
+            }
+            if let Some(tuple) = self.scan_all_shards(template, txn, destructive) {
+                self.bump_match(destructive);
+                return Ok(Some(tuple));
+            }
+            match deadline {
+                Some(d) => {
+                    if Instant::now() >= d {
+                        SpaceStats::bump(&self.stats.misses);
+                        return Ok(None);
+                    }
+                    if !waited {
+                        SpaceStats::bump(&self.stats.blocked_waits);
+                        waited = true;
+                    }
+                    if self.global_cond.wait_until(&mut global, d).timed_out() {
+                        if let Some(tuple) = self.scan_all_shards(template, txn, destructive) {
+                            self.bump_match(destructive);
+                            return Ok(Some(tuple));
+                        }
+                        if self.is_closed() {
+                            return Err(SpaceError::Closed);
+                        }
+                        SpaceStats::bump(&self.stats.misses);
+                        return Ok(None);
+                    }
+                }
+                None => {
+                    if !waited {
+                        SpaceStats::bump(&self.stats.blocked_waits);
+                        waited = true;
+                    }
+                    self.global_cond.wait(&mut global);
+                }
+            }
+        }
+    }
+
+    fn scan_all_shards(
+        &self,
         template: &Template,
         txn: Option<TxnId>,
         destructive: bool,
     ) -> Option<Tuple> {
-        let now = Instant::now();
-        let type_filter = template.type_name().map(str::to_owned);
-        let keys: Vec<String> = match &type_filter {
-            Some(ty) => {
-                if inner.by_type.contains_key(ty) {
-                    vec![ty.clone()]
-                } else {
-                    Vec::new()
-                }
-            }
-            None => inner.by_type.keys().cloned().collect(),
-        };
-        for key in keys {
-            let bucket = inner.by_type.get_mut(&key).expect("key from map");
-            // Lazily drop expired entries while scanning.
-            bucket.retain(|s| !s.expired(now));
-            let pos = bucket.iter().position(|s| {
-                template.matches(&s.tuple)
-                    && if destructive {
-                        s.takeable_by(txn)
-                    } else {
-                        s.visible_to_read(txn)
-                    }
-            });
-            let Some(pos) = pos else { continue };
-            if destructive {
-                match txn {
-                    None => {
-                        let stored = bucket.remove(pos).expect("position just found");
-                        return Some(stored.tuple);
-                    }
-                    Some(t) => {
-                        let stored = &mut bucket[pos];
-                        let id = stored.id;
-                        let tuple = stored.tuple.clone();
-                        if stored.lock == LockState::PendingWrite(t) {
-                            // Taking back your own uncommitted write: the
-                            // entry simply disappears from the transaction.
-                            bucket.remove(pos);
-                            if let Some(rec) = inner.txns.get_mut(&t) {
-                                rec.writes.retain(|w| *w != id);
-                            }
-                        } else {
-                            stored.lock = LockState::TakenBy(t);
-                            if let Some(rec) = inner.txns.get_mut(&t) {
-                                rec.takes.push(id);
-                            }
-                        }
-                        return Some(tuple);
-                    }
-                }
-            } else {
-                let stored = &mut bucket[pos];
-                if let Some(t) = txn {
-                    match &mut stored.lock {
-                        LockState::Free => {
-                            stored.lock = LockState::ReadBy(vec![t]);
-                            let id = stored.id;
-                            if let Some(rec) = inner.txns.get_mut(&t) {
-                                rec.reads.push(id);
-                            }
-                        }
-                        LockState::ReadBy(readers) => {
-                            if !readers.contains(&t) {
-                                readers.push(t);
-                                let id = stored.id;
-                                if let Some(rec) = inner.txns.get_mut(&t) {
-                                    rec.reads.push(id);
-                                }
-                            }
-                        }
-                        // Reading your own pending write takes no lock.
-                        LockState::PendingWrite(_) | LockState::TakenBy(_) => {}
-                    }
-                }
-                return Some(stored.tuple.clone());
+        for (ty, shard) in self.all_shards() {
+            let mut state = self.lock_shard(&shard);
+            if let Some(tuple) = self.try_match_shard(&ty, &mut state, template, txn, destructive) {
+                return Some(tuple);
             }
         }
         None
     }
 
-    pub(crate) fn finish_txn(&self, id: TxnId, commit: bool) -> SpaceResult<()> {
-        let committed_tuples = {
-            let mut inner = self.inner.lock();
-            let rec = inner.txns.remove(&id).ok_or(SpaceError::TxnInactive)?;
-            let mut fire: Vec<Tuple> = Vec::new();
-            if commit {
-                for bucket in inner.by_type.values_mut() {
-                    for stored in bucket.iter_mut() {
-                        match &mut stored.lock {
-                            LockState::PendingWrite(t) if *t == id => {
-                                stored.lock = LockState::Free;
-                                fire.push(stored.tuple.clone());
-                            }
-                            LockState::ReadBy(readers) => {
-                                readers.retain(|r| *r != id);
-                                if readers.is_empty() {
-                                    stored.lock = LockState::Free;
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
-                    bucket.retain(|s| s.lock != LockState::TakenBy(id));
+    fn bump_match(&self, destructive: bool) {
+        SpaceStats::bump(if destructive {
+            &self.stats.takes
+        } else {
+            &self.stats.reads
+        });
+    }
+
+    /// Finds the oldest live entry in `state` matching `template` that the
+    /// caller may see, purging expired entries it passes over.
+    fn find_candidate(
+        &self,
+        state: &mut ShardState,
+        template: &Template,
+        txn: Option<TxnId>,
+        destructive: bool,
+        now: Instant,
+    ) -> Option<EntryId> {
+        let usable = |s: &Stored| {
+            template.matches(&s.tuple)
+                && if destructive {
+                    s.takeable_by(txn)
+                } else {
+                    s.visible_to_read(txn)
                 }
-                SpaceStats::bump(&self.stats.txns_committed);
-            } else {
-                for bucket in inner.by_type.values_mut() {
-                    bucket.retain(|s| s.lock != LockState::PendingWrite(id));
-                    for stored in bucket.iter_mut() {
-                        match &mut stored.lock {
-                            LockState::TakenBy(t) if *t == id => {
-                                stored.lock = LockState::Free;
-                            }
-                            LockState::ReadBy(readers) => {
-                                readers.retain(|r| *r != id);
-                                if readers.is_empty() {
-                                    stored.lock = LockState::Free;
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-                SpaceStats::bump(&self.stats.txns_aborted);
-                let _ = rec;
-            }
-            fire
         };
+        // An `==` constraint on an indexable value lets the field index
+        // hand us exactly the entries carrying that value, oldest first.
+        let probe = template.constraints().iter().find_map(|(name, c)| match c {
+            Constraint::Exact(value) => value_index_hash(value).map(|key| (name.as_str(), key)),
+            _ => None,
+        });
+        let mut dead = Vec::new();
+        let mut found = None;
+        if let Some((field, key)) = probe {
+            SpaceStats::bump(&self.stats.index_hits);
+            if let Some(ids) = state
+                .index
+                .get(field)
+                .and_then(|by_value| by_value.get(&key))
+            {
+                for &id in ids {
+                    let stored = state.entries.get(&id).expect("indexed entry exists");
+                    if stored.expired(now) {
+                        dead.push(id);
+                    } else if usable(stored) {
+                        found = Some(id);
+                        break;
+                    }
+                }
+            }
+        } else {
+            SpaceStats::bump(&self.stats.index_misses);
+            for (id, stored) in state.entries.iter() {
+                if stored.expired(now) {
+                    dead.push(*id);
+                } else if usable(stored) {
+                    found = Some(*id);
+                    break;
+                }
+            }
+        }
+        for id in dead {
+            self.remove_entry(state, id);
+        }
+        found
+    }
+
+    /// Resolves a match inside one shard; applies take/read locking.
+    fn try_match_shard(
+        &self,
+        ty: &Arc<str>,
+        state: &mut ShardState,
+        template: &Template,
+        txn: Option<TxnId>,
+        destructive: bool,
+    ) -> Option<Tuple> {
+        let now = Instant::now();
+        let id = self.find_candidate(state, template, txn, destructive, now)?;
+        if destructive {
+            let Some(t) = txn else {
+                let stored = self.remove_entry(state, id).expect("candidate exists");
+                return Some(stored.tuple);
+            };
+            let own_pending = state.entries[&id].lock == LockState::PendingWrite(t);
+            // Hold the txn registry lock across the entry mutation: if the
+            // transaction finished concurrently, we must not lock an entry
+            // no committer will ever release.
+            let mut txns = self.txns.lock();
+            let rec = txns.get_mut(&t)?;
+            if own_pending {
+                // Taking back your own uncommitted write: the entry simply
+                // disappears from the transaction.
+                rec.writes.retain(|(_, w)| *w != id);
+                drop(txns);
+                let stored = self.remove_entry(state, id).expect("candidate exists");
+                Some(stored.tuple)
+            } else {
+                rec.takes.push((ty.clone(), id));
+                let stored = state.entries.get_mut(&id).expect("candidate exists");
+                stored.lock = LockState::TakenBy(t);
+                Some(stored.tuple.clone())
+            }
+        } else {
+            if let Some(t) = txn {
+                let needs_lock = match &state.entries[&id].lock {
+                    LockState::Free => true,
+                    LockState::ReadBy(readers) => !readers.contains(&t),
+                    // Reading your own pending write takes no lock.
+                    LockState::PendingWrite(_) | LockState::TakenBy(_) => false,
+                };
+                if needs_lock {
+                    let mut txns = self.txns.lock();
+                    let rec = txns.get_mut(&t)?;
+                    rec.reads.push((ty.clone(), id));
+                    drop(txns);
+                    let stored = state.entries.get_mut(&id).expect("candidate exists");
+                    match &mut stored.lock {
+                        lock @ LockState::Free => *lock = LockState::ReadBy(vec![t]),
+                        LockState::ReadBy(readers) => readers.push(t),
+                        _ => unreachable!("needs_lock implies Free or ReadBy"),
+                    }
+                }
+            }
+            Some(state.entries[&id].tuple.clone())
+        }
+    }
+
+    pub(crate) fn finish_txn(&self, id: TxnId, commit: bool) -> SpaceResult<()> {
+        let rec = self
+            .txns
+            .lock()
+            .remove(&id)
+            .ok_or(SpaceError::TxnInactive)?;
+        // Group the transaction's entries per shard so each shard is fixed
+        // up under one lock acquisition.
+        #[derive(Default)]
+        struct Ops {
+            writes: Vec<EntryId>,
+            takes: Vec<EntryId>,
+            reads: Vec<EntryId>,
+        }
+        let mut by_type: BTreeMap<Arc<str>, Ops> = BTreeMap::new();
+        for (ty, e) in rec.writes {
+            by_type.entry(ty).or_default().writes.push(e);
+        }
+        for (ty, e) in rec.takes {
+            by_type.entry(ty).or_default().takes.push(e);
+        }
+        for (ty, e) in rec.reads {
+            by_type.entry(ty).or_default().reads.push(e);
+        }
+        let mut fire: Vec<Tuple> = Vec::new();
+        let mut touched = Vec::with_capacity(by_type.len());
+        for (ty, ops) in by_type {
+            let Some(shard) = self.existing_shard(&ty) else {
+                continue;
+            };
+            {
+                let mut state = self.lock_shard(&shard);
+                for e in ops.writes {
+                    let pending = state
+                        .entries
+                        .get(&e)
+                        .is_some_and(|s| s.lock == LockState::PendingWrite(id));
+                    if !pending {
+                        continue;
+                    }
+                    if commit {
+                        let stored = state.entries.get_mut(&e).expect("entry just checked");
+                        stored.lock = LockState::Free;
+                        fire.push(stored.tuple.clone());
+                    } else {
+                        self.remove_entry(&mut state, e);
+                    }
+                }
+                for e in ops.takes {
+                    let taken = state
+                        .entries
+                        .get(&e)
+                        .is_some_and(|s| s.lock == LockState::TakenBy(id));
+                    if !taken {
+                        continue;
+                    }
+                    if commit {
+                        self.remove_entry(&mut state, e);
+                    } else {
+                        state.entries.get_mut(&e).expect("entry just checked").lock =
+                            LockState::Free;
+                    }
+                }
+                for e in ops.reads {
+                    if let Some(stored) = state.entries.get_mut(&e) {
+                        if let LockState::ReadBy(readers) = &mut stored.lock {
+                            readers.retain(|r| *r != id);
+                            if readers.is_empty() {
+                                stored.lock = LockState::Free;
+                            }
+                        }
+                    }
+                }
+            }
+            touched.push(shard);
+        }
+        SpaceStats::bump(if commit {
+            &self.stats.txns_committed
+        } else {
+            &self.stats.txns_aborted
+        });
         // Entries became visible (commit) or available again (abort): wake
-        // all waiters either way.
-        self.cond.notify_all();
-        if !committed_tuples.is_empty() {
-            self.fire_events(&committed_tuples);
+        // the affected types either way.
+        for shard in touched {
+            self.notify_shard(&shard);
+        }
+        self.notify_wildcard_waiters();
+        if !fire.is_empty() {
+            self.fire_events(&fire);
         }
         Ok(())
     }
 
+    /// Dispatches events for newly visible tuples. Invokes listeners with
+    /// no space lock held, so a listener may freely call back into the
+    /// space (write a reply, register/cancel notifications, …).
     fn fire_events(&self, tuples: &[Tuple]) {
-        // Snapshot matching registrations without holding the main lock.
-        let slots: Vec<Arc<RegistrationSlot>> = self.registrations.lock().clone();
-        for slot in slots {
-            if !slot.active.load(std::sync::atomic::Ordering::Relaxed) {
+        if self.reg_count.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let slots: Arc<Vec<Arc<RegistrationSlot>>> = self.registrations.lock().clone();
+        for slot in slots.iter() {
+            if !slot.active.load(Ordering::Relaxed) {
                 continue;
             }
-            let mut reg = slot.reg.lock();
             for tuple in tuples {
-                if reg.template.matches(tuple) {
-                    reg.seq += 1;
-                    let ev = SpaceEvent {
-                        cookie: reg.cookie,
-                        seq: reg.seq,
+                if slot.template.matches(tuple) {
+                    let seq = slot.seq.fetch_add(1, Ordering::Relaxed) + 1;
+                    (slot.listener)(SpaceEvent {
+                        cookie: slot.cookie,
+                        seq,
                         tuple: tuple.clone(),
-                    };
-                    (reg.listener)(ev);
+                    });
                 }
             }
         }
@@ -747,15 +1311,24 @@ mod tests {
         s.write(task(1)).unwrap();
         let got = s.take_if_exists(&Template::of_type("task")).unwrap();
         assert_eq!(got.unwrap().get_int("id"), Some(1));
-        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_none());
+        assert!(s
+            .take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn read_does_not_remove() {
         let s = Space::new("t");
         s.write(task(1)).unwrap();
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
         assert_eq!(s.len(), 1);
     }
 
@@ -766,7 +1339,10 @@ mod tests {
             s.write(task(i)).unwrap();
         }
         for i in 0..5 {
-            let got = s.take_if_exists(&Template::of_type("task")).unwrap().unwrap();
+            let got = s
+                .take_if_exists(&Template::of_type("task"))
+                .unwrap()
+                .unwrap();
             assert_eq!(got.get_int("id"), Some(i));
         }
     }
@@ -777,6 +1353,20 @@ mod tests {
         let s2 = s.clone();
         let h = thread::spawn(move || {
             s2.take(&Template::of_type("task"), Some(Duration::from_secs(5)))
+                .unwrap()
+        });
+        thread::sleep(Duration::from_millis(30));
+        s.write(task(42)).unwrap();
+        let got = h.join().unwrap().unwrap();
+        assert_eq!(got.get_int("id"), Some(42));
+    }
+
+    #[test]
+    fn blocking_wildcard_take_waits_for_writer() {
+        let s = Space::new("t");
+        let s2 = s.clone();
+        let h = thread::spawn(move || {
+            s2.take(&Template::any_type().done(), Some(Duration::from_secs(5)))
                 .unwrap()
         });
         thread::sleep(Duration::from_millis(30));
@@ -807,11 +1397,24 @@ mod tests {
     }
 
     #[test]
+    fn close_wakes_blocked_wildcard_takers() {
+        let s = Space::new("t");
+        let s2 = s.clone();
+        let h = thread::spawn(move || s2.take(&Template::any_type().done(), None));
+        thread::sleep(Duration::from_millis(30));
+        s.close();
+        assert_eq!(h.join().unwrap(), Err(SpaceError::Closed));
+    }
+
+    #[test]
     fn lease_expiry_reclaims_entry() {
         let s = Space::new("t");
         s.write_leased(task(1), Lease::for_millis(10)).unwrap();
         thread::sleep(Duration::from_millis(25));
-        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_none());
+        assert!(s
+            .take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_none());
         assert_eq!(s.len(), 0);
     }
 
@@ -821,7 +1424,10 @@ mod tests {
         let id = s.write_leased(task(1), Lease::for_millis(40)).unwrap();
         s.renew_lease(id, Lease::forever()).unwrap();
         thread::sleep(Duration::from_millis(60));
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -831,6 +1437,58 @@ mod tests {
         let t = s.cancel(id).unwrap();
         assert_eq!(t.get_int("id"), Some(7));
         assert_eq!(s.cancel(id), Err(SpaceError::NoSuchEntry));
+    }
+
+    #[test]
+    fn cancel_expired_entry_reports_lease_expired() {
+        let s = Space::new("t");
+        let id = s.write_leased(task(1), Lease::for_millis(5)).unwrap();
+        thread::sleep(Duration::from_millis(15));
+        assert_eq!(s.cancel(id), Err(SpaceError::LeaseExpired));
+        // The expired entry was reclaimed by the failed cancel: a second
+        // attempt no longer finds it at all.
+        assert_eq!(s.cancel(id), Err(SpaceError::NoSuchEntry));
+    }
+
+    #[test]
+    fn cancel_take_locked_entry_reports_entry_locked() {
+        let s = Space::new("t");
+        let id = s.write(task(1)).unwrap();
+        let txn = s.txn().unwrap();
+        txn.take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.cancel(id), Err(SpaceError::EntryLocked));
+        txn.abort().unwrap();
+        assert_eq!(s.cancel(id).unwrap().get_int("id"), Some(1));
+    }
+
+    #[test]
+    fn cancel_read_locked_entry_reports_entry_locked() {
+        let s = Space::new("t");
+        let id = s.write(task(1)).unwrap();
+        let txn = s.txn().unwrap();
+        txn.read(&Template::of_type("task"), Some(Duration::ZERO))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.cancel(id), Err(SpaceError::EntryLocked));
+        txn.commit().unwrap();
+        assert!(s.cancel(id).is_ok());
+    }
+
+    #[test]
+    fn renew_expired_entry_reports_lease_expired() {
+        let s = Space::new("t");
+        let id = s.write_leased(task(1), Lease::for_millis(5)).unwrap();
+        thread::sleep(Duration::from_millis(15));
+        assert_eq!(
+            s.renew_lease(id, Lease::forever()),
+            Err(SpaceError::LeaseExpired)
+        );
+        assert_eq!(
+            s.renew_lease(id, Lease::forever()),
+            Err(SpaceError::NoSuchEntry)
+        );
     }
 
     #[test]
@@ -848,9 +1506,15 @@ mod tests {
         let s = Space::new("t");
         let txn = s.txn().unwrap();
         txn.write(task(1)).unwrap();
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_none());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_none());
         txn.commit().unwrap();
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -863,7 +1527,10 @@ mod tests {
             .unwrap()
             .is_some());
         txn.abort().unwrap();
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_none());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -874,9 +1541,15 @@ mod tests {
         let got = txn.take_if_exists(&Template::of_type("task")).unwrap();
         assert!(got.is_some());
         // Invisible to others while taken.
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_none());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_none());
         txn.abort().unwrap();
-        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s
+            .take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -898,7 +1571,10 @@ mod tests {
             txn.take_if_exists(&Template::of_type("task")).unwrap();
             // Dropped without commit — simulated crash.
         }
-        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s
+            .take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
         assert_eq!(s.stats().txns_aborted, 1);
     }
 
@@ -911,11 +1587,20 @@ mod tests {
             .unwrap()
             .unwrap();
         // Others can still read…
-        assert!(s.read_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s
+            .read_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
         // …but not take.
-        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_none());
+        assert!(s
+            .take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_none());
         txn.commit().unwrap();
-        assert!(s.take_if_exists(&Template::of_type("task")).unwrap().is_some());
+        assert!(s
+            .take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_some());
     }
 
     #[test]
@@ -944,6 +1629,24 @@ mod tests {
         txn.write(task(5)).unwrap();
         txn.commit().unwrap();
         assert_eq!(h.join().unwrap().unwrap().get_int("id"), Some(5));
+    }
+
+    #[test]
+    fn len_counts_only_read_visible_entries() {
+        let s = Space::new("t");
+        s.write(task(1)).unwrap();
+        let txn = s.txn().unwrap();
+        // A take-locked entry and an uncommitted write are both invisible
+        // to plain readers, so neither may count.
+        txn.take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .unwrap();
+        txn.write(task(2)).unwrap();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        txn.commit().unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
     }
 
     #[test]
@@ -976,10 +1679,28 @@ mod tests {
         s.cancel_notify(cookie).unwrap();
         s.write(task(1)).unwrap();
         assert!(rx.try_recv().is_err());
-        assert_eq!(
-            s.cancel_notify(cookie),
-            Err(SpaceError::NoSuchRegistration)
+        assert_eq!(s.cancel_notify(cookie), Err(SpaceError::NoSuchRegistration));
+    }
+
+    #[test]
+    fn listener_may_call_back_into_the_space() {
+        // Regression: listeners used to be invoked while holding the
+        // registration's lock, so a listener that wrote a reply tuple
+        // (re-entering event dispatch) deadlocked the writing thread.
+        let s = Space::new("t");
+        let replier = s.clone();
+        s.notify(
+            Template::of_type("task"),
+            Box::new(move |ev| {
+                let id = ev.tuple.get_int("id").unwrap();
+                replier
+                    .write(Tuple::build("reply").field("id", id).done())
+                    .unwrap();
+            }),
         );
+        s.write(task(7)).unwrap();
+        let reply = s.read_if_exists(&Template::of_type("reply")).unwrap();
+        assert_eq!(reply.unwrap().get_int("id"), Some(7));
     }
 
     #[test]
@@ -1018,7 +1739,10 @@ mod tests {
         assert_eq!(ids.len(), 5);
         assert!(ids.windows(2).all(|w| w[1] == w[0] + 1), "contiguous ids");
         for i in 0..5 {
-            let got = s.take_if_exists(&Template::of_type("task")).unwrap().unwrap();
+            let got = s
+                .take_if_exists(&Template::of_type("task"))
+                .unwrap()
+                .unwrap();
             assert_eq!(got.get_int("id"), Some(i), "FIFO preserved");
         }
     }
@@ -1050,6 +1774,22 @@ mod tests {
     }
 
     #[test]
+    fn write_all_leased_honors_lease() {
+        let s = Space::new("t");
+        let ids = s
+            .write_all_leased((0..3).map(task).collect(), Lease::for_millis(100))
+            .unwrap();
+        assert_eq!(ids.len(), 3);
+        assert_eq!(s.len(), 3);
+        thread::sleep(Duration::from_millis(150));
+        assert_eq!(s.len(), 0);
+        assert!(s
+            .take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
     fn take_up_to_caps_at_max() {
         let s = Space::new("t");
         s.write_all((0..10).map(task).collect()).unwrap();
@@ -1068,7 +1808,11 @@ mod tests {
     fn take_up_to_timeout_empty() {
         let s = Space::new("t");
         let got = s
-            .take_up_to(&Template::of_type("task"), 5, Some(Duration::from_millis(20)))
+            .take_up_to(
+                &Template::of_type("task"),
+                5,
+                Some(Duration::from_millis(20)),
+            )
             .unwrap();
         assert!(got.is_empty());
     }
@@ -1089,11 +1833,99 @@ mod tests {
     }
 
     #[test]
+    fn exact_match_lookups_use_the_field_index() {
+        let s = Space::new("t");
+        for i in 0..100 {
+            s.write(task(i)).unwrap();
+        }
+        let tmpl = Template::build("task").eq("id", 99i64).done();
+        let got = s.read_if_exists(&tmpl).unwrap().unwrap();
+        assert_eq!(got.get_int("id"), Some(99));
+        assert_eq!(s.stats().index_hits, 1);
+        // A type-only scan cannot use the index.
+        s.take_if_exists(&Template::of_type("task"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.stats().index_misses, 1);
+    }
+
+    #[test]
+    fn index_stays_consistent_across_take_and_rewrite() {
+        let s = Space::new("t");
+        let tmpl = |i: i64| Template::build("task").eq("id", i).done();
+        s.write(task(1)).unwrap();
+        s.write(task(1)).unwrap();
+        s.write(task(2)).unwrap();
+        // Two entries share the value; FIFO picks the older one first.
+        let a = s.take_if_exists(&tmpl(1)).unwrap().unwrap();
+        assert_eq!(a.get_int("id"), Some(1));
+        assert!(s.take_if_exists(&tmpl(1)).unwrap().is_some());
+        assert!(s.take_if_exists(&tmpl(1)).unwrap().is_none());
+        // The id=2 entry is untouched and still indexed.
+        assert!(s.read_if_exists(&tmpl(2)).unwrap().is_some());
+        // Rewriting a taken value re-indexes it.
+        s.write(task(1)).unwrap();
+        assert!(s.take_if_exists(&tmpl(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn indexed_lookup_respects_txn_locks() {
+        let s = Space::new("t");
+        s.write(task(3)).unwrap();
+        let tmpl = Template::build("task").eq("id", 3i64).done();
+        let txn = s.txn().unwrap();
+        txn.take_if_exists(&tmpl).unwrap().unwrap();
+        // Index still knows the entry, but visibility must hide it.
+        assert!(s.read_if_exists(&tmpl).unwrap().is_none());
+        assert!(s.take_if_exists(&tmpl).unwrap().is_none());
+        txn.abort().unwrap();
+        assert!(s.take_if_exists(&tmpl).unwrap().is_some());
+    }
+
+    #[test]
     fn type_wildcard_template_scans_all_types() {
         let s = Space::new("t");
-        s.write(Tuple::build("alpha").field("x", 1i64).done()).unwrap();
-        s.write(Tuple::build("beta").field("x", 1i64).done()).unwrap();
-        let all = s.read_all(&Template::any_type().eq("x", 1i64).done()).unwrap();
+        s.write(Tuple::build("alpha").field("x", 1i64).done())
+            .unwrap();
+        s.write(Tuple::build("beta").field("x", 1i64).done())
+            .unwrap();
+        let all = s
+            .read_all(&Template::any_type().eq("x", 1i64).done())
+            .unwrap();
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn distinct_types_do_not_contend_for_wakeups() {
+        // One taker per type; each write must wake (at most) its own
+        // type's waiter and every taker must still drain its own queue.
+        let s = Space::new("t");
+        let types = 4;
+        let per = 16;
+        let mut handles = Vec::new();
+        for t in 0..types {
+            let s2 = s.clone();
+            handles.push(thread::spawn(move || {
+                let tmpl = Template::of_type(format!("ty{t}"));
+                let mut got = 0;
+                for _ in 0..per {
+                    s2.take(&tmpl, Some(Duration::from_secs(5)))
+                        .unwrap()
+                        .unwrap();
+                    got += 1;
+                }
+                got
+            }));
+        }
+        for i in 0..per {
+            for t in 0..types {
+                s.write(Tuple::build(format!("ty{t}")).field("n", i as i64).done())
+                    .unwrap();
+            }
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), per);
+        }
+        assert_eq!(s.len(), 0);
     }
 }

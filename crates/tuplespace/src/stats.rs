@@ -15,6 +15,9 @@ pub struct SpaceStats {
     pub(crate) txns_committed: AtomicU64,
     pub(crate) txns_aborted: AtomicU64,
     pub(crate) bytes_written: AtomicU64,
+    pub(crate) shard_contention: AtomicU64,
+    pub(crate) index_hits: AtomicU64,
+    pub(crate) index_misses: AtomicU64,
 }
 
 /// A point-in-time copy of [`SpaceStats`].
@@ -38,6 +41,12 @@ pub struct StatsSnapshot {
     pub txns_aborted: u64,
     /// Total approximate bytes written into the space.
     pub bytes_written: u64,
+    /// Shard lock acquisitions that found the lock already held.
+    pub shard_contention: u64,
+    /// Match attempts answered through the per-field exact-match index.
+    pub index_hits: u64,
+    /// Match attempts that had to fall back to a linear shard scan.
+    pub index_misses: u64,
 }
 
 impl SpaceStats {
@@ -61,6 +70,9 @@ impl SpaceStats {
             txns_committed: self.txns_committed.load(Ordering::Relaxed),
             txns_aborted: self.txns_aborted.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            shard_contention: self.shard_contention.load(Ordering::Relaxed),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            index_misses: self.index_misses.load(Ordering::Relaxed),
         }
     }
 }

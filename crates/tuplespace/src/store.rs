@@ -94,6 +94,12 @@ impl TupleStore for Space {
     fn is_closed(&self) -> bool {
         Space::is_closed(self)
     }
+
+    fn take_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
+        // The in-process space drains each shard under a single lock
+        // acquisition instead of the default take-per-call loop.
+        Space::take_all(self, template)
+    }
 }
 
 #[cfg(test)]

@@ -32,9 +32,7 @@ impl Constraint {
         match self {
             Constraint::Exact(want) => want == value,
             Constraint::OneOf(set) => set.iter().any(|want| want == value),
-            Constraint::IntRange(lo, hi) => {
-                value.as_int().is_some_and(|v| v >= *lo && v <= *hi)
-            }
+            Constraint::IntRange(lo, hi) => value.as_int().is_some_and(|v| v >= *lo && v <= *hi),
             Constraint::FloatRange(lo, hi) => {
                 value.as_float().is_some_and(|v| v >= *lo && v <= *hi)
             }
@@ -94,9 +92,9 @@ impl Template {
                 return false;
             }
         }
-        self.constraints.iter().all(|(name, c)| {
-            tuple.get(name).map(|v| c.matches(v)).unwrap_or(false)
-        })
+        self.constraints
+            .iter()
+            .all(|(name, c)| tuple.get(name).map(|v| c.matches(v)).unwrap_or(false))
     }
 }
 

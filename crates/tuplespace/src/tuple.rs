@@ -31,6 +31,11 @@ impl Tuple {
         &self.type_name
     }
 
+    /// The shared type-name allocation (cheap to clone on hot paths).
+    pub(crate) fn type_name_arc(&self) -> Arc<str> {
+        self.type_name.clone()
+    }
+
     /// All fields, sorted by name.
     pub fn fields(&self) -> &[(String, Value)] {
         &self.fields

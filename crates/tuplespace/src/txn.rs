@@ -60,19 +60,28 @@ impl Txn {
     /// clients only at commit; reads/takes under this same transaction see it
     /// immediately.
     pub fn write(&self, tuple: Tuple) -> SpaceResult<EntryId> {
-        self.space.write_internal(tuple, crate::Lease::Forever, Some(self.id))
+        self.space
+            .write_internal(tuple, crate::Lease::Forever, Some(self.id))
     }
 
     /// Reads a matching tuple under this transaction, blocking up to
     /// `timeout` (`None` blocks indefinitely). The entry is read-locked until
     /// the transaction finishes: others may read it but not take it.
-    pub fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+    pub fn read(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Option<Tuple>> {
         self.space.read_internal(template, timeout, Some(self.id))
     }
 
     /// Takes a matching tuple under this transaction. The entry is locked —
     /// invisible to everyone — until commit (removed) or abort (restored).
-    pub fn take(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+    pub fn take(
+        &self,
+        template: &Template,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Option<Tuple>> {
         self.space.take_internal(template, timeout, Some(self.id))
     }
 

@@ -59,7 +59,10 @@ fn main() {
         ..FrameworkConfig::default()
     };
     let mut cluster = ClusterBuilder::new(config).build();
-    let mut app = BusyWork { tasks: 150, done: 0 };
+    let mut app = BusyWork {
+        tasks: 150,
+        done: 0,
+    };
     cluster.install(&app);
     cluster.add_worker(NodeSpec::new("victim", 800, 256));
     cluster.add_worker(NodeSpec::new("steady", 800, 256));
@@ -89,7 +92,11 @@ fn main() {
     );
     println!();
     for worker in cluster.workers() {
-        println!("{} ({} tasks) signal log:", worker.name(), worker.tasks_done());
+        println!(
+            "{} ({} tasks) signal log:",
+            worker.name(),
+            worker.tasks_done()
+        );
         for entry in worker.signal_log() {
             println!(
                 "  {:>6} at {:6} ms -> {:<7} (reaction {:3} ms)",
@@ -101,6 +108,9 @@ fn main() {
         }
     }
     println!();
-    println!("no work was lost: every one of the {} tasks completed.", report.times.tasks);
+    println!(
+        "no work was lost: every one of the {} tasks completed.",
+        report.times.tasks
+    );
     cluster.shutdown();
 }

@@ -43,11 +43,21 @@ fn main() {
     let parallel = app.result();
 
     println!();
-    println!("parallel  : high {:.4}  low {:.4}  point {:.4}", parallel.high, parallel.low, parallel.point());
+    println!(
+        "parallel  : high {:.4}  low {:.4}  point {:.4}",
+        parallel.high,
+        parallel.low,
+        parallel.point()
+    );
 
     // The sequential baseline is bit-identical by construction.
     let sequential = price_sequential(&PricingApp::paper_configuration());
-    println!("sequential: high {:.4}  low {:.4}  point {:.4}", sequential.high, sequential.low, sequential.point());
+    println!(
+        "sequential: high {:.4}  low {:.4}  point {:.4}",
+        sequential.high,
+        sequential.low,
+        sequential.point()
+    );
     assert_eq!(parallel, sequential, "parallel must equal sequential");
 
     // Sanity: the European analogue against Black–Scholes.

@@ -59,8 +59,14 @@ fn main() {
     let stats = simulate_sessions(&graph, app.ranks(), 20_000, 12, 5, 7);
     println!();
     println!("user-session simulation over {} requests:", stats.requests);
-    println!("  hit rate, plain LRU cache : {:5.1}%", stats.hit_rate_plain * 100.0);
-    println!("  hit rate, with prefetching: {:5.1}%", stats.hit_rate_prefetch * 100.0);
+    println!(
+        "  hit rate, plain LRU cache : {:5.1}%",
+        stats.hit_rate_plain * 100.0
+    );
+    println!(
+        "  hit rate, with prefetching: {:5.1}%",
+        stats.hit_rate_prefetch * 100.0
+    );
 
     cluster.shutdown();
 }

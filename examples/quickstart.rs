@@ -10,11 +10,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use adaptive_spaces::cluster::NodeSpec;
 use adaptive_spaces::framework::{
     Application, ClusterBuilder, ExecError, FrameworkConfig, TaskEntry, TaskExecutor, TaskSpec,
 };
 use adaptive_spaces::space::Payload;
-use adaptive_spaces::cluster::NodeSpec;
 
 /// The application: each task squares one integer; the master sums them.
 struct SumSquares {
@@ -84,9 +84,18 @@ fn main() {
     println!();
     println!("tasks planned        : {}", report.times.tasks);
     println!("results collected    : {}", report.results_collected);
-    println!("task planning time   : {:8.2} ms", report.times.task_planning_ms);
-    println!("task aggregation time: {:8.2} ms", report.times.task_aggregation_ms);
-    println!("max worker time      : {:8.2} ms", report.times.max_worker_ms);
+    println!(
+        "task planning time   : {:8.2} ms",
+        report.times.task_planning_ms
+    );
+    println!(
+        "task aggregation time: {:8.2} ms",
+        report.times.task_aggregation_ms
+    );
+    println!(
+        "max worker time      : {:8.2} ms",
+        report.times.max_worker_ms
+    );
     println!("parallel time        : {:8.2} ms", report.times.parallel_ms);
     for worker in cluster.workers() {
         println!(

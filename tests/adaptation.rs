@@ -41,7 +41,8 @@ impl Application for SlowEcho {
         Arc::new(SlowExecutor)
     }
     fn absorb(&mut self, _task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
-        self.seen.push(u64::from_bytes(payload).map_err(ExecError::Decode)?);
+        self.seen
+            .push(u64::from_bytes(payload).map_err(ExecError::Decode)?);
         Ok(())
     }
 }
@@ -87,11 +88,18 @@ fn hogged_worker_is_stopped_and_job_still_completes() {
     assert!(report.complete);
     let mut seen = app.seen.clone();
     seen.sort_unstable();
-    assert_eq!(seen, (0..60).collect::<Vec<_>>(), "every result exactly once");
+    assert_eq!(
+        seen,
+        (0..60).collect::<Vec<_>>(),
+        "every result exactly once"
+    );
     // The steady worker did (essentially) everything.
     let victim_done = cluster.workers()[0].tasks_done();
     let steady_done = cluster.workers()[1].tasks_done();
-    assert!(steady_done >= 55, "steady {steady_done}, victim {victim_done}");
+    assert!(
+        steady_done >= 55,
+        "steady {steady_done}, victim {victim_done}"
+    );
     hog.stop();
     cluster.shutdown();
 }

@@ -20,7 +20,10 @@ fn fast_config() -> FrameworkConfig {
     }
 }
 
-fn cluster_with_workers(app: &dyn adaptive_spaces::framework::Application, n: usize) -> AdaptiveCluster {
+fn cluster_with_workers(
+    app: &dyn adaptive_spaces::framework::Application,
+    n: usize,
+) -> AdaptiveCluster {
     let mut cluster = ClusterBuilder::new(fast_config()).build();
     cluster.install(app);
     for i in 0..n {
@@ -99,8 +102,12 @@ fn remote_workers_over_tcp_space() {
     let mut app = PricingApp::new(OptionSpec::paper_default(), 8, 10);
     let mut cluster = ClusterBuilder::new(fast_config()).build();
     cluster.install(&app);
-    cluster.add_remote_worker(NodeSpec::new("remote-1", 800, 256)).unwrap();
-    cluster.add_remote_worker(NodeSpec::new("remote-2", 800, 256)).unwrap();
+    cluster
+        .add_remote_worker(NodeSpec::new("remote-1", 800, 256))
+        .unwrap();
+    cluster
+        .add_remote_worker(NodeSpec::new("remote-2", 800, 256))
+        .unwrap();
     let report = cluster.run(&mut app);
     assert!(report.complete, "failures: {:?}", report.failures);
     let sequential = price_sequential(&PricingApp::new(OptionSpec::paper_default(), 8, 10));
@@ -118,7 +125,9 @@ fn mixed_local_and_remote_workers() {
     let mut cluster = ClusterBuilder::new(fast_config()).build();
     cluster.install(&app);
     cluster.add_worker(NodeSpec::new("local-1", 800, 256));
-    cluster.add_remote_worker(NodeSpec::new("remote-1", 800, 256)).unwrap();
+    cluster
+        .add_remote_worker(NodeSpec::new("remote-1", 800, 256))
+        .unwrap();
     let report = cluster.run(&mut app);
     assert!(report.complete);
     let image = app.image().unwrap();

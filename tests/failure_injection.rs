@@ -248,7 +248,9 @@ fn crashed_holder_under_txn_loses_nothing() {
         assert!(taken.is_some());
         // Simulated crash: txn dropped here without commit.
     }
-    let recovered = space.take_if_exists(&Template::of_type("acc.task")).unwrap();
+    let recovered = space
+        .take_if_exists(&Template::of_type("acc.task"))
+        .unwrap();
     assert!(recovered.is_some(), "task restored after holder crash");
 }
 
@@ -264,7 +266,9 @@ fn worker_dies_when_space_server_disappears() {
     let mut cluster = ClusterBuilder::new(fast_config()).build();
     cluster.install(&app);
     let _addr = cluster.serve_space().unwrap();
-    cluster.add_remote_worker(NodeSpec::new("doomed", 800, 256)).unwrap();
+    cluster
+        .add_remote_worker(NodeSpec::new("doomed", 800, 256))
+        .unwrap();
     // Run the (empty) job, then tear down; join must not hang.
     let report = cluster.run(&mut app);
     assert!(report.complete);

@@ -141,13 +141,12 @@ fn snmp_value_strategy() -> impl Strategy<Value = SnmpValue> {
     prop_oneof![
         any::<i64>().prop_map(SnmpValue::Int),
         proptest::collection::vec(any::<u8>(), 0..64).prop_map(SnmpValue::Str),
-        proptest::collection::vec(0u32..100_000, 2..8)
-            .prop_map(|mut arcs| {
-                // First two arcs are constrained by BER encoding.
-                arcs[0] %= 3;
-                arcs[1] %= 40;
-                SnmpValue::Oid(Oid::from_arcs(arcs))
-            }),
+        proptest::collection::vec(0u32..100_000, 2..8).prop_map(|mut arcs| {
+            // First two arcs are constrained by BER encoding.
+            arcs[0] %= 3;
+            arcs[1] %= 40;
+            SnmpValue::Oid(Oid::from_arcs(arcs))
+        }),
         Just(SnmpValue::Null),
         any::<u64>().prop_map(SnmpValue::Counter),
         any::<u64>().prop_map(SnmpValue::Gauge),
@@ -251,18 +250,16 @@ proptest! {
 
 fn graph_strategy() -> impl Strategy<Value = LinkGraph> {
     (2usize..40).prop_flat_map(|n| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u32..n as u32, 0..6),
-            n,
+        proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 0..6), n).prop_map(
+            move |mut successors| {
+                for (j, succ) in successors.iter_mut().enumerate() {
+                    succ.retain(|&s| s as usize != j);
+                    succ.sort_unstable();
+                    succ.dedup();
+                }
+                LinkGraph { n, successors }
+            },
         )
-        .prop_map(move |mut successors| {
-            for (j, succ) in successors.iter_mut().enumerate() {
-                succ.retain(|&s| s as usize != j);
-                succ.sort_unstable();
-                succ.dedup();
-            }
-            LinkGraph { n, successors }
-        })
     })
 }
 

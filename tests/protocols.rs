@@ -6,7 +6,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use adaptive_spaces::cluster::{Node, NodeSpec};
-use adaptive_spaces::federation::{Attributes, DiscoveryBus, LookupService, Registrar, ServiceItem};
+use adaptive_spaces::federation::{
+    Attributes, DiscoveryBus, LookupService, Registrar, ServiceItem,
+};
 use adaptive_spaces::framework::rulebase::{self, client_register, RuleBaseServer};
 use adaptive_spaces::framework::{RuleMessage, Signal, WorkerState};
 use adaptive_spaces::snmp::{
@@ -30,10 +32,12 @@ fn snmp_over_tcp_polls_live_node_state() {
         move || n3.uptime_ticks(),
     );
     let load = node.load();
-    mib.register_gauge(oids::acc_framework_load(), move || load.framework_effective());
+    mib.register_gauge(oids::acc_framework_load(), move || {
+        load.framework_effective()
+    });
     let server = TcpAgentServer::spawn(Arc::new(Agent::new("public", mib))).unwrap();
-    let session = Manager::new("public")
-        .session(Box::new(TcpTransport::connect(server.addr()).unwrap()));
+    let session =
+        Manager::new("public").session(Box::new(TcpTransport::connect(server.addr()).unwrap()));
 
     assert_eq!(
         session.get(&oids::hr_processor_load_1()).unwrap(),
@@ -45,7 +49,9 @@ fn snmp_over_tcp_polls_live_node_state() {
         SnmpValue::Gauge(73)
     );
     // Walk the whole MIB over the wire.
-    let walked = session.walk(&adaptive_spaces::snmp::Oid::from_arcs(vec![1])).unwrap();
+    let walked = session
+        .walk(&adaptive_spaces::snmp::Oid::from_arcs(vec![1]))
+        .unwrap();
     assert!(walked.len() >= 6);
 }
 
