@@ -9,6 +9,7 @@ use acc_cluster::LoadTrace;
 use acc_core::Thresholds;
 use acc_sim::cluster::{simulate, SimConfig};
 use acc_sim::{run_adaptation, run_dynamics, run_scalability, AppProfile};
+use acc_telemetry::registry;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +45,14 @@ fn main() {
             "baseline" => baseline(),
             other => eprintln!("unknown artifact: {other}"),
         }
+    }
+    // Everything the simulator just replayed also landed in the global
+    // telemetry registry (sim.* virtual-time series plus any real-runtime
+    // series); persist the dump next to the captured stdout so regenerated
+    // figures come with their per-phase histograms.
+    match std::fs::write("telemetry.json", registry().render_json()) {
+        Ok(()) => eprintln!("telemetry written to telemetry.json"),
+        Err(e) => eprintln!("could not write telemetry.json: {e}"),
     }
 }
 

@@ -49,6 +49,11 @@ impl ClusterBuilder {
     /// service, registers the space with the federation, and starts the
     /// network management module.
     pub fn build(self) -> AdaptiveCluster {
+        // Cluster deployments always collect operation-latency histograms
+        // (raw `Space::new` users opt in via `acc_telemetry::set_timing`),
+        // and honor `ACC_TRACE` for a stderr trace subscriber.
+        acc_telemetry::set_timing(true);
+        acc_telemetry::init_from_env();
         let epoch = Instant::now();
         let bus = DiscoveryBus::new();
         let lookup = LookupService::new("lus-0");

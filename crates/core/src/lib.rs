@@ -32,6 +32,7 @@ pub mod metrics;
 pub mod monitor;
 pub mod policy;
 pub mod rulebase;
+mod series;
 pub mod signal;
 pub mod task;
 pub mod worker;

@@ -9,9 +9,11 @@
 
 use std::time::{Duration, Instant};
 
+use acc_telemetry::span;
 use acc_tuplespace::{SpaceError, StoreHandle};
 
 use crate::metrics::PhaseTimes;
+use crate::series::series;
 use crate::task::{result_template, Application, ExecError, ResultEntry, TaskEntry};
 
 /// Outcome of one application run.
@@ -64,16 +66,21 @@ impl Master {
         // Task-planning phase.
         // ------------------------------------------------------------
         let planning_start = Instant::now();
-        let specs = app.plan();
-        times.tasks = specs.len();
         let mut max_overhead = 0.0f64;
-        for spec in &specs {
-            let per_task = Instant::now();
-            let entry = TaskEntry::new(job.clone(), spec.task_id, spec.payload.clone());
-            self.space.write(entry.to_tuple())?;
-            max_overhead = max_overhead.max(ms_since(per_task));
-        }
+        let specs = {
+            let _span = span!("master.planning", job = job.as_str());
+            let specs = app.plan();
+            times.tasks = specs.len();
+            for spec in &specs {
+                let per_task = Instant::now();
+                let entry = TaskEntry::new(job.clone(), spec.task_id, spec.payload.clone());
+                self.space.write(entry.to_tuple())?;
+                max_overhead = max_overhead.max(ms_since(per_task));
+            }
+            specs
+        };
         times.task_planning_ms = ms_since(planning_start);
+        series().tasks_planned.add(specs.len() as u64);
 
         // ------------------------------------------------------------
         // Result-aggregation phase. The master blocks on the space until
@@ -83,6 +90,11 @@ impl Master {
         let mut report = RunReport::default();
         let aggregation_start = Instant::now();
         let mut aggregation_busy = 0.0f64;
+        let aggregation_span = span!(
+            "master.aggregation",
+            job = job.as_str(),
+            tasks = specs.len()
+        );
         for _ in 0..specs.len() {
             let Some(tuple) = self.space.take(&template, Some(self.result_timeout))? else {
                 break; // deadline: a worker died or was stopped for good
@@ -116,6 +128,7 @@ impl Master {
             aggregation_busy += elapsed;
             max_overhead = max_overhead.max(elapsed);
         }
+        drop(aggregation_span);
         // Task aggregation time is the wall time of the aggregation phase:
         // it tracks max worker time, since the master waits for the last
         // task to complete (paper §5.2.1).
@@ -124,6 +137,11 @@ impl Master {
         times.max_master_overhead_ms = max_overhead;
         times.parallel_ms = ms_since(run_start);
         report.complete = report.results_collected == specs.len();
+        times.publish();
+        series().master_runs.inc();
+        series()
+            .results_collected
+            .add(report.results_collected as u64);
         report.times = times;
         Ok(report)
     }

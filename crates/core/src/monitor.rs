@@ -14,12 +14,14 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use acc_snmp::{oids, Session, SnmpValue};
+use acc_telemetry::event;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
 use crate::config::FrameworkConfig;
 use crate::inference::InferenceEngine;
 use crate::rulebase::{RuleBaseServer, RuleMessage, WorkerId};
+use crate::series::series;
 use crate::signal::{Signal, WorkerState};
 
 /// One monitoring decision: the data behind the adaptation experiments.
@@ -117,7 +119,15 @@ impl MonitoringAgent {
                     let framework = gauge(&values, 1);
                     let external = total.saturating_sub(framework);
                     let signal = agent.engine.lock().on_sample(id, external);
+                    series().monitor_samples.inc();
                     if let Some(sig) = signal {
+                        series().monitor_signals.inc();
+                        event!(
+                            "monitor.decision",
+                            worker = id.0,
+                            external_load = external,
+                            signal = format!("{sig:?}"),
+                        );
                         agent.rulebase.send_signal(id, sig);
                     }
                     agent.decisions.lock().push(DecisionLogEntry {
@@ -171,7 +181,15 @@ impl MonitoringAgent {
                         continue;
                     };
                     let signal = agent.engine.lock().on_sample(id, external);
+                    series().monitor_samples.inc();
                     if let Some(sig) = signal {
+                        series().monitor_signals.inc();
+                        event!(
+                            "monitor.decision",
+                            worker = id.0,
+                            external_load = external,
+                            signal = format!("{sig:?}"),
+                        );
                         agent.rulebase.send_signal(id, sig);
                     }
                     agent.decisions.lock().push(DecisionLogEntry {

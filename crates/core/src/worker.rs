@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acc_cluster::LoadMix;
+use acc_telemetry::{event, span};
 use acc_tuplespace::{StoreHandle, Template};
 use parking_lot::Mutex;
 
@@ -27,6 +28,7 @@ use crate::config::FrameworkConfig;
 use crate::loader::{BundleServer, ExecutorRegistry};
 use crate::policy::execute_policed;
 use crate::rulebase::{client_register, Duplex, RuleMessage, WorkerId};
+use crate::series::series;
 use crate::signal::{Signal, SignalLogEntry, WorkerState};
 use crate::task::{task_template, ResultEntry, TaskEntry, TaskExecutor};
 
@@ -226,10 +228,20 @@ fn worker_loop(ls: LoopState) {
                         if first_access.is_none() {
                             first_access = Some(Instant::now());
                         }
+                        let _task_span = span!(
+                            "worker.task",
+                            worker = ls.config.name.as_str(),
+                            task_id = task.task_id,
+                        );
+                        event!("worker.task.take", task_id = task.task_id);
                         set_load(COMPUTE_LOAD);
                         let compute_start = Instant::now();
-                        let outcome = execute_policed(&exec, &task, &ls.config.framework.policy);
+                        let outcome = {
+                            let _compute = span!("worker.compute", task_id = task.task_id);
+                            execute_policed(&exec, &task, &ls.config.framework.policy)
+                        };
                         let compute_ms = compute_start.elapsed().as_secs_f64() * 1e3;
+                        series().compute_us.observe((compute_ms * 1e3) as u64);
                         set_load(IDLE_RUNNING_LOAD);
                         let span_ms = first_access
                             .map(|f| f.elapsed().as_secs_f64() * 1e3)
@@ -248,6 +260,8 @@ fn worker_loop(ls: LoopState) {
                                 if ls.config.space.write(result.to_tuple()).is_err() {
                                     break;
                                 }
+                                event!("worker.result.write", task_id = task.task_id);
+                                series().tasks_completed.inc();
                                 *ls.tasks_done.lock() += 1;
                             }
                             Err(e) if task.retries < ls.config.framework.max_task_retries => {
@@ -258,6 +272,7 @@ fn worker_loop(ls: LoopState) {
                                 let mut retry = task.clone();
                                 retry.retries += 1;
                                 let _ = ls.config.space.write(retry.to_tuple());
+                                series().tasks_retried.inc();
                             }
                             Err(e) => {
                                 // Poison task: write a terminal error result
@@ -274,6 +289,12 @@ fn worker_loop(ls: LoopState) {
                                 if ls.config.space.write(result.to_tuple()).is_err() {
                                     break;
                                 }
+                                event!(
+                                    "worker.result.write",
+                                    task_id = task.task_id,
+                                    poisoned = true
+                                );
+                                series().tasks_poisoned.inc();
                             }
                         }
                     }
@@ -363,6 +384,17 @@ fn handle_message(
     }
     *ls.state.lock() = next;
     let worker_signal_ms = ls.config.epoch.elapsed().as_millis() as u64;
+    series().transitions.inc();
+    series()
+        .reaction_us
+        .observe(worker_signal_ms.saturating_sub(client_signal_ms) * 1_000);
+    event!(
+        "worker.transition",
+        worker = ls.config.name.as_str(),
+        signal = format!("{signal:?}"),
+        from = format!("{current:?}"),
+        to = format!("{next:?}"),
+    );
     ls.log.lock().push(SignalLogEntry {
         signal,
         client_signal_ms,

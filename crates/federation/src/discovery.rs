@@ -11,9 +11,11 @@ use std::fmt;
 use std::sync::mpsc;
 use std::sync::Arc;
 
+use acc_telemetry::event;
 use parking_lot::Mutex;
 
 use crate::lookup::LookupService;
+use crate::series::series;
 
 /// Fired when a lookup service joins the bus.
 #[derive(Clone)]
@@ -70,6 +72,11 @@ impl DiscoveryBus {
             inner.lookups.push(lookup.clone());
             DiscoveryEvent { lookup }
         };
+        series().announcements.inc();
+        event!(
+            "federation.discovery.announce",
+            lookup = listeners_ev.lookup.name(),
+        );
         let inner = self.inner.lock();
         for l in &inner.listeners {
             l(listeners_ev.clone());
@@ -86,6 +93,7 @@ impl DiscoveryBus {
 
     /// The discovery request: returns every announced lookup service.
     pub fn discover(&self) -> Vec<Arc<LookupService>> {
+        series().discoveries.inc();
         self.inner.lock().lookups.clone()
     }
 

@@ -45,6 +45,7 @@ mod attributes;
 mod discovery;
 mod lookup;
 mod registrar;
+mod series;
 
 pub use attributes::Attributes;
 pub use discovery::{DiscoveryBus, DiscoveryEvent};

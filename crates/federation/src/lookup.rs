@@ -5,9 +5,11 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use acc_telemetry::event;
 use parking_lot::Mutex;
 
 use crate::attributes::Attributes;
+use crate::series::series;
 
 /// Identifier assigned to a registered service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -149,7 +151,14 @@ impl LookupService {
         let expires = lease.map(|d| Instant::now() + d);
         let mut item = item;
         item.id = Some(id);
+        event!(
+            "federation.lease.grant",
+            service = item.name.as_str(),
+            id = id.0,
+            forever = expires.is_none(),
+        );
         inner.services.push(Registered { item, expires });
+        series().lease_granted.inc();
         Ok(ServiceRegistration { id, expires })
     }
 
@@ -158,7 +167,8 @@ impl LookupService {
     pub fn lookup(&self, query: &Attributes) -> Vec<ServiceItem> {
         let mut inner = self.inner.lock();
         let now = Instant::now();
-        inner.services.retain(|r| r.expires.is_none_or(|e| e > now));
+        reap_expired(&mut inner, now);
+        series().lookups.inc();
         inner
             .services
             .iter()
@@ -179,13 +189,15 @@ impl LookupService {
     pub fn renew(&self, id: ServiceId, lease: Option<Duration>) -> Result<(), LookupError> {
         let mut inner = self.inner.lock();
         let now = Instant::now();
-        inner.services.retain(|r| r.expires.is_none_or(|e| e > now));
+        reap_expired(&mut inner, now);
         let reg = inner
             .services
             .iter_mut()
             .find(|r| r.item.id == Some(id))
             .ok_or(LookupError::NotRegistered)?;
         reg.expires = lease.map(|d| now + d);
+        series().lease_renewed.inc();
+        event!("federation.lease.renew", id = id.0);
         Ok(())
     }
 
@@ -197,6 +209,8 @@ impl LookupService {
         if inner.services.len() == before {
             Err(LookupError::NotRegistered)
         } else {
+            series().lease_cancelled.inc();
+            event!("federation.lease.cancel", id = id.0);
             Ok(())
         }
     }
@@ -209,6 +223,17 @@ impl LookupService {
     /// True when no services are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Drops registrations whose lease lapsed, counting the reaped ones.
+fn reap_expired(inner: &mut LookupInner, now: Instant) {
+    let before = inner.services.len();
+    inner.services.retain(|r| r.expires.is_none_or(|e| e > now));
+    let reaped = before - inner.services.len();
+    if reaped > 0 {
+        series().lease_expired.add(reaped as u64);
+        event!("federation.lease.expire", count = reaped as u64);
     }
 }
 

@@ -1,0 +1,41 @@
+//! The federation's global telemetry series (`federation.*` names).
+
+use std::sync::{Arc, OnceLock};
+
+use acc_telemetry::{registry, Counter};
+
+/// Federation-layer series, shared by the lookup service and the
+/// discovery bus.
+pub(crate) struct FederationSeries {
+    /// Service registrations granted (leases issued).
+    pub lease_granted: Arc<Counter>,
+    /// Lease renewals that succeeded.
+    pub lease_renewed: Arc<Counter>,
+    /// Registrations cancelled explicitly.
+    pub lease_cancelled: Arc<Counter>,
+    /// Registrations reaped because their lease lapsed.
+    pub lease_expired: Arc<Counter>,
+    /// Associative lookups served.
+    pub lookups: Arc<Counter>,
+    /// Lookup services announced on the discovery bus.
+    pub announcements: Arc<Counter>,
+    /// Discovery requests answered.
+    pub discoveries: Arc<Counter>,
+}
+
+/// The lazily registered federation series (one set per process).
+pub(crate) fn series() -> &'static FederationSeries {
+    static SERIES: OnceLock<FederationSeries> = OnceLock::new();
+    SERIES.get_or_init(|| {
+        let r = registry();
+        FederationSeries {
+            lease_granted: r.counter("federation.lease.granted"),
+            lease_renewed: r.counter("federation.lease.renewed"),
+            lease_cancelled: r.counter("federation.lease.cancelled"),
+            lease_expired: r.counter("federation.lease.expired"),
+            lookups: r.counter("federation.lookup.queries"),
+            announcements: r.counter("federation.discovery.announcements"),
+            discoveries: r.counter("federation.discovery.requests"),
+        }
+    })
+}

@@ -225,7 +225,7 @@ impl Bencher {
             batch = if elapsed < slice / 16 {
                 batch * 16
             } else {
-                let per_iter = elapsed.as_nanos().max(1) / batch as u128;
+                let per_iter = (elapsed.as_nanos() / batch as u128).max(1);
                 ((slice.as_nanos() / per_iter).max(1) as u64).max(batch + 1)
             };
         }

@@ -14,6 +14,7 @@ use acc_cluster::{LoadTrace, NodeSpec, UsagePoint};
 use acc_core::{InferenceEngine, PhaseTimes, Signal, SignalLogEntry, WorkerId, WorkerState};
 
 use crate::model::{AppProfile, CostModel};
+use crate::series::series;
 
 fn us(ms: f64) -> u64 {
     (ms * 1000.0).round().max(0.0) as u64
@@ -210,6 +211,7 @@ impl Sim {
             if t > self.horizon {
                 break;
             }
+            series().events.inc();
             self.clock = t;
             if self.results.len() == self.cfg.profile.tasks {
                 break;
@@ -320,6 +322,10 @@ impl Sim {
                     worker_t = t;
                 }
             }
+            series().signals_delivered.inc();
+            series()
+                .reaction_vus
+                .observe(worker_t.saturating_sub(client_t));
             self.workers[w].signal_log.push(SignalLogEntry {
                 signal,
                 client_signal_ms: to_ms(client_t) as u64,
@@ -376,6 +382,8 @@ impl Sim {
         worker.busy_until = Some(done);
         worker.tasks_done += 1;
         worker.last_result = done;
+        series().tasks_completed.inc();
+        series().task_service_vus.observe(done - t);
         self.results.push(done);
         self.push(done, Ev::WorkerFree(w));
     }
@@ -407,6 +415,8 @@ impl Sim {
         let complete = arrivals.len() == profile.tasks;
         times.task_aggregation_ms = to_ms(master_free.saturating_sub(agg_start));
         times.parallel_ms = to_ms(master_free);
+        series().runs.inc();
+        series().parallel_vus.observe(master_free);
         let end_ms = to_ms(self.clock.max(master_free));
         SimOutcome {
             times,

@@ -43,6 +43,7 @@ pub mod dynamics;
 pub mod heterogeneity;
 pub mod model;
 pub mod scalability;
+mod series;
 pub mod signals;
 
 pub use baseline::{run_baseline_comparison, simulate_job_level, BaselineRow, JobLevelCosts};

@@ -1,0 +1,46 @@
+//! The simulator's global telemetry series (`sim.*` names).
+//!
+//! The simulator runs in virtual time, so wall-clock stopwatches would
+//! measure nothing but host speed. Instead the event loop records
+//! *virtual* durations — the same quantities the thread runtime measures
+//! with `Instant` — directly into the shared registry, under a `sim.`
+//! prefix so real and simulated series never mix.
+
+use std::sync::{Arc, OnceLock};
+
+use acc_telemetry::{registry, Counter, Histogram};
+
+/// Simulator-layer series, recorded in virtual microseconds.
+pub(crate) struct SimSeries {
+    /// Completed simulation runs.
+    pub runs: Arc<Counter>,
+    /// Events popped off the virtual-time queue.
+    pub events: Arc<Counter>,
+    /// Tasks completed across all simulated workers.
+    pub tasks_completed: Arc<Counter>,
+    /// Signals delivered to simulated workers.
+    pub signals_delivered: Arc<Counter>,
+    /// Per-task service time (take + compute + write), virtual µs.
+    pub task_service_vus: Arc<Histogram>,
+    /// Signal reaction time (client send → worker act), virtual µs.
+    pub reaction_vus: Arc<Histogram>,
+    /// End-to-end parallel time per run, virtual µs.
+    pub parallel_vus: Arc<Histogram>,
+}
+
+/// The lazily registered simulator series (one set per process).
+pub(crate) fn series() -> &'static SimSeries {
+    static SERIES: OnceLock<SimSeries> = OnceLock::new();
+    SERIES.get_or_init(|| {
+        let r = registry();
+        SimSeries {
+            runs: r.counter("sim.runs"),
+            events: r.counter("sim.events"),
+            tasks_completed: r.counter("sim.tasks.completed"),
+            signals_delivered: r.counter("sim.signals.delivered"),
+            task_service_vus: r.histogram("sim.task.service_vus"),
+            reaction_vus: r.histogram("sim.signal.reaction_vus"),
+            parallel_vus: r.histogram("sim.parallel.vus"),
+        }
+    })
+}

@@ -7,16 +7,42 @@
 //! callback.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use acc_telemetry::{registry, Counter, Histogram};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
 use crate::oid::Oid;
 use crate::pdu::{ErrorStatus, Message, Pdu, PduType, SnmpError, SnmpValue, VERSION_2C};
 use crate::transport::Transport;
+
+/// Global `snmp.*` series, registered on first use.
+struct SnmpSeries {
+    /// Manager→agent requests issued (any PDU type).
+    requests: Arc<Counter>,
+    /// Exchanges that failed (transport, codec or agent error).
+    errors: Arc<Counter>,
+    /// Poll ticks whose GET failed (the worker was unreachable).
+    missed_polls: Arc<Counter>,
+    /// Round-trip time of one manager↔agent exchange, µs.
+    rtt_us: Arc<Histogram>,
+}
+
+fn series() -> &'static SnmpSeries {
+    static SERIES: OnceLock<SnmpSeries> = OnceLock::new();
+    SERIES.get_or_init(|| {
+        let r = registry();
+        SnmpSeries {
+            requests: r.counter("snmp.poll.requests"),
+            errors: r.counter("snmp.poll.errors"),
+            missed_polls: r.counter("snmp.poll.missed"),
+            rtt_us: r.histogram("snmp.poll.rtt_us"),
+        }
+    })
+}
 
 /// Creates sessions that share a community string and request-id sequence.
 #[derive(Debug)]
@@ -60,7 +86,21 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
+    /// The single choke point every manager request goes through — GETs,
+    /// GETNEXTs and SETs all record their round trip here.
     fn exchange(&self, pdu_type: PduType, pdu: Pdu) -> Result<Pdu, SnmpError> {
+        let s = series();
+        s.requests.inc();
+        let started = Instant::now();
+        let result = self.exchange_inner(pdu_type, pdu);
+        s.rtt_us.observe_duration(started.elapsed());
+        if result.is_err() {
+            s.errors.inc();
+        }
+        result
+    }
+
+    fn exchange_inner(&self, pdu_type: PduType, pdu: Pdu) -> Result<Pdu, SnmpError> {
         let request_id = pdu.request_id;
         let msg = Message {
             version: VERSION_2C,
@@ -233,15 +273,18 @@ impl Poller {
         let history2 = history.clone();
         let thread = std::thread::spawn(move || {
             while !stop2.load(Ordering::SeqCst) {
-                if let Ok(value) = session.get(&oid) {
-                    if let Some(v) = value.as_u64() {
-                        let sample = Sample {
-                            at: Instant::now(),
-                            value: v,
-                        };
-                        history2.lock().push(sample);
-                        on_sample(sample);
+                match session.get(&oid) {
+                    Ok(value) => {
+                        if let Some(v) = value.as_u64() {
+                            let sample = Sample {
+                                at: Instant::now(),
+                                value: v,
+                            };
+                            history2.lock().push(sample);
+                            on_sample(sample);
+                        }
                     }
+                    Err(_) => series().missed_polls.inc(),
                 }
                 // Sleep until the next tick, but wake immediately on stop.
                 let _ = wake_rx.recv_timeout(interval);

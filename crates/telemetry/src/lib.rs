@@ -1,0 +1,114 @@
+//! # acc-telemetry
+//!
+//! Workspace-wide observability substrate, in two halves:
+//!
+//! * [`registry`] — the unified metrics registry: monotone [`Counter`]s,
+//!   [`Gauge`]s and fixed-bucket log-scale latency [`Histogram`]s,
+//!   registered by static name, with [`Registry::snapshot`], a
+//!   Prometheus-style text exposition and a JSON dump for the bench
+//!   harness;
+//! * [`trace`] — the structured-tracing facade: [`span!`]/[`event!`]
+//!   with key–value fields, thread-local span depth, and pluggable
+//!   [`Subscriber`]s (no-op default, stderr writer, ring-buffer capture
+//!   for tests).
+//!
+//! Both halves are built to be left in hot paths permanently:
+//!
+//! * counters and histograms record through relaxed atomics — no locks,
+//!   no allocation;
+//! * with no subscriber installed, `span!`/`event!` cost one relaxed
+//!   atomic load and a branch (single-digit nanoseconds) and build no
+//!   fields;
+//! * operation-latency *timing* (the two `Instant::now` calls around an
+//!   op) is gated separately by [`set_timing`], so the tuple space's
+//!   sub-microsecond write path pays nothing until a deployment opts in
+//!   (the framework's `ClusterBuilder` does).
+//!
+//! Like the `shim-*` crates, this crate depends on nothing outside `std`.
+//!
+//! # Naming conventions
+//!
+//! Series names are dotted paths, `layer.operation.measure`, with the
+//! unit as the last suffix where one applies: `space.take.wait_us`,
+//! `snmp.poll.rtt_us`, `worker.transition`, `federation.lease.granted`.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{registry, Counter, Gauge, Registry, Snapshot};
+pub use trace::{
+    init_from_env, install, uninstall, RingBufferSubscriber, StderrSubscriber, Subscriber,
+    TraceEvent, TraceKind,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// True when operation-latency timing is on (see [`set_timing`]).
+#[inline]
+pub fn timing_enabled() -> bool {
+    TIMING.load(Ordering::Relaxed)
+}
+
+/// Globally enables or disables operation-latency timing. Off by default
+/// so micro-benchmarks of uninstrumented paths pay nothing; the framework
+/// turns it on when a cluster is built.
+pub fn set_timing(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// A conditionally started stopwatch for operation-latency histograms:
+/// holds a start `Instant` only while [`timing_enabled`] — otherwise both
+/// `start` and `observe` are a load and a branch.
+#[derive(Debug)]
+pub struct Timed(Option<Instant>);
+
+impl Timed {
+    /// Starts the stopwatch if timing is enabled.
+    #[inline]
+    pub fn start() -> Timed {
+        Timed(timing_enabled().then(Instant::now))
+    }
+
+    /// Records the elapsed microseconds into `histogram` (no-op when the
+    /// stopwatch never started).
+    #[inline]
+    pub fn observe(&self, histogram: &Histogram) {
+        if let Some(start) = self.0 {
+            histogram.observe(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_is_inert_when_disabled() {
+        set_timing(false);
+        let h = Histogram::new();
+        let t = Timed::start();
+        t.observe(&h);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn timed_records_when_enabled() {
+        set_timing(true);
+        let h = Histogram::new();
+        let t = Timed::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.observe(&h);
+        set_timing(false);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 1_000, "slept 2 ms, saw {} us", snap.max);
+    }
+}

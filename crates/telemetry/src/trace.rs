@@ -1,0 +1,467 @@
+//! The structured-tracing facade: spans, events and subscribers.
+//!
+//! Instrumented code marks regions with [`span!`](crate::span) and points
+//! with [`event!`](crate::event), each carrying key–value fields. Nothing
+//! happens unless a [`Subscriber`] is installed: the macros compile down
+//! to one relaxed atomic load and a branch, so the disabled path costs a
+//! few nanoseconds and allocates nothing — instrumentation can stay in
+//! hot paths permanently.
+//!
+//! When a subscriber *is* installed, each span enter/exit and each event
+//! is dispatched to it with the thread-local span depth attached, so a
+//! subscriber can reconstruct the span tree per thread. Three subscribers
+//! ship here: the implicit no-op default, a [`StderrSubscriber`] for
+//! humans and CI greps, and a [`RingBufferSubscriber`] for tests that
+//! assert on emitted span trees.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// A field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.3}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($ty:ty => $variant:ident as $conv:ty),* $(,)?) => {$(
+        impl From<$ty> for FieldValue {
+            fn from(v: $ty) -> FieldValue {
+                FieldValue::$variant(v as $conv)
+            }
+        }
+    )*};
+}
+
+impl_from!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64, f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+/// What a [`TraceEvent`] describes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// A span was entered.
+    SpanEnter,
+    /// A span was exited.
+    SpanExit {
+        /// Wall-clock time spent inside the span, microseconds.
+        elapsed_us: u64,
+    },
+    /// A point event.
+    Event,
+}
+
+/// One dispatched trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span/event kind.
+    pub kind: TraceKind,
+    /// Static name, e.g. `master.planning` or `worker.transition`.
+    pub name: &'static str,
+    /// Key–value fields attached at the call site.
+    pub fields: Vec<(&'static str, FieldValue)>,
+    /// Span nesting depth on the emitting thread (0 = top level).
+    pub depth: usize,
+}
+
+impl TraceEvent {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// Receives every span enter/exit and event while installed.
+pub trait Subscriber: Send + Sync {
+    /// Handles one trace record. Called with no telemetry locks held.
+    fn record(&self, event: &TraceEvent);
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// True when a subscriber is installed. The macros check this before
+/// building fields, which is what makes disabled tracing near-free.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `subscriber` as the process-wide trace sink, replacing any
+/// previous one.
+pub fn install(subscriber: Arc<dyn Subscriber>) {
+    *SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner()) = Some(subscriber);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the installed subscriber; tracing reverts to the no-op default.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    *SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+fn dispatch(event: &TraceEvent) {
+    let subscriber = SUBSCRIBER.read().unwrap_or_else(|e| e.into_inner()).clone();
+    if let Some(s) = subscriber {
+        s.record(event);
+    }
+}
+
+/// Emits a point event (used by [`event!`](crate::event); call the macro,
+/// not this).
+pub fn emit_event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+    dispatch(&TraceEvent {
+        kind: TraceKind::Event,
+        name,
+        fields,
+        depth: DEPTH.with(|d| d.get()),
+    });
+}
+
+/// RAII guard for an entered span: emits `SpanExit` (with the elapsed
+/// time) on drop. Constructed by [`span!`](crate::span).
+#[must_use = "a span ends when its guard drops; bind it with `let _span = span!(..)`"]
+pub struct SpanGuard {
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Enters a span (used by [`span!`](crate::span); call the macro, not
+    /// this).
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+        let depth = DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        dispatch(&TraceEvent {
+            kind: TraceKind::SpanEnter,
+            name,
+            fields,
+            depth,
+        });
+        SpanGuard {
+            data: Some(SpanData {
+                name,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The no-op guard the macro returns while tracing is disabled.
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { data: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        let depth = DEPTH.with(|d| {
+            let depth = d.get().saturating_sub(1);
+            d.set(depth);
+            depth
+        });
+        dispatch(&TraceEvent {
+            kind: TraceKind::SpanExit {
+                elapsed_us: data.start.elapsed().as_micros() as u64,
+            },
+            name: data.name,
+            fields: Vec::new(),
+            depth,
+        });
+    }
+}
+
+/// Opens a span with key–value fields; returns a [`SpanGuard`] that closes
+/// it on drop. Compiles to an atomic load + branch when no subscriber is
+/// installed.
+///
+/// ```
+/// let _span = acc_telemetry::span!("master.planning", tasks = 128usize);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::SpanGuard::enter(
+                $name,
+                vec![$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+            )
+        } else {
+            $crate::trace::SpanGuard::disabled()
+        }
+    };
+}
+
+/// Emits a point event with key–value fields. Compiles to an atomic load
+/// + branch when no subscriber is installed.
+///
+/// ```
+/// acc_telemetry::event!("worker.transition", from = "Stopped", to = "Running");
+/// ```
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::trace::enabled() {
+            $crate::trace::emit_event(
+                $name,
+                vec![$((stringify!($key), $crate::trace::FieldValue::from($value))),*],
+            );
+        }
+    };
+}
+
+// ---------------------------------------------------------------------
+// Shipped subscribers.
+// ---------------------------------------------------------------------
+
+/// Writes one line per trace record to stderr — the subscriber behind
+/// `ACC_TRACE=stderr`, and what CI greps for required span names.
+#[derive(Debug, Default)]
+pub struct StderrSubscriber;
+
+impl Subscriber for StderrSubscriber {
+    fn record(&self, event: &TraceEvent) {
+        let indent = "  ".repeat(event.depth);
+        let mut fields = String::new();
+        for (k, v) in &event.fields {
+            fields.push_str(&format!(" {k}={v}"));
+        }
+        match &event.kind {
+            TraceKind::SpanEnter => eprintln!("[trace] {indent}> {}{fields}", event.name),
+            TraceKind::SpanExit { elapsed_us } => {
+                eprintln!("[trace] {indent}< {} ({elapsed_us} us)", event.name)
+            }
+            TraceKind::Event => eprintln!("[trace] {indent}. {}{fields}", event.name),
+        }
+    }
+}
+
+/// Captures the last `capacity` trace records in memory, for tests that
+/// assert on the emitted span tree.
+#[derive(Debug)]
+pub struct RingBufferSubscriber {
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl RingBufferSubscriber {
+    /// A ring buffer retaining the most recent `capacity` records.
+    pub fn new(capacity: usize) -> Arc<RingBufferSubscriber> {
+        Arc::new(RingBufferSubscriber {
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<TraceEvent>> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// All captured records, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// Names of captured records, oldest first (spans appear once per
+    /// enter and once per exit).
+    pub fn names(&self) -> Vec<&'static str> {
+        self.lock().iter().map(|e| e.name).collect()
+    }
+
+    /// Names of span-enter records only, oldest first — the span tree in
+    /// preorder for single-threaded sections.
+    pub fn span_names(&self) -> Vec<&'static str> {
+        self.lock()
+            .iter()
+            .filter(|e| e.kind == TraceKind::SpanEnter)
+            .map(|e| e.name)
+            .collect()
+    }
+
+    /// Number of captured records named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.lock().iter().filter(|e| e.name == name).count()
+    }
+
+    /// Drops all captured records.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+impl Subscriber for RingBufferSubscriber {
+    fn record(&self, event: &TraceEvent) {
+        let mut events = self.lock();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event.clone());
+    }
+}
+
+/// Installs the stderr subscriber when the `ACC_TRACE` environment
+/// variable is set (to anything but `0` or the empty string). Returns
+/// whether tracing ended up enabled. Idempotent, so every entry point can
+/// call it.
+pub fn init_from_env() -> bool {
+    match std::env::var("ACC_TRACE") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            if !enabled() {
+                install(Arc::new(StderrSubscriber));
+            }
+            true
+        }
+        _ => enabled(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Subscriber installation is process-global; every test that installs
+    // one serialises on this lock so captures don't interleave.
+    static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+    fn with_ring<R>(f: impl FnOnce(&RingBufferSubscriber) -> R) -> R {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = RingBufferSubscriber::new(1024);
+        install(ring.clone());
+        let out = f(&ring);
+        uninstall();
+        out
+    }
+
+    #[test]
+    fn disabled_macros_are_inert() {
+        assert!(!enabled());
+        let _span = span!("never.seen", x = 1);
+        event!("never.seen.event", y = 2);
+        // Nothing to assert beyond "did not panic / did not allocate a
+        // subscriber": enabled() is still false.
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn span_tree_with_depths_and_fields() {
+        let events = with_ring(|ring| {
+            {
+                let _outer = span!("outer", job = "j");
+                {
+                    let _inner = span!("inner", task = 7u64);
+                    event!("tick", ok = true);
+                }
+            }
+            ring.events()
+        });
+        let shape: Vec<(&str, usize, bool)> = events
+            .iter()
+            .map(|e| (e.name, e.depth, e.kind == TraceKind::SpanEnter))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                ("outer", 0, true),
+                ("inner", 1, true),
+                ("tick", 2, false),
+                ("inner", 1, false),
+                ("outer", 0, false),
+            ]
+        );
+        assert_eq!(
+            events[0].field("job"),
+            Some(&FieldValue::Str("j".to_owned()))
+        );
+        assert_eq!(events[1].field("task"), Some(&FieldValue::U64(7)));
+        let TraceKind::SpanExit { .. } = events[3].kind else {
+            panic!("inner exit expected");
+        };
+    }
+
+    #[test]
+    fn ring_buffer_caps_capacity() {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = RingBufferSubscriber::new(4);
+        install(ring.clone());
+        for _ in 0..10 {
+            event!("e");
+        }
+        uninstall();
+        assert_eq!(ring.events().len(), 4);
+    }
+
+    #[test]
+    fn uninstall_mid_span_still_balances_depth() {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+        let ring = RingBufferSubscriber::new(64);
+        install(ring.clone());
+        {
+            let _span = span!("survivor");
+            uninstall();
+        } // exit dispatches to nobody, but depth must rewind
+        install(ring.clone());
+        event!("after");
+        uninstall();
+        let last = ring.events().pop().unwrap();
+        assert_eq!(last.name, "after");
+        assert_eq!(last.depth, 0, "depth leaked by uninstalled span");
+    }
+}

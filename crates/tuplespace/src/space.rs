@@ -39,11 +39,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
+use acc_telemetry::Timed;
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::error::{SpaceError, SpaceResult};
 use crate::events::{EventCookie, Listener, SpaceEvent};
 use crate::lease::Lease;
+use crate::stats::series;
 use crate::stats::{SpaceStats, StatsSnapshot};
 use crate::template::{Constraint, Template};
 use crate::tuple::Tuple;
@@ -200,34 +202,51 @@ struct ShardState {
     /// monotone counter) and leave mostly from the front, so the sorted
     /// deque behaves like a queue: O(1) amortized insert and remove.
     index: FxMap<String, FxMap<u64, VecDeque<EntryId>>>,
+    /// Ids written since the last index probe, not yet folded into
+    /// `index`. Writes only push here (O(1) per field set, no hashing);
+    /// the first probe that actually needs the index pays the folding
+    /// cost. Entries that are removed before any probe never touch the
+    /// index at all — which is what makes pure write→expire→sweep
+    /// traffic cheap again.
+    pending_index: Vec<EntryId>,
 }
 
 impl ShardState {
-    fn index_insert(&mut self, stored: &Stored) {
-        for (name, value) in stored.tuple.fields() {
-            let Some(key) = value_index_hash(value) else {
-                continue;
-            };
-            // Clone the field name only the first time it is seen.
-            if !self.index.contains_key(name) {
-                self.index.insert(name.clone(), FxMap::default());
-            }
-            let ids = self
-                .index
-                .get_mut(name)
-                .expect("just ensured")
-                .entry(key)
-                .or_default();
-            match ids.back() {
-                Some(last) if *last > stored.id => {
-                    let pos = ids.partition_point(|id| *id < stored.id);
-                    ids.insert(pos, stored.id);
-                }
-                _ => ids.push_back(stored.id),
+    /// Queues a freshly inserted entry for lazy indexing. Must be called
+    /// after the entry is in `entries`.
+    fn note_pending(&mut self, id: EntryId) {
+        // Under write-heavy, probe-free churn the queue accumulates ids of
+        // entries that are long gone; compact it before it outgrows the
+        // live set by more than a small constant factor.
+        if self.pending_index.len() > self.entries.len() * 2 + 64 {
+            let ShardState {
+                entries,
+                pending_index,
+                ..
+            } = self;
+            pending_index.retain(|id| entries.contains_key(id));
+        }
+        self.pending_index.push(id);
+    }
+
+    /// Folds queued writes into the field index; called before any index
+    /// probe. Ids whose entries were already removed are skipped, so the
+    /// index never references missing entries.
+    fn flush_pending_index(&mut self) {
+        if self.pending_index.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_index);
+        let ShardState { entries, index, .. } = self;
+        for id in pending {
+            if let Some(stored) = entries.get(&id) {
+                index_insert_into(index, stored);
             }
         }
     }
 
+    /// Removes an entry's ids from the field index. Harmlessly misses for
+    /// entries still sitting in `pending_index` (never folded in).
     fn index_remove(&mut self, stored: &Stored) {
         for (name, value) in stored.tuple.fields() {
             let Some(key) = value_index_hash(value) else {
@@ -244,6 +263,33 @@ impl ShardState {
                     by_value.remove(&key);
                 }
             }
+        }
+    }
+}
+
+/// Inserts one entry's indexable fields into a shard's field index. A free
+/// function (not a `ShardState` method) so [`ShardState::flush_pending_index`]
+/// can split-borrow `entries` and `index`.
+fn index_insert_into(index: &mut FxMap<String, FxMap<u64, VecDeque<EntryId>>>, stored: &Stored) {
+    for (name, value) in stored.tuple.fields() {
+        let Some(key) = value_index_hash(value) else {
+            continue;
+        };
+        // Clone the field name only the first time it is seen.
+        if !index.contains_key(name) {
+            index.insert(name.clone(), FxMap::default());
+        }
+        let ids = index
+            .get_mut(name)
+            .expect("just ensured")
+            .entry(key)
+            .or_default();
+        match ids.back() {
+            Some(last) if *last > stored.id => {
+                let pos = ids.partition_point(|id| *id < stored.id);
+                ids.insert(pos, stored.id);
+            }
+            _ => ids.push_back(stored.id),
         }
     }
 }
@@ -414,13 +460,13 @@ impl Space {
         for (ty, shard) in self.select_shards(template.type_name()) {
             let mut state = self.lock_shard(&shard);
             while let Some(tuple) = self.try_match_shard(&ty, &mut state, template, None, true) {
-                SpaceStats::bump(&self.stats.takes);
+                self.stats.record_take();
                 out.push(tuple);
             }
         }
         // The drain always ends on a failed probe, like the seed's
         // take-until-empty loop did.
-        SpaceStats::bump(&self.stats.misses);
+        self.stats.record_miss();
         Ok(out)
     }
 
@@ -465,10 +511,9 @@ impl Space {
                         expires,
                         lock: LockState::Free,
                     };
-                    SpaceStats::bump(&self.stats.writes);
-                    SpaceStats::add(&self.stats.bytes_written, stored.tuple.size_hint() as u64);
-                    state.index_insert(&stored);
+                    self.stats.record_write(stored.tuple.size_hint() as u64);
                     state.entries.insert(id, stored);
+                    state.note_pending(id);
                     entry_index.insert(id, ty.clone());
                 }
             }
@@ -505,7 +550,7 @@ impl Space {
             while out.len() < max {
                 match self.try_match_shard(&ty, &mut state, template, None, true) {
                     Some(tuple) => {
-                        SpaceStats::bump(&self.stats.takes);
+                        self.stats.record_take();
                         out.push(tuple);
                     }
                     None => continue 'shards,
@@ -514,7 +559,7 @@ impl Space {
             break;
         }
         if out.len() < max {
-            SpaceStats::bump(&self.stats.misses);
+            self.stats.record_miss();
         }
         Ok(out)
     }
@@ -642,14 +687,25 @@ impl Space {
             }
             // Batch the id-routing removals under one lock acquisition.
             let mut entry_index = self.entry_index.lock();
-            for id in dead {
-                if let Some(stored) = state.entries.remove(&id) {
-                    state.index_remove(&stored);
-                    entry_index.remove(&id);
+            if dead.len() == state.entries.len() {
+                // Everything in the shard is dead: drop the storage
+                // wholesale instead of unpicking the index id by id.
+                for id in &dead {
+                    entry_index.remove(id);
+                }
+                state.entries.clear();
+                state.index.clear();
+                state.pending_index.clear();
+            } else {
+                for id in dead {
+                    if let Some(stored) = state.entries.remove(&id) {
+                        state.index_remove(&stored);
+                        entry_index.remove(&id);
+                    }
                 }
             }
         }
-        SpaceStats::add(&self.stats.expired, removed as u64);
+        self.stats.record_expired(removed as u64);
         removed
     }
 
@@ -774,7 +830,7 @@ impl Space {
         match shard.state.try_lock() {
             Some(guard) => guard,
             None => {
-                SpaceStats::bump(&self.stats.shard_contention);
+                self.stats.record_contention();
                 shard.state.lock()
             }
         }
@@ -826,6 +882,7 @@ impl Space {
         if self.is_closed() {
             return Err(SpaceError::Closed);
         }
+        let timed = Timed::start();
         let ty = tuple.type_name_arc();
         let shard = self.shard_for(&ty);
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
@@ -846,10 +903,9 @@ impl Space {
                 expires: lease.deadline(),
                 lock,
             };
-            SpaceStats::bump(&self.stats.writes);
-            SpaceStats::add(&self.stats.bytes_written, stored.tuple.size_hint() as u64);
-            state.index_insert(&stored);
+            self.stats.record_write(stored.tuple.size_hint() as u64);
             state.entries.insert(id, stored);
+            state.note_pending(id);
             self.entry_index.lock().insert(id, ty);
         }
         // Plain writes are instantly visible: wake this type's waiters and
@@ -859,6 +915,7 @@ impl Space {
             self.notify_wildcard_waiters();
             self.fire_events(std::slice::from_ref(&tuple));
         }
+        timed.observe(&series().write_us);
         Ok(id)
     }
 
@@ -888,8 +945,9 @@ impl Space {
         txn: Option<TxnId>,
         destructive: bool,
     ) -> SpaceResult<Option<Tuple>> {
+        let timed = Timed::start();
         let deadline = timeout.map(|d| Instant::now() + d);
-        match template.type_name() {
+        let result = match template.type_name() {
             Some(ty) => {
                 let (ty, shard) = self.shard_entry(ty);
                 self.wait_typed(&ty, &shard, template, deadline, txn, destructive)
@@ -903,6 +961,28 @@ impl Space {
                 self.wildcard_waiters.fetch_sub(1, Ordering::SeqCst);
                 result
             }
+        };
+        timed.observe(if destructive {
+            &series().take_us
+        } else {
+            &series().read_us
+        });
+        result
+    }
+
+    /// Records how long a blocking read/take spent parked, if it parked.
+    /// Wait durations are recorded unconditionally (not gated by
+    /// [`acc_telemetry::timing_enabled`]): the path already paid for a
+    /// park/wake cycle, so two clock reads are noise.
+    fn record_wait(destructive: bool, wait_start: Option<Instant>) {
+        if let Some(start) = wait_start {
+            let s = series();
+            let h = if destructive {
+                &s.take_wait_us
+            } else {
+                &s.read_wait_us
+            };
+            h.observe_duration(start.elapsed());
         }
     }
 
@@ -917,7 +997,7 @@ impl Space {
         destructive: bool,
     ) -> SpaceResult<Option<Tuple>> {
         let mut state = self.lock_shard(shard);
-        let mut waited = false;
+        let mut wait_start: Option<Instant> = None;
         loop {
             if self.is_closed() {
                 return Err(SpaceError::Closed);
@@ -929,18 +1009,20 @@ impl Space {
             }
             if let Some(tuple) = self.try_match_shard(ty, &mut state, template, txn, destructive) {
                 self.bump_match(destructive);
+                Self::record_wait(destructive, wait_start);
                 return Ok(Some(tuple));
             }
             // No match: park until this type changes or the deadline hits.
             match deadline {
                 Some(d) => {
                     if Instant::now() >= d {
-                        SpaceStats::bump(&self.stats.misses);
+                        self.stats.record_miss();
+                        Self::record_wait(destructive, wait_start);
                         return Ok(None);
                     }
-                    if !waited {
-                        SpaceStats::bump(&self.stats.blocked_waits);
-                        waited = true;
+                    if wait_start.is_none() {
+                        self.stats.record_blocked_wait();
+                        wait_start = Some(Instant::now());
                     }
                     shard.waiters.fetch_add(1, Ordering::SeqCst);
                     let timed_out = shard.cond.wait_until(&mut state, d).timed_out();
@@ -952,19 +1034,21 @@ impl Space {
                             self.try_match_shard(ty, &mut state, template, txn, destructive)
                         {
                             self.bump_match(destructive);
+                            Self::record_wait(destructive, wait_start);
                             return Ok(Some(tuple));
                         }
                         if self.is_closed() {
                             return Err(SpaceError::Closed);
                         }
-                        SpaceStats::bump(&self.stats.misses);
+                        self.stats.record_miss();
+                        Self::record_wait(destructive, wait_start);
                         return Ok(None);
                     }
                 }
                 None => {
-                    if !waited {
-                        SpaceStats::bump(&self.stats.blocked_waits);
-                        waited = true;
+                    if wait_start.is_none() {
+                        self.stats.record_blocked_wait();
+                        wait_start = Some(Instant::now());
                     }
                     shard.waiters.fetch_add(1, Ordering::SeqCst);
                     shard.cond.wait(&mut state);
@@ -985,7 +1069,7 @@ impl Space {
         destructive: bool,
     ) -> SpaceResult<Option<Tuple>> {
         let mut global = self.global.lock();
-        let mut waited = false;
+        let mut wait_start: Option<Instant> = None;
         loop {
             if self.is_closed() {
                 return Err(SpaceError::Closed);
@@ -997,34 +1081,38 @@ impl Space {
             }
             if let Some(tuple) = self.scan_all_shards(template, txn, destructive) {
                 self.bump_match(destructive);
+                Self::record_wait(destructive, wait_start);
                 return Ok(Some(tuple));
             }
             match deadline {
                 Some(d) => {
                     if Instant::now() >= d {
-                        SpaceStats::bump(&self.stats.misses);
+                        self.stats.record_miss();
+                        Self::record_wait(destructive, wait_start);
                         return Ok(None);
                     }
-                    if !waited {
-                        SpaceStats::bump(&self.stats.blocked_waits);
-                        waited = true;
+                    if wait_start.is_none() {
+                        self.stats.record_blocked_wait();
+                        wait_start = Some(Instant::now());
                     }
                     if self.global_cond.wait_until(&mut global, d).timed_out() {
                         if let Some(tuple) = self.scan_all_shards(template, txn, destructive) {
                             self.bump_match(destructive);
+                            Self::record_wait(destructive, wait_start);
                             return Ok(Some(tuple));
                         }
                         if self.is_closed() {
                             return Err(SpaceError::Closed);
                         }
-                        SpaceStats::bump(&self.stats.misses);
+                        self.stats.record_miss();
+                        Self::record_wait(destructive, wait_start);
                         return Ok(None);
                     }
                 }
                 None => {
-                    if !waited {
-                        SpaceStats::bump(&self.stats.blocked_waits);
-                        waited = true;
+                    if wait_start.is_none() {
+                        self.stats.record_blocked_wait();
+                        wait_start = Some(Instant::now());
                     }
                     self.global_cond.wait(&mut global);
                 }
@@ -1048,11 +1136,11 @@ impl Space {
     }
 
     fn bump_match(&self, destructive: bool) {
-        SpaceStats::bump(if destructive {
-            &self.stats.takes
+        if destructive {
+            self.stats.record_take();
         } else {
-            &self.stats.reads
-        });
+            self.stats.record_read();
+        }
     }
 
     /// Finds the oldest live entry in `state` matching `template` that the
@@ -1082,7 +1170,8 @@ impl Space {
         let mut dead = Vec::new();
         let mut found = None;
         if let Some((field, key)) = probe {
-            SpaceStats::bump(&self.stats.index_hits);
+            self.stats.record_index_probe(true);
+            state.flush_pending_index();
             if let Some(ids) = state
                 .index
                 .get(field)
@@ -1099,7 +1188,7 @@ impl Space {
                 }
             }
         } else {
-            SpaceStats::bump(&self.stats.index_misses);
+            self.stats.record_index_probe(false);
             for (id, stored) in state.entries.iter() {
                 if stored.expired(now) {
                     dead.push(*id);
@@ -1176,6 +1265,7 @@ impl Space {
     }
 
     pub(crate) fn finish_txn(&self, id: TxnId, commit: bool) -> SpaceResult<()> {
+        let timed = Timed::start();
         let rec = self
             .txns
             .lock()
@@ -1251,11 +1341,7 @@ impl Space {
             }
             touched.push(shard);
         }
-        SpaceStats::bump(if commit {
-            &self.stats.txns_committed
-        } else {
-            &self.stats.txns_aborted
-        });
+        self.stats.record_txn_finished(commit);
         // Entries became visible (commit) or available again (abort): wake
         // the affected types either way.
         for shard in touched {
@@ -1265,6 +1351,7 @@ impl Space {
         if !fire.is_empty() {
             self.fire_events(&fire);
         }
+        timed.observe(&series().txn_finish_us);
         Ok(())
     }
 
@@ -1276,6 +1363,7 @@ impl Space {
             return;
         }
         let slots: Arc<Vec<Arc<RegistrationSlot>>> = self.registrations.lock().clone();
+        let mut dispatched = 0u64;
         for slot in slots.iter() {
             if !slot.active.load(Ordering::Relaxed) {
                 continue;
@@ -1288,8 +1376,12 @@ impl Space {
                         seq,
                         tuple: tuple.clone(),
                     });
+                    dispatched += 1;
                 }
             }
+        }
+        if dispatched > 0 {
+            series().events_dispatched.add(dispatched);
         }
     }
 }

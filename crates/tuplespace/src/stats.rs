@@ -1,23 +1,93 @@
-//! Space operation counters.
+//! Space operation counters, folded into the workspace telemetry registry.
+//!
+//! Every space keeps its own [`SpaceStats`] atomics (so tests and callers
+//! can assert on one space's traffic via [`SpaceStats::snapshot`]), and
+//! every recording *also* bumps the process-wide series in
+//! [`acc_telemetry::registry`] under `space.*` names — the unified view
+//! the rest of the stack (bench harness, examples, Prometheus-style
+//! exposition) reads. Latency histograms live only in the registry:
+//! latencies are a property of the deployment, not of one space handle.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use acc_telemetry::{registry, Counter, Histogram};
+
+/// The global `space.*` series every [`SpaceStats`] records into.
+pub(crate) struct SpaceSeries {
+    writes: Arc<Counter>,
+    reads: Arc<Counter>,
+    takes: Arc<Counter>,
+    misses: Arc<Counter>,
+    blocked_waits: Arc<Counter>,
+    expired: Arc<Counter>,
+    txns_committed: Arc<Counter>,
+    txns_aborted: Arc<Counter>,
+    bytes_written: Arc<Counter>,
+    shard_contention: Arc<Counter>,
+    index_hits: Arc<Counter>,
+    index_misses: Arc<Counter>,
+    /// Events delivered to notify listeners.
+    pub events_dispatched: Arc<Counter>,
+    /// Full write-op latency (timing-gated).
+    pub write_us: Arc<Histogram>,
+    /// Full read-op latency, including any blocking (timing-gated).
+    pub read_us: Arc<Histogram>,
+    /// Full take-op latency, including any blocking (timing-gated).
+    pub take_us: Arc<Histogram>,
+    /// Time read ops spent parked waiting for a match (always recorded).
+    pub read_wait_us: Arc<Histogram>,
+    /// Time take ops spent parked waiting for a match (always recorded).
+    pub take_wait_us: Arc<Histogram>,
+    /// Transaction commit/abort fix-up latency (timing-gated).
+    pub txn_finish_us: Arc<Histogram>,
+}
+
+/// The lazily registered global series (one set per process).
+pub(crate) fn series() -> &'static SpaceSeries {
+    static SERIES: OnceLock<SpaceSeries> = OnceLock::new();
+    SERIES.get_or_init(|| {
+        let r = registry();
+        SpaceSeries {
+            writes: r.counter("space.write.count"),
+            reads: r.counter("space.read.count"),
+            takes: r.counter("space.take.count"),
+            misses: r.counter("space.miss.count"),
+            blocked_waits: r.counter("space.blocked_waits"),
+            expired: r.counter("space.expired.count"),
+            txns_committed: r.counter("space.txn.commit"),
+            txns_aborted: r.counter("space.txn.abort"),
+            bytes_written: r.counter("space.bytes_written"),
+            shard_contention: r.counter("space.shard_contention"),
+            index_hits: r.counter("space.index.hits"),
+            index_misses: r.counter("space.index.misses"),
+            events_dispatched: r.counter("space.events.dispatched"),
+            write_us: r.histogram("space.write.us"),
+            read_us: r.histogram("space.read.us"),
+            take_us: r.histogram("space.take.us"),
+            read_wait_us: r.histogram("space.read.wait_us"),
+            take_wait_us: r.histogram("space.take.wait_us"),
+            txn_finish_us: r.histogram("space.txn.finish_us"),
+        }
+    })
+}
 
 /// Monotone counters describing traffic through a space. All methods use
 /// relaxed atomics: the counters are diagnostics, not synchronization.
 #[derive(Debug, Default)]
 pub struct SpaceStats {
-    pub(crate) writes: AtomicU64,
-    pub(crate) reads: AtomicU64,
-    pub(crate) takes: AtomicU64,
-    pub(crate) misses: AtomicU64,
-    pub(crate) blocked_waits: AtomicU64,
-    pub(crate) expired: AtomicU64,
-    pub(crate) txns_committed: AtomicU64,
-    pub(crate) txns_aborted: AtomicU64,
-    pub(crate) bytes_written: AtomicU64,
-    pub(crate) shard_contention: AtomicU64,
-    pub(crate) index_hits: AtomicU64,
-    pub(crate) index_misses: AtomicU64,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    takes: AtomicU64,
+    misses: AtomicU64,
+    blocked_waits: AtomicU64,
+    expired: AtomicU64,
+    txns_committed: AtomicU64,
+    txns_aborted: AtomicU64,
+    bytes_written: AtomicU64,
+    shard_contention: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
 }
 
 /// A point-in-time copy of [`SpaceStats`].
@@ -49,13 +119,86 @@ pub struct StatsSnapshot {
     pub index_misses: u64,
 }
 
+#[inline]
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
 impl SpaceStats {
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    /// Records one write of `bytes` approximate payload bytes.
+    #[inline]
+    pub(crate) fn record_write(&self, bytes: u64) {
+        bump(&self.writes);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        let s = series();
+        s.writes.inc();
+        s.bytes_written.add(bytes);
     }
 
-    pub(crate) fn add(counter: &AtomicU64, n: u64) {
-        counter.fetch_add(n, Ordering::Relaxed);
+    /// Records one successful non-destructive read.
+    #[inline]
+    pub(crate) fn record_read(&self) {
+        bump(&self.reads);
+        series().reads.inc();
+    }
+
+    /// Records one successful take.
+    #[inline]
+    pub(crate) fn record_take(&self) {
+        bump(&self.takes);
+        series().takes.inc();
+    }
+
+    /// Records one empty read/take attempt.
+    #[inline]
+    pub(crate) fn record_miss(&self) {
+        bump(&self.misses);
+        series().misses.inc();
+    }
+
+    /// Records one operation blocking for a match.
+    #[inline]
+    pub(crate) fn record_blocked_wait(&self) {
+        bump(&self.blocked_waits);
+        series().blocked_waits.inc();
+    }
+
+    /// Records `n` entries reclaimed by lease expiry.
+    #[inline]
+    pub(crate) fn record_expired(&self, n: u64) {
+        self.expired.fetch_add(n, Ordering::Relaxed);
+        series().expired.add(n);
+    }
+
+    /// Records a transaction finishing.
+    #[inline]
+    pub(crate) fn record_txn_finished(&self, commit: bool) {
+        if commit {
+            bump(&self.txns_committed);
+            series().txns_committed.inc();
+        } else {
+            bump(&self.txns_aborted);
+            series().txns_aborted.inc();
+        }
+    }
+
+    /// Records a contended shard-lock acquisition.
+    #[inline]
+    pub(crate) fn record_contention(&self) {
+        bump(&self.shard_contention);
+        series().shard_contention.inc();
+    }
+
+    /// Records whether a match attempt was answered by the field index.
+    #[inline]
+    pub(crate) fn record_index_probe(&self, hit: bool) {
+        if hit {
+            bump(&self.index_hits);
+            series().index_hits.inc();
+        } else {
+            bump(&self.index_misses);
+            series().index_misses.inc();
+        }
     }
 
     /// Takes a consistent-enough snapshot of all counters.
@@ -85,11 +228,27 @@ mod tests {
     fn counters_start_at_zero_and_bump() {
         let s = SpaceStats::default();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
-        SpaceStats::bump(&s.writes);
-        SpaceStats::add(&s.bytes_written, 128);
+        s.record_write(128);
         let snap = s.snapshot();
         assert_eq!(snap.writes, 1);
         assert_eq!(snap.bytes_written, 128);
         assert_eq!(snap.takes, 0);
+    }
+
+    #[test]
+    fn recordings_fold_into_global_registry() {
+        let before = acc_telemetry::registry().snapshot();
+        let s = SpaceStats::default();
+        s.record_take();
+        s.record_index_probe(true);
+        let after = acc_telemetry::registry().snapshot();
+        assert!(
+            after.counters["space.take.count"]
+                > *before.counters.get("space.take.count").unwrap_or(&0)
+        );
+        assert!(
+            after.counters["space.index.hits"]
+                > *before.counters.get("space.index.hits").unwrap_or(&0)
+        );
     }
 }

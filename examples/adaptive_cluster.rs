@@ -113,4 +113,11 @@ fn main() {
         report.times.tasks
     );
     cluster.shutdown();
+
+    // The run above fed latency histograms and counters from every layer
+    // (space, master, workers, monitor, federation) into the global
+    // registry; dump the whole thing in text exposition format.
+    println!();
+    println!("--- telemetry ---");
+    print!("{}", adaptive_spaces::telemetry::registry().render_text());
 }

@@ -106,4 +106,10 @@ fn main() {
         );
     }
     cluster.shutdown();
+
+    // 4. Everything above was also recorded in the global telemetry
+    //    registry; dump it in text exposition format.
+    println!();
+    println!("--- telemetry ---");
+    print!("{}", adaptive_spaces::telemetry::registry().render_text());
 }

@@ -16,7 +16,9 @@
 //! * [`apps`] — the three evaluation applications (option pricing, ray
 //!   tracing, web-page pre-fetching);
 //! * [`sim`] — the deterministic discrete-event simulator that regenerates
-//!   the paper's figures.
+//!   the paper's figures;
+//! * [`telemetry`] — the workspace-wide metrics registry and structured
+//!   tracing facade every layer reports into.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
@@ -27,4 +29,5 @@ pub use acc_core as framework;
 pub use acc_federation as federation;
 pub use acc_sim as sim;
 pub use acc_snmp as snmp;
+pub use acc_telemetry as telemetry;
 pub use acc_tuplespace as space;

@@ -1,0 +1,184 @@
+//! Telemetry integration: a real master/worker round emits the expected
+//! span tree, and one cluster run populates the global metrics registry
+//! with series from every layer.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use adaptive_spaces::cluster::NodeSpec;
+use adaptive_spaces::framework::{
+    Application, ClusterBuilder, ExecError, FrameworkConfig, TaskEntry, TaskExecutor, TaskSpec,
+};
+use adaptive_spaces::space::Payload;
+use adaptive_spaces::telemetry::trace::{RingBufferSubscriber, TraceKind};
+use adaptive_spaces::telemetry::{registry, trace};
+
+/// The trace subscriber is process-global; tests that install one
+/// serialise here so captures don't interleave.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+struct Doubler {
+    n: u64,
+    total: u64,
+}
+
+struct DoubleExecutor;
+
+impl TaskExecutor for DoubleExecutor {
+    fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+        let x: u64 = task.input()?;
+        Ok((2 * x).to_bytes())
+    }
+}
+
+impl Application for Doubler {
+    fn job_name(&self) -> String {
+        "doubler".into()
+    }
+    fn bundle_name(&self) -> String {
+        "doubler-worker".into()
+    }
+    fn plan(&mut self) -> Vec<TaskSpec> {
+        (0..self.n).map(|i| TaskSpec::new(i, &i)).collect()
+    }
+    fn executor(&self) -> Arc<dyn TaskExecutor> {
+        Arc::new(DoubleExecutor)
+    }
+    fn absorb(&mut self, _task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+        self.total += u64::from_bytes(payload).map_err(ExecError::Decode)?;
+        Ok(())
+    }
+}
+
+fn fast_config() -> FrameworkConfig {
+    FrameworkConfig {
+        poll_interval: Duration::from_millis(10),
+        class_load_base: Duration::from_millis(2),
+        class_load_per_kb: Duration::ZERO,
+        task_poll_timeout: Duration::from_millis(10),
+        ..FrameworkConfig::default()
+    }
+}
+
+fn run_job(tasks: u64, workers: usize) -> Doubler {
+    let mut app = Doubler { n: tasks, total: 0 };
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    cluster.install(&app);
+    for i in 0..workers {
+        cluster.add_worker(NodeSpec::new(format!("w{i:02}"), 800, 256));
+    }
+    let report = cluster.run(&mut app);
+    assert_eq!(report.results_collected, tasks as usize);
+    cluster.shutdown();
+    app
+}
+
+#[test]
+fn master_worker_round_emits_expected_span_tree() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let ring = RingBufferSubscriber::new(16_384);
+    trace::install(ring.clone());
+    let app = run_job(8, 2);
+    trace::uninstall();
+    assert_eq!(app.total, (0..8).map(|i| 2 * i).sum::<u64>());
+
+    let names = ring.names();
+    let first = |name: &str| {
+        names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("no {name:?} record in {names:?}"))
+    };
+    let last = |name: &str| names.iter().rposition(|n| *n == name).unwrap();
+
+    // The whole pipeline is present: planning → task take → compute →
+    // result write → aggregation.
+    let planning = first("master.planning");
+    let take = first("worker.task.take");
+    let compute = first("worker.compute");
+    let write = first("worker.result.write");
+    let aggregation_end = last("master.aggregation");
+    assert!(
+        planning < take,
+        "tasks are taken only after planning starts"
+    );
+    assert!(take < compute, "compute happens inside the taken task");
+    assert!(compute < write, "the result is written after computing");
+    assert!(
+        write < aggregation_end,
+        "aggregation outlives the first result"
+    );
+
+    // Every task produced exactly one take and one result write.
+    assert_eq!(ring.count("worker.task.take"), 8);
+    assert_eq!(ring.count("worker.result.write"), 8);
+
+    // Spans nest: worker.compute sits inside the worker.task span.
+    let events = ring.events();
+    let task_enter = events
+        .iter()
+        .find(|e| e.name == "worker.task" && e.kind == TraceKind::SpanEnter)
+        .expect("worker.task span");
+    let compute_enter = events
+        .iter()
+        .find(|e| e.name == "worker.compute" && e.kind == TraceKind::SpanEnter)
+        .expect("worker.compute span");
+    assert_eq!(compute_enter.depth, task_enter.depth + 1);
+
+    // Workers start via a Start signal, which is traced as a transition.
+    assert!(ring.count("worker.transition") >= 2, "one Start per worker");
+
+    // Span exits carry elapsed time.
+    let exit = events
+        .iter()
+        .find(|e| matches!(e.kind, TraceKind::SpanExit { .. }) && e.name == "master.aggregation")
+        .expect("aggregation exit");
+    let TraceKind::SpanExit { .. } = exit.kind else {
+        unreachable!()
+    };
+}
+
+#[test]
+fn cluster_run_populates_registry_across_layers() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    run_job(16, 2);
+
+    let snapshot = registry().snapshot();
+    let mut names: Vec<&str> = snapshot
+        .counters
+        .keys()
+        .chain(snapshot.gauges.keys())
+        .chain(snapshot.histograms.keys())
+        .copied()
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    assert!(
+        names.len() >= 20,
+        "expected at least 20 distinct series, got {}: {names:?}",
+        names.len()
+    );
+    for prefix in [
+        "space.",
+        "master.",
+        "worker.",
+        "monitor.",
+        "snmp.",
+        "federation.",
+    ] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix}* series in {names:?}"
+        );
+    }
+
+    // Core counters moved with the run.
+    let counter = |name: &str| snapshot.counters.get(name).copied().unwrap_or(0);
+    assert!(counter("master.runs") >= 1);
+    assert!(counter("master.tasks.planned") >= 16);
+    assert!(counter("worker.task.completed") >= 16);
+    assert!(counter("space.write.count") >= 16);
+    assert!(counter("space.take.count") >= 16);
+    assert!(counter("federation.lease.granted") >= 1);
+    assert!(counter("snmp.poll.requests") >= 1);
+}
