@@ -293,6 +293,32 @@ impl Application for PricingApp {
         self.absorb_output(task_id, out);
         Ok(())
     }
+
+    fn snapshot_partials(&self) -> Option<Vec<u8>> {
+        let mut w = WireWriter::new();
+        w.put_u32(self.parts.len() as u32);
+        for (task_id, out) in &self.parts {
+            w.put_u64(*task_id);
+            out.encode(&mut w);
+        }
+        Some(w.finish().to_vec())
+    }
+
+    fn restore_partials(&mut self, bytes: &[u8]) -> Result<(), ExecError> {
+        let mut r = WireReader::new(bytes::Bytes::copy_from_slice(bytes));
+        let count = r.get_u32().map_err(ExecError::Decode)?;
+        let mut parts = std::collections::BTreeMap::new();
+        for _ in 0..count {
+            let task_id = r.get_u64().map_err(ExecError::Decode)?;
+            let out = PricingTaskOutput::decode(&mut r).map_err(ExecError::Decode)?;
+            parts.insert(task_id, out);
+        }
+        if r.remaining() != 0 {
+            return Err(ExecError::Decode(PayloadError::Corrupt("trailing bytes")));
+        }
+        self.parts = parts;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +405,34 @@ mod tests {
         let inputs = app.task_inputs();
         assert_eq!(inputs[0].seed, inputs[1].seed);
         assert_ne!(inputs[0].estimator, inputs[1].estimator);
+    }
+
+    #[test]
+    fn partials_snapshot_restore_roundtrip() {
+        let mut app = PricingApp::new(OptionSpec::paper_default(), 2, 5);
+        let exec = app.executor();
+        let inputs = app.task_inputs();
+        // Absorb half the results, snapshot, restore into a fresh app, then
+        // finish the job there: the final bracket must match a straight run.
+        for (i, input) in inputs.iter().enumerate().take(2) {
+            let entry = TaskEntry::new("option-pricing", i as u64, input.to_bytes());
+            app.absorb(i as u64, &exec.execute(&entry).unwrap())
+                .unwrap();
+        }
+        let snapshot = app.snapshot_partials().unwrap();
+
+        let mut resumed = PricingApp::new(OptionSpec::paper_default(), 2, 5);
+        resumed.restore_partials(&snapshot).unwrap();
+        for (i, input) in inputs.iter().enumerate().skip(2) {
+            let entry = TaskEntry::new("option-pricing", i as u64, input.to_bytes());
+            resumed
+                .absorb(i as u64, &exec.execute(&entry).unwrap())
+                .unwrap();
+            app.absorb(i as u64, &exec.execute(&entry).unwrap())
+                .unwrap();
+        }
+        assert_eq!(resumed.result(), app.result());
+        assert!(resumed.restore_partials(&[1, 2, 3]).is_err());
     }
 
     #[test]

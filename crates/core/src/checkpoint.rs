@@ -1,0 +1,185 @@
+//! Master checkpoint state: persisted task cursor and aggregated partials.
+//!
+//! The paper's fault-tolerance story covers workers (a taken task is
+//! protected by a transaction) but the master is a single point of failure:
+//! if it dies mid-aggregation, absorbed results are gone even though the
+//! durable space still holds the unconsumed ones. A [`CheckpointState`]
+//! closes that gap — [`crate::Master::run_with_checkpoint`] persists the
+//! set of completed task ids plus the application's serialized partial
+//! aggregate, so a restarted master re-issues only uncompleted tasks and
+//! never double-absorbs a result.
+//!
+//! The file format is self-validating: an 8-byte magic, a little-endian
+//! body length, a CRC-32 of the body, then the body (a
+//! [`Payload`] encoding). The file is replaced atomically on every save
+//! (temp file + fsync + rename), so a crash mid-save leaves the previous
+//! checkpoint intact.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+use acc_durability::{crc32, write_atomic};
+use acc_tuplespace::{Payload, PayloadError, WireReader, WireWriter};
+
+/// File magic: "adaptive cluster computing checkpoint, version 1".
+const MAGIC: &[u8; 8] = b"ACCCKPT1";
+
+/// Everything a restarted master needs to resume an interrupted run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointState {
+    /// Job name — a checkpoint for a different job is ignored on load.
+    pub job: String,
+    /// Total number of planned tasks.
+    pub total: u64,
+    /// Task ids whose results have been absorbed (or terminally failed).
+    pub completed: BTreeSet<u64>,
+    /// The application's serialized partial aggregate
+    /// ([`crate::Application::snapshot_partials`]).
+    pub app_state: Vec<u8>,
+}
+
+impl Payload for CheckpointState {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_str(&self.job);
+        w.put_u64(self.total);
+        w.put_u32(self.completed.len() as u32);
+        for id in &self.completed {
+            w.put_u64(*id);
+        }
+        w.put_blob(&self.app_state);
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        let job = r.get_str()?;
+        let total = r.get_u64()?;
+        let count = r.get_u32()?;
+        if count as usize > (1 << 24) {
+            return Err(PayloadError::Corrupt("completed-set length"));
+        }
+        let mut completed = BTreeSet::new();
+        for _ in 0..count {
+            completed.insert(r.get_u64()?);
+        }
+        let app_state = r.get_blob()?;
+        Ok(CheckpointState {
+            job,
+            total,
+            completed,
+            app_state,
+        })
+    }
+}
+
+impl CheckpointState {
+    /// Atomically replaces the checkpoint file with this state.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let body = self.to_bytes();
+        let mut bytes = Vec::with_capacity(MAGIC.len() + 8 + body.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        write_atomic(path, &bytes)
+    }
+
+    /// Loads a checkpoint; `Ok(None)` when the file does not exist.
+    ///
+    /// A malformed file is an error rather than `None`: saves are atomic,
+    /// so corruption means something external damaged the file and silently
+    /// restarting from scratch could double-absorb results.
+    pub fn load(path: &Path) -> io::Result<Option<CheckpointState>> {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let corrupt = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("checkpoint {}: {what}", path.display()),
+            )
+        };
+        if bytes.len() < MAGIC.len() + 8 || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        let body = &bytes[16..];
+        if body.len() != len {
+            return Err(corrupt("length mismatch"));
+        }
+        if crc32(body) != crc {
+            return Err(corrupt("crc mismatch"));
+        }
+        let state =
+            CheckpointState::from_bytes(body).map_err(|e| corrupt(&format!("body: {e}")))?;
+        Ok(Some(state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> CheckpointState {
+        CheckpointState {
+            job: "pricing".into(),
+            total: 50,
+            completed: [0u64, 3, 7, 41].into_iter().collect(),
+            app_state: vec![1, 2, 3, 4],
+        }
+    }
+
+    fn path(label: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("acc-ckpt-{}-{label}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let p = path("roundtrip");
+        let s = state();
+        s.save(&p).unwrap();
+        assert_eq!(CheckpointState::load(&p).unwrap(), Some(s));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn missing_file_loads_none() {
+        assert_eq!(CheckpointState::load(&path("missing")).unwrap(), None);
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error_not_a_fresh_start() {
+        let p = path("corrupt");
+        state().save(&p).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(CheckpointState::load(&p).is_err());
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn save_replaces_previous_state() {
+        let p = path("replace");
+        state().save(&p).unwrap();
+        let mut s2 = state();
+        s2.completed.insert(42);
+        s2.save(&p).unwrap();
+        assert_eq!(CheckpointState::load(&p).unwrap(), Some(s2));
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let s = CheckpointState {
+            job: String::new(),
+            total: 0,
+            completed: BTreeSet::new(),
+            app_state: vec![],
+        };
+        assert_eq!(CheckpointState::from_bytes(&s.to_bytes()), Ok(s));
+    }
+}

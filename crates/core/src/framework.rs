@@ -419,14 +419,38 @@ mod tests {
         let mut cluster = ClusterBuilder::new(fast_config()).build();
         let mut app = SumSquares { n: 10, total: 0 };
         cluster.install(&app);
-        cluster.add_worker(NodeSpec::new("busy", 800, 256));
+        let busy = cluster.add_worker(NodeSpec::new("busy", 800, 256));
         cluster.add_worker(NodeSpec::new("idle", 800, 256));
         // Peg the first node before any work shows up.
         cluster.workers()[0].node.load().set_background(100);
-        std::thread::sleep(Duration::from_millis(80));
+        // Wait until the inference engine has actually *seen* the pegged
+        // load and the worker is not running, rather than sleeping a fixed
+        // interval — the poll thread can lag arbitrarily on a loaded host.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let seen = cluster
+                .monitor()
+                .decisions()
+                .iter()
+                .any(|d| d.worker == busy && d.external_load >= 90);
+            if seen && cluster.workers()[0].state() != WorkerState::Running {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "engine never excluded the busy worker"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
         let report = cluster.run(&mut app);
         assert!(report.complete);
-        // All tasks went to the idle worker.
+        // All tasks went to the idle worker. The counter is incremented
+        // *after* the result write, so the master can finish before the
+        // last increment lands — wait for it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while cluster.workers()[1].tasks_done() < 10 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
         assert_eq!(cluster.workers()[0].tasks_done(), 0);
         assert_eq!(cluster.workers()[1].tasks_done(), 10);
         cluster.shutdown();

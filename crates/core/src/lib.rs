@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod framework;
 pub mod inference;
@@ -37,6 +38,7 @@ pub mod signal;
 pub mod task;
 pub mod worker;
 
+pub use checkpoint::CheckpointState;
 pub use config::{FrameworkConfig, Thresholds};
 pub use framework::{AdaptiveCluster, ClusterBuilder};
 pub use inference::{desired_for_load, DesiredState, InferenceEngine};

@@ -7,14 +7,17 @@
 //! master-side metrics (task planning time, task aggregation time, max
 //! worker time, parallel time, max master overhead) are measured here.
 
+use std::collections::BTreeSet;
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use acc_telemetry::span;
-use acc_tuplespace::{SpaceError, StoreHandle};
+use acc_tuplespace::{SpaceError, StoreHandle, Template};
 
+use crate::checkpoint::CheckpointState;
 use crate::metrics::PhaseTimes;
 use crate::series::series;
-use crate::task::{result_template, Application, ExecError, ResultEntry, TaskEntry};
+use crate::task::{result_template, Application, ExecError, ResultEntry, TaskEntry, TASK_TYPE};
 
 /// Outcome of one application run.
 #[derive(Debug, Clone, Default)]
@@ -145,6 +148,200 @@ impl Master {
         report.times = times;
         Ok(report)
     }
+
+    /// Like [`run`](Master::run), but persisting aggregation progress to a
+    /// checkpoint file every `every` absorbed results, and resuming from
+    /// that file when it already exists.
+    ///
+    /// On resume the application's partial aggregate is restored via
+    /// [`Application::restore_partials`], result entries that reached the
+    /// (typically durable, recovered) space before the previous master died
+    /// are drained first, and only tasks that are neither completed nor
+    /// still queued in the space are re-written. Results are deduplicated
+    /// by task id, so a task that was re-issued and computed twice is
+    /// absorbed exactly once. The checkpoint file is removed when the run
+    /// completes, and rewritten one final time when it does not (timeout).
+    ///
+    /// `plan` must be deterministic: a restarted master re-plans the job
+    /// and relies on task ids matching the interrupted run's.
+    pub fn run_with_checkpoint(
+        &self,
+        app: &mut dyn Application,
+        checkpoint: &Path,
+        every: usize,
+    ) -> Result<RunReport, SpaceError> {
+        let job = app.job_name();
+        let run_start = Instant::now();
+        let mut times = PhaseTimes::default();
+        let every = every.max(1);
+
+        let mut completed: BTreeSet<u64> = BTreeSet::new();
+        let mut resumed = false;
+        match CheckpointState::load(checkpoint) {
+            Ok(Some(state)) if state.job == job => {
+                app.restore_partials(&state.app_state)
+                    .map_err(|e| SpaceError::Storage(format!("restore partials: {e}")))?;
+                completed = state.completed;
+                resumed = true;
+            }
+            Ok(_) => {}
+            Err(e) => return Err(SpaceError::Storage(format!("load checkpoint: {e}"))),
+        }
+
+        // ------------------------------------------------------------
+        // Task-planning phase.
+        // ------------------------------------------------------------
+        let planning_start = Instant::now();
+        let mut max_overhead = 0.0f64;
+        let specs = {
+            let _span = span!("master.planning", job = job.as_str());
+            app.plan()
+        };
+        times.tasks = specs.len();
+        let total = specs.len() as u64;
+        let template = result_template(&job);
+        let mut report = RunReport::default();
+
+        // Drain results that reached the space before the previous master
+        // died, so their tasks are not re-issued below.
+        if resumed {
+            while let Some(tuple) = self.space.take_if_exists(&template)? {
+                let per_task = Instant::now();
+                absorb_result(app, &tuple, &mut completed, &mut report, &mut times);
+                max_overhead = max_overhead.max(ms_since(per_task));
+            }
+        }
+
+        let mut written = 0usize;
+        for spec in &specs {
+            if completed.contains(&spec.task_id) {
+                continue;
+            }
+            if resumed {
+                // A recovered durable space may still hold this entry.
+                let this_task = Template::build(TASK_TYPE)
+                    .eq("job", job.as_str())
+                    .eq("task_id", spec.task_id as i64)
+                    .done();
+                if self.space.read_if_exists(&this_task)?.is_some() {
+                    continue;
+                }
+            }
+            let per_task = Instant::now();
+            let entry = TaskEntry::new(job.clone(), spec.task_id, spec.payload.clone());
+            self.space.write(entry.to_tuple())?;
+            written += 1;
+            max_overhead = max_overhead.max(ms_since(per_task));
+        }
+        times.task_planning_ms = ms_since(planning_start);
+        series().tasks_planned.add(written as u64);
+
+        // Persist progress-so-far (including drained leftovers) before
+        // blocking on new results: a crash from here on resumes cleanly.
+        save_checkpoint(checkpoint, &job, total, &completed, &*app)?;
+
+        // ------------------------------------------------------------
+        // Result-aggregation phase.
+        // ------------------------------------------------------------
+        let aggregation_start = Instant::now();
+        let aggregation_span = span!(
+            "master.aggregation",
+            job = job.as_str(),
+            tasks = specs.len()
+        );
+        let mut since_save = 0usize;
+        while (completed.len() as u64) < total {
+            let Some(tuple) = self.space.take(&template, Some(self.result_timeout))? else {
+                break; // deadline: a worker died or was stopped for good
+            };
+            let per_task = Instant::now();
+            let before = completed.len();
+            absorb_result(app, &tuple, &mut completed, &mut report, &mut times);
+            max_overhead = max_overhead.max(ms_since(per_task));
+            if completed.len() > before {
+                since_save += 1;
+                if since_save >= every {
+                    save_checkpoint(checkpoint, &job, total, &completed, &*app)?;
+                    since_save = 0;
+                }
+            }
+        }
+        drop(aggregation_span);
+        times.task_aggregation_ms = ms_since(aggregation_start);
+        times.max_master_overhead_ms = max_overhead;
+        times.parallel_ms = ms_since(run_start);
+        report.complete = completed.len() as u64 == total;
+        if report.complete {
+            let _ = std::fs::remove_file(checkpoint);
+        } else {
+            save_checkpoint(checkpoint, &job, total, &completed, &*app)?;
+        }
+        times.publish();
+        series().master_runs.inc();
+        series()
+            .results_collected
+            .add(report.results_collected as u64);
+        report.times = times;
+        Ok(report)
+    }
+}
+
+/// Absorbs one result tuple into the application, marking its task
+/// completed. Duplicates (a re-issued task computed twice) are dropped; a
+/// terminal worker error still completes the task so the run terminates.
+fn absorb_result(
+    app: &mut dyn Application,
+    tuple: &acc_tuplespace::Tuple,
+    completed: &mut BTreeSet<u64>,
+    report: &mut RunReport,
+    times: &mut PhaseTimes,
+) {
+    let Some(result) = ResultEntry::from_tuple(tuple) else {
+        report
+            .failures
+            .push((u64::MAX, ExecError::App("malformed result entry".into())));
+        return;
+    };
+    if completed.contains(&result.task_id) {
+        return;
+    }
+    times.max_worker_ms = times.max_worker_ms.max(result.span_ms);
+    let slot = times
+        .per_worker_ms
+        .entry(result.worker.clone())
+        .or_insert(0.0);
+    *slot = slot.max(result.span_ms);
+    match result.error {
+        Some(error) => {
+            report
+                .failures
+                .push((result.task_id, ExecError::App(error)));
+        }
+        None => match app.absorb(result.task_id, &result.payload) {
+            Ok(()) => report.results_collected += 1,
+            Err(e) => report.failures.push((result.task_id, e)),
+        },
+    }
+    completed.insert(result.task_id);
+}
+
+/// Writes the current progress atomically to the checkpoint file.
+fn save_checkpoint(
+    path: &Path,
+    job: &str,
+    total: u64,
+    completed: &BTreeSet<u64>,
+    app: &dyn Application,
+) -> Result<(), SpaceError> {
+    let state = CheckpointState {
+        job: job.to_owned(),
+        total,
+        completed: completed.clone(),
+        app_state: app.snapshot_partials().unwrap_or_default(),
+    };
+    state
+        .save(path)
+        .map_err(|e| SpaceError::Storage(format!("save checkpoint {}: {e}", path.display())))
 }
 
 fn ms_since(start: Instant) -> f64 {
@@ -264,6 +461,217 @@ mod tests {
         assert_eq!(report.results_collected, 0);
         // Tasks remain in the space for a future worker.
         assert_eq!(space.count(&task_template("double")), 3);
+    }
+
+    impl Doubler {
+        fn encode_outputs(&self) -> Vec<u8> {
+            self.outputs.iter().flat_map(|v| v.to_le_bytes()).collect()
+        }
+
+        fn decode_outputs(bytes: &[u8]) -> Result<Vec<u64>, ExecError> {
+            if bytes.len() % 8 != 0 {
+                return Err(ExecError::App("bad partials length".into()));
+            }
+            Ok(bytes
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect())
+        }
+    }
+
+    /// Like [`spawn_inline_worker`] but stops on the first space error, so
+    /// a mid-run close (simulated master crash) doesn't panic the thread.
+    fn spawn_tolerant_worker(
+        space: SpaceHandle,
+        job: &str,
+        exec: Arc<dyn TaskExecutor>,
+        name: &str,
+    ) -> std::thread::JoinHandle<()> {
+        let template = task_template(job);
+        let job = job.to_owned();
+        let name = name.to_owned();
+        std::thread::spawn(move || {
+            let first = Instant::now();
+            while let Ok(Some(tuple)) = space.take(&template, Some(Duration::from_millis(200))) {
+                let task = TaskEntry::from_tuple(&tuple).unwrap();
+                let t0 = Instant::now();
+                let payload = exec.execute(&task).unwrap();
+                let result = ResultEntry {
+                    job: job.clone(),
+                    task_id: task.task_id,
+                    worker: name.clone(),
+                    payload,
+                    compute_ms: ms_since(t0),
+                    span_ms: ms_since(first),
+                    error: None,
+                };
+                if space.write(result.to_tuple()).is_err() {
+                    break;
+                }
+            }
+        })
+    }
+
+    /// Delegates to an inner partials-capable app but closes the space
+    /// after `crash_after` absorbed results, simulating the master process
+    /// dying mid-aggregation.
+    struct CrashAfter {
+        inner: DoublerWithPartials,
+        crash_after: usize,
+        absorbed: usize,
+        space: StoreHandle,
+    }
+
+    impl Application for CrashAfter {
+        fn job_name(&self) -> String {
+            self.inner.job_name()
+        }
+        fn bundle_name(&self) -> String {
+            self.inner.bundle_name()
+        }
+        fn plan(&mut self) -> Vec<TaskSpec> {
+            self.inner.plan()
+        }
+        fn executor(&self) -> Arc<dyn TaskExecutor> {
+            self.inner.executor()
+        }
+        fn absorb(&mut self, task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+            self.inner.absorb(task_id, payload)?;
+            self.absorbed += 1;
+            if self.absorbed == self.crash_after {
+                self.space.close();
+            }
+            Ok(())
+        }
+        fn snapshot_partials(&self) -> Option<Vec<u8>> {
+            self.inner.snapshot_partials()
+        }
+        fn restore_partials(&mut self, bytes: &[u8]) -> Result<(), ExecError> {
+            self.inner.restore_partials(bytes)
+        }
+    }
+
+    impl Doubler {
+        fn with_partials(n: u64) -> DoublerWithPartials {
+            DoublerWithPartials(Doubler { n, outputs: vec![] })
+        }
+    }
+
+    /// [`Doubler`] plus checkpointable partials (the base test app leaves
+    /// the default no-op hooks in place on purpose, to cover that path).
+    struct DoublerWithPartials(Doubler);
+
+    impl Application for DoublerWithPartials {
+        fn job_name(&self) -> String {
+            self.0.job_name()
+        }
+        fn bundle_name(&self) -> String {
+            self.0.bundle_name()
+        }
+        fn plan(&mut self) -> Vec<TaskSpec> {
+            self.0.plan()
+        }
+        fn executor(&self) -> Arc<dyn TaskExecutor> {
+            self.0.executor()
+        }
+        fn absorb(&mut self, task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+            self.0.absorb(task_id, payload)
+        }
+        fn snapshot_partials(&self) -> Option<Vec<u8>> {
+            Some(self.0.encode_outputs())
+        }
+        fn restore_partials(&mut self, bytes: &[u8]) -> Result<(), ExecError> {
+            self.0.outputs = Doubler::decode_outputs(bytes)?;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_completes_and_removes_file() {
+        let space = Space::new("test");
+        let mut app = Doubler {
+            n: 10,
+            outputs: vec![],
+        };
+        let exec = app.executor();
+        let w = spawn_inline_worker(space.clone(), "double", exec, "w1");
+        let master = Master::new(space.clone());
+        let ckpt =
+            std::env::temp_dir().join(format!("acc-master-ckpt-done-{}.bin", std::process::id()));
+        let _ = std::fs::remove_file(&ckpt);
+        let report = master.run_with_checkpoint(&mut app, &ckpt, 3).unwrap();
+        w.join().unwrap();
+        assert!(report.complete);
+        assert_eq!(report.results_collected, 10);
+        assert!(!ckpt.exists(), "completed run removes its checkpoint");
+        let mut outputs = app.outputs.clone();
+        outputs.sort_unstable();
+        assert_eq!(outputs, (0..10).map(|i| i * 20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn master_resumes_from_checkpoint_after_crash() {
+        let dir = std::env::temp_dir().join(format!("acc-master-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = dir.join("master.ckpt");
+        let space_dir = dir.join("space");
+
+        // ---- Phase 1: the master "crashes" (space closes) mid-run. ----
+        {
+            let space =
+                Space::durable("m", &space_dir, acc_tuplespace::WalOptions::default()).unwrap();
+            let mut app = CrashAfter {
+                inner: Doubler::with_partials(20),
+                crash_after: 7,
+                absorbed: 0,
+                space: space.clone(),
+            };
+            let exec = app.executor();
+            let workers: Vec<_> = (0..2)
+                .map(|i| {
+                    spawn_tolerant_worker(space.clone(), "double", exec.clone(), &format!("w{i}"))
+                })
+                .collect();
+            let master = Master::new(space.clone());
+            let err = master.run_with_checkpoint(&mut app, &ckpt, 1).unwrap_err();
+            assert_eq!(err, SpaceError::Closed);
+            for w in workers {
+                w.join().unwrap();
+            }
+            let state = crate::checkpoint::CheckpointState::load(&ckpt)
+                .unwrap()
+                .expect("crash leaves a checkpoint behind");
+            assert_eq!(state.total, 20);
+            assert!(state.completed.len() >= 7, "every=1 persists each result");
+            assert!(
+                !state.app_state.is_empty(),
+                "the checkpoint carries the absorbed partial outputs"
+            );
+        }
+
+        // ---- Phase 2: a fresh master resumes from the checkpoint. ----
+        let space = Space::recover(&space_dir).unwrap();
+        let mut app = Doubler::with_partials(20);
+        let exec = app.executor();
+        let workers: Vec<_> = (0..2)
+            .map(|i| spawn_tolerant_worker(space.clone(), "double", exec.clone(), &format!("w{i}")))
+            .collect();
+        let master = Master::new(space.clone());
+        let report = master.run_with_checkpoint(&mut app, &ckpt, 1).unwrap();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert!(report.complete, "resumed run must finish the job");
+        let mut outputs = app.0.outputs.clone();
+        outputs.sort_unstable();
+        assert_eq!(
+            outputs,
+            (0..20).map(|i| i * 20).collect::<Vec<_>>(),
+            "combined result must equal an uninterrupted run — no missing, \
+             no double-absorbed tasks"
+        );
+        assert!(!ckpt.exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -205,6 +205,23 @@ pub trait Application {
 
     /// Result-aggregation phase: absorb one task's result payload.
     fn absorb(&mut self, task_id: u64, payload: &[u8]) -> Result<(), ExecError>;
+
+    /// Serializes the aggregation-in-progress state for a master
+    /// checkpoint. Returning `None` (the default) stores an empty
+    /// aggregate; applications that accumulate partial results should
+    /// return an encoding [`restore_partials`](Self::restore_partials) can
+    /// rebuild from.
+    fn snapshot_partials(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores aggregation state captured by
+    /// [`snapshot_partials`](Self::snapshot_partials) when a master resumes
+    /// from a checkpoint. The default accepts any bytes and restores
+    /// nothing.
+    fn restore_partials(&mut self, _bytes: &[u8]) -> Result<(), ExecError> {
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,60 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), implemented locally so the
+//! crate stays dependency-free. A 256-entry table is computed at compile
+//! time; the per-byte loop is the classic table-driven form — plenty for
+//! framing integrity checks (the WAL is not defending against an
+//! adversary, only against torn writes and bit rot).
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 checksum of `bytes` (IEEE polynomial, as used by zlib/PNG).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let base = crc32(b"hello world");
+        let mut bytes = b"hello world".to_vec();
+        for i in 0..bytes.len() {
+            bytes[i] ^= 1;
+            assert_ne!(crc32(&bytes), base, "flip at {i} undetected");
+            bytes[i] ^= 1;
+        }
+    }
+}

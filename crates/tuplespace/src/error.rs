@@ -23,6 +23,9 @@ pub enum SpaceError {
     EntryLocked,
     /// The event registration cookie is unknown.
     NoSuchRegistration,
+    /// A durability operation (journal, snapshot, recovery) failed at the
+    /// storage layer; the message carries the underlying I/O error.
+    Storage(String),
 }
 
 impl fmt::Display for SpaceError {
@@ -34,6 +37,7 @@ impl fmt::Display for SpaceError {
             SpaceError::LeaseExpired => write!(f, "lease has expired"),
             SpaceError::EntryLocked => write!(f, "entry is locked by a transaction"),
             SpaceError::NoSuchRegistration => write!(f, "no such event registration"),
+            SpaceError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

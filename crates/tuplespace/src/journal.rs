@@ -1,0 +1,343 @@
+//! The space's durability journal: the op-log record format and the
+//! [`SpaceJournal`] handle a durable [`crate::Space`] carries.
+//!
+//! Every state-changing operation that survived a crash must be derivable
+//! from `snapshot + WAL tail`, so the journal records exactly the committed
+//! mutations: plain writes, destructive takes, cancels, lease renewals and
+//! transaction commits (a transaction's ops hit the journal only at commit,
+//! as one atomic record). Expiry is *not* journaled — lease deadlines are
+//! recorded as absolute wall-clock times and recovery re-evaluates them, so
+//! an entry whose lease ran out while the process was down stays dead.
+//!
+//! Journaling failures are fail-stop: an operation that was acknowledged
+//! but not journaled would silently break the recovery contract, so a WAL
+//! I/O error panics instead of letting the space continue un-durably.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use acc_durability::{Wal, WalOptions, WalReplay};
+use parking_lot::Mutex;
+
+use crate::lease::Lease;
+use crate::payload::{Payload, PayloadError, WireReader, WireWriter};
+use crate::space::EntryId;
+use crate::tuple::Tuple;
+
+/// Current wall-clock time as milliseconds since the UNIX epoch.
+pub(crate) fn wall_now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis() as u64
+}
+
+/// Absolute wall-clock deadline (ms since epoch) a lease granted *now*
+/// expires at; `None` for forever. This is what goes into the journal — an
+/// absolute time survives the process, a monotonic `Instant` does not.
+pub(crate) fn wall_deadline(lease: &Lease) -> Option<u64> {
+    match lease {
+        Lease::Forever => None,
+        Lease::Duration(d) => Some(wall_now_ms().saturating_add(d.as_millis() as u64)),
+    }
+}
+
+/// Converts a live entry's monotonic expiry into an absolute wall-clock
+/// deadline for snapshotting.
+pub(crate) fn wall_from_instant(expires: Option<Instant>) -> Option<u64> {
+    expires.map(|e| {
+        let now = Instant::now();
+        let wall = wall_now_ms();
+        if e <= now {
+            wall
+        } else {
+            wall.saturating_add((e - now).as_millis() as u64)
+        }
+    })
+}
+
+/// Converts a journaled wall-clock deadline back into a monotonic expiry,
+/// relative to a consistent `(Instant, wall ms)` clock pair read once at
+/// recovery time. Returns `None` (meaning: already expired) for deadlines
+/// at or before `wall_now`.
+pub(crate) fn instant_from_wall(
+    deadline_ms: u64,
+    inst_now: Instant,
+    wall_now: u64,
+) -> Option<Instant> {
+    if deadline_ms <= wall_now {
+        None
+    } else {
+        Some(inst_now + Duration::from_millis(deadline_ms - wall_now))
+    }
+}
+
+fn put_deadline(w: &mut WireWriter, deadline_ms: Option<u64>) {
+    match deadline_ms {
+        Some(ms) => {
+            w.put_bool(true);
+            w.put_u64(ms);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_deadline(r: &mut WireReader) -> Result<Option<u64>, PayloadError> {
+    Ok(if r.get_bool()? {
+        Some(r.get_u64()?)
+    } else {
+        None
+    })
+}
+
+/// One journaled mutation. Deadlines are absolute wall-clock milliseconds
+/// since the UNIX epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Op {
+    /// A plain (non-transactional) write became visible.
+    Write {
+        id: EntryId,
+        deadline_ms: Option<u64>,
+        tuple: Tuple,
+    },
+    /// A plain take removed the entry.
+    Take { id: EntryId },
+    /// [`crate::Space::cancel`] removed the entry.
+    Cancel { id: EntryId },
+    /// [`crate::Space::renew_lease`] moved the entry's deadline.
+    Renew {
+        id: EntryId,
+        deadline_ms: Option<u64>,
+    },
+    /// A transaction committed: its pending writes became visible and its
+    /// take-locked entries were removed, atomically.
+    TxnCommit {
+        writes: Vec<(EntryId, Option<u64>, Tuple)>,
+        takes: Vec<EntryId>,
+    },
+}
+
+impl Payload for Op {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Op::Write {
+                id,
+                deadline_ms,
+                tuple,
+            } => {
+                w.put_u8(1);
+                w.put_u64(*id);
+                put_deadline(w, *deadline_ms);
+                tuple.encode(w);
+            }
+            Op::Take { id } => {
+                w.put_u8(2);
+                w.put_u64(*id);
+            }
+            Op::Cancel { id } => {
+                w.put_u8(3);
+                w.put_u64(*id);
+            }
+            Op::Renew { id, deadline_ms } => {
+                w.put_u8(4);
+                w.put_u64(*id);
+                put_deadline(w, *deadline_ms);
+            }
+            Op::TxnCommit { writes, takes } => {
+                w.put_u8(5);
+                w.put_u32(writes.len() as u32);
+                for (id, deadline_ms, tuple) in writes {
+                    w.put_u64(*id);
+                    put_deadline(w, *deadline_ms);
+                    tuple.encode(w);
+                }
+                w.put_u32(takes.len() as u32);
+                for id in takes {
+                    w.put_u64(*id);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        match r.get_u8()? {
+            1 => Ok(Op::Write {
+                id: r.get_u64()?,
+                deadline_ms: get_deadline(r)?,
+                tuple: Tuple::decode(r)?,
+            }),
+            2 => Ok(Op::Take { id: r.get_u64()? }),
+            3 => Ok(Op::Cancel { id: r.get_u64()? }),
+            4 => Ok(Op::Renew {
+                id: r.get_u64()?,
+                deadline_ms: get_deadline(r)?,
+            }),
+            5 => {
+                let nw = r.get_u32()? as usize;
+                if nw > 1 << 20 {
+                    return Err(PayloadError::Corrupt("txn write count"));
+                }
+                let mut writes = Vec::with_capacity(nw.min(1024));
+                for _ in 0..nw {
+                    let id = r.get_u64()?;
+                    let deadline_ms = get_deadline(r)?;
+                    writes.push((id, deadline_ms, Tuple::decode(r)?));
+                }
+                let nt = r.get_u32()? as usize;
+                if nt > 1 << 20 {
+                    return Err(PayloadError::Corrupt("txn take count"));
+                }
+                let mut takes = Vec::with_capacity(nt.min(1024));
+                for _ in 0..nt {
+                    takes.push(r.get_u64()?);
+                }
+                Ok(Op::TxnCommit { writes, takes })
+            }
+            _ => Err(PayloadError::Corrupt("op tag")),
+        }
+    }
+}
+
+/// The journal a durable space carries: a WAL plus the commit gate that
+/// keeps multi-shard transaction commits atomic with respect to snapshots.
+///
+/// Lock ordering: `commit_gate` is acquired *before* any shard lock (it
+/// brackets whole commit/checkpoint sequences); the WAL's internal mutex is
+/// a leaf acquired *under* shard locks (plain ops journal inside their
+/// shard-lock critical section).
+pub(crate) struct SpaceJournal {
+    wal: Wal,
+    dir: PathBuf,
+    /// Held by `finish_txn(commit)` across its journal-append *and* its
+    /// in-memory apply, and by `checkpoint` while it captures the cut LSN.
+    /// This guarantees the cut never lands between a commit record and its
+    /// application, so `snapshot + WAL[cut..]` always reproduces the state.
+    pub(crate) commit_gate: Mutex<()>,
+}
+
+impl SpaceJournal {
+    /// Opens (or creates) the journal in `dir`, truncating any torn tail.
+    pub(crate) fn open(dir: impl Into<PathBuf>, opts: WalOptions) -> io::Result<SpaceJournal> {
+        let dir = dir.into();
+        let wal = Wal::open(&dir, opts)?;
+        Ok(SpaceJournal {
+            wal,
+            dir,
+            commit_gate: Mutex::new(()),
+        })
+    }
+
+    /// Appends one op. Panics on I/O failure (fail-stop; see module docs).
+    pub(crate) fn append(&self, op: &Op) -> u64 {
+        self.wal
+            .append(&op.to_bytes())
+            .expect("WAL append failed; cannot acknowledge an un-journaled op")
+    }
+
+    /// Forces the WAL to stable storage regardless of sync policy.
+    pub(crate) fn sync(&self) -> io::Result<()> {
+        self.wal.sync()
+    }
+
+    /// The LSN the next journaled op will get.
+    pub(crate) fn next_lsn(&self) -> u64 {
+        self.wal.next_lsn()
+    }
+
+    /// Writes a snapshot covering everything below `cut_lsn`, then drops
+    /// the WAL segments the snapshot made redundant.
+    pub(crate) fn write_snapshot(&self, cut_lsn: u64, body: &[u8]) -> io::Result<()> {
+        acc_durability::write_snapshot(&self.dir, cut_lsn, body)?;
+        self.wal.compact(cut_lsn)?;
+        Ok(())
+    }
+
+    /// Loads the newest valid snapshot in `dir`, if any.
+    pub(crate) fn load_snapshot(dir: &Path) -> io::Result<Option<(u64, Vec<u8>)>> {
+        acc_durability::load_latest_snapshot(dir)
+    }
+
+    /// Replays the committed WAL records in `dir`.
+    pub(crate) fn replay(dir: &Path) -> io::Result<WalReplay> {
+        Wal::replay(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sample_tuple() -> Tuple {
+        Tuple::build("acc.task")
+            .field("id", 3i64)
+            .field("body", Value::Bytes(vec![1, 2, 3]))
+            .done()
+    }
+
+    #[test]
+    fn op_roundtrip_all_variants() {
+        let ops = [
+            Op::Write {
+                id: 7,
+                deadline_ms: Some(123_456),
+                tuple: sample_tuple(),
+            },
+            Op::Write {
+                id: 8,
+                deadline_ms: None,
+                tuple: sample_tuple(),
+            },
+            Op::Take { id: 9 },
+            Op::Cancel { id: 10 },
+            Op::Renew {
+                id: 11,
+                deadline_ms: Some(999),
+            },
+            Op::Renew {
+                id: 12,
+                deadline_ms: None,
+            },
+            Op::TxnCommit {
+                writes: vec![(13, None, sample_tuple()), (14, Some(42), sample_tuple())],
+                takes: vec![1, 2, 3],
+            },
+            Op::TxnCommit {
+                writes: vec![],
+                takes: vec![],
+            },
+        ];
+        for op in ops {
+            assert_eq!(Op::from_bytes(&op.to_bytes()).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(Op::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn wall_deadline_is_in_the_future() {
+        let before = wall_now_ms();
+        let dl = wall_deadline(&Lease::for_millis(10_000)).unwrap();
+        assert!(dl >= before + 10_000);
+        assert_eq!(wall_deadline(&Lease::Forever), None);
+    }
+
+    #[test]
+    fn instant_wall_conversions_roundtrip() {
+        let inst_now = Instant::now();
+        let wall_now = wall_now_ms();
+        // A deadline 5 s out survives the round trip within clock jitter.
+        let expires = Some(inst_now + Duration::from_secs(5));
+        let wall = wall_from_instant(expires).unwrap();
+        assert!(wall >= wall_now + 4_900 && wall <= wall_now + 5_200);
+        let back = instant_from_wall(wall, inst_now, wall_now).unwrap();
+        let d = back - inst_now;
+        assert!(d >= Duration::from_millis(4_900) && d <= Duration::from_millis(5_200));
+        // A deadline already past maps to "expired".
+        assert_eq!(instant_from_wall(wall_now, inst_now, wall_now), None);
+    }
+}

@@ -34,6 +34,7 @@
 mod codec;
 mod error;
 mod events;
+mod journal;
 mod lease;
 mod payload;
 pub mod remote;
@@ -45,6 +46,7 @@ mod tuple;
 mod txn;
 mod value;
 
+pub use acc_durability::{SyncPolicy, WalOptions};
 pub use error::{SpaceError, SpaceResult};
 pub use events::{EventCookie, SpaceEvent};
 pub use lease::{Lease, LeaseId};

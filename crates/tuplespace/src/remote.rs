@@ -32,7 +32,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -137,27 +137,35 @@ enum Response {
     Count(u64),
     Bool(bool),
     Unit,
-    Err(u8),
+    /// An error code plus a detail string (empty except for `Storage`).
+    Err(u8, String),
 }
 
-fn error_code(e: &SpaceError) -> u8 {
-    match e {
+fn error_encode(e: &SpaceError) -> Response {
+    let code = match e {
         SpaceError::Closed => 1,
         SpaceError::TxnInactive => 2,
         SpaceError::NoSuchEntry => 3,
         SpaceError::LeaseExpired => 4,
         SpaceError::NoSuchRegistration => 5,
         SpaceError::EntryLocked => 6,
-    }
+        SpaceError::Storage(_) => 7,
+    };
+    let detail = match e {
+        SpaceError::Storage(msg) => msg.clone(),
+        _ => String::new(),
+    };
+    Response::Err(code, detail)
 }
 
-fn error_from(code: u8) -> SpaceError {
+fn error_from(code: u8, detail: String) -> SpaceError {
     match code {
         1 => SpaceError::Closed,
         2 => SpaceError::TxnInactive,
         3 => SpaceError::NoSuchEntry,
         4 => SpaceError::LeaseExpired,
         6 => SpaceError::EntryLocked,
+        7 => SpaceError::Storage(detail),
         _ => SpaceError::NoSuchRegistration,
     }
 }
@@ -183,9 +191,10 @@ impl Payload for Response {
                 w.put_bool(*b);
             }
             Response::Unit => w.put_u8(6),
-            Response::Err(code) => {
+            Response::Err(code, detail) => {
                 w.put_u8(7);
                 w.put_u8(*code);
+                w.put_str(detail);
             }
         }
     }
@@ -198,7 +207,7 @@ impl Payload for Response {
             4 => Ok(Response::Count(r.get_u64()?)),
             5 => Ok(Response::Bool(r.get_bool()?)),
             6 => Ok(Response::Unit),
-            7 => Ok(Response::Err(r.get_u8()?)),
+            7 => Ok(Response::Err(r.get_u8()?, r.get_str()?)),
             _ => Err(PayloadError::Corrupt("response tag")),
         }
     }
@@ -226,6 +235,35 @@ fn read_frame_bytes(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(body)
 }
 
+/// Resource limits for a [`SpaceServer`]. Each accepted connection owns one
+/// service thread, so an unbounded accept loop lets one misbehaving client
+/// pool exhaust the server; these knobs bound both the thread count and how
+/// long a silent connection may pin its thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Max idle time between requests on a connection before it is dropped
+    /// (`None` = wait forever). Does not limit blocking `read`/`take`
+    /// service time — while those wait on the space, the socket is idle on
+    /// the *client's* side, not the server's.
+    pub read_timeout: Option<Duration>,
+    /// Max time a response write may block before the connection is
+    /// dropped (`None` = wait forever).
+    pub write_timeout: Option<Duration>,
+    /// Max concurrently served connections; connections accepted over this
+    /// limit are dropped immediately.
+    pub max_connections: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 128,
+        }
+    }
+}
+
 /// Serves one space over TCP loopback/network.
 #[derive(Debug)]
 pub struct SpaceServer {
@@ -236,21 +274,47 @@ pub struct SpaceServer {
 
 impl SpaceServer {
     /// Binds an ephemeral port on the given address (`"127.0.0.1:0"` for
-    /// loopback) and starts serving.
+    /// loopback) and starts serving with [`ServerOptions::default`].
     pub fn spawn(space: Arc<Space>, bind: &str) -> std::io::Result<SpaceServer> {
+        SpaceServer::spawn_with(space, bind, ServerOptions::default())
+    }
+
+    /// Like [`SpaceServer::spawn`] with explicit resource limits.
+    pub fn spawn_with(
+        space: Arc<Space>,
+        bind: &str,
+        opts: ServerOptions,
+    ) -> std::io::Result<SpaceServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
+        let active = Arc::new(AtomicUsize::new(0));
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(mut stream) = stream else { continue };
+                if active.fetch_add(1, Ordering::SeqCst) >= opts.max_connections {
+                    // Over the cap: release the slot and drop the socket.
+                    active.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
                 let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(opts.read_timeout);
+                let _ = stream.set_write_timeout(opts.write_timeout);
                 let space = space.clone();
+                let active = active.clone();
                 std::thread::spawn(move || {
+                    /// Releases the connection slot however the thread exits.
+                    struct Slot(Arc<AtomicUsize>);
+                    impl Drop for Slot {
+                        fn drop(&mut self) {
+                            self.0.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                    let _slot = Slot(active);
                     while let Ok(bytes) = read_frame_bytes(&mut stream) {
                         let Ok(request) = Request::from_bytes(&bytes) else {
                             break;
@@ -290,7 +354,7 @@ fn serve(space: &Arc<Space>, request: Request) -> Response {
     fn map<T>(result: SpaceResult<T>, ok: impl FnOnce(T) -> Response) -> Response {
         match result {
             Ok(v) => ok(v),
-            Err(e) => Response::Err(error_code(&e)),
+            Err(e) => error_encode(&e),
         }
     }
     match request {
@@ -346,7 +410,7 @@ impl RemoteSpace {
     fn expect_tuple(&self, request: Request) -> SpaceResult<Option<Tuple>> {
         match self.call(request)? {
             Response::MaybeTuple(t) => Ok(t),
-            Response::Err(code) => Err(error_from(code)),
+            Response::Err(code, detail) => Err(error_from(code, detail)),
             _ => Err(SpaceError::Closed),
         }
     }
@@ -360,7 +424,7 @@ impl TupleStore for RemoteSpace {
         };
         match self.call(Request::Write(tuple, lease_ms))? {
             Response::Id(id) => Ok(id),
-            Response::Err(code) => Err(error_from(code)),
+            Response::Err(code, detail) => Err(error_from(code, detail)),
             _ => Err(SpaceError::Closed),
         }
     }
@@ -382,7 +446,7 @@ impl TupleStore for RemoteSpace {
     fn count(&self, template: &Template) -> SpaceResult<usize> {
         match self.call(Request::Count(template.clone()))? {
             Response::Count(n) => Ok(n as usize),
-            Response::Err(code) => Err(error_from(code)),
+            Response::Err(code, detail) => Err(error_from(code, detail)),
             _ => Err(SpaceError::Closed),
         }
     }
@@ -436,7 +500,8 @@ mod tests {
             Response::Count(12),
             Response::Bool(true),
             Response::Unit,
-            Response::Err(1),
+            Response::Err(1, String::new()),
+            Response::Err(7, "disk full".into()),
         ];
         for r in responses {
             assert_eq!(Response::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -542,5 +607,93 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         // New requests fail as Closed.
         assert!(remote.write(tuple(1)).is_err());
+    }
+
+    #[test]
+    fn connection_cap_drops_excess_connections() {
+        let space = Space::new("capped");
+        let server = SpaceServer::spawn_with(
+            space,
+            "127.0.0.1:0",
+            ServerOptions {
+                max_connections: 1,
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let first = RemoteSpace::connect(server.addr()).unwrap();
+        // Prove the first connection holds the only slot.
+        first.write(tuple(1)).unwrap();
+        // The second connection is accepted at TCP level but dropped by the
+        // server before service; its first request fails.
+        let second = RemoteSpace::connect(server.addr()).unwrap();
+        assert_eq!(second.write(tuple(2)), Err(SpaceError::Closed));
+        // Releasing the first connection frees the slot for a new client.
+        drop(first);
+        let mut ok = false;
+        for _ in 0..50 {
+            std::thread::sleep(Duration::from_millis(10));
+            let third = RemoteSpace::connect(server.addr()).unwrap();
+            if third.write(tuple(3)).is_ok() {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "slot was never released");
+    }
+
+    #[test]
+    fn idle_connection_is_dropped_after_read_timeout() {
+        let space = Space::new("timed");
+        let server = SpaceServer::spawn_with(
+            space,
+            "127.0.0.1:0",
+            ServerOptions {
+                read_timeout: Some(Duration::from_millis(40)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let remote = RemoteSpace::connect(server.addr()).unwrap();
+        remote.write(tuple(1)).unwrap();
+        // Stay silent past the idle limit: the server hangs up on us.
+        std::thread::sleep(Duration::from_millis(250));
+        assert_eq!(remote.write(tuple(2)), Err(SpaceError::Closed));
+    }
+
+    #[test]
+    fn active_requests_survive_read_timeout() {
+        // The idle timeout bounds silence *between* requests; a blocking
+        // take that waits longer than the timeout must still be served.
+        let space = Space::new("busy");
+        let server = SpaceServer::spawn_with(
+            space.clone(),
+            "127.0.0.1:0",
+            ServerOptions {
+                read_timeout: Some(Duration::from_millis(40)),
+                ..ServerOptions::default()
+            },
+        )
+        .unwrap();
+        let remote = RemoteSpace::connect(server.addr()).unwrap();
+        let handle = std::thread::spawn(move || {
+            remote
+                .take(&Template::of_type("t"), Some(Duration::from_millis(400)))
+                .unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(200));
+        space.write(tuple(9)).unwrap();
+        assert_eq!(handle.join().unwrap().unwrap().get_int("id"), Some(9));
+    }
+
+    #[test]
+    fn storage_error_crosses_the_wire_with_its_message() {
+        let e = SpaceError::Storage("disk on fire".into());
+        let resp = error_encode(&e);
+        let decoded = Response::from_bytes(&resp.to_bytes()).unwrap();
+        let Response::Err(code, detail) = decoded else {
+            panic!("expected error response");
+        };
+        assert_eq!(error_from(code, detail), e);
     }
 }

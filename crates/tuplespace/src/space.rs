@@ -24,27 +24,37 @@
 //! To stay deadlock-free, locks are always acquired in this order (any
 //! prefix may be skipped, never reordered):
 //!
+//! 0. `SpaceJournal::commit_gate` (durable spaces only — brackets a whole
+//!    transaction commit or checkpoint scan)
 //! 1. `global` (wildcard waiters only — held across their shard scan)
 //! 2. `shards` (the shard-map RwLock, held only to look up/create a shard)
 //! 3. `Shard::state` (at most one shard at a time)
 //! 4. `txns`
 //! 5. `entry_index` (leaf)
 //!
+//! The WAL's internal mutex (inside `SpaceJournal::append`) is a further
+//! leaf: plain ops journal while holding their shard lock, and nothing is
+//! acquired under it.
+//!
 //! Writers and `finish_txn` notify the global condvar only *after*
 //! dropping every shard lock, so they never hold `Shard::state` while
 //! acquiring `global`.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use acc_durability::WalOptions;
 use acc_telemetry::Timed;
 use parking_lot::{Condvar, Mutex, MutexGuard, RwLock};
 
 use crate::error::{SpaceError, SpaceResult};
 use crate::events::{EventCookie, Listener, SpaceEvent};
+use crate::journal::{self, Op, SpaceJournal};
 use crate::lease::Lease;
+use crate::payload::{Payload, PayloadError, WireReader, WireWriter};
 use crate::stats::series;
 use crate::stats::{SpaceStats, StatsSnapshot};
 use crate::template::{Constraint, Template};
@@ -350,6 +360,10 @@ pub struct Space {
     /// without touching the registrations lock when nothing is registered.
     reg_count: AtomicUsize,
     stats: SpaceStats,
+    /// Set once by [`Space::durable`]; `None` means a plain in-memory
+    /// space. The `OnceLock::get` on every hot-path op is a single atomic
+    /// load, so the disabled-journal overhead is negligible.
+    journal: OnceLock<SpaceJournal>,
 }
 
 impl std::fmt::Debug for Space {
@@ -376,7 +390,13 @@ impl Space {
             registrations: Mutex::new(Arc::new(Vec::new())),
             reg_count: AtomicUsize::new(0),
             stats: SpaceStats::default(),
+            journal: OnceLock::new(),
         })
+    }
+
+    #[inline]
+    fn journal(&self) -> Option<&SpaceJournal> {
+        self.journal.get()
     }
 
     /// The space's name (used for federation registration).
@@ -505,6 +525,13 @@ impl Space {
                 let mut entry_index = self.entry_index.lock();
                 for i in indexes {
                     let id = base + i as u64 + 1;
+                    if let Some(j) = self.journal() {
+                        j.append(&Op::Write {
+                            id,
+                            deadline_ms: journal::wall_deadline(&lease),
+                            tuple: tuples[i].clone(),
+                        });
+                    }
                     let stored = Stored {
                         id,
                         tuple: tuples[i].clone(),
@@ -627,6 +654,12 @@ impl Space {
             Some(stored) if stored.expired(now) => true,
             Some(stored) => {
                 stored.expires = lease.deadline_from(now);
+                if let Some(j) = self.journal() {
+                    j.append(&Op::Renew {
+                        id,
+                        deadline_ms: journal::wall_deadline(&lease),
+                    });
+                }
                 false
             }
         };
@@ -663,6 +696,9 @@ impl Space {
                 Err(e)
             }
             Ok(()) => {
+                if let Some(j) = self.journal() {
+                    j.append(&Op::Cancel { id });
+                }
                 let stored = self.remove_entry(&mut state, id).expect("entry just found");
                 Ok(stored.tuple)
             }
@@ -897,6 +933,18 @@ impl Space {
                 }
                 None => LockState::Free,
             };
+            // Journal inside the shard-lock critical section, so WAL order
+            // agrees with apply order for ops touching the same entry.
+            // Transactional writes are journaled at commit, not here.
+            if txn.is_none() {
+                if let Some(j) = self.journal() {
+                    j.append(&Op::Write {
+                        id,
+                        deadline_ms: journal::wall_deadline(&lease),
+                        tuple: tuple.clone(),
+                    });
+                }
+            }
             let stored = Stored {
                 id,
                 tuple: tuple.clone(),
@@ -1217,6 +1265,9 @@ impl Space {
         let id = self.find_candidate(state, template, txn, destructive, now)?;
         if destructive {
             let Some(t) = txn else {
+                if let Some(j) = self.journal() {
+                    j.append(&Op::Take { id });
+                }
                 let stored = self.remove_entry(state, id).expect("candidate exists");
                 return Some(stored.tuple);
             };
@@ -1289,6 +1340,53 @@ impl Space {
         for (ty, e) in rec.reads {
             by_type.entry(ty).or_default().reads.push(e);
         }
+        // Durable spaces journal a commit as one atomic record, and hold
+        // the commit gate across both the append and the in-memory apply
+        // below — a checkpoint (which captures its cut LSN under the same
+        // gate) can therefore never land between the two. The entries are
+        // stable between the collect pass and the apply pass: they are
+        // locked by this transaction, so no other thread can remove them
+        // (an expired locked entry can be purged concurrently, but its
+        // journaled deadline is already past, so replay drops it again).
+        let _gate = if commit {
+            self.journal().map(|j| {
+                let gate = j.commit_gate.lock();
+                let mut writes = Vec::new();
+                let mut takes = Vec::new();
+                for (ty, ops) in &by_type {
+                    let Some(shard) = self.existing_shard(ty) else {
+                        continue;
+                    };
+                    let state = self.lock_shard(&shard);
+                    for e in &ops.writes {
+                        if let Some(s) = state.entries.get(e) {
+                            if s.lock == LockState::PendingWrite(id) {
+                                writes.push((
+                                    *e,
+                                    journal::wall_from_instant(s.expires),
+                                    s.tuple.clone(),
+                                ));
+                            }
+                        }
+                    }
+                    for e in &ops.takes {
+                        if let Some(s) = state.entries.get(e) {
+                            if s.lock == LockState::TakenBy(id) {
+                                takes.push(*e);
+                            }
+                        }
+                    }
+                }
+                if !writes.is_empty() || !takes.is_empty() {
+                    j.append(&Op::TxnCommit { writes, takes });
+                }
+                gate
+            })
+        } else {
+            // Aborts restore pre-transaction state, which the journal
+            // already reflects: nothing to record.
+            None
+        };
         let mut fire: Vec<Tuple> = Vec::new();
         let mut touched = Vec::with_capacity(by_type.len());
         for (ty, ops) in by_type {
@@ -1383,6 +1481,255 @@ impl Space {
         if dispatched > 0 {
             series().events_dispatched.add(dispatched);
         }
+    }
+}
+
+fn storage_err(e: std::io::Error) -> SpaceError {
+    SpaceError::Storage(e.to_string())
+}
+
+/// Encodes the snapshot body: the id counter plus every committed, live
+/// entry with its absolute wall-clock deadline.
+fn encode_snapshot_body(next_id: u64, entries: &[(EntryId, Option<u64>, Tuple)]) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u64(next_id);
+    w.put_u32(entries.len() as u32);
+    for (id, deadline_ms, tuple) in entries {
+        w.put_u64(*id);
+        match deadline_ms {
+            Some(ms) => {
+                w.put_bool(true);
+                w.put_u64(*ms);
+            }
+            None => w.put_bool(false),
+        }
+        tuple.encode(&mut w);
+    }
+    w.finish().to_vec()
+}
+
+type SnapshotEntries = Vec<(EntryId, Option<u64>, Tuple)>;
+
+fn decode_snapshot_body(body: &[u8]) -> Result<(u64, SnapshotEntries), PayloadError> {
+    let mut r = WireReader::new(bytes::Bytes::copy_from_slice(body));
+    let next_id = r.get_u64()?;
+    let n = r.get_u32()? as usize;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let id = r.get_u64()?;
+        let deadline_ms = if r.get_bool()? {
+            Some(r.get_u64()?)
+        } else {
+            None
+        };
+        entries.push((id, deadline_ms, Tuple::decode(&mut r)?));
+    }
+    if r.remaining() != 0 {
+        return Err(PayloadError::Corrupt("trailing snapshot bytes"));
+    }
+    Ok((next_id, entries))
+}
+
+/// Durability: journaling, checkpointing and crash recovery. See the
+/// `journal` module for the record format and `acc-durability` for the
+/// WAL/snapshot machinery.
+impl Space {
+    /// Opens a durable space backed by `dir`: recovers whatever state the
+    /// directory holds (snapshot plus committed WAL tail, exactly as a
+    /// crashed process left it) and journals every subsequent mutation.
+    ///
+    /// Recovery semantics:
+    ///
+    /// * a torn WAL tail (crash mid-append) is truncated, never fatal;
+    /// * entries whose lease deadline passed while the process was down are
+    ///   dropped, not resurrected (deadlines are journaled as absolute
+    ///   wall-clock times);
+    /// * uncommitted transactional writes vanish and take/read locks are
+    ///   released — a transaction either committed entirely or not at all.
+    pub fn durable(
+        name: impl Into<String>,
+        dir: impl AsRef<Path>,
+        opts: WalOptions,
+    ) -> SpaceResult<SpaceHandle> {
+        let dir = dir.as_ref();
+        // Opening the WAL first truncates any torn tail, so the replay
+        // below reads exactly the committed prefix.
+        let journal = SpaceJournal::open(dir, opts).map_err(storage_err)?;
+        let snapshot = SpaceJournal::load_snapshot(dir).map_err(storage_err)?;
+        let replay = SpaceJournal::replay(dir).map_err(storage_err)?;
+
+        let mut entries: BTreeMap<EntryId, (Option<u64>, Tuple)> = BTreeMap::new();
+        let mut max_id = 0u64;
+        let mut cut = 0u64;
+        if let Some((cut_lsn, body)) = snapshot {
+            cut = cut_lsn;
+            let (snap_next, snap_entries) = decode_snapshot_body(&body)
+                .map_err(|e| SpaceError::Storage(format!("snapshot: {e}")))?;
+            max_id = snap_next;
+            for (id, deadline_ms, tuple) in snap_entries {
+                entries.insert(id, (deadline_ms, tuple));
+            }
+        }
+        for rec in replay.records {
+            if rec.lsn < cut {
+                continue;
+            }
+            let op = Op::from_bytes(&rec.payload)
+                .map_err(|e| SpaceError::Storage(format!("wal record {}: {e}", rec.lsn)))?;
+            // Replay is idempotent per entry (insert-if-absent /
+            // remove-if-present): records at or past the cut may describe
+            // mutations the snapshot already observed.
+            match op {
+                Op::Write {
+                    id,
+                    deadline_ms,
+                    tuple,
+                } => {
+                    max_id = max_id.max(id);
+                    entries.entry(id).or_insert((deadline_ms, tuple));
+                }
+                Op::Take { id } | Op::Cancel { id } => {
+                    max_id = max_id.max(id);
+                    entries.remove(&id);
+                }
+                Op::Renew { id, deadline_ms } => {
+                    max_id = max_id.max(id);
+                    if let Some(slot) = entries.get_mut(&id) {
+                        slot.0 = deadline_ms;
+                    }
+                }
+                Op::TxnCommit { writes, takes } => {
+                    for (id, deadline_ms, tuple) in writes {
+                        max_id = max_id.max(id);
+                        entries.entry(id).or_insert((deadline_ms, tuple));
+                    }
+                    for id in takes {
+                        max_id = max_id.max(id);
+                        entries.remove(&id);
+                    }
+                }
+            }
+        }
+
+        let inst_now = Instant::now();
+        let wall_now = journal::wall_now_ms();
+        let mut restored = 0u64;
+        let mut expired_dropped = 0u64;
+        let space = Space::new(name);
+        for (id, (deadline_ms, tuple)) in entries {
+            max_id = max_id.max(id);
+            let expires = match deadline_ms {
+                None => None,
+                Some(ms) => match journal::instant_from_wall(ms, inst_now, wall_now) {
+                    // The lease ran out during the downtime: stay dead.
+                    None => {
+                        expired_dropped += 1;
+                        continue;
+                    }
+                    some => some,
+                },
+            };
+            let ty = tuple.type_name_arc();
+            let shard = space.shard_for(&ty);
+            {
+                let mut state = space.lock_shard(&shard);
+                state.entries.insert(
+                    id,
+                    Stored {
+                        id,
+                        tuple,
+                        expires,
+                        lock: LockState::Free,
+                    },
+                );
+                state.note_pending(id);
+                space.entry_index.lock().insert(id, ty);
+            }
+            restored += 1;
+        }
+        space.next_id.store(max_id, Ordering::Relaxed);
+        let r = acc_telemetry::registry();
+        r.counter("recovery.entries_restored").add(restored);
+        r.counter("recovery.expired_dropped").add(expired_dropped);
+        space
+            .journal
+            .set(journal)
+            .unwrap_or_else(|_| unreachable!("journal set once on a fresh space"));
+        Ok(space)
+    }
+
+    /// [`Space::durable`] with default WAL options and a generic name —
+    /// the one-argument "bring my space back" entry point.
+    pub fn recover(dir: impl AsRef<Path>) -> SpaceResult<SpaceHandle> {
+        Space::durable("recovered", dir, WalOptions::default())
+    }
+
+    /// True when this space journals its mutations to disk.
+    pub fn is_durable(&self) -> bool {
+        self.journal().is_some()
+    }
+
+    /// Writes a snapshot of the current committed state and compacts the
+    /// WAL segments it covers. Returns the snapshot's cut LSN. Fails with
+    /// [`SpaceError::Storage`] on a non-durable space.
+    ///
+    /// The snapshot contains every live committed entry (take/read locks
+    /// are recorded as free — an in-flight transaction that never commits
+    /// must leave no trace) and skips uncommitted pending writes; lease
+    /// deadlines are stored as absolute wall-clock times.
+    pub fn checkpoint(&self) -> SpaceResult<u64> {
+        let Some(j) = self.journal() else {
+            return Err(SpaceError::Storage(
+                "checkpoint on a space with no durability journal".into(),
+            ));
+        };
+        // The gate makes the cut LSN safe: no transaction commit can be
+        // between its journal append and its in-memory apply while we hold
+        // it, and plain ops append+apply atomically under their shard lock.
+        let _gate = j.commit_gate.lock();
+        let cut = j.next_lsn();
+        let now = Instant::now();
+        let mut entries: Vec<(EntryId, Option<u64>, Tuple)> = Vec::new();
+        for (_, shard) in self.all_shards() {
+            let state = self.lock_shard(&shard);
+            for s in state.entries.values() {
+                if s.expired(now) || matches!(s.lock, LockState::PendingWrite(_)) {
+                    continue;
+                }
+                entries.push((s.id, journal::wall_from_instant(s.expires), s.tuple.clone()));
+            }
+        }
+        let body = encode_snapshot_body(self.next_id.load(Ordering::Relaxed), &entries);
+        j.write_snapshot(cut, &body).map_err(storage_err)?;
+        Ok(cut)
+    }
+
+    /// Forces journaled ops to stable storage regardless of the configured
+    /// sync policy. No-op on a non-durable space.
+    pub fn flush_journal(&self) -> SpaceResult<()> {
+        match self.journal() {
+            Some(j) => j.sync().map_err(storage_err),
+            None => Ok(()),
+        }
+    }
+
+    /// Test/diagnostic view: every live, committed entry as `(id, tuple)`,
+    /// in id order. Used by the crash-recovery tests to compare a recovered
+    /// space against a live one.
+    #[doc(hidden)]
+    pub fn dump(&self) -> Vec<(EntryId, Tuple)> {
+        let now = Instant::now();
+        let mut out = Vec::new();
+        for (_, shard) in self.all_shards() {
+            let state = self.lock_shard(&shard);
+            for s in state.entries.values() {
+                if !s.expired(now) && s.visible_to_read(None) {
+                    out.push((s.id, s.tuple.clone()));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(id, _)| *id);
+        out
     }
 }
 
@@ -1985,6 +2332,167 @@ mod tests {
             .read_all(&Template::any_type().eq("x", 1i64).done())
             .unwrap();
         assert_eq!(all.len(), 2);
+    }
+
+    fn durable_dir(label: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("acc-space-{}-{label}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_space_recovers_writes_and_takes() {
+        let dir = durable_dir("roundtrip");
+        {
+            let s = Space::durable("d", &dir, WalOptions::default()).unwrap();
+            assert!(s.is_durable());
+            for i in 0..10 {
+                s.write(task(i)).unwrap();
+            }
+            for _ in 0..3 {
+                s.take_if_exists(&Template::of_type("task")).unwrap();
+            }
+            s.cancel(s.write(task(99)).unwrap()).unwrap();
+            // No clean shutdown: recovery must work from the raw files.
+        }
+        let r = Space::durable("d", &dir, WalOptions::default()).unwrap();
+        let ids: Vec<i64> = r
+            .dump()
+            .into_iter()
+            .map(|(_, t)| t.get_int("id").unwrap())
+            .collect();
+        assert_eq!(ids, vec![3, 4, 5, 6, 7, 8, 9]);
+        // FIFO order and id allocation continue where they left off.
+        let got = r.take_if_exists(&Template::of_type("task")).unwrap();
+        assert_eq!(got.unwrap().get_int("id"), Some(3));
+        let fresh = r.write(task(100)).unwrap();
+        assert!(fresh > 11, "recovered id counter must not reuse ids");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lease_expired_during_downtime_is_not_resurrected() {
+        let dir = durable_dir("lease");
+        {
+            let s = Space::durable("d", &dir, WalOptions::default()).unwrap();
+            s.write_leased(task(1), Lease::for_millis(30)).unwrap();
+            s.write(task(2)).unwrap();
+        }
+        // The lease runs out while no process has the space open.
+        thread::sleep(Duration::from_millis(60));
+        let r = Space::durable("d", &dir, WalOptions::default()).unwrap();
+        let ids: Vec<i64> = r
+            .dump()
+            .into_iter()
+            .map(|(_, t)| t.get_int("id").unwrap())
+            .collect();
+        assert_eq!(ids, vec![2], "expired entry must stay dead after replay");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renewed_lease_survives_recovery() {
+        let dir = durable_dir("renew");
+        {
+            let s = Space::durable("d", &dir, WalOptions::default()).unwrap();
+            let id = s.write_leased(task(1), Lease::for_millis(30)).unwrap();
+            s.renew_lease(id, Lease::for_millis(60_000)).unwrap();
+        }
+        thread::sleep(Duration::from_millis(60));
+        let r = Space::durable("d", &dir, WalOptions::default()).unwrap();
+        assert_eq!(r.dump().len(), 1, "renewal must be replayed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn committed_txn_survives_recovery_uncommitted_does_not() {
+        let dir = durable_dir("txn");
+        {
+            let s = Space::durable("d", &dir, WalOptions::default()).unwrap();
+            s.write(task(0)).unwrap();
+            let committed = s.txn().unwrap();
+            committed.write(task(1)).unwrap();
+            committed
+                .take_if_exists(&Template::build("task").eq("id", 0i64).done())
+                .unwrap()
+                .unwrap();
+            committed.commit().unwrap();
+            // This transaction is still open at "crash" time.
+            let open = s.txn().unwrap();
+            open.write(task(2)).unwrap();
+            std::mem::forget(open);
+        }
+        let r = Space::durable("d", &dir, WalOptions::default()).unwrap();
+        let ids: Vec<i64> = r
+            .dump()
+            .into_iter()
+            .map(|(_, t)| t.get_int("id").unwrap())
+            .collect();
+        assert_eq!(
+            ids,
+            vec![1],
+            "commit is atomic: its write landed, its take landed, \
+             and the uncommitted write vanished"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_uses_snapshot_plus_tail() {
+        let dir = durable_dir("ckpt");
+        {
+            let s = Space::durable("d", &dir, WalOptions::default()).unwrap();
+            for i in 0..20 {
+                s.write(task(i)).unwrap();
+            }
+            for _ in 0..5 {
+                s.take_if_exists(&Template::of_type("task")).unwrap();
+            }
+            let cut = s.checkpoint().unwrap();
+            assert_eq!(cut, 25);
+            // Ops after the checkpoint live only in the WAL tail.
+            s.write(task(100)).unwrap();
+            s.take_if_exists(&Template::of_type("task")).unwrap();
+        }
+        let r = Space::durable("d", &dir, WalOptions::default()).unwrap();
+        let ids: Vec<i64> = r
+            .dump()
+            .into_iter()
+            .map(|(_, t)| t.get_int("id").unwrap())
+            .collect();
+        let expected: Vec<i64> = (6..20).chain([100]).collect();
+        assert_eq!(ids, expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_on_plain_space_is_a_storage_error() {
+        let s = Space::new("plain");
+        assert!(!s.is_durable());
+        assert!(matches!(s.checkpoint(), Err(SpaceError::Storage(_))));
+        assert_eq!(s.flush_journal(), Ok(()));
+    }
+
+    #[test]
+    fn durable_batch_writes_recover_in_order() {
+        let dir = durable_dir("batch");
+        {
+            let s = Space::durable("d", &dir, WalOptions::default()).unwrap();
+            s.write_all((0..8).map(task).collect()).unwrap();
+        }
+        let r = Space::durable("d", &dir, WalOptions::default()).unwrap();
+        for i in 0..8 {
+            let got = r
+                .take_if_exists(&Template::of_type("task"))
+                .unwrap()
+                .unwrap();
+            assert_eq!(got.get_int("id"), Some(i));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! * [`sim`] — the deterministic discrete-event simulator that regenerates
 //!   the paper's figures;
 //! * [`telemetry`] — the workspace-wide metrics registry and structured
-//!   tracing facade every layer reports into.
+//!   tracing facade every layer reports into;
+//! * [`durability`] — the write-ahead log, snapshot, and crash-recovery
+//!   subsystem backing durable spaces and master checkpoints.
 //!
 //! See the repository README for a quickstart and `DESIGN.md` for the
 //! complete system inventory.
@@ -26,6 +28,7 @@
 pub use acc_apps as apps;
 pub use acc_cluster as cluster;
 pub use acc_core as framework;
+pub use acc_durability as durability;
 pub use acc_federation as federation;
 pub use acc_sim as sim;
 pub use acc_snmp as snmp;
