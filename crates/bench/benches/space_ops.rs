@@ -1,9 +1,18 @@
 //! Micro-benchmarks of the tuple space: the substrate every byte of the
 //! framework flows through.
+//!
+//! The flight recorder is installed for the whole run, as it is in any
+//! cluster deployment — these numbers are the space's hot-path cost with
+//! the observability plane live.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use acc_tuplespace::{Lease, Space, Template, Tuple};
+
+fn with_flight(c: &mut Criterion) {
+    acc_telemetry::flight::install();
+    let _ = c;
+}
 
 fn task_tuple(id: i64, payload_len: usize) -> Tuple {
     Tuple::build("acc.task")
@@ -186,6 +195,7 @@ criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
     targets =
+    with_flight,
     bench_write_take,
     bench_read,
     bench_template_match,

@@ -65,9 +65,67 @@ fn bench_recording(c: &mut Criterion) {
     group.finish();
 }
 
+/// Median per-iteration nanoseconds over `rounds` timed batches.
+fn median_ns(mut f: impl FnMut(), rounds: usize, per_round: u64) -> f64 {
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            for _ in 0..per_round {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / per_round as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// The flight recorder's cost contract, measured with the recorder
+/// actually installed. Registered after the disabled-path group so those
+/// benches still see a quiet process.
+fn bench_flight_recorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/flight");
+    acc_telemetry::flight::install();
+    group.bench_function("event_recorded", |b| {
+        b.iter(|| event!("bench.flight.event", task_id = 42u64));
+    });
+    group.bench_function("span_recorded", |b| {
+        b.iter(|| {
+            let _span = span!("bench.flight.span", task_id = 42u64);
+        });
+    });
+    group.finish();
+
+    // Budget asserts — only under `cargo bench` (the shim's test mode runs
+    // each body once, where a single timing sample would be meaningless).
+    if std::env::args().any(|a| a == "--bench") {
+        let with_flight = median_ns(
+            || event!("bench.flight.budget", task_id = 42u64),
+            25,
+            10_000,
+        );
+        assert!(
+            with_flight < 100.0,
+            "flight-recorded event! took {with_flight:.1} ns (budget 100 ns)"
+        );
+        acc_telemetry::flight::uninstall();
+        let disabled = median_ns(
+            || event!("bench.flight.budget", task_id = 42u64),
+            25,
+            10_000,
+        );
+        assert!(
+            disabled < 15.0,
+            "disabled event! took {disabled:.1} ns (budget 15 ns)"
+        );
+        println!("flight budget: recorded {with_flight:.1} ns, disabled {disabled:.1} ns");
+    }
+    acc_telemetry::flight::uninstall();
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_disabled_tracing, bench_recording
+    targets = bench_disabled_tracing, bench_recording, bench_flight_recorder
 );
 criterion_main!(benches);

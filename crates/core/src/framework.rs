@@ -28,6 +28,7 @@ use crate::worker::{WorkerConfig, WorkerRuntime};
 pub struct ClusterBuilder {
     config: FrameworkConfig,
     space_name: String,
+    observe: Option<String>,
 }
 
 impl ClusterBuilder {
@@ -36,12 +37,23 @@ impl ClusterBuilder {
         ClusterBuilder {
             config,
             space_name: "JavaSpaces".into(),
+            observe: None,
         }
     }
 
     /// Names the hosted space service.
     pub fn space_name(mut self, name: impl Into<String>) -> ClusterBuilder {
         self.space_name = name.into();
+        self
+    }
+
+    /// Binds the observability endpoint (`/metrics`, `/metrics.json`,
+    /// `/healthz`, `/spans`) on the given address, e.g. `"127.0.0.1:9137"`
+    /// or `"127.0.0.1:0"` for an ephemeral port. Without this call the
+    /// endpoint can still be requested via the `ACC_OBSERVE` environment
+    /// variable.
+    pub fn observe(mut self, bind: impl Into<String>) -> ClusterBuilder {
+        self.observe = Some(bind.into());
         self
     }
 
@@ -54,6 +66,12 @@ impl ClusterBuilder {
         // and honor `ACC_TRACE` for a stderr trace subscriber.
         acc_telemetry::set_timing(true);
         acc_telemetry::init_from_env();
+        // The flight recorder is always on under cluster management: a
+        // bounded per-thread ring whose contents surface in `/spans` and in
+        // `flight-<pid>.json` should the process panic.
+        acc_telemetry::flight::install();
+        acc_telemetry::flight::install_panic_hook();
+        acc_telemetry::refresh_process_series();
         let epoch = Instant::now();
         let bus = DiscoveryBus::new();
         let lookup = LookupService::new("lus-0");
@@ -73,6 +91,18 @@ impl ClusterBuilder {
         let bundle_server =
             BundleServer::new(self.config.class_load_base, self.config.class_load_per_kb);
         let monitor = MonitoringAgent::new(self.config.clone(), epoch);
+        let observer = self
+            .observe
+            .or_else(|| std::env::var("ACC_OBSERVE").ok().filter(|v| !v.is_empty()))
+            .and_then(|bind| {
+                match spawn_observer(&bind, space.clone(), monitor.clone(), &self.config) {
+                    Ok(server) => Some(server),
+                    Err(e) => {
+                        eprintln!("acc: observability endpoint on {bind} failed: {e}");
+                        None
+                    }
+                }
+            });
         AdaptiveCluster {
             config: self.config,
             epoch,
@@ -89,8 +119,47 @@ impl ClusterBuilder {
             workers: Vec::new(),
             sampler: None,
             space_server: None,
+            observer,
         }
     }
+}
+
+/// Mounts the scrape/health endpoint for a cluster: `/healthz` reports
+/// whether the space is open, the WAL flushes, and — once workers are
+/// watched — how stale the newest monitor sample is.
+fn spawn_observer(
+    bind: &str,
+    space: SpaceHandle,
+    monitor: Arc<MonitoringAgent>,
+    config: &FrameworkConfig,
+) -> std::io::Result<acc_telemetry::HttpServer> {
+    let health = acc_telemetry::HealthChecks::new();
+    let space_for_check = space.clone();
+    health.register("space", move || {
+        if space_for_check.is_closed() {
+            Err("space closed".into())
+        } else {
+            Ok(format!("space '{}' open", space_for_check.name()))
+        }
+    });
+    health.register("wal", move || match space.flush_journal() {
+        Ok(()) => Ok("journal flushes (or space is non-durable)".into()),
+        Err(e) => Err(format!("journal flush failed: {e}")),
+    });
+    // A worker heartbeat is stale when the monitor has gone many poll
+    // intervals without a sample (capped so sub-millisecond test intervals
+    // don't flap).
+    let stale_after = (config.poll_interval * 10).max(Duration::from_secs(2));
+    health.register("workers", move || match monitor.heartbeat_age() {
+        None => Ok("no workers watched".into()),
+        Some(age) if age <= stale_after => Ok(format!("last sample {} ms ago", age.as_millis())),
+        Some(age) => Err(format!(
+            "no sample for {} ms (stale after {} ms)",
+            age.as_millis(),
+            stale_after.as_millis()
+        )),
+    });
+    acc_telemetry::serve(bind, health)
 }
 
 /// A worker node under cluster management.
@@ -145,6 +214,7 @@ pub struct AdaptiveCluster {
     workers: Vec<ManagedWorker>,
     sampler: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
     space_server: Option<SpaceServer>,
+    observer: Option<acc_telemetry::HttpServer>,
 }
 
 impl std::fmt::Debug for AdaptiveCluster {
@@ -175,6 +245,12 @@ impl AdaptiveCluster {
     /// The network management module.
     pub fn monitor(&self) -> Arc<MonitoringAgent> {
         self.monitor.clone()
+    }
+
+    /// Where the observability endpoint is listening, if one was requested
+    /// via [`ClusterBuilder::observe`] or `ACC_OBSERVE`.
+    pub fn observe_addr(&self) -> Option<std::net::SocketAddr> {
+        self.observer.as_ref().map(|s| s.addr())
     }
 
     /// Installs an application: publishes its code bundle on the bundle
@@ -471,5 +547,46 @@ mod tests {
     fn add_worker_requires_install() {
         let mut cluster = ClusterBuilder::new(fast_config()).build();
         cluster.add_worker(NodeSpec::new("w", 800, 256));
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn observe_endpoint_serves_cluster_health() {
+        let mut cluster = ClusterBuilder::new(fast_config())
+            .observe("127.0.0.1:0")
+            .build();
+        let addr = cluster.observe_addr().expect("observer mounted");
+        let health = http_get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "got: {health}");
+        assert!(health.contains("no workers watched"), "got: {health}");
+        let metrics = http_get(addr, "/metrics");
+        assert!(
+            metrics.contains("process.uptime_seconds"),
+            "got: {metrics:.300}"
+        );
+        // With a worker watched, the heartbeat check reports sample age.
+        let mut app = SumSquares { n: 1, total: 0 };
+        cluster.install(&app);
+        cluster.add_worker(NodeSpec::new("w0", 800, 256));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let health = http_get(addr, "/healthz");
+            if health.contains("last sample") {
+                break;
+            }
+            assert!(Instant::now() < deadline, "no heartbeat: {health}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let report = cluster.run(&mut app);
+        assert!(report.complete);
+        cluster.shutdown();
     }
 }

@@ -62,6 +62,10 @@ impl Master {
     /// [`crate::AdaptiveCluster`] does) or drain the job's entries first.
     pub fn run(&self, app: &mut dyn Application) -> Result<RunReport, SpaceError> {
         let job = app.job_name();
+        // The run's root span: every task tuple written during planning
+        // carries this trace context, so worker spans — possibly in other
+        // processes — assemble under it.
+        let _dispatch = span!("master.dispatch", job = job.as_str());
         let run_start = Instant::now();
         let mut times = PhaseTimes::default();
 
@@ -171,6 +175,7 @@ impl Master {
         every: usize,
     ) -> Result<RunReport, SpaceError> {
         let job = app.job_name();
+        let _dispatch = span!("master.dispatch", job = job.as_str());
         let run_start = Instant::now();
         let mut times = PhaseTimes::default();
         let every = every.max(1);

@@ -10,8 +10,9 @@
 //! inference engine decides on their difference — the *external* load — so
 //! the framework never reacts to its own computation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use acc_snmp::{oids, Session, SnmpValue};
 use acc_telemetry::event;
@@ -52,6 +53,9 @@ pub struct MonitoringAgent {
     rulebase: Arc<RuleBaseServer>,
     decisions: Arc<Mutex<Vec<DecisionLogEntry>>>,
     watchers: Mutex<Vec<Watcher>>,
+    // Milliseconds-since-epoch of the newest sample, plus one so a sample
+    // in the epoch's first millisecond is distinguishable from "never".
+    last_sample_ms: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for MonitoringAgent {
@@ -82,7 +86,30 @@ impl MonitoringAgent {
             rulebase,
             decisions: Arc::new(Mutex::new(Vec::new())),
             watchers: Mutex::new(Vec::new()),
+            last_sample_ms: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// How long ago the newest worker sample arrived — the health signal
+    /// the `/healthz` endpoint exposes. `None` while no watcher is running
+    /// (a master-only deployment is not unhealthy, just unwatched).
+    pub fn heartbeat_age(&self) -> Option<Duration> {
+        if self.watchers.lock().is_empty() {
+            return None;
+        }
+        let stamp = self.last_sample_ms.load(Ordering::Relaxed);
+        let elapsed = self.epoch.elapsed().as_millis() as u64;
+        // Stamp 0 means no sample yet: the full elapsed time has passed.
+        Some(Duration::from_millis(
+            elapsed.saturating_sub(stamp.saturating_sub(1)),
+        ))
+    }
+
+    fn mark_sample(&self) {
+        self.last_sample_ms.store(
+            self.epoch.elapsed().as_millis() as u64 + 1,
+            Ordering::Relaxed,
+        );
     }
 
     /// The rule-base server workers register with.
@@ -120,6 +147,7 @@ impl MonitoringAgent {
                     let external = total.saturating_sub(framework);
                     let signal = agent.engine.lock().on_sample(id, external);
                     series().monitor_samples.inc();
+                    agent.mark_sample();
                     if let Some(sig) = signal {
                         series().monitor_signals.inc();
                         event!(
@@ -182,6 +210,7 @@ impl MonitoringAgent {
                     };
                     let signal = agent.engine.lock().on_sample(id, external);
                     series().monitor_samples.inc();
+                    agent.mark_sample();
                     if let Some(sig) = signal {
                         series().monitor_signals.inc();
                         event!(
@@ -281,9 +310,13 @@ mod tests {
         rb.accept(server_side, Duration::from_secs(2)).unwrap();
         let (client, id) = reg.join().unwrap().unwrap();
 
+        // Nothing watched yet: no heartbeat to age.
+        assert_eq!(monitor.heartbeat_age(), None);
         monitor.watch(id, session);
         // Idle → Start.
         let msg = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        // A signal implies a sample arrived; the heartbeat must be fresh.
+        assert!(monitor.heartbeat_age().unwrap() < Duration::from_secs(5));
         assert_eq!(
             msg,
             RuleMessage::Signal {

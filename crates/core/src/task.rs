@@ -14,6 +14,20 @@ use acc_tuplespace::{Payload, PayloadError, Template, Tuple};
 pub const TASK_TYPE: &str = "acc.task";
 /// Tuple type for result entries.
 pub const RESULT_TYPE: &str = "acc.result";
+/// Field carrying a serialized [`acc_telemetry::TraceContext`] on task and
+/// result tuples. The wire envelope only links one request to its reply;
+/// the master→worker hop happens through the space (the worker's `take` is
+/// its own request), so the context has to ride the tuple itself.
+pub const TRACE_FIELD: &str = "tctx";
+
+/// Extracts the distributed trace context a tuple carries, if any.
+pub fn tuple_trace_context(tuple: &Tuple) -> Option<acc_telemetry::TraceContext> {
+    acc_telemetry::TraceContext::from_bytes(tuple.get_bytes(TRACE_FIELD)?)
+}
+
+fn current_trace_bytes() -> Option<Vec<u8>> {
+    acc_telemetry::TraceContext::current_if_enabled().map(|ctx| ctx.to_bytes().to_vec())
+}
 
 /// A unit of work produced during task planning.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,14 +72,19 @@ impl TaskEntry {
         }
     }
 
-    /// Serializes into a space tuple.
+    /// Serializes into a space tuple. When tracing is active the current
+    /// [`acc_telemetry::TraceContext`] rides along as a `tctx` field so the
+    /// worker that takes this task can join the master's trace.
     pub fn to_tuple(&self) -> Tuple {
-        Tuple::build(TASK_TYPE)
+        let mut builder = Tuple::build(TASK_TYPE)
             .field("job", self.job.as_str())
             .field("task_id", self.task_id as i64)
             .field("payload", self.payload.clone())
-            .field("retries", self.retries as i64)
-            .done()
+            .field("retries", self.retries as i64);
+        if let Some(ctx) = current_trace_bytes() {
+            builder = builder.field(TRACE_FIELD, ctx);
+        }
+        builder.done()
     }
 
     /// Deserializes from a space tuple.
@@ -121,6 +140,9 @@ impl ResultEntry {
             .field("span_ms", self.span_ms);
         if let Some(error) = &self.error {
             builder = builder.field("error", error.as_str());
+        }
+        if let Some(ctx) = current_trace_bytes() {
+            builder = builder.field(TRACE_FIELD, ctx);
         }
         builder.done()
     }
@@ -288,6 +310,28 @@ mod tests {
         r.error = Some("exhausted retries".into());
         r.payload = vec![];
         assert_eq!(ResultEntry::from_tuple(&r.to_tuple()), Some(r));
+    }
+
+    #[test]
+    fn tuple_trace_context_extraction() {
+        // No tracing active in tests: to_tuple adds no context field.
+        assert_eq!(tuple_trace_context(&task().to_tuple()), None);
+        // A tuple carrying one yields it back.
+        let ctx = acc_telemetry::TraceContext {
+            trace_id: 0x1122,
+            span_id: 0x3344,
+        };
+        let tuple = Tuple::build(TASK_TYPE)
+            .field("job", "render")
+            .field("task_id", 5i64)
+            .field("payload", vec![1u8])
+            .field("retries", 0i64)
+            .field(TRACE_FIELD, ctx.to_bytes().to_vec())
+            .done();
+        assert_eq!(tuple_trace_context(&tuple), Some(ctx));
+        // The extra field does not confuse entry deserialization.
+        let entry = TaskEntry::from_tuple(&tuple).unwrap();
+        assert_eq!(entry.task_id, 5);
     }
 
     #[test]

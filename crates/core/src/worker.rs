@@ -228,6 +228,12 @@ fn worker_loop(ls: LoopState) {
                         if first_access.is_none() {
                             first_access = Some(Instant::now());
                         }
+                        // Adopt the master's trace context from the task
+                        // tuple (if present) before opening any spans, so
+                        // worker.task/worker.compute — and the result tuple
+                        // written below — join the master's trace.
+                        let _trace_ctx = crate::task::tuple_trace_context(&tuple)
+                            .map(acc_telemetry::TraceContext::attach);
                         let _task_span = span!(
                             "worker.task",
                             worker = ls.config.name.as_str(),

@@ -41,11 +41,16 @@ impl Agent {
 
     /// Handles one decoded request message.
     pub fn handle(&self, msg: Message) -> Result<Message, SnmpError> {
-        if msg.community != self.community {
+        let (base, ctx) = crate::pdu::split_community(&msg.community);
+        if base != self.community {
             // Real agents silently drop bad-community packets; we surface an
             // error so callers can diagnose misconfiguration.
             return Err(SnmpError::BadCommunity);
         }
+        // Adopt the manager's trace context (if it sent one) so the agent's
+        // spans join the manager's distributed trace.
+        let _ctx = ctx.map(acc_telemetry::TraceContext::attach);
+        let _span = acc_telemetry::span!("snmp.agent.handle");
         let pdu = match msg.pdu_type {
             PduType::Get => self.serve_get(msg.pdu),
             PduType::GetNext => self.serve_get_next(msg.pdu),
@@ -185,6 +190,35 @@ mod tests {
             pdu: Pdu::request(1, &[oids::sys_descr()]),
         };
         assert_eq!(a.handle(msg), Err(SnmpError::BadCommunity));
+    }
+
+    #[test]
+    fn context_suffixed_community_accepted_and_echoed() {
+        let a = agent();
+        let ctx = acc_telemetry::TraceContext {
+            trace_id: 0xdead,
+            span_id: 0xbeef,
+        };
+        let community = crate::pdu::community_with_context("public", &ctx);
+        let msg = Message {
+            version: VERSION_2C,
+            community: community.clone(),
+            pdu_type: PduType::Get,
+            pdu: Pdu::request(9, &[oids::hr_memory_size()]),
+        };
+        let resp = a.handle(msg).unwrap();
+        // The response echoes the community exactly as received, context
+        // suffix included, so the manager's own check also passes.
+        assert_eq!(resp.community, community);
+        assert_eq!(resp.pdu.varbinds[0].1, SnmpValue::Int(65536));
+        // A context suffix does not let a wrong community through.
+        let bad = Message {
+            version: VERSION_2C,
+            community: crate::pdu::community_with_context("private", &ctx),
+            pdu_type: PduType::Get,
+            pdu: Pdu::request(9, &[oids::hr_memory_size()]),
+        };
+        assert_eq!(a.handle(bad), Err(SnmpError::BadCommunity));
     }
 
     #[test]

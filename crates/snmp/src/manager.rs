@@ -101,10 +101,17 @@ impl Session {
     }
 
     fn exchange_inner(&self, pdu_type: PduType, pdu: Pdu) -> Result<Pdu, SnmpError> {
+        let _span = acc_telemetry::span!("snmp.request");
         let request_id = pdu.request_id;
+        // SNMPv2c has no extension header, so the trace context rides as a
+        // suffix on the community string (see `community_with_context`).
+        let community = match acc_telemetry::TraceContext::current_if_enabled() {
+            Some(ctx) => crate::pdu::community_with_context(&self.community, &ctx),
+            None => self.community.clone(),
+        };
         let msg = Message {
             version: VERSION_2C,
-            community: self.community.clone(),
+            community,
             pdu_type,
             pdu,
         };

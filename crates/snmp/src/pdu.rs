@@ -222,6 +222,33 @@ impl fmt::Display for SnmpError {
 
 impl std::error::Error for SnmpError {}
 
+/// Separator between the community string proper and an appended trace
+/// context in [`community_with_context`].
+pub const CONTEXT_SEP: &str = "@@";
+
+/// Appends a distributed trace context to a community string:
+/// `"<community>@@<trace_hex>:<span_hex>"`. SNMPv2c has no other
+/// extensible per-message field, and agents that don't understand the
+/// suffix reject the whole string — exactly the
+/// fail-closed behaviour a community check should have.
+pub fn community_with_context(community: &str, ctx: &acc_telemetry::TraceContext) -> String {
+    format!("{community}{CONTEXT_SEP}{}", ctx.encode())
+}
+
+/// Splits a possibly context-carrying community string back into the
+/// community proper and the trace context, if a well-formed one is
+/// appended. A suffix that does not parse as a context is treated as
+/// part of the community (so a community that legitimately contains
+/// `@@` still compares correctly when no context was added).
+pub fn split_community(full: &str) -> (&str, Option<acc_telemetry::TraceContext>) {
+    if let Some((base, suffix)) = full.rsplit_once(CONTEXT_SEP) {
+        if let Some(ctx) = acc_telemetry::TraceContext::parse(suffix) {
+            return (base, Some(ctx));
+        }
+    }
+    (full, None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +296,25 @@ mod tests {
         let pdu = Pdu::request(7, std::slice::from_ref(&oid));
         assert_eq!(pdu.request_id, 7);
         assert_eq!(pdu.varbinds, vec![(oid, SnmpValue::Null)]);
+    }
+
+    #[test]
+    fn community_context_roundtrips() {
+        let ctx = acc_telemetry::TraceContext {
+            trace_id: 0xabc123,
+            span_id: 0x77,
+        };
+        let full = community_with_context("public", &ctx);
+        assert_eq!(full, "public@@abc123:77");
+        assert_eq!(split_community(&full), ("public", Some(ctx)));
+        // No context appended: the whole string is the community.
+        assert_eq!(split_community("public"), ("public", None));
+        // A community that happens to contain the separator but no valid
+        // context stays intact.
+        assert_eq!(split_community("we@@ird"), ("we@@ird", None));
+        // And one that contains the separator AND carries a context
+        // splits at the last separator only.
+        let tricky = community_with_context("we@@ird", &ctx);
+        assert_eq!(split_community(&tricky), ("we@@ird", Some(ctx)));
     }
 }

@@ -1,0 +1,330 @@
+//! The flight recorder: an always-on, bounded, lock-light ring of the
+//! last N trace records per thread, cheap enough to leave installed in
+//! production.
+//!
+//! Unlike the test-only [`RingBufferSubscriber`](crate::RingBufferSubscriber)
+//! — one global ring behind one mutex — the flight recorder keeps one
+//! ring *per thread*, reached through a thread-local handle, so recording
+//! takes an uncontended lock and never blocks on other threads. The
+//! point is crash forensics: a worker that dies mid-task leaves its last
+//! seconds of spans readable, either on demand (the `/spans` endpoint
+//! calls [`dump_json`]) or post-mortem (the panic hook installed by
+//! [`install_panic_hook`] writes `flight-<pid>.json`).
+//!
+//! Rings are bounded; when one overflows the oldest record is dropped and
+//! the `telemetry.flight.dropped_events` counter is bumped, so loss is
+//! visible rather than silent.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::registry::{json_escape, registry};
+use crate::trace::{FieldValue, TraceEvent, TraceKind};
+
+/// Records retained per thread before the oldest is dropped.
+pub const DEFAULT_CAPACITY: usize = 2048;
+
+/// One retained trace record, stamped with its capture time.
+#[derive(Debug, Clone)]
+pub struct FlightRecord {
+    /// The record itself (ids, kind, name, fields, depth).
+    pub event: TraceEvent,
+    /// Microseconds since the recorder was installed.
+    pub t_us: u64,
+}
+
+/// A thread's ring. Leaked on first record from that thread — rings must
+/// outlive their thread (the panic hook dumps them post-mortem), there is
+/// exactly one per thread ever, and a `&'static` keeps the hot path free
+/// of `Arc` reference-count traffic.
+type Ring = &'static Mutex<VecDeque<FlightRecord>>;
+
+struct ThreadRing {
+    label: String,
+    ring: Ring,
+}
+
+struct Recorder {
+    epoch: Instant,
+    capacity: usize,
+    /// Every thread's ring, appended on first record from that thread.
+    /// Locked only to register a thread or to dump.
+    threads: Mutex<Vec<ThreadRing>>,
+    /// `telemetry.flight.dropped_events`, resolved once — a full ring hits
+    /// the overflow branch on every record, which must not pay a registry
+    /// lookup each time.
+    dropped: std::sync::Arc<crate::Counter>,
+}
+
+static RECORDER: OnceLock<Recorder> = OnceLock::new();
+static FLIGHT_ON: AtomicBool = AtomicBool::new(false);
+static THREAD_SEQ: AtomicUsize = AtomicUsize::new(0);
+static DUMP_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static PANIC_HOOK: OnceLock<()> = OnceLock::new();
+
+thread_local! {
+    static MY_RING: Cell<Option<Ring>> = const { Cell::new(None) };
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Turns the flight recorder on (idempotent). From here on every span
+/// enter/exit and event is retained in the calling thread's ring — and
+/// [`crate::trace::enabled`] reports true, so instrumented code starts
+/// building fields.
+pub fn install() {
+    RECORDER.get_or_init(|| Recorder {
+        epoch: Instant::now(),
+        capacity: DEFAULT_CAPACITY,
+        threads: Mutex::new(Vec::new()),
+        dropped: registry().counter("telemetry.flight.dropped_events"),
+    });
+    FLIGHT_ON.store(true, Ordering::Release);
+    crate::trace::set_flight_active(true);
+}
+
+/// True while the recorder is on.
+pub fn installed() -> bool {
+    FLIGHT_ON.load(Ordering::Relaxed)
+}
+
+/// Turns the recorder off. Retained records stay dumpable until
+/// [`clear`].
+pub fn uninstall() {
+    crate::trace::set_flight_active(false);
+    FLIGHT_ON.store(false, Ordering::Release);
+}
+
+/// Empties every thread's ring (records, not registrations).
+pub fn clear() {
+    if let Some(rec) = RECORDER.get() {
+        for t in lock(&rec.threads).iter() {
+            lock(t.ring).clear();
+        }
+    }
+}
+
+/// First record from a thread: leak its ring and register it for dumps.
+#[cold]
+fn register_ring(rec: &Recorder) -> Ring {
+    let ring: Ring = Box::leak(Box::new(Mutex::new(VecDeque::with_capacity(64))));
+    let label = std::thread::current()
+        .name()
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("thread-{}", THREAD_SEQ.fetch_add(1, Ordering::Relaxed)));
+    lock(&rec.threads).push(ThreadRing { label, ring });
+    ring
+}
+
+/// Appends one record to the calling thread's ring. Called by the trace
+/// dispatcher with ownership of the event — the common path takes one
+/// uncontended mutex and does no allocation beyond ring growth.
+pub(crate) fn record(event: TraceEvent) {
+    if !FLIGHT_ON.load(Ordering::Relaxed) {
+        return;
+    }
+    let Some(rec) = RECORDER.get() else {
+        return;
+    };
+    let t_us = rec.epoch.elapsed().as_micros() as u64;
+    let ring = MY_RING.with(|cell| match cell.get() {
+        Some(r) => r,
+        None => {
+            let r = register_ring(rec);
+            cell.set(Some(r));
+            r
+        }
+    });
+    let mut buf = lock(ring);
+    if buf.len() >= rec.capacity {
+        buf.pop_front();
+        rec.dropped.inc();
+    }
+    buf.push_back(FlightRecord { event, t_us });
+}
+
+/// Serializes every thread's ring as JSON. The format is deliberately
+/// line-oriented — one event object per line — so
+/// [`TraceAssembler::add_flight_json`](crate::context::TraceAssembler::add_flight_json)
+/// can parse it without a general JSON parser, and a truncated file
+/// (crash mid-write) still yields every complete line. Ids are hex
+/// strings to dodge 64-bit precision loss in consumers that read JSON
+/// numbers as doubles.
+pub fn dump_json() -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("\"pid\":{},\n", std::process::id()));
+    out.push_str(&format!(
+        "\"dropped\":{},\n",
+        registry().counter("telemetry.flight.dropped_events").get()
+    ));
+    out.push_str("\"threads\":[\n");
+    if let Some(rec) = RECORDER.get() {
+        let threads = lock(&rec.threads);
+        for (ti, t) in threads.iter().enumerate() {
+            out.push_str(&format!("{{\"thread\":\"{}\",\n", json_escape(&t.label)));
+            out.push_str("\"events\":[\n");
+            let buf = lock(t.ring);
+            for (ei, r) in buf.iter().enumerate() {
+                write_record(&mut out, r);
+                out.push_str(if ei + 1 < buf.len() { ",\n" } else { "\n" });
+            }
+            out.push_str("]}");
+            out.push_str(if ti + 1 < threads.len() { ",\n" } else { "\n" });
+        }
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn write_record(out: &mut String, r: &FlightRecord) {
+    let e = &r.event;
+    let (kind, elapsed) = match e.kind {
+        TraceKind::SpanEnter => ("enter", None),
+        TraceKind::SpanExit { elapsed_us } => ("exit", Some(elapsed_us)),
+        TraceKind::Event => ("event", None),
+    };
+    out.push_str(&format!(
+        "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"trace\":\"{:x}\",\"span\":\"{:x}\",\"parent\":\"{:x}\",\"depth\":{},\"t_us\":{}",
+        json_escape(e.name),
+        e.trace_id,
+        e.span_id,
+        e.parent_span_id,
+        e.depth,
+        r.t_us,
+    ));
+    if let Some(us) = elapsed {
+        out.push_str(&format!(",\"elapsed_us\":{us}"));
+    }
+    if !e.fields.is_empty() {
+        out.push_str(",\"fields\":{");
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rendered = match v {
+                FieldValue::Str(s) => format!("\"{}\"", json_escape(s)),
+                FieldValue::F64(f) if !f.is_finite() => format!("\"{f}\""),
+                other => format!("\"{other}\""),
+            };
+            out.push_str(&format!("\"{}\":{rendered}", json_escape(k)));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+/// Writes [`dump_json`] to `path` (atomically enough for forensics:
+/// create + write + flush).
+pub fn dump_to(path: &Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(dump_json().as_bytes())?;
+    f.flush()
+}
+
+/// Overrides where the panic hook writes its dump (default: the
+/// `ACC_FLIGHT_DIR` environment variable, then the current directory).
+/// A process-global setting, safe to call from tests running in
+/// parallel — unlike mutating the environment.
+pub fn set_dump_dir(dir: impl Into<PathBuf>) {
+    *lock(&DUMP_DIR) = Some(dir.into());
+}
+
+fn dump_path() -> PathBuf {
+    let dir = lock(&DUMP_DIR)
+        .clone()
+        .or_else(|| std::env::var_os("ACC_FLIGHT_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("."));
+    dir.join(format!("flight-{}.json", std::process::id()))
+}
+
+/// Installs a panic hook (once per process; chains the previous hook)
+/// that writes the flight dump to `flight-<pid>.json` whenever any
+/// thread panics while the recorder is on — so a crash leaves its last
+/// seconds of trace on disk.
+pub fn install_panic_hook() {
+    PANIC_HOOK.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if installed() {
+                let path = dump_path();
+                if dump_to(&path).is_ok() {
+                    eprintln!("[flight] wrote {}", path.display());
+                }
+            }
+            previous(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TraceAssembler;
+    use crate::TEST_EXCLUSIVE as EXCLUSIVE;
+
+    #[test]
+    fn records_and_dumps_per_thread() {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+        install();
+        clear();
+        {
+            let _span = crate::span!("flight.main", job = "j\"1");
+            crate::event!("flight.tick", n = 3u64);
+        }
+        std::thread::Builder::new()
+            .name("flight-side".into())
+            .spawn(|| {
+                let _span = crate::span!("flight.side");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let dump = dump_json();
+        uninstall();
+
+        let mut asm = TraceAssembler::new();
+        let added = asm.add_flight_json("me", &dump);
+        assert!(added >= 2, "expected both spans in dump:\n{dump}");
+        assert!(asm.find("flight.main").is_some());
+        let side = asm.find("flight.side").unwrap();
+        assert_eq!(side.thread, "flight-side");
+        assert!(dump.contains("j\\\"1"), "field string escaped: {dump}");
+        clear();
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+        install();
+        clear();
+        let dropped = registry().counter("telemetry.flight.dropped_events");
+        let before = dropped.get();
+        for _ in 0..(DEFAULT_CAPACITY + 10) {
+            crate::event!("flight.spam");
+        }
+        uninstall();
+        let rec = RECORDER.get().unwrap();
+        let my_len = MY_RING.with(|c| c.get().map(|r| lock(r).len()).unwrap_or_default());
+        assert!(my_len <= rec.capacity);
+        assert!(
+            dropped.get() >= before + 10,
+            "dropped counter must move on overflow"
+        );
+        clear();
+    }
+
+    #[test]
+    fn dump_without_install_is_valid() {
+        // No EXCLUSIVE needed: read-only.
+        let dump = dump_json();
+        assert!(dump.contains("\"threads\":["));
+    }
+}

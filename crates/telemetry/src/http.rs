@@ -1,0 +1,308 @@
+//! The scrape/health endpoint: a deliberately tiny HTTP/1.0 responder
+//! (std-only, one short-lived thread per request, `Connection: close`)
+//! that any component can mount on a side port.
+//!
+//! Routes:
+//!
+//! * `GET /metrics` — the registry's Prometheus-style text exposition;
+//! * `GET /metrics.json` — the registry's JSON dump;
+//! * `GET /healthz` — runs the mounted [`HealthChecks`]; `200 ok` when
+//!   every check passes, `503 unhealthy` otherwise, with one
+//!   `name: detail` line per check either way;
+//! * `GET /spans` — the flight recorder's dump
+//!   ([`crate::flight::dump_json`]).
+//!
+//! This is an observability plane, not a web server: no keep-alive, no
+//! TLS, no request bodies, an 8 KiB request cap, and the same bounded
+//! accept discipline as the tuple-space server (connection cap +
+//! per-socket timeouts via [`HttpOptions`]).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::registry::{refresh_process_series, registry};
+
+/// Socket discipline for the endpoint (the scrape-side analogue of the
+/// tuple-space server's `ServerOptions`).
+#[derive(Debug, Clone, Copy)]
+pub struct HttpOptions {
+    /// Per-connection read timeout (`None` = wait forever).
+    pub read_timeout: Option<Duration>,
+    /// Per-connection write timeout (`None` = wait forever).
+    pub write_timeout: Option<Duration>,
+    /// Connections served concurrently before excess ones are dropped.
+    pub max_connections: usize,
+}
+
+impl Default for HttpOptions {
+    fn default() -> HttpOptions {
+        HttpOptions {
+            read_timeout: Some(Duration::from_secs(5)),
+            write_timeout: Some(Duration::from_secs(5)),
+            max_connections: 16,
+        }
+    }
+}
+
+/// A health check's verdict: `Ok(detail)` or `Err(what is wrong)`.
+pub type HealthResult = Result<String, String>;
+
+type Check = Box<dyn Fn() -> HealthResult + Send + Sync>;
+
+/// A named set of health checks, run on every `GET /healthz`.
+#[derive(Default)]
+pub struct HealthChecks {
+    checks: Mutex<Vec<(String, Check)>>,
+}
+
+impl std::fmt::Debug for HealthChecks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.checks.lock().unwrap_or_else(|e| e.into_inner()).len();
+        f.debug_struct("HealthChecks").field("checks", &n).finish()
+    }
+}
+
+impl HealthChecks {
+    /// An empty check set (healthy by definition).
+    pub fn new() -> Arc<HealthChecks> {
+        Arc::new(HealthChecks::default())
+    }
+
+    /// Registers a named check. Checks run in registration order.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        check: impl Fn() -> HealthResult + Send + Sync + 'static,
+    ) {
+        self.checks
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((name.into(), Box::new(check)));
+    }
+
+    /// Runs every check: overall verdict plus a `name: detail` report
+    /// line per check.
+    pub fn run(&self) -> (bool, String) {
+        let checks = self.checks.lock().unwrap_or_else(|e| e.into_inner());
+        let mut healthy = true;
+        let mut report = String::new();
+        for (name, check) in checks.iter() {
+            match check() {
+                Ok(detail) => report.push_str(&format!("{name}: ok ({detail})\n")),
+                Err(problem) => {
+                    healthy = false;
+                    report.push_str(&format!("{name}: FAIL ({problem})\n"));
+                }
+            }
+        }
+        (healthy, report)
+    }
+}
+
+/// A running scrape endpoint; stops (listener closed, accept thread
+/// joined) on drop.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// The bound address (useful with a `:0` bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves the observability routes on `bind` with default options.
+pub fn serve(bind: &str, health: Arc<HealthChecks>) -> std::io::Result<HttpServer> {
+    serve_with(bind, health, HttpOptions::default())
+}
+
+/// Serves the observability routes on `bind`.
+pub fn serve_with(
+    bind: &str,
+    health: Arc<HealthChecks>,
+    opts: HttpOptions,
+) -> std::io::Result<HttpServer> {
+    let listener = TcpListener::bind(bind)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let active = Arc::new(AtomicUsize::new(0));
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if stop2.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            if active.fetch_add(1, Ordering::SeqCst) >= opts.max_connections {
+                active.fetch_sub(1, Ordering::SeqCst);
+                continue; // over cap: drop the socket
+            }
+            let health = health.clone();
+            let active = active.clone();
+            std::thread::spawn(move || {
+                let _ = serve_one(stream, &health, opts);
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    });
+    Ok(HttpServer {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn serve_one(stream: TcpStream, health: &HealthChecks, opts: HttpOptions) -> std::io::Result<()> {
+    stream.set_read_timeout(opts.read_timeout)?;
+    stream.set_write_timeout(opts.write_timeout)?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(8192);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+    let (status, content_type, body) = route(path, health);
+    let mut stream = stream;
+    stream.write_all(
+        format!(
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn route(path: &str, health: &HealthChecks) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => {
+            refresh_process_series();
+            (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                registry().render_text(),
+            )
+        }
+        "/metrics.json" => {
+            refresh_process_series();
+            ("200 OK", "application/json", registry().render_json())
+        }
+        "/healthz" => {
+            refresh_process_series();
+            let (healthy, report) = health.run();
+            if healthy {
+                ("200 OK", "text/plain", format!("ok\n{report}"))
+            } else {
+                (
+                    "503 Service Unavailable",
+                    "text/plain",
+                    format!("unhealthy\n{report}"),
+                )
+            }
+        }
+        "/spans" => ("200 OK", "application/json", crate::flight::dump_json()),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn routes_answer() {
+        registry().counter("telemetry.http.test").inc();
+        let health = HealthChecks::new();
+        health.register("always", || Ok("fine".into()));
+        let server = serve("127.0.0.1:0", health).unwrap();
+        let addr = server.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("telemetry.http.test 1"), "{body}");
+        assert!(body.contains("process.uptime_seconds"), "{body}");
+
+        let (head, body) = get(addr, "/metrics.json");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"telemetry.http.test\": 1"), "{body}");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.starts_with("ok\n"), "{body}");
+        assert!(body.contains("always: ok (fine)"), "{body}");
+
+        let (head, body) = get(addr, "/spans");
+        assert!(head.starts_with("HTTP/1.0 200"), "{head}");
+        assert!(body.contains("\"threads\":["), "{body}");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"), "{head}");
+    }
+
+    #[test]
+    fn failing_check_yields_503() {
+        let health = HealthChecks::new();
+        health.register("good", || Ok("yes".into()));
+        health.register("bad", || Err("broken pipe".into()));
+        let server = serve("127.0.0.1:0", health).unwrap();
+        let (head, body) = get(server.addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.0 503"), "{head}");
+        assert!(body.starts_with("unhealthy\n"), "{body}");
+        assert!(body.contains("good: ok (yes)"), "{body}");
+        assert!(body.contains("bad: FAIL (broken pipe)"), "{body}");
+    }
+
+    #[test]
+    fn server_stops_on_drop_and_port_reusable() {
+        let server = serve("127.0.0.1:0", HealthChecks::new()).unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The listener is gone: a fresh connect must fail or be closed
+        // without a response.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => {
+                let _ = s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n");
+                let mut buf = String::new();
+                // Either read error or empty: nobody served it.
+                let n = s.read_to_string(&mut buf).unwrap_or(0);
+                assert_eq!(n, 0, "dropped server still answered: {buf}");
+            }
+        }
+    }
+}

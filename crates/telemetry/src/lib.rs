@@ -1,6 +1,6 @@
 //! # acc-telemetry
 //!
-//! Workspace-wide observability substrate, in two halves:
+//! Workspace-wide observability substrate:
 //!
 //! * [`registry`] — the unified metrics registry: monotone [`Counter`]s,
 //!   [`Gauge`]s and fixed-bucket log-scale latency [`Histogram`]s,
@@ -10,7 +10,15 @@
 //! * [`trace`] — the structured-tracing facade: [`span!`]/[`event!`]
 //!   with key–value fields, thread-local span depth, and pluggable
 //!   [`Subscriber`]s (no-op default, stderr writer, ring-buffer capture
-//!   for tests).
+//!   for tests);
+//! * [`context`] — distributed trace propagation: a thread-local
+//!   [`TraceContext`] every span inherits, serialisable across process
+//!   boundaries, plus the [`TraceAssembler`] that stitches per-process
+//!   dumps into one cross-process tree;
+//! * [`flight`] — the always-on bounded flight recorder (last N records
+//!   per thread), dumped on demand or from a panic hook;
+//! * [`http`] — the std-only scrape endpoint serving `/metrics`,
+//!   `/metrics.json`, `/healthz` and `/spans`.
 //!
 //! Both halves are built to be left in hot paths permanently:
 //!
@@ -34,16 +42,29 @@
 
 #![warn(missing_docs)]
 
+pub mod context;
+pub mod flight;
 pub mod histogram;
+pub mod http;
 pub mod registry;
 pub mod trace;
 
+pub use context::{ContextGuard, SpanRecord, TraceAssembler, TraceContext};
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use registry::{registry, Counter, Gauge, Registry, Snapshot};
+pub use http::{serve, HealthChecks, HealthResult, HttpOptions, HttpServer};
+pub use registry::{
+    json_escape, json_unescape, refresh_process_series, registry, Counter, Gauge, Registry,
+    Snapshot,
+};
 pub use trace::{
     init_from_env, install, uninstall, RingBufferSubscriber, StderrSubscriber, Subscriber,
     TraceEvent, TraceKind,
 };
+
+/// Serialises tests (here and across modules) that mutate process-global
+/// trace state: subscriber installation and the flight-recorder bit.
+#[cfg(test)]
+pub(crate) static TEST_EXCLUSIVE: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;

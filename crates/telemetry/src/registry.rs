@@ -13,8 +13,95 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// Escapes a string for embedding inside a JSON string literal: quotes,
+/// backslashes and control characters (`\n`, `\t`, …, `\u00XX`). Series
+/// names are static today, but span/event field values and thread names
+/// are arbitrary — and a hostile value must not break the document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverse of [`json_escape`] (plus the other standard JSON escapes
+/// `\/`, `\b`, `\f` and full `\uXXXX`). Returns `None` on a malformed
+/// escape sequence.
+pub fn json_unescape(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch != '\\' {
+            out.push(ch);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            '/' => out.push('/'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            't' => out.push('\t'),
+            'b' => out.push('\u{8}'),
+            'f' => out.push('\u{c}'),
+            'u' => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return None;
+                }
+                let code = u32::from_str_radix(&hex, 16).ok()?;
+                out.push(char::from_u32(code)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// The instant process-level series measure uptime from: first call
+/// wins, so every entry point can refresh freely.
+pub fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Refreshes the process-level gauges every exporter wants:
+/// `process.uptime_seconds` (since [`process_epoch`]) and, where the
+/// platform exposes it, `process.threads`. Called by the scrape
+/// endpoint per request and by the cluster builder at startup.
+pub fn refresh_process_series() {
+    registry()
+        .gauge("process.uptime_seconds")
+        .set(process_epoch().elapsed().as_secs() as i64);
+    if let Some(n) = os_thread_count() {
+        registry().gauge("process.threads").set(n);
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn os_thread_count() -> Option<i64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("Threads:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(not(target_os = "linux"))]
+fn os_thread_count() -> Option<i64> {
+    None
+}
 
 /// A monotone event counter.
 #[derive(Debug, Default)]
@@ -197,7 +284,7 @@ impl Registry {
                 out.push(',');
             }
             first = false;
-            out.push_str(&format!("\n    \"{name}\": {value}"));
+            out.push_str(&format!("\n    \"{}\": {value}", json_escape(name)));
         }
         out.push_str("\n  },\n  \"gauges\": {");
         first = true;
@@ -206,7 +293,7 @@ impl Registry {
                 out.push(',');
             }
             first = false;
-            out.push_str(&format!("\n    \"{name}\": {value}"));
+            out.push_str(&format!("\n    \"{}\": {value}", json_escape(name)));
         }
         out.push_str("\n  },\n  \"histograms\": {");
         first = true;
@@ -216,8 +303,9 @@ impl Registry {
             }
             first = false;
             out.push_str(&format!(
-                "\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
+                "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"max\": {}, \
                  \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                json_escape(name),
                 h.count,
                 h.sum,
                 h.max,
@@ -304,5 +392,62 @@ mod tests {
     fn global_registry_is_shared() {
         registry().counter("telemetry.test.shared").inc();
         assert!(registry().snapshot().counters["telemetry.test.shared"] >= 1);
+    }
+
+    #[test]
+    fn hostile_strings_roundtrip_through_json_escaping() {
+        let hostile = [
+            "plain",
+            "quote\"inside",
+            "back\\slash",
+            "new\nline\ttab\rret",
+            "ctrl\u{1}\u{1f}chars",
+            "uni ✓ 🚀",
+            "\"},\"pwned\":{\"",
+        ];
+        for s in hostile {
+            let escaped = json_escape(s);
+            assert!(
+                !escaped.chars().any(|c| (c as u32) < 0x20),
+                "raw control char survived: {escaped:?}"
+            );
+            // Every quote in the escaped form is itself escaped, so the
+            // value cannot terminate the enclosing JSON string early.
+            let bytes = escaped.as_bytes();
+            for (i, b) in bytes.iter().enumerate() {
+                if *b == b'"' {
+                    assert!(i > 0 && bytes[i - 1] == b'\\', "naked quote in {escaped:?}");
+                }
+            }
+            assert_eq!(json_unescape(&escaped).as_deref(), Some(s));
+        }
+        // Standard escapes we don't emit still parse.
+        assert_eq!(json_unescape("a\\/b\\u0041").as_deref(), Some("a/bA"));
+        // Malformed input is rejected, not mangled.
+        assert_eq!(json_unescape("bad\\"), None);
+        assert_eq!(json_unescape("bad\\q"), None);
+        assert_eq!(json_unescape("bad\\u12"), None);
+    }
+
+    #[test]
+    fn escaped_json_renders_hostile_series_names_safely() {
+        let r = Registry::new();
+        r.counter("evil\"name\\with\nstuff").inc();
+        let json = r.render_json();
+        assert!(json.contains("evil\\\"name\\\\with\\nstuff"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON: {json}"
+        );
+    }
+
+    #[test]
+    fn process_series_refresh_populates_gauges() {
+        refresh_process_series();
+        let snap = registry().snapshot();
+        assert!(snap.gauges.contains_key("process.uptime_seconds"));
+        #[cfg(target_os = "linux")]
+        assert!(snap.gauges["process.threads"] >= 1);
     }
 }

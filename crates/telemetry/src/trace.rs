@@ -17,9 +17,11 @@
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
+
+use crate::context::{self, TraceContext};
 
 /// A field value attached to a span or event.
 #[derive(Debug, Clone, PartialEq)]
@@ -107,6 +109,13 @@ pub struct TraceEvent {
     pub fields: Vec<(&'static str, FieldValue)>,
     /// Span nesting depth on the emitting thread (0 = top level).
     pub depth: usize,
+    /// The distributed trace this record belongs to (0 = none current).
+    pub trace_id: u64,
+    /// For spans, the span's own id; for events, the enclosing span's
+    /// id (0 = none).
+    pub span_id: u64,
+    /// The parent span's id (0 = a trace root, or no span context).
+    pub parent_span_id: u64,
 }
 
 impl TraceEvent {
@@ -122,48 +131,79 @@ pub trait Subscriber: Send + Sync {
     fn record(&self, event: &TraceEvent);
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit set in [`ACTIVE`] while a subscriber is installed.
+const SUBSCRIBER_BIT: u8 = 1;
+/// Bit set in [`ACTIVE`] while the flight recorder is on.
+const FLIGHT_BIT: u8 = 2;
+
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
 static SUBSCRIBER: RwLock<Option<Arc<dyn Subscriber>>> = RwLock::new(None);
 
 thread_local! {
     static DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
-/// True when a subscriber is installed. The macros check this before
-/// building fields, which is what makes disabled tracing near-free.
+/// True when any trace sink — a [`Subscriber`] or the flight recorder —
+/// is active. The macros check this before building fields, which is
+/// what makes disabled tracing near-free: one relaxed load of a single
+/// byte covers both sinks.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+fn set_bit(bit: u8, on: bool) {
+    if on {
+        ACTIVE.fetch_or(bit, Ordering::Release);
+    } else {
+        ACTIVE.fetch_and(!bit, Ordering::Release);
+    }
+}
+
+/// Flips the flight-recorder bit (crate use; see [`crate::flight`]).
+pub(crate) fn set_flight_active(on: bool) {
+    set_bit(FLIGHT_BIT, on);
 }
 
 /// Installs `subscriber` as the process-wide trace sink, replacing any
 /// previous one.
 pub fn install(subscriber: Arc<dyn Subscriber>) {
     *SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner()) = Some(subscriber);
-    ENABLED.store(true, Ordering::Release);
+    set_bit(SUBSCRIBER_BIT, true);
 }
 
-/// Removes the installed subscriber; tracing reverts to the no-op default.
+/// Removes the installed subscriber. The flight recorder, if on, keeps
+/// recording; otherwise tracing reverts to the no-op default.
 pub fn uninstall() {
-    ENABLED.store(false, Ordering::Release);
+    set_bit(SUBSCRIBER_BIT, false);
     *SUBSCRIBER.write().unwrap_or_else(|e| e.into_inner()) = None;
 }
 
-fn dispatch(event: &TraceEvent) {
-    let subscriber = SUBSCRIBER.read().unwrap_or_else(|e| e.into_inner()).clone();
-    if let Some(s) = subscriber {
-        s.record(event);
+fn dispatch(event: TraceEvent) {
+    let active = ACTIVE.load(Ordering::Relaxed);
+    if active & SUBSCRIBER_BIT != 0 {
+        let subscriber = SUBSCRIBER.read().unwrap_or_else(|e| e.into_inner()).clone();
+        if let Some(s) = subscriber {
+            s.record(&event);
+        }
+    }
+    if active & FLIGHT_BIT != 0 {
+        crate::flight::record(event); // takes ownership: no clone on this path
     }
 }
 
 /// Emits a point event (used by [`event!`](crate::event); call the macro,
 /// not this).
 pub fn emit_event(name: &'static str, fields: Vec<(&'static str, FieldValue)>) {
-    dispatch(&TraceEvent {
+    let ctx = TraceContext::current();
+    dispatch(TraceEvent {
         kind: TraceKind::Event,
         name,
         fields,
         depth: DEPTH.with(|d| d.get()),
+        trace_id: ctx.map(|c| c.trace_id).unwrap_or(0),
+        span_id: ctx.map(|c| c.span_id).unwrap_or(0),
+        parent_span_id: 0,
     });
 }
 
@@ -177,27 +217,42 @@ pub struct SpanGuard {
 struct SpanData {
     name: &'static str,
     start: Instant,
+    ctx: TraceContext,
+    parent: Option<TraceContext>,
 }
 
 impl SpanGuard {
     /// Enters a span (used by [`span!`](crate::span); call the macro, not
-    /// this).
+    /// this). The span becomes a child of the thread's current
+    /// [`TraceContext`] (same trace id, fresh span id) — or a new trace
+    /// root if there is none — and makes itself current until exit.
     pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
         let depth = DEPTH.with(|d| {
             let depth = d.get();
             d.set(depth + 1);
             depth
         });
-        dispatch(&TraceEvent {
+        let parent = TraceContext::current();
+        let ctx = match parent {
+            Some(p) => p.child(),
+            None => TraceContext::root(),
+        };
+        context::set_current(Some(ctx));
+        dispatch(TraceEvent {
             kind: TraceKind::SpanEnter,
             name,
             fields,
             depth,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span_id: parent.map(|p| p.span_id).unwrap_or(0),
         });
         SpanGuard {
             data: Some(SpanData {
                 name,
                 start: Instant::now(),
+                ctx,
+                parent,
             }),
         }
     }
@@ -218,13 +273,17 @@ impl Drop for SpanGuard {
             d.set(depth);
             depth
         });
-        dispatch(&TraceEvent {
+        context::set_current(data.parent);
+        dispatch(TraceEvent {
             kind: TraceKind::SpanExit {
                 elapsed_us: data.start.elapsed().as_micros() as u64,
             },
             name: data.name,
             fields: Vec::new(),
             depth,
+            trace_id: data.ctx.trace_id,
+            span_id: data.ctx.span_id,
+            parent_span_id: data.parent.map(|p| p.span_id).unwrap_or(0),
         });
     }
 }
@@ -378,8 +437,9 @@ mod tests {
     use super::*;
 
     // Subscriber installation is process-global; every test that installs
-    // one serialises on this lock so captures don't interleave.
-    static EXCLUSIVE: Mutex<()> = Mutex::new(());
+    // one (here and in `flight`) serialises on this lock so captures
+    // don't interleave.
+    use crate::TEST_EXCLUSIVE as EXCLUSIVE;
 
     fn with_ring<R>(f: impl FnOnce(&RingBufferSubscriber) -> R) -> R {
         let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
@@ -446,6 +506,57 @@ mod tests {
         }
         uninstall();
         assert_eq!(ring.events().len(), 4);
+    }
+
+    #[test]
+    fn spans_carry_linked_trace_context() {
+        let events = with_ring(|ring| {
+            assert_eq!(TraceContext::current(), None);
+            {
+                let _outer = span!("ctx.outer");
+                let outer_ctx = TraceContext::current().expect("outer span sets context");
+                {
+                    let _inner = span!("ctx.inner");
+                    let inner_ctx = TraceContext::current().unwrap();
+                    assert_eq!(inner_ctx.trace_id, outer_ctx.trace_id);
+                    assert_ne!(inner_ctx.span_id, outer_ctx.span_id);
+                    event!("ctx.tick");
+                }
+                assert_eq!(TraceContext::current(), Some(outer_ctx));
+            }
+            assert_eq!(TraceContext::current(), None);
+            ring.events()
+        });
+        let outer = &events[0];
+        let inner = &events[1];
+        let tick = &events[2];
+        assert_eq!(outer.parent_span_id, 0, "outer is a trace root");
+        assert_ne!(outer.trace_id, 0);
+        assert_eq!(inner.trace_id, outer.trace_id);
+        assert_eq!(inner.parent_span_id, outer.span_id);
+        assert_eq!(tick.trace_id, outer.trace_id);
+        assert_eq!(
+            tick.span_id, inner.span_id,
+            "event pinned to enclosing span"
+        );
+        // Exits carry the same ids as their enters.
+        assert_eq!(events[3].span_id, inner.span_id);
+        assert_eq!(events[4].span_id, outer.span_id);
+    }
+
+    #[test]
+    fn attached_context_becomes_span_parent() {
+        let (remote, events) = with_ring(|ring| {
+            let remote = TraceContext::root();
+            {
+                let _ctx = remote.attach();
+                let _span = span!("ctx.adopted");
+            }
+            (remote, ring.events())
+        });
+        assert_eq!(events[0].trace_id, remote.trace_id);
+        assert_eq!(events[0].parent_span_id, remote.span_id);
+        assert_ne!(events[0].span_id, remote.span_id);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use acc_telemetry::TraceContext;
 use parking_lot::Mutex;
 
 use crate::error::{SpaceError, SpaceResult};
@@ -47,6 +48,14 @@ use crate::template::Template;
 use crate::tuple::Tuple;
 
 const MAX_FRAME: usize = 16 << 20;
+
+/// Current wire-protocol version, exchanged via [`Request::Hello`].
+/// Version 1 adds the `Hello` handshake and the `Traced` request
+/// envelope carrying a distributed [`TraceContext`]. Version-0 peers
+/// (the seed protocol) never see either: a v0 server drops the
+/// connection on the unknown `Hello` tag, which the client takes as
+/// "speak v0" and reconnects plain.
+pub const PROTO_VERSION: u32 = 1;
 
 #[derive(Debug, PartialEq)]
 enum Request {
@@ -62,6 +71,16 @@ enum Request {
     Close,
     /// Is the space closed?
     IsClosed,
+    /// Version handshake: client sends its protocol version, server
+    /// answers [`Response::Proto`]. (v1+)
+    Hello(u32),
+    /// A basic request wrapped with the sender's trace context, so the
+    /// server-side handler span joins the client's trace. (v1+)
+    Traced {
+        trace_id: u64,
+        span_id: u64,
+        inner: Box<Request>,
+    },
 }
 
 impl Payload for Request {
@@ -95,10 +114,49 @@ impl Payload for Request {
             }
             Request::Close => w.put_u8(5),
             Request::IsClosed => w.put_u8(6),
+            Request::Hello(version) => {
+                w.put_u8(7);
+                w.put_u32(*version);
+            }
+            Request::Traced {
+                trace_id,
+                span_id,
+                inner,
+            } => {
+                w.put_u8(8);
+                w.put_u64(*trace_id);
+                w.put_u64(*span_id);
+                inner.encode(w);
+            }
         }
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+        match r.get_u8()? {
+            7 => Ok(Request::Hello(r.get_u32()?)),
+            8 => {
+                let trace_id = r.get_u64()?;
+                let span_id = r.get_u64()?;
+                // The envelope may only wrap a *basic* request — decoding
+                // the inner tag through `decode` again would let a hostile
+                // frame nest envelopes ~1M deep inside MAX_FRAME and blow
+                // the service thread's stack.
+                let inner = Request::decode_basic(r.get_u8()?, r)?;
+                Ok(Request::Traced {
+                    trace_id,
+                    span_id,
+                    inner: Box::new(inner),
+                })
+            }
+            tag => Request::decode_basic(tag, r),
+        }
+    }
+}
+
+impl Request {
+    /// Decodes the version-0 request set (tags 1–6) — everything except
+    /// the handshake and the trace envelope.
+    fn decode_basic(tag: u8, r: &mut WireReader) -> Result<Request, PayloadError> {
         let get_opt = |r: &mut WireReader| -> Result<Option<u64>, PayloadError> {
             if r.get_bool()? {
                 Ok(Some(r.get_u64()?))
@@ -106,7 +164,7 @@ impl Payload for Request {
                 Ok(None)
             }
         };
-        match r.get_u8()? {
+        match tag {
             1 => {
                 let tuple = Tuple::decode(r)?;
                 let lease = get_opt(r)?;
@@ -128,6 +186,21 @@ impl Payload for Request {
             _ => Err(PayloadError::Corrupt("request tag")),
         }
     }
+
+    /// The operation name a [`Request::Traced`] envelope's server-side
+    /// span reports.
+    fn op_name(&self) -> &'static str {
+        match self {
+            Request::Write(..) => "write",
+            Request::Read(..) => "read",
+            Request::Take(..) => "take",
+            Request::Count(..) => "count",
+            Request::Close => "close",
+            Request::IsClosed => "is_closed",
+            Request::Hello(..) => "hello",
+            Request::Traced { .. } => "traced",
+        }
+    }
 }
 
 #[derive(Debug, PartialEq)]
@@ -139,6 +212,8 @@ enum Response {
     Unit,
     /// An error code plus a detail string (empty except for `Storage`).
     Err(u8, String),
+    /// The server's protocol version, answering [`Request::Hello`]. (v1+)
+    Proto(u32),
 }
 
 fn error_encode(e: &SpaceError) -> Response {
@@ -196,6 +271,10 @@ impl Payload for Response {
                 w.put_u8(*code);
                 w.put_str(detail);
             }
+            Response::Proto(version) => {
+                w.put_u8(8);
+                w.put_u32(*version);
+            }
         }
     }
 
@@ -208,6 +287,7 @@ impl Payload for Response {
             5 => Ok(Response::Bool(r.get_bool()?)),
             6 => Ok(Response::Unit),
             7 => Ok(Response::Err(r.get_u8()?, r.get_str()?)),
+            8 => Ok(Response::Proto(r.get_u32()?)),
             _ => Err(PayloadError::Corrupt("response tag")),
         }
     }
@@ -264,12 +344,19 @@ impl Default for ServerOptions {
     }
 }
 
+type ConnRegistry = Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>;
+
 /// Serves one space over TCP loopback/network.
 #[derive(Debug)]
 pub struct SpaceServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    /// Live served connections, so drop can actively hang up on clients
+    /// (service threads are detached; shutting their sockets down is what
+    /// unblocks and ends them).
+    conns: ConnRegistry,
+    observer: Option<acc_telemetry::HttpServer>,
 }
 
 impl SpaceServer {
@@ -277,6 +364,42 @@ impl SpaceServer {
     /// loopback) and starts serving with [`ServerOptions::default`].
     pub fn spawn(space: Arc<Space>, bind: &str) -> std::io::Result<SpaceServer> {
         SpaceServer::spawn_with(space, bind, ServerOptions::default())
+    }
+
+    /// Like [`SpaceServer::spawn_with`], plus a scrape endpoint
+    /// (`/metrics`, `/metrics.json`, `/healthz`, `/spans`) on a second
+    /// bind — the server-side half of the observability plane. `/healthz`
+    /// checks that the served space is open and its journal flushes.
+    pub fn spawn_observed(
+        space: Arc<Space>,
+        bind: &str,
+        opts: ServerOptions,
+        observe_bind: &str,
+    ) -> std::io::Result<SpaceServer> {
+        let health = acc_telemetry::HealthChecks::new();
+        let space_open = space.clone();
+        health.register("space", move || {
+            if space_open.is_closed() {
+                Err("space closed".into())
+            } else {
+                Ok("open".into())
+            }
+        });
+        let space_wal = space.clone();
+        health.register("wal", move || match space_wal.flush_journal() {
+            Ok(()) => Ok("flushing".into()),
+            Err(e) => Err(e.to_string()),
+        });
+        let observer = acc_telemetry::serve(observe_bind, health)?;
+        let mut server = SpaceServer::spawn_with(space, bind, opts)?;
+        server.observer = Some(observer);
+        Ok(server)
+    }
+
+    /// The scrape endpoint's address, when mounted via
+    /// [`SpaceServer::spawn_observed`].
+    pub fn observe_addr(&self) -> Option<SocketAddr> {
+        self.observer.as_ref().map(|o| o.addr())
     }
 
     /// Like [`SpaceServer::spawn`] with explicit resource limits.
@@ -290,7 +413,10 @@ impl SpaceServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let active = Arc::new(AtomicUsize::new(0));
+        let conns: ConnRegistry = Arc::new(Mutex::new(std::collections::HashMap::new()));
+        let conns2 = conns.clone();
         let accept_thread = std::thread::spawn(move || {
+            let mut next_conn_id = 0u64;
             for stream in listener.incoming() {
                 if stop2.load(Ordering::SeqCst) {
                     break;
@@ -304,17 +430,25 @@ impl SpaceServer {
                 let _ = stream.set_nodelay(true);
                 let _ = stream.set_read_timeout(opts.read_timeout);
                 let _ = stream.set_write_timeout(opts.write_timeout);
+                let conn_id = next_conn_id;
+                next_conn_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    conns2.lock().insert(conn_id, clone);
+                }
                 let space = space.clone();
                 let active = active.clone();
+                let conns3 = conns2.clone();
                 std::thread::spawn(move || {
-                    /// Releases the connection slot however the thread exits.
-                    struct Slot(Arc<AtomicUsize>);
+                    /// Releases the connection slot and registry entry
+                    /// however the thread exits.
+                    struct Slot(Arc<AtomicUsize>, ConnRegistry, u64);
                     impl Drop for Slot {
                         fn drop(&mut self) {
                             self.0.fetch_sub(1, Ordering::SeqCst);
+                            self.1.lock().remove(&self.2);
                         }
                     }
-                    let _slot = Slot(active);
+                    let _slot = Slot(active, conns3, conn_id);
                     while let Ok(bytes) = read_frame_bytes(&mut stream) {
                         let Ok(request) = Request::from_bytes(&bytes) else {
                             break;
@@ -331,6 +465,8 @@ impl SpaceServer {
             addr,
             stop,
             accept_thread: Some(accept_thread),
+            conns,
+            observer: None,
         })
     }
 
@@ -347,10 +483,35 @@ impl Drop for SpaceServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Actively hang up on served clients: service threads are
+        // detached and may be blocked in a read; shutting the sockets
+        // down unblocks them so clients see Closed, not a stale server.
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
 fn serve(space: &Arc<Space>, request: Request) -> Response {
+    match request {
+        Request::Hello(_client_version) => Response::Proto(PROTO_VERSION),
+        Request::Traced {
+            trace_id,
+            span_id,
+            inner,
+        } => {
+            // Adopt the client's context so the handler span (and any
+            // space instrumentation under it) joins the client's trace.
+            let _ctx = (trace_id != 0 && span_id != 0)
+                .then(|| TraceContext { trace_id, span_id }.attach());
+            let _span = acc_telemetry::span!("space.serve", op = inner.op_name());
+            serve_basic(space, *inner)
+        }
+        basic => serve_basic(space, basic),
+    }
+}
+
+fn serve_basic(space: &Arc<Space>, request: Request) -> Response {
     fn map<T>(result: SpaceResult<T>, ok: impl FnOnce(T) -> Response) -> Response {
         match result {
             Ok(v) => ok(v),
@@ -379,6 +540,9 @@ fn serve(space: &Arc<Space>, request: Request) -> Response {
             Response::Unit
         }
         Request::IsClosed => Response::Bool(Space::is_closed(space)),
+        // Envelopes never nest (the codec enforces it); answer the
+        // version either way rather than kill the connection.
+        Request::Hello(..) | Request::Traced { .. } => Response::Proto(PROTO_VERSION),
     }
 }
 
@@ -388,16 +552,49 @@ fn serve(space: &Arc<Space>, request: Request) -> Response {
 #[derive(Debug)]
 pub struct RemoteSpace {
     stream: Mutex<TcpStream>,
+    /// What the server answered to `Hello` — 0 for a version-0 (seed
+    /// protocol) server, which must never be sent v1 frames.
+    peer_version: u32,
 }
 
 impl RemoteSpace {
-    /// Connects to a space server.
+    /// Connects to a space server and probes its protocol version: a
+    /// `Hello` is sent first, and a server that hangs up on it (a v0
+    /// server breaks the connection on any undecodable request) gets a
+    /// plain reconnect with every v1 feature disabled.
     pub fn connect(addr: SocketAddr) -> std::io::Result<RemoteSpace> {
-        let stream = TcpStream::connect(addr)?;
+        let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(RemoteSpace {
-            stream: Mutex::new(stream),
-        })
+        match RemoteSpace::probe(&mut stream) {
+            Ok(version) => Ok(RemoteSpace {
+                stream: Mutex::new(stream),
+                peer_version: version,
+            }),
+            Err(_) => {
+                // Old peer: reconnect and speak version 0 only.
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nodelay(true)?;
+                Ok(RemoteSpace {
+                    stream: Mutex::new(stream),
+                    peer_version: 0,
+                })
+            }
+        }
+    }
+
+    fn probe(stream: &mut TcpStream) -> std::io::Result<u32> {
+        write_frame(stream, &Request::Hello(PROTO_VERSION))?;
+        let bytes = read_frame_bytes(stream)?;
+        match Response::from_bytes(&bytes) {
+            Ok(Response::Proto(version)) => Ok(version),
+            _ => Ok(0),
+        }
+    }
+
+    /// The protocol version the connected server answered with (0 = a
+    /// pre-handshake server).
+    pub fn peer_version(&self) -> u32 {
+        self.peer_version
     }
 
     fn call(&self, request: Request) -> SpaceResult<Response> {
@@ -407,8 +604,29 @@ impl RemoteSpace {
         Response::from_bytes(&bytes).map_err(|_| SpaceError::Closed)
     }
 
-    fn expect_tuple(&self, request: Request) -> SpaceResult<Option<Tuple>> {
-        match self.call(request)? {
+    /// Opens a client-side span over the operation and, when tracing is
+    /// on and the peer speaks v1, wraps the request in a [`Request::Traced`]
+    /// envelope carrying that span's context — which is how the server's
+    /// handler span ends up in the caller's trace.
+    fn call_traced(&self, span_name: &'static str, request: Request) -> SpaceResult<Response> {
+        let _span = acc_telemetry::span!(span_name);
+        let request = match TraceContext::current_if_enabled() {
+            Some(ctx) if self.peer_version >= 1 => Request::Traced {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                inner: Box::new(request),
+            },
+            _ => request,
+        };
+        self.call(request)
+    }
+
+    fn expect_tuple(
+        &self,
+        span_name: &'static str,
+        request: Request,
+    ) -> SpaceResult<Option<Tuple>> {
+        match self.call_traced(span_name, request)? {
             Response::MaybeTuple(t) => Ok(t),
             Response::Err(code, detail) => Err(error_from(code, detail)),
             _ => Err(SpaceError::Closed),
@@ -422,7 +640,7 @@ impl TupleStore for RemoteSpace {
             Lease::Forever => None,
             Lease::Duration(d) => Some(d.as_millis() as u64),
         };
-        match self.call(Request::Write(tuple, lease_ms))? {
+        match self.call_traced("remote.write", Request::Write(tuple, lease_ms))? {
             Response::Id(id) => Ok(id),
             Response::Err(code, detail) => Err(error_from(code, detail)),
             _ => Err(SpaceError::Closed),
@@ -430,21 +648,21 @@ impl TupleStore for RemoteSpace {
     }
 
     fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
-        self.expect_tuple(Request::Read(
-            template.clone(),
-            timeout.map(|d| d.as_millis() as u64),
-        ))
+        self.expect_tuple(
+            "remote.read",
+            Request::Read(template.clone(), timeout.map(|d| d.as_millis() as u64)),
+        )
     }
 
     fn take(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
-        self.expect_tuple(Request::Take(
-            template.clone(),
-            timeout.map(|d| d.as_millis() as u64),
-        ))
+        self.expect_tuple(
+            "remote.take",
+            Request::Take(template.clone(), timeout.map(|d| d.as_millis() as u64)),
+        )
     }
 
     fn count(&self, template: &Template) -> SpaceResult<usize> {
-        match self.call(Request::Count(template.clone()))? {
+        match self.call_traced("remote.count", Request::Count(template.clone()))? {
             Response::Count(n) => Ok(n as usize),
             Response::Err(code, detail) => Err(error_from(code, detail)),
             _ => Err(SpaceError::Closed),
@@ -489,6 +707,12 @@ mod tests {
             Request::Count(Template::of_type("t")),
             Request::Close,
             Request::IsClosed,
+            Request::Hello(PROTO_VERSION),
+            Request::Traced {
+                trace_id: 0xdead_beef_cafe_f00d,
+                span_id: 42,
+                inner: Box::new(Request::Take(Template::of_type("t"), Some(250))),
+            },
         ];
         for r in requests {
             assert_eq!(Request::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -502,10 +726,130 @@ mod tests {
             Response::Unit,
             Response::Err(1, String::new()),
             Response::Err(7, "disk full".into()),
+            Response::Proto(PROTO_VERSION),
         ];
         for r in responses {
             assert_eq!(Response::from_bytes(&r.to_bytes()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn nested_trace_envelopes_are_rejected_not_recursed() {
+        // Hand-build Traced(Traced(IsClosed)): the codec must refuse the
+        // inner envelope rather than recurse (stack-overflow guard).
+        let mut w = WireWriter::new();
+        w.put_u8(8);
+        w.put_u64(1);
+        w.put_u64(2);
+        w.put_u8(8); // inner tag: another envelope
+        w.put_u64(3);
+        w.put_u64(4);
+        w.put_u8(6);
+        assert!(Request::from_bytes(&w.finish()).is_err());
+        // An envelope wrapping a Hello is equally invalid.
+        let mut w = WireWriter::new();
+        w.put_u8(8);
+        w.put_u64(1);
+        w.put_u64(2);
+        w.put_u8(7);
+        w.put_u32(1);
+        assert!(Request::from_bytes(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn connect_negotiates_protocol_version() {
+        let (_space, _server, remote) = rig();
+        assert_eq!(remote.peer_version(), PROTO_VERSION);
+    }
+
+    #[test]
+    fn connect_falls_back_to_v0_when_peer_rejects_hello() {
+        // A "v0 server": accepts, reads one frame, hangs up — exactly how
+        // the seed server reacted to an undecodable request tag.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let old_server = std::thread::spawn(move || {
+            let mut seen_frames = 0usize;
+            for stream in listener.incoming().take(2) {
+                let Ok(mut stream) = stream else { continue };
+                if read_frame_bytes(&mut stream).is_ok() {
+                    seen_frames += 1;
+                }
+                // Drop the connection without answering: v0 behaviour
+                // for a frame it cannot decode.
+            }
+            seen_frames
+        });
+        let remote = RemoteSpace::connect(addr).unwrap();
+        assert_eq!(remote.peer_version(), 0);
+        // The client's next op goes over the *second* (plain) connection
+        // and carries no envelope; our fake server just hangs up, which
+        // surfaces as Closed — but the probe must not have errored out
+        // the constructor.
+        assert!(remote.write(tuple(1)).is_err());
+        assert!(old_server.join().unwrap() >= 1);
+    }
+
+    #[test]
+    fn traced_envelope_serves_like_plain_request() {
+        let space = Space::new("enveloped");
+        let env = Request::Traced {
+            trace_id: 9,
+            span_id: 11,
+            inner: Box::new(Request::Write(tuple(5), None)),
+        };
+        let Response::Id(_) = serve(&space, env) else {
+            panic!("enveloped write must behave like a plain write");
+        };
+        assert_eq!(
+            serve(
+                &space,
+                Request::Traced {
+                    trace_id: 9,
+                    span_id: 12,
+                    inner: Box::new(Request::Count(Template::of_type("t"))),
+                }
+            ),
+            Response::Count(1)
+        );
+        // Hello gets the version back.
+        assert_eq!(
+            serve(&space, Request::Hello(0)),
+            Response::Proto(PROTO_VERSION)
+        );
+    }
+
+    #[test]
+    fn observed_server_scrapes_metrics_and_health() {
+        use std::io::{Read as _, Write as _};
+        let space = Space::new("observed");
+        let server = SpaceServer::spawn_observed(
+            space.clone(),
+            "127.0.0.1:0",
+            ServerOptions::default(),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let observe = server.observe_addr().expect("observer mounted");
+        let get = |path: &str| {
+            let mut s = TcpStream::connect(observe).unwrap();
+            s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+                .unwrap();
+            let mut out = String::new();
+            s.read_to_string(&mut out).unwrap();
+            out
+        };
+        let health = get("/healthz");
+        assert!(health.contains("200"), "{health}");
+        assert!(health.contains("space: ok"), "{health}");
+        assert!(health.contains("wal: ok"), "{health}");
+        let metrics = get("/metrics");
+        assert!(metrics.contains("# TYPE"), "{metrics}");
+        // Closing the space flips /healthz to 503.
+        space.close();
+        let health = get("/healthz");
+        assert!(health.contains("503"), "{health}");
+        assert!(health.contains("space: FAIL"), "{health}");
     }
 
     #[test]

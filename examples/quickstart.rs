@@ -13,6 +13,11 @@
 //! re-run with the same `--durable <dir>`: the space replays its
 //! write-ahead log, the master resumes from its checkpoint, and only the
 //! unfinished tasks are re-issued.
+//!
+//! Observability: set `ACC_OBSERVE=127.0.0.1:9137` (or any bind address)
+//! to mount the scrape endpoint, and `--hold-ms <n>` to keep the cluster
+//! alive for `n` milliseconds after the run so `/metrics`, `/healthz` and
+//! `/spans` can be curled.
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -185,6 +190,12 @@ fn main() {
             std::process::exit(2);
         })
     });
+    let hold_ms: Option<u64> = flag_value("--hold-ms").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--hold-ms needs a number, got {v}");
+            std::process::exit(2);
+        })
+    });
     if let Some(dir) = flag_value("--durable") {
         run_durable(&PathBuf::from(dir), crash_after);
         return;
@@ -240,11 +251,20 @@ fn main() {
             worker.state()
         );
     }
-    cluster.shutdown();
-
     // 4. Everything above was also recorded in the global telemetry
     //    registry; dump it in text exposition format.
     println!();
     println!("--- telemetry ---");
     print!("{}", adaptive_spaces::telemetry::registry().render_text());
+
+    // 5. `--hold-ms` keeps the cluster (and its ACC_OBSERVE endpoint, if
+    //    any) alive so the observability plane can be scraped live.
+    if let Some(ms) = hold_ms {
+        match cluster.observe_addr() {
+            Some(addr) => println!("holding for {ms} ms; observability endpoint at http://{addr}"),
+            None => println!("holding for {ms} ms (set ACC_OBSERVE=127.0.0.1:0 for an endpoint)"),
+        }
+        std::thread::sleep(Duration::from_millis(ms));
+    }
+    cluster.shutdown();
 }

@@ -11,7 +11,7 @@ use adaptive_spaces::framework::{
 };
 use adaptive_spaces::space::Payload;
 use adaptive_spaces::telemetry::trace::{RingBufferSubscriber, TraceKind};
-use adaptive_spaces::telemetry::{registry, trace};
+use adaptive_spaces::telemetry::{flight, registry, trace, TraceAssembler};
 
 /// The trace subscriber is process-global; tests that install one
 /// serialise here so captures don't interleave.
@@ -181,4 +181,188 @@ fn cluster_run_populates_registry_across_layers() {
     assert!(counter("space.take.count") >= 16);
     assert!(counter("federation.lease.granted") >= 1);
     assert!(counter("snmp.poll.requests") >= 1);
+}
+
+/// One raw HTTP/1.0 GET; returns the body (everything past the header
+/// block).
+fn http_get_body(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.0 200"), "got: {out:.200}");
+    out.split_once("\r\n\r\n")
+        .expect("header block")
+        .1
+        .to_owned()
+}
+
+/// The tentpole end to end: a master driving a TCP-served space, a worker
+/// reaching the same space over its own TCP connection, the flight
+/// recorder on, and `/spans` scraped from both the space server's
+/// observability endpoint and a second locally mounted one. The scraped
+/// dumps must assemble into a single trace whose spans cross the wire —
+/// master.dispatch → remote.take → space.serve — and reach the worker's
+/// compute through the task tuple's trace-context field.
+#[test]
+fn one_trace_crosses_wire_space_and_worker() {
+    use adaptive_spaces::framework::{
+        BundleServer, CodeBundle, ExecutorRegistry, Master, RuleBaseServer, Signal, WorkerConfig,
+        WorkerRuntime,
+    };
+    use adaptive_spaces::space::remote::{ServerOptions, SpaceServer};
+    use adaptive_spaces::space::{RemoteSpace, Space, StoreHandle};
+
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    flight::install();
+    flight::clear();
+
+    // Server side: the space, served over TCP with its scrape endpoint.
+    let space = Space::new("wire-trace");
+    let server = SpaceServer::spawn_observed(
+        space.clone(),
+        "127.0.0.1:0",
+        ServerOptions::default(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let space_addr = server.addr();
+    let server_observe = server.observe_addr().unwrap();
+
+    // Worker side: a runtime whose space access goes through the proxy.
+    let rulebase = RuleBaseServer::new(Arc::new(|_, _| {}));
+    let bundle_server = BundleServer::new(Duration::from_millis(1), Duration::ZERO);
+    bundle_server.publish(CodeBundle::synthetic("doubler-worker", 1, 1));
+    let executors = ExecutorRegistry::new();
+    executors.register("doubler-worker", Arc::new(DoubleExecutor));
+    let (client_side, server_side) = adaptive_spaces::framework::duplex_pair();
+    let rb = rulebase.clone();
+    let accept =
+        std::thread::spawn(move || rb.accept(server_side, Duration::from_secs(5)).unwrap());
+    let worker_store: StoreHandle = Arc::new(RemoteSpace::connect(space_addr).unwrap());
+    let worker = WorkerRuntime::spawn(WorkerConfig {
+        name: "remote-w".into(),
+        space: worker_store,
+        bundle_server,
+        registry: executors,
+        duplex: client_side,
+        bundle_name: "doubler-worker".into(),
+        job: "doubler".into(),
+        node_load: None,
+        epoch: std::time::Instant::now(),
+        framework: FrameworkConfig {
+            task_poll_timeout: Duration::from_millis(10),
+            ..FrameworkConfig::default()
+        },
+    })
+    .unwrap();
+    let worker_id = accept.join().unwrap();
+    rulebase.send_signal(worker_id, Signal::Start);
+
+    // Master side: its own TCP connection to the same space.
+    let master_store: StoreHandle = Arc::new(RemoteSpace::connect(space_addr).unwrap());
+    let master = Master::new(master_store);
+    let mut app = Doubler { n: 4, total: 0 };
+    let report = master.run(&mut app).unwrap();
+    assert!(report.complete, "failures: {:?}", report.failures);
+    assert_eq!(app.total, (0..4).map(|i| 2 * i).sum::<u64>());
+
+    // Scrape /spans from both sides of the deployment, plus the metrics
+    // and health routes while a live cluster is up.
+    let local_observe = adaptive_spaces::telemetry::serve(
+        "127.0.0.1:0",
+        adaptive_spaces::telemetry::HealthChecks::new(),
+    )
+    .unwrap();
+    let server_spans = http_get_body(server_observe, "/spans");
+    let local_spans = http_get_body(local_observe.addr(), "/spans");
+    let metrics = http_get_body(server_observe, "/metrics");
+    assert!(metrics.contains("process.uptime_seconds"), "{metrics:.300}");
+    let health = http_get_body(server_observe, "/healthz");
+    assert!(health.starts_with("ok"), "{health}");
+
+    // Assemble the dumps into one tree.
+    let mut asm = TraceAssembler::new();
+    asm.add_flight_json("server", &server_spans);
+    asm.add_flight_json("local", &local_spans);
+    let dispatch = asm.find("master.dispatch").expect("master.dispatch span");
+    let trace_id = dispatch.trace_id;
+    let dispatch_span = dispatch.span_id;
+    let in_trace = asm.spans(trace_id);
+
+    // The master's wire calls join its trace with dispatch as an ancestor.
+    let take = in_trace
+        .iter()
+        .find(|s| s.name == "remote.take")
+        .expect("remote.take in the master's trace");
+    assert!(
+        asm.ancestry(take.span_id)
+            .iter()
+            .any(|s| s.span_id == dispatch_span),
+        "master.dispatch not an ancestor of remote.take:\n{}",
+        asm.render_tree(trace_id)
+    );
+    // The server adopted the wire context for its serve spans.
+    assert!(
+        in_trace.iter().any(|s| s.name == "space.serve"),
+        "no space.serve span in trace:\n{}",
+        asm.render_tree(trace_id)
+    );
+    // The worker adopted the tuple-borne context for its compute.
+    assert!(
+        in_trace.iter().any(|s| s.name == "worker.compute"),
+        "no worker.compute span in trace:\n{}",
+        asm.render_tree(trace_id)
+    );
+    // And the trace genuinely crosses execution contexts.
+    let mut threads: Vec<&str> = in_trace.iter().map(|s| s.thread.as_str()).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    assert!(
+        threads.len() >= 2,
+        "expected spans from at least 2 threads, got {threads:?}:\n{}",
+        asm.render_tree(trace_id)
+    );
+
+    worker.shutdown();
+    drop(server);
+    flight::uninstall();
+    flight::clear();
+}
+
+/// A panicking thread leaves a parseable `flight-<pid>.json` behind.
+#[test]
+fn panic_dumps_parseable_flight_recording() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    flight::install();
+    flight::clear();
+    let dir = std::env::temp_dir().join(format!("acc-flight-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    flight::set_dump_dir(&dir);
+    flight::install_panic_hook();
+
+    let crash = std::thread::Builder::new()
+        .name("doomed".into())
+        .spawn(|| {
+            let _span = adaptive_spaces::telemetry::span!("doomed.final_descent");
+            adaptive_spaces::telemetry::event!("doomed.mayday", altitude = 0);
+            panic!("controlled flight into terrain");
+        })
+        .unwrap();
+    assert!(crash.join().is_err(), "thread must panic");
+
+    let dump_path = dir.join(format!("flight-{}.json", std::process::id()));
+    let dump = std::fs::read_to_string(&dump_path).expect("panic hook wrote the flight file");
+    let mut asm = TraceAssembler::new();
+    let parsed = asm.add_flight_json("crashed", &dump);
+    assert!(parsed > 0, "no events parsed from: {dump:.400}");
+    let span = asm
+        .find("doomed.final_descent")
+        .expect("the doomed span is in the recording");
+    assert_eq!(span.thread, "doomed");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    flight::uninstall();
+    flight::clear();
 }
