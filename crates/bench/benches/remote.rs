@@ -1,0 +1,83 @@
+//! Wire-protocol benchmarks: protocol-v2 batch dispatch and batch fetch
+//! against the per-tuple v1 baseline, over a real loopback TCP server.
+//!
+//! Both arms drive the same `TupleStore` batch API through a
+//! [`RemoteSpace`]; the baseline proxy is capped at protocol v1
+//! (`connect_capped(addr, 1)`), which degrades every batch call to one
+//! frame — one round trip — per tuple, exactly what a v1 peer pays.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use acc_tuplespace::{RemoteSpace, Space, SpaceServer, Template, Tuple, TupleStore};
+
+const TASKS: usize = 1000;
+
+fn task_tuple(id: i64) -> Tuple {
+    Tuple::build("acc.task")
+        .field("job", "bench")
+        .field("task_id", id)
+        .field("payload", vec![0u8; 64])
+        .done()
+}
+
+/// Master-side planning: dispatch 1k tasks through the proxy in one
+/// `write_all`. v1 pays 1000 round trips; v2 sends budgeted batch frames
+/// pipelined over the same connection.
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote/dispatch_1k");
+    group.throughput(Throughput::Elements(TASKS as u64));
+    for (label, cap) in [("per_tuple_v1", 1u32), ("batched_v2", 2)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cap, |b, &cap| {
+            let space = Space::new("bench");
+            let server = SpaceServer::spawn(space.clone(), "127.0.0.1:0").unwrap();
+            let remote = RemoteSpace::connect_capped(server.addr(), cap).unwrap();
+            let template = Template::of_type("acc.task");
+            b.iter(|| {
+                let tuples: Vec<Tuple> = (0..TASKS as i64).map(task_tuple).collect();
+                remote.write_all(tuples).unwrap();
+                // Cleanup between iterations stays local — off the wire
+                // path under test, and identical in both arms.
+                let drained = Space::take_all(&space, &template).unwrap();
+                assert_eq!(drained.len(), TASKS);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Worker-side fetching: drain 1k tasks through the proxy in prefetch
+/// batches of 32. v1 degrades `take_up_to` to a round trip per tuple.
+fn bench_fetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("remote/fetch_1k");
+    group.throughput(Throughput::Elements(TASKS as u64));
+    for (label, cap) in [("per_tuple_v1", 1u32), ("batched_v2", 2)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &cap, |b, &cap| {
+            let space = Space::new("bench");
+            let server = SpaceServer::spawn(space.clone(), "127.0.0.1:0").unwrap();
+            let remote = RemoteSpace::connect_capped(server.addr(), cap).unwrap();
+            let template = Template::of_type("acc.task");
+            b.iter(|| {
+                // Seeding is local: same cost in both arms, off the wire.
+                Space::write_all(&space, (0..TASKS as i64).map(task_tuple).collect()).unwrap();
+                let mut got = 0usize;
+                while got < TASKS {
+                    let batch = remote
+                        .take_up_to(&template, 32, Some(Duration::ZERO))
+                        .unwrap();
+                    assert!(!batch.is_empty(), "seeded tasks must be fetchable");
+                    got += batch.len();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dispatch, bench_fetch
+);
+criterion_main!(benches);

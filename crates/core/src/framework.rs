@@ -276,6 +276,13 @@ impl AdaptiveCluster {
         Ok(self.space_server.as_ref().expect("just set").addr())
     }
 
+    /// The TCP space server, when [`AdaptiveCluster::serve_space`] has been
+    /// called. Exposes operator levers like
+    /// [`SpaceServer::disconnect_all`] (and failure injection in tests).
+    pub fn space_server(&self) -> Option<&SpaceServer> {
+        self.space_server.as_ref()
+    }
+
     /// Adds a worker whose space access goes through the TCP proxy — the
     /// deployment shape, where worker machines reach the master's space
     /// over the network. Requires [`AdaptiveCluster::serve_space`].
@@ -375,7 +382,8 @@ impl AdaptiveCluster {
     /// Jini client would.
     pub fn run(&mut self, app: &mut dyn Application) -> RunReport {
         let space = self.find_space().expect("space registered in federation");
-        let master = Master::new(space);
+        let mut master = Master::new(space);
+        master.dispatch_chunk = self.config.dispatch_chunk;
         master.run(app).expect("space open for the run's duration")
     }
 

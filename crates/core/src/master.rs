@@ -12,7 +12,7 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use acc_telemetry::span;
-use acc_tuplespace::{SpaceError, StoreHandle, Template};
+use acc_tuplespace::{SpaceError, StoreHandle, Template, Tuple};
 
 use crate::checkpoint::CheckpointState;
 use crate::metrics::PhaseTimes;
@@ -38,6 +38,10 @@ pub struct Master {
     space: StoreHandle,
     /// How long to wait for each outstanding result before giving up.
     pub result_timeout: Duration,
+    /// How many planned tasks go into one batched space write. Over a
+    /// remote space each chunk is a single pipelined round trip instead of
+    /// one per task; see [`crate::FrameworkConfig::dispatch_chunk`].
+    pub dispatch_chunk: usize,
 }
 
 impl Master {
@@ -46,6 +50,7 @@ impl Master {
         Master {
             space,
             result_timeout: Duration::from_secs(60),
+            dispatch_chunk: 256,
         }
     }
 
@@ -78,11 +83,14 @@ impl Master {
             let _span = span!("master.planning", job = job.as_str());
             let specs = app.plan();
             times.tasks = specs.len();
-            for spec in &specs {
-                let per_task = Instant::now();
-                let entry = TaskEntry::new(job.clone(), spec.task_id, spec.payload.clone());
-                self.space.write(entry.to_tuple())?;
-                max_overhead = max_overhead.max(ms_since(per_task));
+            for batch in specs.chunks(self.dispatch_chunk.max(1)) {
+                let mut tuples: Vec<Tuple> = batch
+                    .iter()
+                    .map(|spec| {
+                        TaskEntry::new(job.clone(), spec.task_id, spec.payload.clone()).to_tuple()
+                    })
+                    .collect();
+                dispatch_batch(&self.space, &mut tuples, &mut max_overhead)?;
             }
             specs
         };
@@ -218,6 +226,8 @@ impl Master {
         }
 
         let mut written = 0usize;
+        let chunk = self.dispatch_chunk.max(1);
+        let mut pending: Vec<Tuple> = Vec::new();
         for spec in &specs {
             if completed.contains(&spec.task_id) {
                 continue;
@@ -232,12 +242,14 @@ impl Master {
                     continue;
                 }
             }
-            let per_task = Instant::now();
             let entry = TaskEntry::new(job.clone(), spec.task_id, spec.payload.clone());
-            self.space.write(entry.to_tuple())?;
+            pending.push(entry.to_tuple());
             written += 1;
-            max_overhead = max_overhead.max(ms_since(per_task));
+            if pending.len() >= chunk {
+                dispatch_batch(&self.space, &mut pending, &mut max_overhead)?;
+            }
         }
+        dispatch_batch(&self.space, &mut pending, &mut max_overhead)?;
         times.task_planning_ms = ms_since(planning_start);
         series().tasks_planned.add(written as u64);
 
@@ -289,6 +301,24 @@ impl Master {
         report.times = times;
         Ok(report)
     }
+}
+
+/// Writes one planning chunk with a single batched space operation (one
+/// pipelined round trip on a remote space) and folds the amortised
+/// per-task cost into the master-overhead metric.
+fn dispatch_batch(
+    space: &StoreHandle,
+    pending: &mut Vec<Tuple>,
+    max_overhead: &mut f64,
+) -> Result<(), SpaceError> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let n = pending.len();
+    let t0 = Instant::now();
+    space.write_all(std::mem::take(pending))?;
+    *max_overhead = max_overhead.max(ms_since(t0) / n as f64);
+    Ok(())
 }
 
 /// Absorbs one result tuple into the application, marking its task

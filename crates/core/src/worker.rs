@@ -15,13 +15,14 @@
 //! * on Pause the executor stays linked (Resume skips class loading); on
 //!   Stop it is dropped (the next Start reloads).
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acc_cluster::LoadMix;
 use acc_telemetry::{event, span};
-use acc_tuplespace::{StoreHandle, Template};
+use acc_tuplespace::{SpaceError, StoreHandle, Template, Tuple};
 use parking_lot::Mutex;
 
 use crate::config::FrameworkConfig;
@@ -176,10 +177,23 @@ struct LoopState {
     tasks_done: Arc<Mutex<u64>>,
 }
 
+/// How many *consecutive* transport-level take failures a worker rides out
+/// before concluding the space is gone for good. `RemoteSpace` already
+/// absorbs a single dropped connection internally; this guards the window
+/// where the server is briefly unreachable across calls.
+const MAX_TRANSPORT_STRIKES: u32 = 3;
+
 fn worker_loop(ls: LoopState) {
     let template: Template = task_template(&ls.config.job);
     let mut executor: Option<Arc<dyn TaskExecutor>> = None;
     let mut first_access: Option<Instant> = None;
+    // Tasks fetched ahead of execution (one batched round trip for up to
+    // `task_prefetch` tasks). Only the executing task is committed to this
+    // worker: on Pause/Stop/shutdown the buffer is written back to the
+    // space so other workers can claim it.
+    let prefetch = ls.config.framework.task_prefetch.max(1);
+    let mut prefetched: VecDeque<Tuple> = VecDeque::new();
+    let mut transport_strikes = 0u32;
     let set_load = |pct: u64| {
         if let Some(load) = &ls.config.node_load {
             load.set_framework(pct);
@@ -193,6 +207,10 @@ fn worker_loop(ls: LoopState) {
         let state = *ls.state.lock();
         match state {
             WorkerState::Stopped | WorkerState::Paused => {
+                // Unstarted prefetched tasks must not sit out the back-off
+                // invisible to the rest of the cluster (paper §4.3: only
+                // the currently executing task completes).
+                return_prefetched(&ls, &mut prefetched);
                 set_load(0);
                 // Blocked on the signal channel; nothing else to do.
                 if let Some(msg) = ls.config.duplex.recv_timeout(Duration::from_millis(25)) {
@@ -213,15 +231,36 @@ fn worker_loop(ls: LoopState) {
                     *ls.state.lock() = WorkerState::Stopped;
                     continue;
                 };
-                set_load(IDLE_RUNNING_LOAD);
-                let taken = ls
-                    .config
-                    .space
-                    .take(&template, Some(ls.config.framework.task_poll_timeout));
-                match taken {
-                    Err(_) => break, // space closed: cluster shutting down
-                    Ok(None) => {}   // no task yet; loop to re-check signals
-                    Ok(Some(tuple)) => {
+                if prefetched.is_empty() {
+                    set_load(IDLE_RUNNING_LOAD);
+                    let taken = ls.config.space.take_up_to(
+                        &template,
+                        prefetch,
+                        Some(ls.config.framework.task_poll_timeout),
+                    );
+                    match taken {
+                        Err(SpaceError::Transport(_))
+                            if transport_strikes + 1 < MAX_TRANSPORT_STRIKES =>
+                        {
+                            // Transient: the server may be restarting.
+                            transport_strikes += 1;
+                            continue;
+                        }
+                        Err(_) => break, // space closed: cluster shutting down
+                        Ok(batch) => {
+                            transport_strikes = 0;
+                            if batch.len() > 1 {
+                                event!("worker.prefetch", count = batch.len() as u64);
+                            }
+                            prefetched.extend(batch);
+                        }
+                    }
+                    // Re-check signals before starting on the batch.
+                    continue;
+                }
+                {
+                    let tuple = prefetched.pop_front().expect("non-empty buffer");
+                    {
                         let Some(task) = TaskEntry::from_tuple(&tuple) else {
                             continue;
                         };
@@ -277,7 +316,13 @@ fn worker_loop(ls: LoopState) {
                                 let _ = e;
                                 let mut retry = task.clone();
                                 retry.retries += 1;
-                                let _ = ls.config.space.write(retry.to_tuple());
+                                if ls.config.space.write(retry.to_tuple()).is_err() {
+                                    // Same exit as the result-write sites:
+                                    // swallowing this error would silently
+                                    // lose the task and keep looping against
+                                    // a dead space.
+                                    break;
+                                }
                                 series().tasks_retried.inc();
                             }
                             Err(e) => {
@@ -308,8 +353,27 @@ fn worker_loop(ls: LoopState) {
             }
         }
     }
+    // Whatever ended the loop (shutdown, space closed, poisoned write):
+    // give unstarted prefetched tasks back if the space will still have
+    // them, so they are not lost with this worker.
+    return_prefetched(&ls, &mut prefetched);
     set_load(0);
     ls.config.duplex.send(RuleMessage::Bye);
+}
+
+/// Writes the worker's unstarted prefetched tasks back to the space in one
+/// batch. Failure is tolerated: if the space is closed the cluster is shutting
+/// down and the tasks are moot; if it is unreachable the master's result
+/// timeout re-issues them.
+fn return_prefetched(ls: &LoopState, prefetched: &mut VecDeque<Tuple>) {
+    if prefetched.is_empty() {
+        return;
+    }
+    let tuples: Vec<Tuple> = prefetched.drain(..).collect();
+    let count = tuples.len() as u64;
+    if ls.config.space.write_all(tuples).is_ok() {
+        event!("worker.prefetch.return", count = count);
+    }
 }
 
 fn handle_message(
@@ -419,7 +483,7 @@ mod tests {
     use crate::loader::CodeBundle;
     use crate::rulebase::{duplex_pair, RuleBaseServer};
     use crate::task::{ExecError, TaskSpec};
-    use acc_tuplespace::{Payload, Space, SpaceHandle};
+    use acc_tuplespace::{EntryId, Lease, Payload, Space, SpaceHandle, SpaceResult, TupleStore};
 
     struct SquareExec;
     impl TaskExecutor for SquareExec {
@@ -437,11 +501,33 @@ mod tests {
 
     fn rig() -> Rig {
         let space = Space::new("rig");
+        let store: StoreHandle = space.clone();
+        rig_with(
+            space,
+            store,
+            Arc::new(SquareExec),
+            FrameworkConfig {
+                task_poll_timeout: Duration::from_millis(10),
+                ..FrameworkConfig::default()
+            },
+        )
+    }
+
+    /// Like [`rig`] but with the worker reaching the space through an
+    /// arbitrary store (for failure injection), a custom executor, and
+    /// explicit tunables. `space` is the underlying space tests seed and
+    /// inspect directly.
+    fn rig_with(
+        space: SpaceHandle,
+        store: StoreHandle,
+        exec: Arc<dyn TaskExecutor>,
+        framework: FrameworkConfig,
+    ) -> Rig {
         let server = RuleBaseServer::new(Arc::new(|_, _| {}));
         let bundle_server = BundleServer::new(Duration::from_millis(5), Duration::ZERO);
         bundle_server.publish(CodeBundle::synthetic("sq", 1, 1));
         let registry = ExecutorRegistry::new();
-        registry.register("sq", Arc::new(SquareExec));
+        registry.register("sq", exec);
         let (client, server_side) = duplex_pair();
         let server2 = server.clone();
         let accept = std::thread::spawn(move || {
@@ -449,7 +535,7 @@ mod tests {
         });
         let worker = WorkerRuntime::spawn(WorkerConfig {
             name: "w01".into(),
-            space: space.clone(),
+            space: store,
             bundle_server,
             registry,
             duplex: client,
@@ -457,10 +543,7 @@ mod tests {
             job: "squares".into(),
             node_load: None,
             epoch: Instant::now(),
-            framework: FrameworkConfig {
-                task_poll_timeout: Duration::from_millis(10),
-                ..FrameworkConfig::default()
-            },
+            framework,
         })
         .unwrap();
         let id = accept.join().unwrap();
@@ -580,6 +663,128 @@ mod tests {
         wait_for(|| r.worker.state() == WorkerState::Running, "start");
         r.space.close();
         // The loop exits; shutdown() joins promptly.
+        r.worker.shutdown();
+    }
+
+    /// Delegates everything to an inner space, but fails writes once
+    /// armed — the shape of a master whose space became unreachable for
+    /// writes while takes still drain a local queue.
+    struct FailingWriteStore {
+        inner: SpaceHandle,
+        arm: AtomicBool,
+    }
+
+    impl TupleStore for FailingWriteStore {
+        fn write_leased(&self, tuple: Tuple, lease: Lease) -> SpaceResult<EntryId> {
+            if self.arm.load(Ordering::SeqCst) {
+                return Err(SpaceError::Storage("injected write failure".into()));
+            }
+            self.inner.write_leased(tuple, lease)
+        }
+        fn read(&self, t: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+            self.inner.read(t, timeout)
+        }
+        fn take(&self, t: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+            self.inner.take(t, timeout)
+        }
+        fn count(&self, t: &Template) -> SpaceResult<usize> {
+            Ok(Space::count(&self.inner, t))
+        }
+        fn close(&self) {
+            self.inner.close()
+        }
+        fn is_closed(&self) -> bool {
+            self.inner.is_closed()
+        }
+    }
+
+    #[test]
+    fn retry_write_failure_stops_worker_without_losing_queued_tasks() {
+        struct AlwaysFails;
+        impl TaskExecutor for AlwaysFails {
+            fn execute(&self, _: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+                Err(ExecError::App("always fails".into()))
+            }
+        }
+        let space = Space::new("failing-writes");
+        let store = Arc::new(FailingWriteStore {
+            inner: space.clone(),
+            arm: AtomicBool::new(false),
+        });
+        let r = rig_with(
+            space.clone(),
+            store.clone(),
+            Arc::new(AlwaysFails),
+            FrameworkConfig {
+                task_poll_timeout: Duration::from_millis(10),
+                task_prefetch: 1,
+                max_task_retries: 10,
+                ..FrameworkConfig::default()
+            },
+        );
+        put_task(&r.space, 0, 1);
+        put_task(&r.space, 1, 2);
+        store.arm.store(true, Ordering::SeqCst);
+        r.server.send_signal(r.worker.id(), Signal::Start);
+        // The worker takes task 0, fails it, and cannot write the retry
+        // back: it must stop there — not swallow the error and keep
+        // consuming (and losing) the rest of the queue.
+        wait_for(|| space.len() == 1, "first task taken");
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            space.len(),
+            1,
+            "worker kept consuming tasks after a failed retry write"
+        );
+        assert_eq!(r.worker.tasks_done(), 0);
+        r.worker.shutdown();
+    }
+
+    #[test]
+    fn pause_returns_unstarted_prefetched_tasks_to_the_space() {
+        struct Slow;
+        impl TaskExecutor for Slow {
+            fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+                std::thread::sleep(Duration::from_millis(25));
+                let x: u64 = task.input()?;
+                Ok((x * x).to_bytes())
+            }
+        }
+        let space = Space::new("prefetching");
+        let store: StoreHandle = space.clone();
+        let r = rig_with(
+            space.clone(),
+            store,
+            Arc::new(Slow),
+            FrameworkConfig {
+                task_poll_timeout: Duration::from_millis(10),
+                task_prefetch: 4,
+                ..FrameworkConfig::default()
+            },
+        );
+        let total = 10u64;
+        for i in 0..total {
+            put_task(&r.space, i, i);
+        }
+        r.server.send_signal(r.worker.id(), Signal::Start);
+        wait_for(|| r.worker.tasks_done() >= 1, "first task done");
+        r.server.send_signal(r.worker.id(), Signal::Pause);
+        wait_for(|| r.worker.state() == WorkerState::Paused, "pause");
+        // Let the loop reach its Paused arm, which flushes the buffer.
+        std::thread::sleep(Duration::from_millis(60));
+        let done = r.worker.tasks_done();
+        let queued = space.count(&task_template("squares")) as u64;
+        assert!(done < total, "pause must land before the job finishes");
+        assert_eq!(
+            queued + done,
+            total,
+            "unstarted prefetched tasks must be back in the space, \
+             visible to other workers, while this one is paused"
+        );
+        // Resume: the worker re-fetches what it gave back and finishes.
+        r.server.send_signal(r.worker.id(), Signal::Resume);
+        wait_for(|| r.worker.tasks_done() == total, "job completes");
+        assert_eq!(space.count(&task_template("squares")), 0);
         r.worker.shutdown();
     }
 }

@@ -198,6 +198,28 @@ pub mod strategy {
 
     impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    // Tuples of strategies generate tuples of values, componentwise — the
+    // upstream `(a, b).prop_map(|(x, y)| ...)` composition idiom.
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),*) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+)
+                where
+                    $($name::Value: Debug),+
+                {
+                    type Value = ($($name::Value,)+);
+                    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.generate(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
     /// `&str` literals act as tiny regex strategies. Supported shapes:
     /// one character class with a repetition count (`"[a-z]{1,6}"`,
     /// `"[a-zA-Z0-9]{0,16}"`); anything else is generated literally.

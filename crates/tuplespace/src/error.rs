@@ -26,6 +26,16 @@ pub enum SpaceError {
     /// A durability operation (journal, snapshot, recovery) failed at the
     /// storage layer; the message carries the underlying I/O error.
     Storage(String),
+    /// A remote operation failed at the transport layer (connection reset,
+    /// timeout, refused reconnect). Unlike [`SpaceError::Closed`] this does
+    /// **not** mean the space shut down — the server may still be alive and
+    /// a later call (which reconnects) can succeed. Callers in retry loops
+    /// should treat this as transient.
+    Transport(String),
+    /// The remote peer answered with a frame that decodes but does not
+    /// match the request (wrong response variant, bad correlation id). This
+    /// indicates a protocol bug or a hostile peer, never a clean shutdown.
+    Protocol(String),
 }
 
 impl fmt::Display for SpaceError {
@@ -38,6 +48,8 @@ impl fmt::Display for SpaceError {
             SpaceError::EntryLocked => write!(f, "entry is locked by a transaction"),
             SpaceError::NoSuchRegistration => write!(f, "no such event registration"),
             SpaceError::Storage(msg) => write!(f, "storage error: {msg}"),
+            SpaceError::Transport(msg) => write!(f, "transport error: {msg}"),
+            SpaceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
         }
     }
 }

@@ -13,10 +13,15 @@
 //! controls lived in Jini security policies, out of scope here). Bind to
 //! loopback or a trusted segment.
 //!
-//! Protocol: one synchronous request/response per frame per connection.
-//! Blocking `read`/`take` block on the *server* (each connection gets its
-//! own service thread), exactly like a JavaSpaces proxy blocking on the
-//! remote call.
+//! Protocol: length-prefixed frames over one connection. Plain (v0/v1)
+//! requests are served synchronously — one request/response at a time —
+//! and blocking `read`/`take` block on the *server* (each connection gets
+//! its own service thread), exactly like a JavaSpaces proxy blocking on
+//! the remote call. Protocol v2 adds batch operations (`WriteAll`,
+//! `TakeUpTo`) and *pipelined* requests: a client may send several
+//! [`Request::Corr`]-wrapped frames back to back and collect the
+//! correlated responses afterwards, paying one round trip for the whole
+//! batch instead of one per tuple.
 //!
 //! ```
 //! use acc_tuplespace::{RemoteSpace, Space, SpaceServer, Template, Tuple, TupleStore};
@@ -32,7 +37,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -50,14 +55,20 @@ use crate::tuple::Tuple;
 const MAX_FRAME: usize = 16 << 20;
 
 /// Current wire-protocol version, exchanged via [`Request::Hello`].
-/// Version 1 adds the `Hello` handshake and the `Traced` request
-/// envelope carrying a distributed [`TraceContext`]. Version-0 peers
-/// (the seed protocol) never see either: a v0 server drops the
-/// connection on the unknown `Hello` tag, which the client takes as
-/// "speak v0" and reconnects plain.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// * **Version 1** adds the `Hello` handshake and the `Traced` request
+///   envelope carrying a distributed [`TraceContext`]. Version-0 peers
+///   (the seed protocol) never see either: a v0 server drops the
+///   connection on the unknown `Hello` tag, which the client takes as
+///   "speak v0" and reconnects plain.
+/// * **Version 2** adds the batch operations `WriteAll` / `TakeUpTo` and
+///   the `Corr` correlation envelope for pipelining several in-flight
+///   requests over one connection. The client gates every v2 frame on the
+///   version the server answered, so v0/v1 peers keep interoperating —
+///   batch trait calls silently degrade to loops of single-tuple frames.
+pub const PROTO_VERSION: u32 = 2;
 
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 enum Request {
     /// Write with optional lease (`None` = forever, `Some(ms)`).
     Write(Tuple, Option<u64>),
@@ -81,6 +92,18 @@ enum Request {
         span_id: u64,
         inner: Box<Request>,
     },
+    /// Batch write: every tuple stored under one optional lease in a
+    /// single space operation (one round trip, one wakeup per shard). (v2+)
+    WriteAll(Vec<Tuple>, Option<u64>),
+    /// Batch take: block up to the timeout for the first match, then drain
+    /// up to `max` currently matching tuples without further waiting. (v2+)
+    TakeUpTo(Template, u64, Option<u64>),
+    /// Pipelining envelope: the response to this request is wrapped in
+    /// [`Response::Corr`] with the same correlation id, so several
+    /// requests can be in flight on one connection and their responses
+    /// matched up out of order. May wrap an operation or a `Traced`
+    /// envelope — never a `Hello` or another `Corr`. (v2+)
+    Corr { corr_id: u64, inner: Box<Request> },
 }
 
 impl Payload for Request {
@@ -128,35 +151,73 @@ impl Payload for Request {
                 w.put_u64(*span_id);
                 inner.encode(w);
             }
+            Request::WriteAll(tuples, lease) => {
+                w.put_u8(9);
+                w.put_u32(tuples.len() as u32);
+                for tuple in tuples {
+                    tuple.encode(w);
+                }
+                put_opt(w, lease);
+            }
+            Request::TakeUpTo(tmpl, max, timeout) => {
+                w.put_u8(10);
+                tmpl.encode(w);
+                w.put_u64(*max);
+                put_opt(w, timeout);
+            }
+            Request::Corr { corr_id, inner } => {
+                w.put_u8(11);
+                w.put_u64(*corr_id);
+                inner.encode(w);
+            }
         }
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
         match r.get_u8()? {
             7 => Ok(Request::Hello(r.get_u32()?)),
-            8 => {
-                let trace_id = r.get_u64()?;
-                let span_id = r.get_u64()?;
-                // The envelope may only wrap a *basic* request — decoding
-                // the inner tag through `decode` again would let a hostile
-                // frame nest envelopes ~1M deep inside MAX_FRAME and blow
-                // the service thread's stack.
-                let inner = Request::decode_basic(r.get_u8()?, r)?;
-                Ok(Request::Traced {
-                    trace_id,
-                    span_id,
+            8 => Request::decode_traced(r),
+            11 => {
+                let corr_id = r.get_u64()?;
+                // A correlation envelope wraps an operation or one trace
+                // envelope — never a handshake or another `Corr`, so frame
+                // nesting is bounded at depth two (no recursion through
+                // `decode`, which a hostile frame could stack ~1M deep).
+                let inner = match r.get_u8()? {
+                    8 => Request::decode_traced(r)?,
+                    tag => Request::decode_op(tag, r)?,
+                };
+                Ok(Request::Corr {
+                    corr_id,
                     inner: Box::new(inner),
                 })
             }
-            tag => Request::decode_basic(tag, r),
+            tag => Request::decode_op(tag, r),
         }
     }
 }
 
 impl Request {
-    /// Decodes the version-0 request set (tags 1–6) — everything except
-    /// the handshake and the trace envelope.
-    fn decode_basic(tag: u8, r: &mut WireReader) -> Result<Request, PayloadError> {
+    /// Decodes a trace envelope body (tag 8 already consumed). The
+    /// envelope may only wrap an *operation* — decoding the inner tag
+    /// through `decode` again would let a hostile frame nest envelopes
+    /// arbitrarily deep inside MAX_FRAME and blow the service thread's
+    /// stack.
+    fn decode_traced(r: &mut WireReader) -> Result<Request, PayloadError> {
+        let trace_id = r.get_u64()?;
+        let span_id = r.get_u64()?;
+        let inner = Request::decode_op(r.get_u8()?, r)?;
+        Ok(Request::Traced {
+            trace_id,
+            span_id,
+            inner: Box::new(inner),
+        })
+    }
+
+    /// Decodes the operation set — the version-0 requests (tags 1–6) plus
+    /// the v2 batch operations (tags 9–10); everything except the
+    /// handshake and the two envelopes.
+    fn decode_op(tag: u8, r: &mut WireReader) -> Result<Request, PayloadError> {
         let get_opt = |r: &mut WireReader| -> Result<Option<u64>, PayloadError> {
             if r.get_bool()? {
                 Ok(Some(r.get_u64()?))
@@ -183,6 +244,31 @@ impl Request {
             4 => Ok(Request::Count(Template::decode(r)?)),
             5 => Ok(Request::Close),
             6 => Ok(Request::IsClosed),
+            9 => {
+                let n = r.get_u32()?;
+                // No `with_capacity(n)`: the count is attacker-controlled
+                // and the body is bounded by MAX_FRAME anyway.
+                let mut tuples = Vec::new();
+                for _ in 0..n {
+                    tuples.push(Tuple::decode(r)?);
+                }
+                let lease = if r.get_bool()? {
+                    Some(r.get_u64()?)
+                } else {
+                    None
+                };
+                Ok(Request::WriteAll(tuples, lease))
+            }
+            10 => {
+                let tmpl = Template::decode(r)?;
+                let max = r.get_u64()?;
+                let timeout = if r.get_bool()? {
+                    Some(r.get_u64()?)
+                } else {
+                    None
+                };
+                Ok(Request::TakeUpTo(tmpl, max, timeout))
+            }
             _ => Err(PayloadError::Corrupt("request tag")),
         }
     }
@@ -199,21 +285,65 @@ impl Request {
             Request::IsClosed => "is_closed",
             Request::Hello(..) => "hello",
             Request::Traced { .. } => "traced",
+            Request::WriteAll(..) => "write_all",
+            Request::TakeUpTo(..) => "take_up_to",
+            Request::Corr { .. } => "corr",
+        }
+    }
+
+    /// The lowest protocol version whose peers understand this request —
+    /// what a version-capped server checks to emulate an older peer
+    /// (older servers genuinely cannot decode newer tags and hang up; the
+    /// cap reproduces that hangup without a second codebase).
+    fn min_version(&self) -> u32 {
+        match self {
+            Request::Write(..)
+            | Request::Read(..)
+            | Request::Take(..)
+            | Request::Count(..)
+            | Request::Close
+            | Request::IsClosed => 0,
+            Request::Hello(..) => 1,
+            Request::Traced { inner, .. } => inner.min_version().max(1),
+            Request::WriteAll(..) | Request::TakeUpTo(..) => 2,
+            Request::Corr { inner, .. } => inner.min_version().max(2),
+        }
+    }
+
+    /// True when serving this request *removes* tuples from the space. If
+    /// the response to such a request cannot be delivered, the server must
+    /// restore the taken tuples (see [`restore_unacked`]) — otherwise a
+    /// connection dropped between the take and the response destroys them.
+    fn is_destructive(&self) -> bool {
+        match self {
+            Request::Take(..) | Request::TakeUpTo(..) => true,
+            Request::Traced { inner, .. } | Request::Corr { inner, .. } => inner.is_destructive(),
+            _ => false,
         }
     }
 }
 
-#[derive(Debug, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 enum Response {
     Id(EntryId),
     MaybeTuple(Option<Tuple>),
     Count(u64),
     Bool(bool),
     Unit,
-    /// An error code plus a detail string (empty except for `Storage`).
+    /// An error code plus a detail string (empty except for `Storage`,
+    /// `Transport` and `Protocol`).
     Err(u8, String),
     /// The server's protocol version, answering [`Request::Hello`]. (v1+)
     Proto(u32),
+    /// Entry ids of a batch write, answering [`Request::WriteAll`]. (v2+)
+    Ids(Vec<EntryId>),
+    /// Tuples of a batch take, answering [`Request::TakeUpTo`]. (v2+)
+    Tuples(Vec<Tuple>),
+    /// The correlated answer to a [`Request::Corr`] envelope. (v2+)
+    Corr {
+        corr_id: u64,
+        inner: Box<Response>,
+    },
 }
 
 fn error_encode(e: &SpaceError) -> Response {
@@ -225,9 +355,13 @@ fn error_encode(e: &SpaceError) -> Response {
         SpaceError::NoSuchRegistration => 5,
         SpaceError::EntryLocked => 6,
         SpaceError::Storage(_) => 7,
+        SpaceError::Transport(_) => 8,
+        SpaceError::Protocol(_) => 9,
     };
     let detail = match e {
-        SpaceError::Storage(msg) => msg.clone(),
+        SpaceError::Storage(msg) | SpaceError::Transport(msg) | SpaceError::Protocol(msg) => {
+            msg.clone()
+        }
         _ => String::new(),
     };
     Response::Err(code, detail)
@@ -241,6 +375,8 @@ fn error_from(code: u8, detail: String) -> SpaceError {
         4 => SpaceError::LeaseExpired,
         6 => SpaceError::EntryLocked,
         7 => SpaceError::Storage(detail),
+        8 => SpaceError::Transport(detail),
+        9 => SpaceError::Protocol(detail),
         _ => SpaceError::NoSuchRegistration,
     }
 }
@@ -275,11 +411,49 @@ impl Payload for Response {
                 w.put_u8(8);
                 w.put_u32(*version);
             }
+            Response::Ids(ids) => {
+                w.put_u8(9);
+                w.put_u32(ids.len() as u32);
+                for id in ids {
+                    w.put_u64(*id);
+                }
+            }
+            Response::Tuples(tuples) => {
+                w.put_u8(10);
+                w.put_u32(tuples.len() as u32);
+                for tuple in tuples {
+                    tuple.encode(w);
+                }
+            }
+            Response::Corr { corr_id, inner } => {
+                w.put_u8(11);
+                w.put_u64(*corr_id);
+                inner.encode(w);
+            }
         }
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
         match r.get_u8()? {
+            11 => {
+                let corr_id = r.get_u64()?;
+                // Correlation envelopes never nest (same stack-depth guard
+                // as on the request side).
+                let inner = Response::decode_flat(r.get_u8()?, r)?;
+                Ok(Response::Corr {
+                    corr_id,
+                    inner: Box::new(inner),
+                })
+            }
+            tag => Response::decode_flat(tag, r),
+        }
+    }
+}
+
+impl Response {
+    /// Decodes every response except the correlation envelope.
+    fn decode_flat(tag: u8, r: &mut WireReader) -> Result<Response, PayloadError> {
+        match tag {
             1 => Ok(Response::Id(r.get_u64()?)),
             2 => Ok(Response::MaybeTuple(None)),
             3 => Ok(Response::MaybeTuple(Some(Tuple::decode(r)?))),
@@ -288,6 +462,22 @@ impl Payload for Response {
             6 => Ok(Response::Unit),
             7 => Ok(Response::Err(r.get_u8()?, r.get_str()?)),
             8 => Ok(Response::Proto(r.get_u32()?)),
+            9 => {
+                let n = r.get_u32()?;
+                let mut ids = Vec::new();
+                for _ in 0..n {
+                    ids.push(r.get_u64()?);
+                }
+                Ok(Response::Ids(ids))
+            }
+            10 => {
+                let n = r.get_u32()?;
+                let mut tuples = Vec::new();
+                for _ in 0..n {
+                    tuples.push(Tuple::decode(r)?);
+                }
+                Ok(Response::Tuples(tuples))
+            }
             _ => Err(PayloadError::Corrupt("response tag")),
         }
     }
@@ -295,6 +485,19 @@ impl Payload for Response {
 
 fn write_frame(stream: &mut TcpStream, payload: &impl Payload) -> std::io::Result<()> {
     let bytes = payload.to_bytes();
+    // Reject oversized frames before the length prefix goes out: casting
+    // an over-4GiB length to u32 would wrap the prefix and desync the
+    // stream, and anything over MAX_FRAME would be rejected by the peer's
+    // reader anyway — after we already paid to send it.
+    if bytes.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "frame too large to send: {} > {MAX_FRAME} bytes",
+                bytes.len()
+            ),
+        ));
+    }
     stream.write_all(&(bytes.len() as u32).to_le_bytes())?;
     stream.write_all(&bytes)?;
     stream.flush()
@@ -332,6 +535,13 @@ pub struct ServerOptions {
     /// Max concurrently served connections; connections accepted over this
     /// limit are dropped immediately.
     pub max_connections: usize,
+    /// Highest protocol version this server speaks (default
+    /// [`PROTO_VERSION`]). A capped server behaves exactly like a real
+    /// older build: it answers `Hello` with the capped version and hangs
+    /// up on any frame that version cannot decode — which is what the
+    /// cross-version interop tests rely on to emulate v0/v1 peers without
+    /// keeping three codebases around.
+    pub protocol_version: u32,
 }
 
 impl Default for ServerOptions {
@@ -340,6 +550,7 @@ impl Default for ServerOptions {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(10)),
             max_connections: 128,
+            protocol_version: PROTO_VERSION,
         }
     }
 }
@@ -449,13 +660,56 @@ impl SpaceServer {
                         }
                     }
                     let _slot = Slot(active, conns3, conn_id);
+                    // Responses go through a shared writer so pipelined
+                    // requests served on side threads can interleave their
+                    // answers with the synchronous path.
+                    let Ok(writer) = stream.try_clone() else {
+                        return;
+                    };
+                    let writer = Arc::new(Mutex::new(writer));
+                    let version = opts.protocol_version;
                     while let Ok(bytes) = read_frame_bytes(&mut stream) {
                         let Ok(request) = Request::from_bytes(&bytes) else {
                             break;
                         };
-                        let response = serve(&space, request);
-                        if write_frame(&mut stream, &response).is_err() {
+                        if request.min_version() > version {
+                            // A real server of the capped version could not
+                            // have decoded this frame; reproduce its
+                            // reaction — hang up without an answer.
                             break;
+                        }
+                        match request {
+                            Request::Corr { corr_id, inner } => {
+                                // Pipelined: serve on a side thread so a
+                                // blocking batch take does not stall the
+                                // requests queued behind it; the response
+                                // carries the correlation id back.
+                                let space = space.clone();
+                                let writer = writer.clone();
+                                let destructive = inner.is_destructive();
+                                std::thread::spawn(move || {
+                                    let inner = serve(&space, *inner, version);
+                                    let response = Response::Corr {
+                                        corr_id,
+                                        inner: Box::new(inner),
+                                    };
+                                    if write_frame(&mut writer.lock(), &response).is_err()
+                                        && destructive
+                                    {
+                                        restore_unacked(&space, response);
+                                    }
+                                });
+                            }
+                            request => {
+                                let destructive = request.is_destructive();
+                                let response = serve(&space, request, version);
+                                if write_frame(&mut writer.lock(), &response).is_err() {
+                                    if destructive {
+                                        restore_unacked(&space, response);
+                                    }
+                                    break;
+                                }
+                            }
                         }
                     }
                 });
@@ -473,6 +727,17 @@ impl SpaceServer {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Hangs up on every currently served connection. Clients see a reset
+    /// on their next (or in-flight) request and are expected to reconnect
+    /// — [`RemoteSpace`] does so transparently. An operator lever for
+    /// shedding stuck clients, and the failure injection behind the
+    /// "worker survives a dropped connection" tests.
+    pub fn disconnect_all(&self) {
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
     }
 }
 
@@ -492,9 +757,32 @@ impl Drop for SpaceServer {
     }
 }
 
-fn serve(space: &Arc<Space>, request: Request) -> Response {
+/// Returns tuples carried by an *undeliverable* response to a destructive
+/// request back to the space. A take's tuples live only in the response
+/// frame once removed from the space; if that frame never reaches the
+/// client (connection cut mid-call — see `SpaceServer::disconnect_all`, or
+/// the client died), dropping it would silently destroy them. Restoring
+/// them lets the client's reconnect-and-retry take them again, and returns
+/// a dead worker's tasks to the pool. Restored tuples get a fresh
+/// `Forever` lease — the original lease was consumed by the take.
+///
+/// Callers gate on [`Request::is_destructive`]: a `MaybeTuple` response to
+/// a plain `read` must *not* be restored (the tuple is still in the
+/// space — writing it back would duplicate it).
+fn restore_unacked(space: &Arc<Space>, response: Response) {
+    let tuples = match response {
+        Response::MaybeTuple(Some(tuple)) => vec![tuple],
+        Response::Tuples(tuples) if !tuples.is_empty() => tuples,
+        Response::Corr { inner, .. } => return restore_unacked(space, *inner),
+        _ => return,
+    };
+    // Failure means the space is closed; the tuples are moot then.
+    let _ = Space::write_all(space, tuples);
+}
+
+fn serve(space: &Arc<Space>, request: Request, version: u32) -> Response {
     match request {
-        Request::Hello(_client_version) => Response::Proto(PROTO_VERSION),
+        Request::Hello(_client_version) => Response::Proto(version),
         Request::Traced {
             trace_id,
             span_id,
@@ -505,13 +793,13 @@ fn serve(space: &Arc<Space>, request: Request) -> Response {
             let _ctx = (trace_id != 0 && span_id != 0)
                 .then(|| TraceContext { trace_id, span_id }.attach());
             let _span = acc_telemetry::span!("space.serve", op = inner.op_name());
-            serve_basic(space, *inner)
+            serve_basic(space, *inner, version)
         }
-        basic => serve_basic(space, basic),
+        basic => serve_basic(space, basic, version),
     }
 }
 
-fn serve_basic(space: &Arc<Space>, request: Request) -> Response {
+fn serve_basic(space: &Arc<Space>, request: Request, version: u32) -> Response {
     fn map<T>(result: SpaceResult<T>, ok: impl FnOnce(T) -> Response) -> Response {
         match result {
             Ok(v) => ok(v),
@@ -540,50 +828,132 @@ fn serve_basic(space: &Arc<Space>, request: Request) -> Response {
             Response::Unit
         }
         Request::IsClosed => Response::Bool(Space::is_closed(space)),
+        Request::WriteAll(tuples, lease) => {
+            let lease = match lease {
+                Some(ms) => Lease::for_millis(ms),
+                None => Lease::Forever,
+            };
+            map(Space::write_all_leased(space, tuples, lease), Response::Ids)
+        }
+        Request::TakeUpTo(tmpl, max, timeout) => {
+            match Space::take_up_to(
+                space,
+                &tmpl,
+                max as usize,
+                timeout.map(Duration::from_millis),
+            ) {
+                Err(e) => error_encode(&e),
+                Ok(mut tuples) => {
+                    // The batch must fit one response frame. Tuples that
+                    // would overflow it go *back to the space* — they were
+                    // already taken, and dropping the frame on the floor
+                    // would silently destroy them.
+                    let mut total = 0usize;
+                    let mut keep = tuples.len();
+                    for (i, t) in tuples.iter().enumerate() {
+                        total += t.size_hint() + 64;
+                        if total > MAX_FRAME / 2 {
+                            keep = i.max(1);
+                            break;
+                        }
+                    }
+                    if keep < tuples.len() {
+                        let excess = tuples.split_off(keep);
+                        if Space::write_all(space, excess).is_err() {
+                            return error_encode(&SpaceError::Closed);
+                        }
+                    }
+                    Response::Tuples(tuples)
+                }
+            }
+        }
         // Envelopes never nest (the codec enforces it); answer the
         // version either way rather than kill the connection.
-        Request::Hello(..) | Request::Traced { .. } => Response::Proto(PROTO_VERSION),
+        Request::Hello(..) | Request::Traced { .. } | Request::Corr { .. } => {
+            Response::Proto(version)
+        }
     }
 }
 
+/// Soft cap on one batch-write frame: tuples are chunked so each
+/// `WriteAll` frame stays comfortably under [`MAX_FRAME`] (the estimate
+/// is `size_hint`, not the exact encoding, hence the margin).
+const BATCH_FRAME_BUDGET: usize = MAX_FRAME / 4;
+/// Hard cap on tuples per batch frame, so a million tiny tuples still
+/// pipeline as several frames instead of one enormous one.
+const BATCH_MAX_TUPLES: usize = 4096;
+
 /// Client-side proxy to a [`SpaceServer`] — the "downloaded space proxy".
-/// One TCP connection, one request in flight at a time (clone-free; open
-/// one proxy per worker, as each worker owns its own connection).
+/// One TCP connection, one *caller* at a time (clone-free; open one proxy
+/// per worker, as each worker owns its own connection). Batch operations
+/// pipeline several correlated frames over that connection in one lock
+/// hold.
+///
+/// A transport failure mid-call triggers exactly one reconnect (with a
+/// fresh version probe) and one resend before surfacing
+/// [`SpaceError::Transport`] — so a single dropped connection is invisible
+/// to callers. The retry makes mutating calls *at-least-once*: if the
+/// first attempt's response was lost after the server applied it, the
+/// resend applies it again. That matches JavaSpaces' RMI-era semantics;
+/// callers needing exactly-once dedupe by task id (as the master does).
 #[derive(Debug)]
 pub struct RemoteSpace {
+    addr: SocketAddr,
     stream: Mutex<TcpStream>,
     /// What the server answered to `Hello` — 0 for a version-0 (seed
-    /// protocol) server, which must never be sent v1 frames.
-    peer_version: u32,
+    /// protocol) server, which must never be sent v1+ frames. Refreshed on
+    /// every reconnect, hence atomic.
+    peer_version: AtomicU32,
+    /// The highest version this client will speak (PROTO_VERSION outside
+    /// of cross-version interop tests).
+    max_version: u32,
 }
 
 impl RemoteSpace {
     /// Connects to a space server and probes its protocol version: a
     /// `Hello` is sent first, and a server that hangs up on it (a v0
     /// server breaks the connection on any undecodable request) gets a
-    /// plain reconnect with every v1 feature disabled.
+    /// plain reconnect with every v1+ feature disabled.
     pub fn connect(addr: SocketAddr) -> std::io::Result<RemoteSpace> {
+        RemoteSpace::connect_capped(addr, PROTO_VERSION)
+    }
+
+    /// Like [`RemoteSpace::connect`], but never speaking a protocol newer
+    /// than `max_version` regardless of what the server offers — this is
+    /// how the interop matrix emulates older clients. `max_version == 0`
+    /// skips the handshake entirely, exactly like the seed client.
+    pub fn connect_capped(addr: SocketAddr, max_version: u32) -> std::io::Result<RemoteSpace> {
+        let (stream, peer_version) = RemoteSpace::establish(addr, max_version)?;
+        Ok(RemoteSpace {
+            addr,
+            stream: Mutex::new(stream),
+            peer_version: AtomicU32::new(peer_version),
+            max_version,
+        })
+    }
+
+    /// Opens a connection and negotiates the protocol version: the lower
+    /// of our cap and the server's answer, or 0 when the server rejects
+    /// the handshake (probe-and-fallback).
+    fn establish(addr: SocketAddr, max_version: u32) -> std::io::Result<(TcpStream, u32)> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        match RemoteSpace::probe(&mut stream) {
-            Ok(version) => Ok(RemoteSpace {
-                stream: Mutex::new(stream),
-                peer_version: version,
-            }),
+        if max_version == 0 {
+            return Ok((stream, 0));
+        }
+        match RemoteSpace::probe(&mut stream, max_version) {
+            Ok(version) => Ok((stream, version.min(max_version))),
             Err(_) => {
                 // Old peer: reconnect and speak version 0 only.
                 let stream = TcpStream::connect(addr)?;
                 stream.set_nodelay(true)?;
-                Ok(RemoteSpace {
-                    stream: Mutex::new(stream),
-                    peer_version: 0,
-                })
+                Ok((stream, 0))
             }
         }
     }
 
-    fn probe(stream: &mut TcpStream) -> std::io::Result<u32> {
-        write_frame(stream, &Request::Hello(PROTO_VERSION))?;
+    fn probe(stream: &mut TcpStream, max_version: u32) -> std::io::Result<u32> {
+        write_frame(stream, &Request::Hello(max_version))?;
         let bytes = read_frame_bytes(stream)?;
         match Response::from_bytes(&bytes) {
             Ok(Response::Proto(version)) => Ok(version),
@@ -591,17 +961,53 @@ impl RemoteSpace {
         }
     }
 
-    /// The protocol version the connected server answered with (0 = a
+    /// The protocol version negotiated with the connected server (0 = a
     /// pre-handshake server).
     pub fn peer_version(&self) -> u32 {
-        self.peer_version
+        self.peer_version.load(Ordering::Relaxed)
+    }
+
+    /// Replaces a failed connection with a fresh, re-probed one. Called
+    /// at most once per operation (bounded retry).
+    fn reconnect(&self, stream: &mut TcpStream, cause: &std::io::Error) -> SpaceResult<()> {
+        let (fresh, version) = RemoteSpace::establish(self.addr, self.max_version)
+            .map_err(|e| SpaceError::Transport(format!("{cause}; reconnect failed: {e}")))?;
+        *stream = fresh;
+        self.peer_version.store(version, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Marks the stream dead after a protocol violation so the next call
+    /// starts from a clean reconnect instead of a desynced byte stream.
+    fn poison(stream: &TcpStream) {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
     }
 
     fn call(&self, request: Request) -> SpaceResult<Response> {
         let mut stream = self.stream.lock();
-        write_frame(&mut stream, &request).map_err(|_| SpaceError::Closed)?;
-        let bytes = read_frame_bytes(&mut stream).map_err(|_| SpaceError::Closed)?;
-        Response::from_bytes(&bytes).map_err(|_| SpaceError::Closed)
+        let exchange = |s: &mut TcpStream| -> std::io::Result<Vec<u8>> {
+            write_frame(s, &request)?;
+            read_frame_bytes(s)
+        };
+        let bytes = match exchange(&mut stream) {
+            Ok(bytes) => bytes,
+            // InvalidData is not a transport fault (oversized or corrupt
+            // frame) — reconnecting and resending cannot fix it.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return Err(SpaceError::Protocol(e.to_string()));
+            }
+            Err(first) => {
+                self.reconnect(&mut stream, &first)?;
+                exchange(&mut stream).map_err(|e| SpaceError::Transport(e.to_string()))?
+            }
+        };
+        match Response::from_bytes(&bytes) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                RemoteSpace::poison(&stream);
+                Err(SpaceError::Protocol("undecodable response frame".into()))
+            }
+        }
     }
 
     /// Opens a client-side span over the operation and, when tracing is
@@ -611,7 +1017,7 @@ impl RemoteSpace {
     fn call_traced(&self, span_name: &'static str, request: Request) -> SpaceResult<Response> {
         let _span = acc_telemetry::span!(span_name);
         let request = match TraceContext::current_if_enabled() {
-            Some(ctx) if self.peer_version >= 1 => Request::Traced {
+            Some(ctx) if self.peer_version() >= 1 => Request::Traced {
                 trace_id: ctx.trace_id,
                 span_id: ctx.span_id,
                 inner: Box::new(request),
@@ -619,6 +1025,91 @@ impl RemoteSpace {
             _ => request,
         };
         self.call(request)
+    }
+
+    /// Pipelines several requests over the connection in one lock hold:
+    /// every frame goes out (wrapped in a [`Request::Corr`] envelope,
+    /// trace context attached when live) before the first response is
+    /// read, so the whole batch costs one round trip. Responses are
+    /// matched by correlation id and returned in request order. Requires a
+    /// v2 peer.
+    fn call_pipelined(
+        &self,
+        span_name: &'static str,
+        requests: Vec<Request>,
+    ) -> SpaceResult<Vec<Response>> {
+        let _span = acc_telemetry::span!(span_name, frames = requests.len() as u64);
+        let ctx = TraceContext::current_if_enabled();
+        let frames: Vec<Request> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(i, inner)| {
+                let inner = match ctx {
+                    Some(ctx) => Request::Traced {
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
+                        inner: Box::new(inner),
+                    },
+                    None => inner,
+                };
+                Request::Corr {
+                    corr_id: i as u64,
+                    inner: Box::new(inner),
+                }
+            })
+            .collect();
+        let n = frames.len();
+        let mut stream = self.stream.lock();
+        let exchange = |s: &mut TcpStream| -> std::io::Result<Vec<Vec<u8>>> {
+            for frame in &frames {
+                write_frame(s, frame)?;
+            }
+            (0..n).map(|_| read_frame_bytes(s)).collect()
+        };
+        let raw = match exchange(&mut stream) {
+            Ok(raw) => raw,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                return Err(SpaceError::Protocol(e.to_string()));
+            }
+            Err(first) => {
+                self.reconnect(&mut stream, &first)?;
+                if self.peer_version() < 2 {
+                    // The server was replaced by an older build between
+                    // attempts; resending v2 frames would just hang up.
+                    return Err(SpaceError::Transport(format!(
+                        "{first}; peer downgraded below v2 on reconnect"
+                    )));
+                }
+                exchange(&mut stream).map_err(|e| SpaceError::Transport(e.to_string()))?
+            }
+        };
+        let mut slots: Vec<Option<Response>> = (0..n).map(|_| None).collect();
+        for bytes in raw {
+            let Ok(Response::Corr { corr_id, inner }) = Response::from_bytes(&bytes) else {
+                RemoteSpace::poison(&stream);
+                return Err(SpaceError::Protocol(
+                    "expected a correlated response frame".into(),
+                ));
+            };
+            let Some(slot) = slots.get_mut(corr_id as usize) else {
+                RemoteSpace::poison(&stream);
+                return Err(SpaceError::Protocol(format!(
+                    "correlation id {corr_id} out of range"
+                )));
+            };
+            if slot.is_some() {
+                RemoteSpace::poison(&stream);
+                return Err(SpaceError::Protocol(format!(
+                    "duplicate correlation id {corr_id}"
+                )));
+            }
+            *slot = Some(*inner);
+        }
+        // n responses with unique in-range ids fill all n slots.
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("all correlation slots filled"))
+            .collect())
     }
 
     fn expect_tuple(
@@ -629,9 +1120,15 @@ impl RemoteSpace {
         match self.call_traced(span_name, request)? {
             Response::MaybeTuple(t) => Ok(t),
             Response::Err(code, detail) => Err(error_from(code, detail)),
-            _ => Err(SpaceError::Closed),
+            other => Err(unexpected(span_name, &other)),
         }
     }
+}
+
+/// A decodable response of the wrong variant is a protocol bug (or a
+/// hostile peer) — report it as such instead of masking it as a shutdown.
+fn unexpected(op: &str, response: &Response) -> SpaceError {
+    SpaceError::Protocol(format!("unexpected response to {op}: {response:?}"))
 }
 
 impl TupleStore for RemoteSpace {
@@ -643,7 +1140,7 @@ impl TupleStore for RemoteSpace {
         match self.call_traced("remote.write", Request::Write(tuple, lease_ms))? {
             Response::Id(id) => Ok(id),
             Response::Err(code, detail) => Err(error_from(code, detail)),
-            _ => Err(SpaceError::Closed),
+            other => Err(unexpected("remote.write", &other)),
         }
     }
 
@@ -665,7 +1162,7 @@ impl TupleStore for RemoteSpace {
         match self.call_traced("remote.count", Request::Count(template.clone()))? {
             Response::Count(n) => Ok(n as usize),
             Response::Err(code, detail) => Err(error_from(code, detail)),
-            _ => Err(SpaceError::Closed),
+            other => Err(unexpected("remote.count", &other)),
         }
     }
 
@@ -678,6 +1175,104 @@ impl TupleStore for RemoteSpace {
             self.call(Request::IsClosed),
             Ok(Response::Bool(true)) | Err(_)
         )
+    }
+
+    /// Batch write over the wire: tuples are chunked to bounded frames and
+    /// the chunks *pipelined* — every frame is sent before the first
+    /// response is read, so a planning phase of thousands of tasks costs a
+    /// handful of round trips instead of one per task. Pre-v2 peers get
+    /// the plain one-write-per-tuple loop.
+    fn write_all_leased(&self, tuples: Vec<Tuple>, lease: Lease) -> SpaceResult<Vec<EntryId>> {
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.peer_version() < 2 {
+            let mut ids = Vec::with_capacity(tuples.len());
+            for tuple in tuples {
+                ids.push(self.write_leased(tuple, lease)?);
+            }
+            return Ok(ids);
+        }
+        let lease_ms = match lease {
+            Lease::Forever => None,
+            Lease::Duration(d) => Some(d.as_millis() as u64),
+        };
+        let mut chunks: Vec<Request> = Vec::new();
+        let mut current: Vec<Tuple> = Vec::new();
+        let mut budget = 0usize;
+        for tuple in tuples {
+            let hint = tuple.size_hint() + 64;
+            if !current.is_empty()
+                && (budget + hint > BATCH_FRAME_BUDGET || current.len() >= BATCH_MAX_TUPLES)
+            {
+                chunks.push(Request::WriteAll(std::mem::take(&mut current), lease_ms));
+                budget = 0;
+            }
+            budget += hint;
+            current.push(tuple);
+        }
+        chunks.push(Request::WriteAll(current, lease_ms));
+        let mut ids = Vec::new();
+        for response in self.call_pipelined("remote.write_all", chunks)? {
+            match response {
+                Response::Ids(batch) => ids.extend(batch),
+                Response::Err(code, detail) => return Err(error_from(code, detail)),
+                other => return Err(unexpected("remote.write_all", &other)),
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Batch take over the wire: one round trip fetches up to `max`
+    /// matching tuples (the worker's prefetch path). Pre-v2 peers get the
+    /// block-for-first-then-drain loop of single takes.
+    fn take_up_to(
+        &self,
+        template: &Template,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Vec<Tuple>> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        if self.peer_version() < 2 {
+            let mut out = Vec::new();
+            match self.take(template, timeout)? {
+                None => return Ok(out),
+                Some(first) => out.push(first),
+            }
+            while out.len() < max {
+                match self.take_if_exists(template)? {
+                    Some(t) => out.push(t),
+                    None => break,
+                }
+            }
+            return Ok(out);
+        }
+        let request = Request::TakeUpTo(
+            template.clone(),
+            max as u64,
+            timeout.map(|d| d.as_millis() as u64),
+        );
+        match self.call_traced("remote.take_up_to", request)? {
+            Response::Tuples(tuples) => Ok(tuples),
+            Response::Err(code, detail) => Err(error_from(code, detail)),
+            other => Err(unexpected("remote.take_up_to", &other)),
+        }
+    }
+
+    /// Batch drain over the wire: repeated `take_up_to` frames instead of
+    /// one round trip per tuple.
+    fn take_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        loop {
+            let batch = self.take_up_to(template, BATCH_MAX_TUPLES, Some(Duration::ZERO))?;
+            let done = batch.is_empty();
+            out.extend(batch);
+            if done {
+                return Ok(out);
+            }
+        }
     }
 }
 
@@ -713,6 +1308,22 @@ mod tests {
                 span_id: 42,
                 inner: Box::new(Request::Take(Template::of_type("t"), Some(250))),
             },
+            Request::WriteAll(vec![tuple(1), tuple(2), tuple(3)], Some(9000)),
+            Request::WriteAll(Vec::new(), None),
+            Request::TakeUpTo(Template::of_type("t"), 8, Some(50)),
+            Request::TakeUpTo(Template::any_type().done(), 1, None),
+            Request::Corr {
+                corr_id: 17,
+                inner: Box::new(Request::WriteAll(vec![tuple(9)], None)),
+            },
+            Request::Corr {
+                corr_id: u64::MAX,
+                inner: Box::new(Request::Traced {
+                    trace_id: 5,
+                    span_id: 6,
+                    inner: Box::new(Request::Count(Template::of_type("t"))),
+                }),
+            },
         ];
         for r in requests {
             assert_eq!(Request::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -726,7 +1337,16 @@ mod tests {
             Response::Unit,
             Response::Err(1, String::new()),
             Response::Err(7, "disk full".into()),
+            Response::Err(8, "connection reset".into()),
+            Response::Err(9, "bad correlation id".into()),
             Response::Proto(PROTO_VERSION),
+            Response::Ids(vec![1, 2, 3]),
+            Response::Ids(Vec::new()),
+            Response::Tuples(vec![tuple(4), tuple(5)]),
+            Response::Corr {
+                corr_id: 17,
+                inner: Box::new(Response::Ids(vec![8, 9])),
+            },
         ];
         for r in responses {
             assert_eq!(Response::from_bytes(&r.to_bytes()).unwrap(), r);
@@ -754,6 +1374,33 @@ mod tests {
         w.put_u8(7);
         w.put_u32(1);
         assert!(Request::from_bytes(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn nested_correlation_envelopes_are_rejected_not_recursed() {
+        // Corr(Corr(IsClosed)) must be refused at the inner tag.
+        let mut w = WireWriter::new();
+        w.put_u8(11);
+        w.put_u64(1);
+        w.put_u8(11); // inner tag: another correlation envelope
+        w.put_u64(2);
+        w.put_u8(6);
+        assert!(Request::from_bytes(&w.finish()).is_err());
+        // Corr(Hello) is invalid: the handshake is never pipelined.
+        let mut w = WireWriter::new();
+        w.put_u8(11);
+        w.put_u64(1);
+        w.put_u8(7);
+        w.put_u32(2);
+        assert!(Request::from_bytes(&w.finish()).is_err());
+        // Response-side: Corr(Corr(Unit)) is refused the same way.
+        let mut w = WireWriter::new();
+        w.put_u8(11);
+        w.put_u64(1);
+        w.put_u8(11);
+        w.put_u64(2);
+        w.put_u8(6);
+        assert!(Response::from_bytes(&w.finish()).is_err());
     }
 
     #[test]
@@ -798,7 +1445,7 @@ mod tests {
             span_id: 11,
             inner: Box::new(Request::Write(tuple(5), None)),
         };
-        let Response::Id(_) = serve(&space, env) else {
+        let Response::Id(_) = serve(&space, env, PROTO_VERSION) else {
             panic!("enveloped write must behave like a plain write");
         };
         assert_eq!(
@@ -808,13 +1455,14 @@ mod tests {
                     trace_id: 9,
                     span_id: 12,
                     inner: Box::new(Request::Count(Template::of_type("t"))),
-                }
+                },
+                PROTO_VERSION
             ),
             Response::Count(1)
         );
         // Hello gets the version back.
         assert_eq!(
-            serve(&space, Request::Hello(0)),
+            serve(&space, Request::Hello(0), PROTO_VERSION),
             Response::Proto(PROTO_VERSION)
         );
     }
@@ -969,9 +1617,14 @@ mod tests {
         // Prove the first connection holds the only slot.
         first.write(tuple(1)).unwrap();
         // The second connection is accepted at TCP level but dropped by the
-        // server before service; its first request fails.
+        // server before service; its first request fails even after the
+        // client's one bounded reconnect (the cap still holds), surfacing
+        // as a transport error — not as a bogus "space closed".
         let second = RemoteSpace::connect(server.addr()).unwrap();
-        assert_eq!(second.write(tuple(2)), Err(SpaceError::Closed));
+        assert!(matches!(
+            second.write(tuple(2)),
+            Err(SpaceError::Transport(_))
+        ));
         // Releasing the first connection frees the slot for a new client.
         drop(first);
         let mut ok = false;
@@ -998,11 +1651,21 @@ mod tests {
             },
         )
         .unwrap();
-        let remote = RemoteSpace::connect(server.addr()).unwrap();
-        remote.write(tuple(1)).unwrap();
-        // Stay silent past the idle limit: the server hangs up on us.
+        // A raw connection (no proxy, so no transparent reconnect) sees
+        // the hangup directly: after the idle period its next exchange
+        // gets EOF instead of a response.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut raw, &Request::Write(tuple(1), None)).unwrap();
+        read_frame_bytes(&mut raw).unwrap();
         std::thread::sleep(Duration::from_millis(250));
-        assert_eq!(remote.write(tuple(2)), Err(SpaceError::Closed));
+        let _ = write_frame(&mut raw, &Request::Write(tuple(2), None));
+        assert!(read_frame_bytes(&mut raw).is_err());
+        // The proxy rides out the same hangup: its call fails mid-flight,
+        // reconnects once, and succeeds.
+        let remote = RemoteSpace::connect(server.addr()).unwrap();
+        remote.write(tuple(3)).unwrap();
+        std::thread::sleep(Duration::from_millis(250));
+        remote.write(tuple(4)).unwrap();
     }
 
     #[test]
@@ -1032,12 +1695,387 @@ mod tests {
 
     #[test]
     fn storage_error_crosses_the_wire_with_its_message() {
-        let e = SpaceError::Storage("disk on fire".into());
-        let resp = error_encode(&e);
-        let decoded = Response::from_bytes(&resp.to_bytes()).unwrap();
-        let Response::Err(code, detail) = decoded else {
-            panic!("expected error response");
-        };
-        assert_eq!(error_from(code, detail), e);
+        for e in [
+            SpaceError::Storage("disk on fire".into()),
+            SpaceError::Transport("connection reset".into()),
+            SpaceError::Protocol("bad correlation id".into()),
+        ] {
+            let resp = error_encode(&e);
+            let decoded = Response::from_bytes(&resp.to_bytes()).unwrap();
+            let Response::Err(code, detail) = decoded else {
+                panic!("expected error response");
+            };
+            assert_eq!(error_from(code, detail), e);
+        }
+    }
+
+    #[test]
+    fn remote_batch_write_and_take_up_to() {
+        let (space, _server, remote) = rig();
+        let ids = remote.write_all((0..10).map(tuple).collect()).unwrap();
+        assert_eq!(ids.len(), 10);
+        assert_eq!(Space::count(&space, &Template::of_type("t")), 10);
+        let got = remote
+            .take_up_to(&Template::of_type("t"), 4, Some(Duration::ZERO))
+            .unwrap();
+        assert_eq!(got.len(), 4);
+        let rest = remote.take_all(&Template::of_type("t")).unwrap();
+        assert_eq!(rest.len(), 6);
+        // Batch take blocks for the first match like a single take.
+        let empty = remote
+            .take_up_to(&Template::of_type("t"), 4, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn pipelined_requests_correlate_responses() {
+        let (space, _server, remote) = rig();
+        let requests = (0..8).map(|i| Request::Write(tuple(i), None)).collect();
+        let responses = remote.call_pipelined("test.pipeline", requests).unwrap();
+        assert_eq!(responses.len(), 8);
+        for r in responses {
+            assert!(matches!(r, Response::Id(_)), "unexpected {r:?}");
+        }
+        assert_eq!(Space::count(&space, &Template::of_type("t")), 8);
+    }
+
+    #[test]
+    fn cross_version_interop_matrix() {
+        // Every client generation against every server generation: the
+        // negotiated version is the min of the two, and the batch trait
+        // calls work at every intersection (degrading to loops of single
+        // frames below v2).
+        for server_v in [0u32, 1, 2] {
+            for client_v in [0u32, 1, 2] {
+                let space = Space::new("interop");
+                let server = SpaceServer::spawn_with(
+                    space.clone(),
+                    "127.0.0.1:0",
+                    ServerOptions {
+                        protocol_version: server_v,
+                        ..ServerOptions::default()
+                    },
+                )
+                .unwrap();
+                let remote = RemoteSpace::connect_capped(server.addr(), client_v).unwrap();
+                let pair = format!("server v{server_v} / client v{client_v}");
+                assert_eq!(remote.peer_version(), server_v.min(client_v), "{pair}");
+                let ids = remote.write_all((0..6).map(tuple).collect()).unwrap();
+                assert_eq!(ids.len(), 6, "{pair}");
+                let got = remote
+                    .take_up_to(&Template::of_type("t"), 4, Some(Duration::from_millis(200)))
+                    .unwrap();
+                assert_eq!(got.len(), 4, "{pair}");
+                assert_eq!(remote.count(&Template::of_type("t")).unwrap(), 2, "{pair}");
+                let rest = remote.take_all(&Template::of_type("t")).unwrap();
+                assert_eq!(rest.len(), 2, "{pair}");
+            }
+        }
+    }
+
+    #[test]
+    fn client_survives_server_dropping_the_connection() {
+        let (space, server, remote) = rig();
+        remote.write(tuple(1)).unwrap();
+        // The server kills every live connection (as a restarting or
+        // load-shedding server would); the proxy's next call fails on the
+        // dead socket, reconnects once, re-probes, and succeeds.
+        server.disconnect_all();
+        remote.write(tuple(2)).unwrap();
+        assert_eq!(remote.peer_version(), PROTO_VERSION);
+        assert_eq!(Space::count(&space, &Template::of_type("t")), 2);
+        // Batch calls survive the same treatment.
+        server.disconnect_all();
+        let ids = remote.write_all((3..13).map(tuple).collect()).unwrap();
+        assert_eq!(ids.len(), 10);
+        assert_eq!(Space::count(&space, &Template::of_type("t")), 12);
+    }
+
+    #[test]
+    fn undeliverable_take_response_restores_the_tuples() {
+        // The lost-take race: a blocking take is parked server-side when
+        // the connection is severed; the take then matches and the
+        // response write fails. The tuples must go back to the space —
+        // dropping the undeliverable frame would silently destroy them.
+        let (space, server, _remote) = rig();
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        write_frame(
+            &mut raw,
+            &Request::TakeUpTo(Template::of_type("t"), 4, Some(500)),
+        )
+        .unwrap();
+        // Let the request park in the server's blocking take, then cut
+        // the connection out from under it and satisfy the match.
+        std::thread::sleep(Duration::from_millis(50));
+        server.disconnect_all();
+        Space::write_all(&space, (0..4).map(tuple).collect()).unwrap();
+        // The server takes all four, fails to answer the dead socket, and
+        // restores them.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while Space::count(&space, &Template::of_type("t")) < 4 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "taken tuples were not restored"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(Space::count(&space, &Template::of_type("t")), 4);
+    }
+
+    #[test]
+    fn write_frame_enforces_max_frame_at_the_boundary() {
+        struct Blob(Vec<u8>);
+        impl Payload for Blob {
+            fn encode(&self, w: &mut WireWriter) {
+                w.put_blob(&self.0);
+            }
+            fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
+                Ok(Blob(r.get_blob()?))
+            }
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let drain = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 64 * 1024];
+            while matches!(s.read(&mut buf), Ok(n) if n > 0) {}
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let overhead = Blob(Vec::new()).to_bytes().len();
+        // Exactly MAX_FRAME: allowed (the reader accepts len == MAX_FRAME).
+        let at_limit = Blob(vec![0u8; MAX_FRAME - overhead]);
+        assert_eq!(at_limit.to_bytes().len(), MAX_FRAME);
+        write_frame(&mut stream, &at_limit).unwrap();
+        // One byte over: rejected cleanly before any bytes go out.
+        let over = Blob(vec![0u8; MAX_FRAME - overhead + 1]);
+        let err = write_frame(&mut stream, &over).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("frame too large"), "{err}");
+        drop(stream);
+        drain.join().unwrap();
+    }
+
+    #[test]
+    fn oversized_write_is_a_protocol_error_and_does_not_desync() {
+        let (_space, _server, remote) = rig();
+        let huge = Tuple::build("t").field("blob", vec![0u8; MAX_FRAME]).done();
+        match remote.write(huge) {
+            Err(SpaceError::Protocol(msg)) => {
+                assert!(msg.contains("frame too large"), "{msg}")
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        // Nothing hit the wire, so the connection is still usable.
+        remote.write(tuple(1)).unwrap();
+        assert_eq!(remote.count(&Template::of_type("t")).unwrap(), 1);
+    }
+
+    #[test]
+    fn unexpected_response_is_a_protocol_error() {
+        // A confused server: answers the handshake correctly, then replies
+        // to everything with Bool — decodable but wrong. The old client
+        // reported this as `Closed`, masking the bug as a shutdown.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let bytes = read_frame_bytes(&mut s).unwrap();
+            assert!(matches!(Request::from_bytes(&bytes), Ok(Request::Hello(_))));
+            write_frame(&mut s, &Response::Proto(PROTO_VERSION)).unwrap();
+            while read_frame_bytes(&mut s).is_ok() {
+                if write_frame(&mut s, &Response::Bool(false)).is_err() {
+                    break;
+                }
+            }
+        });
+        let remote = RemoteSpace::connect(addr).unwrap();
+        match remote.count(&Template::of_type("t")) {
+            Err(SpaceError::Protocol(msg)) => {
+                assert!(msg.contains("unexpected response"), "{msg}")
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_up_to_splits_responses_that_would_overflow_a_frame() {
+        // Six 2 MiB tuples exceed the server's per-response budget
+        // (MAX_FRAME / 2): the server must return a prefix and write the
+        // excess back rather than losing it or sending an unreadable
+        // frame.
+        let (space, _server, remote) = rig();
+        for i in 0..6i64 {
+            space
+                .write(
+                    Tuple::build("big")
+                        .field("id", i)
+                        .field("blob", vec![0u8; 2 << 20])
+                        .done(),
+                )
+                .unwrap();
+        }
+        let first = remote
+            .take_up_to(&Template::of_type("big"), 10, Some(Duration::ZERO))
+            .unwrap();
+        assert!(!first.is_empty(), "must return at least one tuple");
+        assert!(first.len() < 6, "a 12 MiB response must have been split");
+        // The excess went back to the space; repeated calls recover all six.
+        let mut total = first.len();
+        while total < 6 {
+            let more = remote
+                .take_up_to(&Template::of_type("big"), 10, Some(Duration::ZERO))
+                .unwrap();
+            assert!(!more.is_empty(), "excess tuples were lost");
+            total += more.len();
+        }
+        assert_eq!(total, 6);
+        assert_eq!(Space::count(&space, &Template::of_type("big")), 0);
+    }
+
+    /// Property tests over the wire codec: arbitrary frames (including the
+    /// v2 batch and envelope variants) round-trip exactly, and arbitrary
+    /// bytes never panic the decoder.
+    mod codec_props {
+        use super::*;
+        use crate::value::Value;
+        use proptest::prelude::*;
+
+        fn arb_value() -> impl Strategy<Value = Value> {
+            prop_oneof![
+                any::<i64>().prop_map(Value::Int),
+                // Arbitrary bit patterns: NaN payloads must round-trip too
+                // (Value compares bitwise).
+                any::<u64>().prop_map(|bits| Value::Float(f64::from_bits(bits))),
+                any::<bool>().prop_map(Value::Bool),
+                "[a-zA-Z0-9 ]{0,16}".prop_map(Value::Str),
+                proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+            ]
+        }
+
+        fn arb_tuple() -> impl Strategy<Value = Tuple> {
+            (
+                "[a-z]{1,8}",
+                proptest::collection::btree_map("[a-z]{1,6}", arb_value(), 0..5),
+            )
+                .prop_map(|(ty, fields)| {
+                    let mut builder = Tuple::build(ty.as_str());
+                    for (name, value) in fields {
+                        builder = builder.field(name, value);
+                    }
+                    builder.done()
+                })
+        }
+
+        fn arb_template() -> impl Strategy<Value = Template> {
+            (
+                "[a-z]{1,8}",
+                proptest::collection::btree_map("[a-z]{1,6}", any::<i64>(), 0..4),
+            )
+                .prop_map(|(ty, fields)| {
+                    let mut builder = Template::build(ty.as_str());
+                    for (name, value) in fields {
+                        builder = builder.eq(name, value);
+                    }
+                    builder.done()
+                })
+        }
+
+        fn arb_opt_ms() -> impl Strategy<Value = Option<u64>> {
+            prop_oneof![Just(None), any::<u64>().prop_map(Some)]
+        }
+
+        /// The operation set — everything an envelope may wrap.
+        fn arb_op() -> impl Strategy<Value = Request> {
+            prop_oneof![
+                (arb_tuple(), arb_opt_ms()).prop_map(|(t, l)| Request::Write(t, l)),
+                (arb_template(), arb_opt_ms()).prop_map(|(t, o)| Request::Read(t, o)),
+                (arb_template(), arb_opt_ms()).prop_map(|(t, o)| Request::Take(t, o)),
+                arb_template().prop_map(Request::Count),
+                Just(Request::Close),
+                Just(Request::IsClosed),
+                (proptest::collection::vec(arb_tuple(), 0..6), arb_opt_ms())
+                    .prop_map(|(ts, l)| Request::WriteAll(ts, l)),
+                (arb_template(), any::<u64>(), arb_opt_ms())
+                    .prop_map(|(t, max, o)| Request::TakeUpTo(t, max, o)),
+            ]
+        }
+
+        fn arb_traced() -> impl Strategy<Value = Request> {
+            (any::<u64>(), any::<u64>(), arb_op()).prop_map(|(trace_id, span_id, op)| {
+                Request::Traced {
+                    trace_id,
+                    span_id,
+                    inner: Box::new(op),
+                }
+            })
+        }
+
+        fn arb_request() -> impl Strategy<Value = Request> {
+            prop_oneof![
+                arb_op(),
+                any::<u32>().prop_map(Request::Hello),
+                arb_traced(),
+                // Corr wraps an op or a trace envelope — the codec's legal
+                // nesting, matched by what `call_pipelined` sends.
+                (any::<u64>(), prop_oneof![arb_op(), arb_traced()]).prop_map(|(corr_id, inner)| {
+                    Request::Corr {
+                        corr_id,
+                        inner: Box::new(inner),
+                    }
+                }),
+            ]
+        }
+
+        fn arb_flat_response() -> impl Strategy<Value = Response> {
+            prop_oneof![
+                any::<u64>().prop_map(Response::Id),
+                Just(Response::MaybeTuple(None)),
+                arb_tuple().prop_map(|t| Response::MaybeTuple(Some(t))),
+                any::<u64>().prop_map(Response::Count),
+                any::<bool>().prop_map(Response::Bool),
+                Just(Response::Unit),
+                (1u8..10, "[a-z ]{0,24}").prop_map(|(code, detail)| Response::Err(code, detail)),
+                any::<u32>().prop_map(Response::Proto),
+                proptest::collection::vec(any::<u64>(), 0..8).prop_map(Response::Ids),
+                proptest::collection::vec(arb_tuple(), 0..6).prop_map(Response::Tuples),
+            ]
+        }
+
+        fn arb_response() -> impl Strategy<Value = Response> {
+            prop_oneof![
+                arb_flat_response(),
+                (any::<u64>(), arb_flat_response()).prop_map(|(corr_id, inner)| Response::Corr {
+                    corr_id,
+                    inner: Box::new(inner),
+                }),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn requests_roundtrip(request in arb_request()) {
+                let decoded = Request::from_bytes(&request.to_bytes()).unwrap();
+                prop_assert_eq!(decoded, request);
+            }
+
+            #[test]
+            fn responses_roundtrip(response in arb_response()) {
+                let decoded = Response::from_bytes(&response.to_bytes()).unwrap();
+                prop_assert_eq!(decoded, response);
+            }
+
+            #[test]
+            fn request_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+                let _ = Request::from_bytes(&bytes);
+            }
+
+            #[test]
+            fn response_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+                let _ = Response::from_bytes(&bytes);
+            }
+        }
     }
 }

@@ -68,6 +68,54 @@ pub trait TupleStore: Send + Sync {
         }
         Ok(out)
     }
+
+    // --- batch operations --------------------------------------------
+    //
+    // The defaults are plain loops of singles, so every store is
+    // batch-capable; `Space` overrides them with single-lock bulk
+    // operations and `RemoteSpace` with batched/pipelined wire frames
+    // (protocol v2). Errors mid-batch surface immediately: tuples written
+    // before the failure stay written, exactly like the equivalent loop.
+
+    /// Stores every tuple under one lease, returning ids in input order.
+    fn write_all_leased(&self, tuples: Vec<Tuple>, lease: Lease) -> SpaceResult<Vec<EntryId>> {
+        let mut ids = Vec::with_capacity(tuples.len());
+        for tuple in tuples {
+            ids.push(self.write_leased(tuple, lease)?);
+        }
+        Ok(ids)
+    }
+
+    /// Stores every tuple forever.
+    fn write_all(&self, tuples: Vec<Tuple>) -> SpaceResult<Vec<EntryId>> {
+        self.write_all_leased(tuples, Lease::Forever)
+    }
+
+    /// Takes up to `max` matching tuples: blocks up to `timeout` for the
+    /// first match, then drains whatever else currently matches without
+    /// further waiting. Returns an empty vec on timeout.
+    fn take_up_to(
+        &self,
+        template: &Template,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        if max == 0 {
+            return Ok(out);
+        }
+        match self.take(template, timeout)? {
+            None => return Ok(out),
+            Some(first) => out.push(first),
+        }
+        while out.len() < max {
+            match self.take_if_exists(template)? {
+                Some(t) => out.push(t),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl TupleStore for Space {
@@ -99,6 +147,20 @@ impl TupleStore for Space {
         // The in-process space drains each shard under a single lock
         // acquisition instead of the default take-per-call loop.
         Space::take_all(self, template)
+    }
+
+    fn write_all_leased(&self, tuples: Vec<Tuple>, lease: Lease) -> SpaceResult<Vec<EntryId>> {
+        // Contiguous id block, one lock acquisition per shard.
+        Space::write_all_leased(self, tuples, lease)
+    }
+
+    fn take_up_to(
+        &self,
+        template: &Template,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Vec<Tuple>> {
+        Space::take_up_to(self, template, max, timeout)
     }
 }
 

@@ -114,8 +114,15 @@ fn remote_workers_over_tcp_space() {
     assert_eq!(app.result(), sequential);
     // Both remote workers participated (tasks are plentiful enough that
     // at least one did real work; assert none were lost either way).
-    let done: u64 = cluster.workers().iter().map(|w| w.tasks_done()).sum();
-    assert_eq!(done, 16);
+    // Workers bump their counters after the result-write round trip, so
+    // the master can observe the final result a beat before the counter
+    // moves — give the tallies a moment to settle.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let tally = || -> u64 { cluster.workers().iter().map(|w| w.tasks_done()).sum() };
+    while tally() < 16 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(tally(), 16);
     cluster.shutdown();
 }
 

@@ -255,6 +255,38 @@ fn crashed_holder_under_txn_loses_nothing() {
 }
 
 #[test]
+fn workers_survive_transient_connection_drops_and_finish_the_job() {
+    // Remote workers whose TCP connections are all severed (a restarting
+    // or load-shedding space server) must ride out the drop — the proxy
+    // reconnects — and still complete the job, instead of treating the
+    // transport error as "cluster shutting down" and exiting for good.
+    let mut app = FlakyApp {
+        n: 30,
+        outputs: 0,
+        failures: Arc::new(AtomicU64::new(0)),
+    };
+    let mut cluster = ClusterBuilder::new(fast_config()).build();
+    cluster.install(&app);
+    cluster.serve_space().unwrap();
+    cluster
+        .add_remote_worker(NodeSpec::new("rw1", 800, 256))
+        .unwrap();
+    cluster
+        .add_remote_worker(NodeSpec::new("rw2", 800, 256))
+        .unwrap();
+    // Let the workers connect, start, and begin polling — then cut every
+    // connection out from under them, twice for good measure.
+    std::thread::sleep(Duration::from_millis(150));
+    cluster.space_server().unwrap().disconnect_all();
+    std::thread::sleep(Duration::from_millis(50));
+    cluster.space_server().unwrap().disconnect_all();
+    let report = cluster.run(&mut app);
+    assert!(report.complete, "job must finish despite the dropped links");
+    assert_eq!(app.outputs, 30);
+    cluster.shutdown();
+}
+
+#[test]
 fn worker_dies_when_space_server_disappears() {
     // A remote worker whose space server goes away exits its loop rather
     // than spinning; the cluster can still be shut down cleanly.
