@@ -16,9 +16,14 @@
 mod loadgen;
 mod meter;
 mod node;
+pub mod observer;
 mod testbeds;
 
 pub use loadgen::{LoadGenerator, LoadPhase, LoadTrace, TrafficKind};
 pub use meter::{LoadMix, UsageHistory, UsagePoint};
 pub use node::{Node, NodeSpec};
+pub use observer::{
+    jittered_interval, metrics_template, ClusterObserver, DecisionInput, MetricsReport,
+    ObserverConfig, RawSamples, TaskTiming, METRICS_TYPE,
+};
 pub use testbeds::{option_pricing_testbed, ray_tracing_testbed, Testbed, MASTER_SPEC};

@@ -87,6 +87,22 @@ pub struct FrameworkConfig {
     /// operation during the planning phase (one pipelined round trip per
     /// chunk on a remote space).
     pub dispatch_chunk: usize,
+    /// Base interval between a worker's heartbeat/metric tuple
+    /// publications into the space (actual intervals are jittered
+    /// ±25%). `Duration::ZERO` disables federation publishing and the
+    /// master-side collector entirely. Kept at a second by default so
+    /// the federation plane stays off the space's hot path.
+    pub metrics_interval: Duration,
+    /// Samples retained per federation history ring (per worker, per
+    /// series).
+    pub history_depth: usize,
+    /// Straggler threshold: a worker is flagged when its compute p99
+    /// exceeds `straggler_k ×` the median of all workers' median
+    /// compute times.
+    pub straggler_k: f64,
+    /// Completed tasks required before a worker can be judged a
+    /// straggler.
+    pub straggler_min_samples: u64,
 }
 
 impl Default for FrameworkConfig {
@@ -105,6 +121,21 @@ impl Default for FrameworkConfig {
             max_task_retries: 3,
             task_prefetch: 4,
             dispatch_chunk: 256,
+            metrics_interval: Duration::from_secs(1),
+            history_depth: acc_telemetry::DEFAULT_DEPTH,
+            straggler_k: 4.0,
+            straggler_min_samples: 5,
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// The observer tuning derived from this deployment's settings.
+    pub fn observer_config(&self) -> acc_cluster::ObserverConfig {
+        acc_cluster::ObserverConfig {
+            history_depth: self.history_depth,
+            straggler_k: self.straggler_k,
+            straggler_min_samples: self.straggler_min_samples,
         }
     }
 }

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use acc_cluster::{Node, NodeSpec};
+use acc_cluster::{metrics_template, ClusterObserver, MetricsReport, Node, NodeSpec};
 use acc_federation::{Attributes, DiscoveryBus, LookupService, Registrar, ServiceItem};
 use acc_snmp::{host_resources_mib, oids, transport::InProcTransport, Agent, Manager};
 use acc_tuplespace::{remote::SpaceServer, RemoteSpace, Space, SpaceHandle, StoreHandle};
@@ -19,6 +19,7 @@ use crate::loader::{BundleServer, CodeBundle, ExecutorRegistry};
 use crate::master::{Master, RunReport};
 use crate::monitor::MonitoringAgent;
 use crate::rulebase::{duplex_pair, WorkerId};
+use crate::series::series;
 use crate::signal::{SignalLogEntry, WorkerState};
 use crate::task::Application;
 use crate::worker::{WorkerConfig, WorkerRuntime};
@@ -91,11 +92,31 @@ impl ClusterBuilder {
         let bundle_server =
             BundleServer::new(self.config.class_load_base, self.config.class_load_per_kb);
         let monitor = MonitoringAgent::new(self.config.clone(), epoch);
+        // The federation hub: merges every heartbeat tuple and task
+        // attribution into one cluster view, and feeds effective loads
+        // (and straggler verdicts) back into the inference loop.
+        let hub = Arc::new(ClusterObserver::new(self.config.observer_config()));
+        monitor.set_decision_input(hub.clone());
+        let collector = if self.config.metrics_interval.is_zero() {
+            None
+        } else {
+            Some(spawn_collector(
+                space.clone(),
+                hub.clone(),
+                self.config.metrics_interval,
+            ))
+        };
         let observer = self
             .observe
             .or_else(|| std::env::var("ACC_OBSERVE").ok().filter(|v| !v.is_empty()))
             .and_then(|bind| {
-                match spawn_observer(&bind, space.clone(), monitor.clone(), &self.config) {
+                match spawn_observer(
+                    &bind,
+                    space.clone(),
+                    monitor.clone(),
+                    hub.clone(),
+                    &self.config,
+                ) {
                     Ok(server) => Some(server),
                     Err(e) => {
                         eprintln!("acc: observability endpoint on {bind} failed: {e}");
@@ -114,6 +135,8 @@ impl ClusterBuilder {
             bundle_server,
             registry: ExecutorRegistry::new(),
             monitor,
+            hub,
+            collector,
             manager: Manager::new("public"),
             binding: None,
             workers: Vec::new(),
@@ -124,6 +147,63 @@ impl ClusterBuilder {
     }
 }
 
+/// Starts the master-side collector: every interval it publishes the
+/// space's own heartbeat tuple (the space is a federation participant
+/// like any worker, under the name `space:<name>`), then drains every
+/// pending `acc.metrics` tuple and folds it into the hub. Exits when the
+/// space closes.
+fn spawn_collector(
+    space: SpaceHandle,
+    hub: Arc<ClusterObserver>,
+    interval: Duration,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("acc-collector".into())
+        .spawn(move || {
+            let template = metrics_template();
+            let self_name = format!("space:{}", space.name());
+            let mut seq = 0u64;
+            while !stop2.load(Ordering::SeqCst) {
+                seq += 1;
+                let self_report = MetricsReport {
+                    worker: self_name.clone(),
+                    seq,
+                    at_ms: acc_cluster::observer::now_ms(),
+                    total_load: 0,
+                    framework_load: 0,
+                    tasks_done: space.len() as u64,
+                };
+                if space.write(self_report.to_tuple()).is_err() {
+                    break;
+                }
+                match space.take_all(&template) {
+                    Ok(tuples) => {
+                        for tuple in &tuples {
+                            let Some(report) = MetricsReport::from_tuple(tuple) else {
+                                continue;
+                            };
+                            if hub.ingest(&report) {
+                                series().heartbeats_ingested.inc();
+                            } else {
+                                series().heartbeats_duplicate.inc();
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+                // Sleep in slices so shutdown is prompt at any interval.
+                let deadline = Instant::now() + interval;
+                while Instant::now() < deadline && !stop2.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(10).min(interval));
+                }
+            }
+        })
+        .expect("spawn collector thread");
+    (stop, thread)
+}
+
 /// Mounts the scrape/health endpoint for a cluster: `/healthz` reports
 /// whether the space is open, the WAL flushes, and — once workers are
 /// watched — how stale the newest monitor sample is.
@@ -131,6 +211,7 @@ fn spawn_observer(
     bind: &str,
     space: SpaceHandle,
     monitor: Arc<MonitoringAgent>,
+    hub: Arc<ClusterObserver>,
     config: &FrameworkConfig,
 ) -> std::io::Result<acc_telemetry::HttpServer> {
     let health = acc_telemetry::HealthChecks::new();
@@ -159,7 +240,32 @@ fn spawn_observer(
             stale_after.as_millis()
         )),
     });
-    acc_telemetry::serve(bind, health)
+    // Remote-transport posture: the error-path counters the wire protocol
+    // maintains, surfaced so `/healthz?detail` answers "has this cluster
+    // been reconnecting / restoring / striking out?" at a glance.
+    health.register("remote", || {
+        let r = acc_telemetry::registry();
+        Ok(format!(
+            "reconnects={} protocol_version={} transport_strikes={} tuples_restored={}",
+            r.counter("remote.reconnects").get(),
+            r.gauge("remote.protocol_version").get(),
+            r.counter("worker.transport_strikes").get(),
+            r.counter("server.tuples_restored").get(),
+        ))
+    });
+    let routes = acc_telemetry::Routes::new();
+    let hub_text = hub.clone();
+    routes.register("/cluster", move || {
+        (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            hub_text.render_text(),
+        )
+    });
+    routes.register("/cluster.json", move || {
+        ("200 OK", "application/json", hub.render_json())
+    });
+    acc_telemetry::serve_routed(bind, health, routes, acc_telemetry::HttpOptions::default())
 }
 
 /// A worker node under cluster management.
@@ -209,6 +315,8 @@ pub struct AdaptiveCluster {
     bundle_server: Arc<BundleServer>,
     registry: Arc<ExecutorRegistry>,
     monitor: Arc<MonitoringAgent>,
+    hub: Arc<ClusterObserver>,
+    collector: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
     manager: Manager,
     binding: Option<(String, String)>,
     workers: Vec<ManagedWorker>,
@@ -245,6 +353,12 @@ impl AdaptiveCluster {
     /// The network management module.
     pub fn monitor(&self) -> Arc<MonitoringAgent> {
         self.monitor.clone()
+    }
+
+    /// The federation hub: merged per-worker history rings, task-level
+    /// attribution and straggler verdicts (what `/cluster` renders).
+    pub fn cluster_observer(&self) -> Arc<ClusterObserver> {
+        self.hub.clone()
     }
 
     /// Where the observability endpoint is listening, if one was requested
@@ -330,6 +444,7 @@ impl AdaptiveCluster {
             node_load: Some(node.load()),
             epoch: self.epoch,
             framework: self.config.clone(),
+            publish_metrics: true,
         })
         .expect("worker registration");
         let id = accept.join().expect("accept thread");
@@ -355,8 +470,11 @@ impl AdaptiveCluster {
         let agent = Arc::new(Agent::new(self.config.community.clone(), mib));
         let session = self.manager.session(Box::new(InProcTransport::new(agent)));
 
-        // Monitoring: register with the inference engine and start polling.
-        self.monitor.watch(id, session);
+        // Monitoring: register with the inference engine and start
+        // polling, keyed by the node name the worker's heartbeat tuples
+        // carry so both feeds merge into one federation view.
+        self.monitor
+            .watch_named(id, node.spec().name.clone(), session);
 
         self.workers.push(ManagedWorker { node, runtime });
         id
@@ -384,6 +502,7 @@ impl AdaptiveCluster {
         let space = self.find_space().expect("space registered in federation");
         let mut master = Master::new(space);
         master.dispatch_chunk = self.config.dispatch_chunk;
+        master.observer = Some(self.hub.clone());
         master.run(app).expect("space open for the run's duration")
     }
 
@@ -414,6 +533,10 @@ impl AdaptiveCluster {
     /// blocked workers), and joins every worker thread.
     pub fn shutdown(mut self) {
         if let Some((stop, thread)) = self.sampler.take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
+        }
+        if let Some((stop, thread)) = self.collector.take() {
             stop.store(true, Ordering::SeqCst);
             let _ = thread.join();
         }

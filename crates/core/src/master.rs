@@ -9,8 +9,10 @@
 
 use std::collections::BTreeSet;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use acc_cluster::ClusterObserver;
 use acc_telemetry::span;
 use acc_tuplespace::{SpaceError, StoreHandle, Template, Tuple};
 
@@ -42,6 +44,9 @@ pub struct Master {
     /// remote space each chunk is a single pipelined round trip instead of
     /// one per task; see [`crate::FrameworkConfig::dispatch_chunk`].
     pub dispatch_chunk: usize,
+    /// Federation sink for the task-level timing attribution riding each
+    /// result entry. `None` (the default) drops the attribution.
+    pub observer: Option<Arc<ClusterObserver>>,
 }
 
 impl Master {
@@ -51,6 +56,7 @@ impl Master {
             space,
             result_timeout: Duration::from_secs(60),
             dispatch_chunk: 256,
+            observer: None,
         }
     }
 
@@ -126,6 +132,9 @@ impl Master {
                         .entry(result.worker.clone())
                         .or_insert(0.0);
                     *slot = slot.max(result.span_ms);
+                    if let Some(observer) = &self.observer {
+                        observer.record_attribution(&result.job, &result.worker, &result.timing);
+                    }
                     match result.error {
                         // A poison task exhausted its retries: account for
                         // it so the run terminates, but report the failure.
@@ -220,7 +229,14 @@ impl Master {
         if resumed {
             while let Some(tuple) = self.space.take_if_exists(&template)? {
                 let per_task = Instant::now();
-                absorb_result(app, &tuple, &mut completed, &mut report, &mut times);
+                absorb_result(
+                    app,
+                    &tuple,
+                    &mut completed,
+                    &mut report,
+                    &mut times,
+                    self.observer.as_deref(),
+                );
                 max_overhead = max_overhead.max(ms_since(per_task));
             }
         }
@@ -273,7 +289,14 @@ impl Master {
             };
             let per_task = Instant::now();
             let before = completed.len();
-            absorb_result(app, &tuple, &mut completed, &mut report, &mut times);
+            absorb_result(
+                app,
+                &tuple,
+                &mut completed,
+                &mut report,
+                &mut times,
+                self.observer.as_deref(),
+            );
             max_overhead = max_overhead.max(ms_since(per_task));
             if completed.len() > before {
                 since_save += 1;
@@ -330,6 +353,7 @@ fn absorb_result(
     completed: &mut BTreeSet<u64>,
     report: &mut RunReport,
     times: &mut PhaseTimes,
+    observer: Option<&ClusterObserver>,
 ) {
     let Some(result) = ResultEntry::from_tuple(tuple) else {
         report
@@ -346,6 +370,9 @@ fn absorb_result(
         .entry(result.worker.clone())
         .or_insert(0.0);
     *slot = slot.max(result.span_ms);
+    if let Some(observer) = observer {
+        observer.record_attribution(&result.job, &result.worker, &result.timing);
+    }
     match result.error {
         Some(error) => {
             report
@@ -446,6 +473,7 @@ mod tests {
                     payload,
                     compute_ms: ms_since(t0),
                     span_ms: ms_since(first),
+                    timing: Default::default(),
                     error: None,
                 };
                 space.write(result.to_tuple()).unwrap();
@@ -538,6 +566,7 @@ mod tests {
                     payload,
                     compute_ms: ms_since(t0),
                     span_ms: ms_since(first),
+                    timing: Default::default(),
                     error: None,
                 };
                 if space.write(result.to_tuple()).is_err() {
@@ -727,6 +756,7 @@ mod tests {
                 payload: (id * 7).to_bytes(),
                 compute_ms: span / 2.0,
                 span_ms: span,
+                timing: Default::default(),
                 error: None,
             };
             space.write(r.to_tuple()).unwrap();

@@ -9,11 +9,18 @@
 //! the private `acc_framework_load` (the worker process's own share). The
 //! inference engine decides on their difference — the *external* load — so
 //! the framework never reacts to its own computation.
+//!
+//! When a [`DecisionInput`] is plugged in (the framework plugs in its
+//! `ClusterObserver`), each raw sample is first fed to the federation
+//! plane and the engine then acts on the *effective* load it returns —
+//! trend-floored, and saturated for flagged stragglers — instead of the
+//! bare last sample. Without one, the loop is exactly the paper's.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use acc_cluster::DecisionInput;
 use acc_snmp::{oids, Session, SnmpValue};
 use acc_telemetry::event;
 use crossbeam::channel::{bounded, Sender};
@@ -34,8 +41,13 @@ pub struct DecisionLogEntry {
     pub worker: WorkerId,
     /// Total CPU load polled from the node.
     pub total_load: u64,
-    /// External (non-framework) load — the decision variable.
+    /// External (non-framework) load — the decision variable. When a
+    /// [`DecisionInput`] is plugged in this is the *effective* load the
+    /// engine acted on, not the raw sample.
     pub external_load: u64,
+    /// Whether the federation plane had this worker flagged as a
+    /// straggler when the decision was taken.
+    pub straggler: bool,
     /// The signal sent, if the inference engine acted.
     pub signal: Option<Signal>,
 }
@@ -53,6 +65,9 @@ pub struct MonitoringAgent {
     rulebase: Arc<RuleBaseServer>,
     decisions: Arc<Mutex<Vec<DecisionLogEntry>>>,
     watchers: Mutex<Vec<Watcher>>,
+    // Optional federation feedback: raw samples go in, effective loads
+    // and straggler verdicts come back (None = paper-faithful loop).
+    decision_input: Mutex<Option<Arc<dyn DecisionInput>>>,
     // Milliseconds-since-epoch of the newest sample, plus one so a sample
     // in the epoch's first millisecond is distinguishable from "never".
     last_sample_ms: Arc<AtomicU64>,
@@ -86,8 +101,16 @@ impl MonitoringAgent {
             rulebase,
             decisions: Arc::new(Mutex::new(Vec::new())),
             watchers: Mutex::new(Vec::new()),
+            decision_input: Mutex::new(None),
             last_sample_ms: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// Plugs a federation decision input into every polling loop. Applies
+    /// to watchers started after (and, since loops re-read it each tick,
+    /// also before) this call.
+    pub fn set_decision_input(&self, input: Arc<dyn DecisionInput>) {
+        *self.decision_input.lock() = Some(input);
     }
 
     /// How long ago the newest worker sample arrived — the health signal
@@ -130,6 +153,14 @@ impl MonitoringAgent {
     /// Registers a worker with the inference engine and starts its polling
     /// loop over the given SNMP session.
     pub fn watch(self: &Arc<Self>, id: WorkerId, session: Session) {
+        self.watch_named(id, format!("worker-{}", id.0), session);
+    }
+
+    /// [`MonitoringAgent::watch`] with the worker's cluster name attached,
+    /// so samples and straggler lookups reach the federation plane under
+    /// the same key the worker publishes its heartbeats with.
+    pub fn watch_named(self: &Arc<Self>, id: WorkerId, name: impl Into<String>, session: Session) {
+        let name = name.into();
         self.engine.lock().register(id);
         let (stop_tx, stop_rx) = bounded::<()>(1);
         // Hold the agent weakly: a watch thread must not keep the agent
@@ -145,7 +176,18 @@ impl MonitoringAgent {
                     let total = gauge(&values, 0);
                     let framework = gauge(&values, 1);
                     let external = total.saturating_sub(framework);
-                    let signal = agent.engine.lock().on_sample(id, external);
+                    let input = agent.decision_input.lock().clone();
+                    let (effective, straggler) = match &input {
+                        Some(input) => {
+                            input.on_load_sample(&name, external, total);
+                            (
+                                input.effective_load(&name, external),
+                                input.is_straggler(&name),
+                            )
+                        }
+                        None => (external, false),
+                    };
+                    let signal = agent.engine.lock().on_sample(id, effective);
                     series().monitor_samples.inc();
                     agent.mark_sample();
                     if let Some(sig) = signal {
@@ -153,7 +195,8 @@ impl MonitoringAgent {
                         event!(
                             "monitor.decision",
                             worker = id.0,
-                            external_load = external,
+                            external_load = effective,
+                            straggler = straggler,
                             signal = format!("{sig:?}"),
                         );
                         agent.rulebase.send_signal(id, sig);
@@ -162,7 +205,8 @@ impl MonitoringAgent {
                         at_ms: agent.epoch.elapsed().as_millis() as u64,
                         worker: id,
                         total_load: total,
-                        external_load: external,
+                        external_load: effective,
+                        straggler,
                         signal,
                     });
                 }
@@ -226,6 +270,7 @@ impl MonitoringAgent {
                         worker: id,
                         total_load: external,
                         external_load: external,
+                        straggler: false,
                         signal,
                     });
                 }

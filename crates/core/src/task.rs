@@ -19,6 +19,9 @@ pub const RESULT_TYPE: &str = "acc.result";
 /// the master→worker hop happens through the space (the worker's `take` is
 /// its own request), so the context has to ride the tuple itself.
 pub const TRACE_FIELD: &str = "tctx";
+/// Field carrying the serialized [`acc_cluster::TaskTiming`] attribution
+/// record on result tuples (same compact-bytes style as [`TRACE_FIELD`]).
+pub const TIMING_FIELD: &str = "timing";
 
 /// Extracts the distributed trace context a tuple carries, if any.
 pub fn tuple_trace_context(tuple: &Tuple) -> Option<acc_telemetry::TraceContext> {
@@ -126,6 +129,11 @@ pub struct ResultEntry {
     /// Set when the task exhausted its retries: the terminal error, so the
     /// master can account for the task instead of waiting forever.
     pub error: Option<String>,
+    /// Per-task cost attribution (space-wait / transfer / compute /
+    /// result-write), feeding the federation plane's per-worker and
+    /// per-job histograms. Rides the tuple as a compact bytes field;
+    /// results from older workers decode to all-zero timing.
+    pub timing: acc_cluster::TaskTiming,
 }
 
 impl ResultEntry {
@@ -138,6 +146,9 @@ impl ResultEntry {
             .field("payload", self.payload.clone())
             .field("compute_ms", self.compute_ms)
             .field("span_ms", self.span_ms);
+        if self.timing != acc_cluster::TaskTiming::default() {
+            builder = builder.field(TIMING_FIELD, self.timing.to_bytes());
+        }
         if let Some(error) = &self.error {
             builder = builder.field("error", error.as_str());
         }
@@ -160,6 +171,10 @@ impl ResultEntry {
             compute_ms: tuple.get_float("compute_ms")?,
             span_ms: tuple.get_float("span_ms")?,
             error: tuple.get_str("error").map(str::to_owned),
+            timing: tuple
+                .get_bytes(TIMING_FIELD)
+                .and_then(acc_cluster::TaskTiming::from_bytes)
+                .unwrap_or_default(),
         })
     }
 }
@@ -263,6 +278,7 @@ mod tests {
             compute_ms: 12.5,
             span_ms: 40.0,
             error: None,
+            timing: acc_cluster::TaskTiming::default(),
         }
     }
 
@@ -310,6 +326,30 @@ mod tests {
         r.error = Some("exhausted retries".into());
         r.payload = vec![];
         assert_eq!(ResultEntry::from_tuple(&r.to_tuple()), Some(r));
+    }
+
+    #[test]
+    fn timed_result_roundtrips_and_untimed_decodes_to_zero() {
+        let mut r = result();
+        r.timing = acc_cluster::TaskTiming {
+            wait_us: 100,
+            xfer_us: 20,
+            compute_us: 3_000,
+            write_us: 40,
+        };
+        assert_eq!(ResultEntry::from_tuple(&r.to_tuple()), Some(r.clone()));
+        // A v0-style result tuple without the timing field (an older
+        // worker) decodes with zeroed attribution, not a failure.
+        let bare = Tuple::build(RESULT_TYPE)
+            .field("job", "render")
+            .field("task_id", 5i64)
+            .field("worker", "w01")
+            .field("payload", vec![9u8])
+            .field("compute_ms", 12.5)
+            .field("span_ms", 40.0)
+            .done();
+        let decoded = ResultEntry::from_tuple(&bare).unwrap();
+        assert_eq!(decoded.timing, acc_cluster::TaskTiming::default());
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct WorkerConfig {
     pub epoch: Instant,
     /// Framework tunables (task poll timeout, etc.).
     pub framework: FrameworkConfig,
+    /// Whether this worker publishes heartbeat/metric tuples into the
+    /// space for the master-side `ClusterObserver` (the federation
+    /// plane). Off by default so bare rigs don't seed the space with
+    /// extra tuples; the framework turns it on for managed workers.
+    pub publish_metrics: bool,
 }
 
 /// CPU percent the worker's process shows while computing a task.
@@ -74,6 +79,7 @@ pub struct WorkerRuntime {
     log: Arc<Mutex<Vec<SignalLogEntry>>>,
     tasks_done: Arc<Mutex<u64>>,
     thread: Option<std::thread::JoinHandle<()>>,
+    publisher: Option<std::thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for WorkerRuntime {
@@ -95,6 +101,21 @@ impl WorkerRuntime {
         let log = Arc::new(Mutex::new(Vec::new()));
         let tasks_done = Arc::new(Mutex::new(0u64));
         let name = config.name.clone();
+        let publisher = (config.publish_metrics && !config.framework.metrics_interval.is_zero())
+            .then(|| {
+                let hb = HeartbeatState {
+                    worker: config.name.clone(),
+                    space: config.space.clone(),
+                    node_load: config.node_load.clone(),
+                    tasks_done: tasks_done.clone(),
+                    shutdown: shutdown.clone(),
+                    interval: config.framework.metrics_interval,
+                };
+                std::thread::Builder::new()
+                    .name(format!("acc-heartbeat-{name}"))
+                    .spawn(move || heartbeat_loop(hb))
+                    .expect("spawn heartbeat thread")
+            });
         let loop_state = LoopState {
             config,
             shutdown: shutdown.clone(),
@@ -102,7 +123,12 @@ impl WorkerRuntime {
             log: log.clone(),
             tasks_done: tasks_done.clone(),
         };
-        let thread = std::thread::spawn(move || worker_loop(loop_state));
+        // Worker threads are named after the worker so cost attribution,
+        // flight dumps, and tests can tell them apart.
+        let thread = std::thread::Builder::new()
+            .name(format!("acc-worker-{name}"))
+            .spawn(move || worker_loop(loop_state))
+            .expect("spawn worker thread");
         Some(WorkerRuntime {
             name,
             id,
@@ -111,6 +137,7 @@ impl WorkerRuntime {
             log,
             tasks_done,
             thread: Some(thread),
+            publisher,
         })
     }
 
@@ -160,6 +187,9 @@ impl WorkerRuntime {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        if let Some(t) = self.publisher.take() {
+            let _ = t.join();
+        }
     }
 }
 
@@ -193,6 +223,14 @@ fn worker_loop(ls: LoopState) {
     // space so other workers can claim it.
     let prefetch = ls.config.framework.task_prefetch.max(1);
     let mut prefetched: VecDeque<Tuple> = VecDeque::new();
+    // Cost attribution riding each result tuple, aligned with
+    // `prefetched`: the delivering take's round trip is charged as
+    // `wait_us` to the first task of the batch and amortised into
+    // `xfer_us` across all of them.
+    let mut pending_timing: VecDeque<acc_cluster::TaskTiming> = VecDeque::new();
+    // A worker can't know its own result-write cost before writing: the
+    // previous write's duration rides the *next* result.
+    let mut last_write_us: u64 = 0;
     let mut transport_strikes = 0u32;
     let set_load = |pct: u64| {
         if let Some(load) = &ls.config.node_load {
@@ -210,7 +248,7 @@ fn worker_loop(ls: LoopState) {
                 // Unstarted prefetched tasks must not sit out the back-off
                 // invisible to the rest of the cluster (paper §4.3: only
                 // the currently executing task completes).
-                return_prefetched(&ls, &mut prefetched);
+                return_prefetched(&ls, &mut prefetched, &mut pending_timing);
                 set_load(0);
                 // Blocked on the signal channel; nothing else to do.
                 if let Some(msg) = ls.config.duplex.recv_timeout(Duration::from_millis(25)) {
@@ -233,6 +271,7 @@ fn worker_loop(ls: LoopState) {
                 };
                 if prefetched.is_empty() {
                     set_load(IDLE_RUNNING_LOAD);
+                    let take_start = Instant::now();
                     let taken = ls.config.space.take_up_to(
                         &template,
                         prefetch,
@@ -244,6 +283,7 @@ fn worker_loop(ls: LoopState) {
                         {
                             // Transient: the server may be restarting.
                             transport_strikes += 1;
+                            series().transport_strikes.inc();
                             continue;
                         }
                         Err(_) => break, // space closed: cluster shutting down
@@ -251,6 +291,18 @@ fn worker_loop(ls: LoopState) {
                             transport_strikes = 0;
                             if batch.len() > 1 {
                                 event!("worker.prefetch", count = batch.len() as u64);
+                            }
+                            if !batch.is_empty() {
+                                let rtt_us = take_start.elapsed().as_micros() as u64;
+                                let xfer_us = rtt_us / batch.len() as u64;
+                                for i in 0..batch.len() {
+                                    pending_timing.push_back(acc_cluster::TaskTiming {
+                                        wait_us: if i == 0 { rtt_us } else { 0 },
+                                        xfer_us,
+                                        compute_us: 0,
+                                        write_us: 0,
+                                    });
+                                }
                             }
                             prefetched.extend(batch);
                         }
@@ -260,6 +312,7 @@ fn worker_loop(ls: LoopState) {
                 }
                 {
                     let tuple = prefetched.pop_front().expect("non-empty buffer");
+                    let mut timing = pending_timing.pop_front().unwrap_or_default();
                     {
                         let Some(task) = TaskEntry::from_tuple(&tuple) else {
                             continue;
@@ -287,6 +340,8 @@ fn worker_loop(ls: LoopState) {
                         };
                         let compute_ms = compute_start.elapsed().as_secs_f64() * 1e3;
                         series().compute_us.observe((compute_ms * 1e3) as u64);
+                        timing.compute_us = (compute_ms * 1e3) as u64;
+                        timing.write_us = last_write_us;
                         set_load(IDLE_RUNNING_LOAD);
                         let span_ms = first_access
                             .map(|f| f.elapsed().as_secs_f64() * 1e3)
@@ -301,10 +356,13 @@ fn worker_loop(ls: LoopState) {
                                     compute_ms,
                                     span_ms,
                                     error: None,
+                                    timing,
                                 };
+                                let write_start = Instant::now();
                                 if ls.config.space.write(result.to_tuple()).is_err() {
                                     break;
                                 }
+                                last_write_us = write_start.elapsed().as_micros() as u64;
                                 event!("worker.result.write", task_id = task.task_id);
                                 series().tasks_completed.inc();
                                 *ls.tasks_done.lock() += 1;
@@ -336,6 +394,7 @@ fn worker_loop(ls: LoopState) {
                                     compute_ms,
                                     span_ms,
                                     error: Some(e.to_string()),
+                                    timing,
                                 };
                                 if ls.config.space.write(result.to_tuple()).is_err() {
                                     break;
@@ -356,7 +415,7 @@ fn worker_loop(ls: LoopState) {
     // Whatever ended the loop (shutdown, space closed, poisoned write):
     // give unstarted prefetched tasks back if the space will still have
     // them, so they are not lost with this worker.
-    return_prefetched(&ls, &mut prefetched);
+    return_prefetched(&ls, &mut prefetched, &mut pending_timing);
     set_load(0);
     ls.config.duplex.send(RuleMessage::Bye);
 }
@@ -364,8 +423,14 @@ fn worker_loop(ls: LoopState) {
 /// Writes the worker's unstarted prefetched tasks back to the space in one
 /// batch. Failure is tolerated: if the space is closed the cluster is shutting
 /// down and the tasks are moot; if it is unreachable the master's result
-/// timeout re-issues them.
-fn return_prefetched(ls: &LoopState, prefetched: &mut VecDeque<Tuple>) {
+/// timeout re-issues them. Attribution pending for those tasks is dropped
+/// with them — whoever re-takes them measures its own costs.
+fn return_prefetched(
+    ls: &LoopState,
+    prefetched: &mut VecDeque<Tuple>,
+    pending_timing: &mut VecDeque<acc_cluster::TaskTiming>,
+) {
+    pending_timing.clear();
     if prefetched.is_empty() {
         return;
     }
@@ -373,6 +438,56 @@ fn return_prefetched(ls: &LoopState, prefetched: &mut VecDeque<Tuple>) {
     let count = tuples.len() as u64;
     if ls.config.space.write_all(tuples).is_ok() {
         event!("worker.prefetch.return", count = count);
+    }
+}
+
+/// State the heartbeat publisher thread owns.
+struct HeartbeatState {
+    worker: String,
+    space: StoreHandle,
+    node_load: Option<Arc<LoadMix>>,
+    tasks_done: Arc<Mutex<u64>>,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+}
+
+/// Publishes one [`acc_cluster::MetricsReport`] tuple per interval until
+/// shutdown or the space goes away. Intervals are jittered ±25%
+/// deterministically per `(worker, seq)` so a fleet of workers never
+/// heartbeats in phase; sleeps run in short slices so shutdown stays
+/// prompt even at second-scale intervals.
+fn heartbeat_loop(hb: HeartbeatState) {
+    let mut seq: u64 = 0;
+    loop {
+        let wait = acc_cluster::jittered_interval(hb.interval, &hb.worker, seq);
+        let deadline = Instant::now() + wait;
+        while Instant::now() < deadline {
+            if hb.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(wait));
+        }
+        if hb.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        seq += 1;
+        let (total, framework) = hb
+            .node_load
+            .as_ref()
+            .map(|l| (l.total(), l.framework_effective()))
+            .unwrap_or((0, 0));
+        let report = acc_cluster::MetricsReport {
+            worker: hb.worker.clone(),
+            seq,
+            at_ms: acc_cluster::observer::now_ms(),
+            total_load: total,
+            framework_load: framework,
+            tasks_done: *hb.tasks_done.lock(),
+        };
+        if hb.space.write(report.to_tuple()).is_err() {
+            return; // space closed or unreachable: stop reporting
+        }
+        series().heartbeats_published.inc();
     }
 }
 
@@ -510,6 +625,7 @@ mod tests {
                 task_poll_timeout: Duration::from_millis(10),
                 ..FrameworkConfig::default()
             },
+            false,
         )
     }
 
@@ -522,6 +638,7 @@ mod tests {
         store: StoreHandle,
         exec: Arc<dyn TaskExecutor>,
         framework: FrameworkConfig,
+        publish_metrics: bool,
     ) -> Rig {
         let server = RuleBaseServer::new(Arc::new(|_, _| {}));
         let bundle_server = BundleServer::new(Duration::from_millis(5), Duration::ZERO);
@@ -544,6 +661,7 @@ mod tests {
             node_load: None,
             epoch: Instant::now(),
             framework,
+            publish_metrics,
         })
         .unwrap();
         let id = accept.join().unwrap();
@@ -721,6 +839,7 @@ mod tests {
                 max_task_retries: 10,
                 ..FrameworkConfig::default()
             },
+            false,
         );
         put_task(&r.space, 0, 1);
         put_task(&r.space, 1, 2);
@@ -737,6 +856,41 @@ mod tests {
             "worker kept consuming tasks after a failed retry write"
         );
         assert_eq!(r.worker.tasks_done(), 0);
+        r.worker.shutdown();
+    }
+
+    #[test]
+    fn publishing_worker_heartbeats_into_the_space() {
+        let space = Space::new("heartbeats");
+        let store: StoreHandle = space.clone();
+        let r = rig_with(
+            space,
+            store,
+            Arc::new(SquareExec),
+            FrameworkConfig {
+                task_poll_timeout: Duration::from_millis(10),
+                metrics_interval: Duration::from_millis(20),
+                ..FrameworkConfig::default()
+            },
+            true,
+        );
+        // Heartbeats flow even while the worker is Stopped — the
+        // publisher thread is independent of the task loop.
+        wait_for(
+            || r.space.count(&acc_cluster::metrics_template()) >= 2,
+            "two heartbeats",
+        );
+        let tuple = r
+            .space
+            .take(
+                &acc_cluster::metrics_template(),
+                Some(Duration::from_secs(1)),
+            )
+            .unwrap()
+            .unwrap();
+        let report = acc_cluster::MetricsReport::from_tuple(&tuple).unwrap();
+        assert_eq!(report.worker, "w01");
+        assert!(report.seq >= 1);
         r.worker.shutdown();
     }
 
@@ -761,6 +915,7 @@ mod tests {
                 task_prefetch: 4,
                 ..FrameworkConfig::default()
             },
+            false,
         );
         let total = 10u64;
         for i in 0..total {

@@ -326,17 +326,33 @@ impl TraceAssembler {
         out
     }
 
+    /// Spans of one trace whose parent span no contributed dump covers —
+    /// the visible stubs of a process that died mid-flight (or whose dump
+    /// was never collected). Trace roots (`parent == 0`) are not orphans.
+    pub fn orphans(&self, trace_id: u64) -> Vec<&SpanRecord> {
+        self.spans(trace_id)
+            .into_iter()
+            .filter(|s| s.parent_span_id != 0 && !self.by_span.contains_key(&s.parent_span_id))
+            .collect()
+    }
+
     /// Human-readable indented tree of one trace, for test failure output
-    /// and debugging: `name [process/thread]` per line.
+    /// and debugging: `name [process/thread]` per line. Spans whose parent
+    /// dump is missing (a worker that died mid-flight) are not silently
+    /// promoted to roots: they render under an explicit orphan section so
+    /// partial collections stay legible.
     pub fn render_tree(&self, trace_id: u64) -> String {
         let spans = self.spans(trace_id);
         let mut out = String::new();
-        let roots: Vec<_> = spans
-            .iter()
-            .filter(|s| s.parent_span_id == 0 || !self.by_span.contains_key(&s.parent_span_id))
-            .collect();
-        for root in roots {
+        for root in spans.iter().filter(|s| s.parent_span_id == 0) {
             self.render_into(root, 0, &spans, &mut out);
+        }
+        let orphans = self.orphans(trace_id);
+        if !orphans.is_empty() {
+            out.push_str("-- orphaned spans (parent dump missing) --\n");
+            for orphan in orphans {
+                self.render_into(orphan, 0, &spans, &mut out);
+            }
         }
         out
     }
@@ -477,6 +493,63 @@ mod tests {
         // Re-adding the same dump is a no-op.
         assert_eq!(asm.add_flight_json("b", dump), 0);
         assert!(asm.render_tree(7).contains("remote.take"));
+    }
+
+    #[test]
+    fn missing_process_dump_yields_orphan_section_not_a_broken_tree() {
+        // Master dispatched (root span), a worker picked the task up and
+        // died mid-flight: only the worker's *child* spans made it into a
+        // dump, the worker.task span that parented them never did.
+        let mut asm = TraceAssembler::new();
+        let master = r#"{"thread":"main"}
+{"kind":"enter","name":"master.dispatch","trace":"9","span":"1","parent":"0","depth":0,"t_us":0}
+"#;
+        let dead_worker = r#"{"thread":"acc-worker-w0"}
+{"kind":"enter","name":"worker.compute","trace":"9","span":"30","parent":"20","depth":1,"t_us":50}
+{"kind":"enter","name":"worker.result.write","trace":"9","span":"31","parent":"30","depth":2,"t_us":90}
+"#;
+        assert_eq!(asm.add_flight_json("master", master), 1);
+        assert_eq!(asm.add_flight_json("w0", dead_worker), 2);
+
+        // Stitching still works where it can: ancestry stops cleanly at
+        // the missing parent instead of failing or looping.
+        let write = asm.find("worker.result.write").unwrap();
+        let chain = asm.ancestry(write.span_id);
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain[0].name, "worker.compute");
+
+        // The orphan is identified: worker.compute's parent (span 0x20,
+        // the worker.task span) is in no dump. Its own child is not an
+        // orphan — it hangs off a span we do have.
+        let orphans = asm.orphans(9);
+        assert_eq!(orphans.len(), 1);
+        assert_eq!(orphans[0].name, "worker.compute");
+
+        // The render keeps the true root at the top level and the
+        // orphan subtree under an explicit section, fully indented.
+        let tree = asm.render_tree(9);
+        assert!(tree.starts_with("master.dispatch"), "{tree}");
+        assert!(
+            tree.contains("orphaned spans (parent dump missing)"),
+            "{tree}"
+        );
+        assert!(tree.contains("worker.compute [w0/acc-worker-w0]"), "{tree}");
+        assert!(tree.contains("  worker.result.write"), "{tree}");
+    }
+
+    #[test]
+    fn complete_trace_renders_without_orphan_section() {
+        let mut asm = TraceAssembler::new();
+        let dump = r#"{"thread":"t"}
+{"kind":"enter","name":"root","trace":"5","span":"1","parent":"0","depth":0,"t_us":0}
+{"kind":"enter","name":"leaf","trace":"5","span":"2","parent":"1","depth":1,"t_us":1}
+"#;
+        assert_eq!(asm.add_flight_json("p", dump), 2);
+        assert!(asm.orphans(5).is_empty());
+        let tree = asm.render_tree(5);
+        assert!(!tree.contains("orphaned spans"), "{tree}");
+        assert!(tree.contains("root"), "{tree}");
+        assert!(tree.contains("  leaf"), "{tree}");
     }
 
     #[test]

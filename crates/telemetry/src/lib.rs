@@ -17,8 +17,13 @@
 //!   dumps into one cross-process tree;
 //! * [`flight`] — the always-on bounded flight recorder (last N records
 //!   per thread), dumped on demand or from a panic hook;
+//! * [`ring`] — bounded time-series history: fixed-depth rings of
+//!   `(timestamp, value)` samples with windowed min/max/mean/p99
+//!   queries, feeding the cluster federation plane and the adaptive
+//!   decision input;
 //! * [`http`] — the std-only scrape endpoint serving `/metrics`,
-//!   `/metrics.json`, `/healthz` and `/spans`.
+//!   `/metrics.json`, `/healthz`, `/spans` and any extra routes a
+//!   component mounts (the framework adds `/cluster`).
 //!
 //! Both halves are built to be left in hot paths permanently:
 //!
@@ -47,15 +52,17 @@ pub mod flight;
 pub mod histogram;
 pub mod http;
 pub mod registry;
+pub mod ring;
 pub mod trace;
 
 pub use context::{ContextGuard, SpanRecord, TraceAssembler, TraceContext};
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use http::{serve, HealthChecks, HealthResult, HttpOptions, HttpServer};
+pub use http::{serve, serve_routed, HealthChecks, HealthResult, HttpOptions, HttpServer, Routes};
 pub use registry::{
     json_escape, json_unescape, refresh_process_series, registry, Counter, Gauge, Registry,
     Snapshot,
 };
+pub use ring::{HistoryRing, RingSample, RingStats, DEFAULT_DEPTH};
 pub use trace::{
     init_from_env, install, uninstall, RingBufferSubscriber, StderrSubscriber, Subscriber,
     TraceEvent, TraceKind,

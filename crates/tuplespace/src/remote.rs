@@ -54,6 +54,28 @@ use crate::tuple::Tuple;
 
 const MAX_FRAME: usize = 16 << 20;
 
+/// Wire-protocol error-path series: how often clients had to reconnect,
+/// what protocol version the last (re)connection negotiated, and how many
+/// tuples the server returned to the space because their response frame
+/// never reached a client.
+struct NetSeries {
+    reconnects: Arc<acc_telemetry::Counter>,
+    protocol_version: Arc<acc_telemetry::Gauge>,
+    tuples_restored: Arc<acc_telemetry::Counter>,
+}
+
+fn net_series() -> &'static NetSeries {
+    static SERIES: std::sync::OnceLock<NetSeries> = std::sync::OnceLock::new();
+    SERIES.get_or_init(|| {
+        let r = acc_telemetry::registry();
+        NetSeries {
+            reconnects: r.counter("remote.reconnects"),
+            protocol_version: r.gauge("remote.protocol_version"),
+            tuples_restored: r.counter("server.tuples_restored"),
+        }
+    })
+}
+
 /// Current wire-protocol version, exchanged via [`Request::Hello`].
 ///
 /// * **Version 1** adds the `Hello` handshake and the `Traced` request
@@ -776,6 +798,7 @@ fn restore_unacked(space: &Arc<Space>, response: Response) {
         Response::Corr { inner, .. } => return restore_unacked(space, *inner),
         _ => return,
     };
+    net_series().tuples_restored.add(tuples.len() as u64);
     // Failure means the space is closed; the tuples are moot then.
     let _ = Space::write_all(space, tuples);
 }
@@ -924,6 +947,7 @@ impl RemoteSpace {
     /// skips the handshake entirely, exactly like the seed client.
     pub fn connect_capped(addr: SocketAddr, max_version: u32) -> std::io::Result<RemoteSpace> {
         let (stream, peer_version) = RemoteSpace::establish(addr, max_version)?;
+        net_series().protocol_version.set(peer_version as i64);
         Ok(RemoteSpace {
             addr,
             stream: Mutex::new(stream),
@@ -974,6 +998,9 @@ impl RemoteSpace {
             .map_err(|e| SpaceError::Transport(format!("{cause}; reconnect failed: {e}")))?;
         *stream = fresh;
         self.peer_version.store(version, Ordering::Relaxed);
+        let net = net_series();
+        net.reconnects.inc();
+        net.protocol_version.set(version as i64);
         Ok(())
     }
 

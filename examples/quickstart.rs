@@ -121,6 +121,7 @@ fn spawn_worker(space: SpaceHandle, job: String, name: String) -> std::thread::J
                 payload,
                 compute_ms: t0.elapsed().as_secs_f64() * 1e3,
                 span_ms: first.elapsed().as_secs_f64() * 1e3,
+                timing: Default::default(),
                 error: None,
             };
             if space.write(result.to_tuple()).is_err() {

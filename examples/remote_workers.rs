@@ -4,6 +4,11 @@
 //! repository).
 //!
 //! Run with: `cargo run --release --example remote_workers`
+//!
+//! Observability: set `ACC_OBSERVE=127.0.0.1:9137` to mount the scrape
+//! endpoint (including the `/cluster` federation view), `ACC_METRICS_MS=<n>`
+//! to override the heartbeat interval, and pass `--hold-ms <n>` to keep
+//! the cluster alive after the run so it can be scraped live.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -14,10 +19,26 @@ use adaptive_spaces::framework::{ClusterBuilder, FrameworkConfig};
 use adaptive_spaces::space::{RemoteSpace, Template, TupleStore};
 
 fn main() {
-    let config = FrameworkConfig {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hold_ms: Option<u64> = args.iter().position(|a| a == "--hold-ms").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--hold-ms needs a number");
+                std::process::exit(2);
+            })
+    });
+    let metrics_interval = std::env::var("ACC_METRICS_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis);
+    let mut config = FrameworkConfig {
         poll_interval: Duration::from_millis(20),
         ..FrameworkConfig::default()
     };
+    if let Some(interval) = metrics_interval {
+        config.metrics_interval = interval;
+    }
     let mut cluster = ClusterBuilder::new(config).build();
     let mut app = PricingApp::new(OptionSpec::paper_default(), 20, 50);
     cluster.install(&app);
@@ -65,6 +86,13 @@ fn main() {
     );
     for worker in cluster.workers() {
         println!("  {}: {} tasks", worker.name(), worker.tasks_done());
+    }
+    if let Some(ms) = hold_ms {
+        match cluster.observe_addr() {
+            Some(addr) => println!("holding for {ms} ms; observability endpoint at http://{addr}"),
+            None => println!("holding for {ms} ms (set ACC_OBSERVE=127.0.0.1:0 for an endpoint)"),
+        }
+        std::thread::sleep(Duration::from_millis(ms));
     }
     cluster.shutdown();
 }

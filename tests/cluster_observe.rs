@@ -1,0 +1,182 @@
+//! Acceptance test for the cluster federation plane: a master and two
+//! remote workers, heartbeats flowing through the space, `/cluster`
+//! reporting both workers with history and compute histograms, and an
+//! artificially slowed worker flagged as a straggler and excluded through
+//! the monitor's `DecisionInput` hook.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use adaptive_spaces::cluster::NodeSpec;
+use adaptive_spaces::framework::{
+    Application, ClusterBuilder, ExecError, FrameworkConfig, Signal, TaskEntry, TaskExecutor,
+    TaskSpec,
+};
+use adaptive_spaces::space::Payload;
+
+/// Adds one to each input. The executor sleeps per task, much longer on
+/// any worker whose thread name marks it slow — worker threads are named
+/// `acc-worker-<node>`, so the node name selects the behaviour and the
+/// same executor binary serves both workers, like a degraded machine
+/// running identical code.
+struct SkewedApp {
+    n: u64,
+    total: u64,
+}
+
+impl Application for SkewedApp {
+    fn job_name(&self) -> String {
+        "skewed".into()
+    }
+    fn bundle_name(&self) -> String {
+        "skewed-bundle".into()
+    }
+    fn bundle_kb(&self) -> usize {
+        1
+    }
+    fn plan(&mut self) -> Vec<TaskSpec> {
+        (0..self.n).map(|i| TaskSpec::new(i, &i)).collect()
+    }
+    fn executor(&self) -> Arc<dyn TaskExecutor> {
+        struct Exec;
+        impl TaskExecutor for Exec {
+            fn execute(&self, task: &TaskEntry) -> Result<Vec<u8>, ExecError> {
+                let slow = std::thread::current()
+                    .name()
+                    .is_some_and(|n| n.contains("slow"));
+                std::thread::sleep(Duration::from_millis(if slow { 60 } else { 8 }));
+                let x: u64 = task.input()?;
+                Ok((x + 1).to_bytes())
+            }
+        }
+        Arc::new(Exec)
+    }
+    fn absorb(&mut self, _task_id: u64, payload: &[u8]) -> Result<(), ExecError> {
+        self.total += u64::from_bytes(payload).map_err(ExecError::Decode)?;
+        Ok(())
+    }
+}
+
+fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+/// Pulls `"key":<int>` out of the worker's JSON object — enough of a
+/// parser for the fields this test asserts on.
+fn json_int_after(json: &str, anchor: &str, key: &str) -> Option<i64> {
+    let at = json.find(anchor)?;
+    let rest = &json[at..];
+    let kat = rest.find(&format!("\"{key}\":"))?;
+    let num = &rest[kat + key.len() + 3..];
+    let end = num
+        .find(|c: char| !c.is_ascii_digit() && c != '-')
+        .unwrap_or(num.len());
+    num[..end].parse().ok()
+}
+
+#[test]
+fn federation_reports_both_workers_and_excludes_the_straggler() {
+    let config = FrameworkConfig {
+        poll_interval: Duration::from_millis(10),
+        task_poll_timeout: Duration::from_millis(10),
+        class_load_base: Duration::from_millis(1),
+        class_load_per_kb: Duration::ZERO,
+        task_prefetch: 1,
+        metrics_interval: Duration::from_millis(25),
+        // The slow worker computes at ~7.5x the fast one, so 3x the
+        // median flags it with plenty of margin — while a scheduling
+        // hiccup on the fast worker (p99 a few ms over its own median)
+        // stays well under the threshold and can't stop both workers.
+        straggler_k: 3.0,
+        straggler_min_samples: 3,
+        ..FrameworkConfig::default()
+    };
+    let mut cluster = ClusterBuilder::new(config)
+        .space_name("observed-space")
+        .observe("127.0.0.1:0")
+        .build();
+    let addr = cluster.observe_addr().expect("observer endpoint mounted");
+    let mut app = SkewedApp { n: 150, total: 0 };
+    cluster.install(&app);
+    let fast = cluster
+        .add_remote_worker(NodeSpec::new("fast-0", 800, 256))
+        .expect("fast worker connects");
+    let slow = cluster
+        .add_remote_worker(NodeSpec::new("slow-1", 800, 256))
+        .expect("slow worker connects");
+
+    // Heartbeats federate through the space: both workers must show up in
+    // /cluster.json with at least 3 history samples each, before any task
+    // has even run.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let json = http_get(addr, "/cluster.json");
+        let fast_hist = json_int_after(&json, "\"fast-0\"", "history_samples").unwrap_or(0);
+        let slow_hist = json_int_after(&json, "\"slow-1\"", "history_samples").unwrap_or(0);
+        if fast_hist >= 3 && slow_hist >= 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "workers never federated 3 heartbeats: {json}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let report = cluster.run(&mut app);
+    assert!(report.complete, "failures: {:?}", report.failures);
+    assert_eq!(report.results_collected, 150);
+    assert_eq!(app.total, (1..=150u64).sum::<u64>());
+
+    // Task-level attribution: both workers carry a non-empty compute
+    // histogram in the federation view.
+    let json = http_get(addr, "/cluster.json");
+    for worker in ["fast-0", "slow-1"] {
+        let count = json_int_after(&json, &format!("\"{worker}\""), "count").unwrap_or(0);
+        assert!(count > 0, "{worker} has no compute samples: {json}");
+    }
+    // The text rendering covers both workers too.
+    let text = http_get(addr, "/cluster");
+    assert!(text.contains("fast-0") && text.contains("slow-1"), "{text}");
+    assert!(text.contains("space:observed-space"), "{text}");
+
+    // The slowed worker's compute p99 is far beyond 2x the cluster
+    // median: it must be flagged.
+    let observer = cluster.cluster_observer();
+    assert_eq!(observer.stragglers(), vec!["slow-1".to_owned()]);
+    assert!(json.contains("\"stragglers\":[\"slow-1\"]"), "{json}");
+
+    // ... and excluded through the DecisionInput hook: the monitor keeps
+    // polling, reads the straggler's load as saturated, and the inference
+    // engine orders a Stop with the straggler flag on the decision.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let excluded = cluster
+            .monitor()
+            .decisions()
+            .iter()
+            .any(|d| d.worker == slow && d.straggler && d.signal == Some(Signal::Stop));
+        if excluded {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "straggler was never stopped: {:?}",
+            cluster.monitor().decisions()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // The fast worker is never flagged.
+    assert!(cluster
+        .monitor()
+        .decisions()
+        .iter()
+        .all(|d| d.worker != fast || !d.straggler));
+
+    cluster.shutdown();
+}

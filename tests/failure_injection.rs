@@ -129,6 +129,7 @@ fn master_reports_malformed_results_without_stalling() {
             payload,
             compute_ms: 1.0,
             span_ms: 1.0,
+            timing: Default::default(),
             error: None,
         };
         space.write(result.to_tuple()).unwrap();
