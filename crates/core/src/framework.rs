@@ -12,7 +12,10 @@ use std::time::{Duration, Instant};
 use acc_cluster::{metrics_template, ClusterObserver, MetricsReport, Node, NodeSpec};
 use acc_federation::{Attributes, DiscoveryBus, LookupService, Registrar, ServiceItem};
 use acc_snmp::{host_resources_mib, oids, transport::InProcTransport, Agent, Manager};
-use acc_tuplespace::{remote::SpaceServer, RemoteSpace, Space, SpaceHandle, StoreHandle};
+use acc_spacegrid::PartitionedSpace;
+use acc_tuplespace::{
+    remote::SpaceServer, RemoteSpace, Space, SpaceHandle, StoreHandle, Template, TupleStore,
+};
 
 use crate::config::FrameworkConfig;
 use crate::loader::{BundleServer, CodeBundle, ExecutorRegistry};
@@ -30,6 +33,7 @@ pub struct ClusterBuilder {
     config: FrameworkConfig,
     space_name: String,
     observe: Option<String>,
+    shards: Vec<String>,
 }
 
 impl ClusterBuilder {
@@ -39,6 +43,7 @@ impl ClusterBuilder {
             config,
             space_name: "JavaSpaces".into(),
             observe: None,
+            shards: Vec::new(),
         }
     }
 
@@ -55,6 +60,22 @@ impl ClusterBuilder {
     /// variable.
     pub fn observe(mut self, bind: impl Into<String>) -> ClusterBuilder {
         self.observe = Some(bind.into());
+        self
+    }
+
+    /// Runs the cluster over a space grid: the given addresses are
+    /// external shard `SpaceServer`s, and all master dispatch, worker
+    /// prefetch and heartbeat traffic goes through a
+    /// [`PartitionedSpace`] over them instead of the in-process space
+    /// (which remains hosted for federation discovery). Without this
+    /// call the shard list can still come from the `ACC_SHARDS`
+    /// environment variable (comma-separated `host:port` addresses).
+    pub fn shards<I, S>(mut self, addrs: I) -> ClusterBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.shards = addrs.into_iter().map(Into::into).collect();
         self
     }
 
@@ -97,11 +118,47 @@ impl ClusterBuilder {
         // (and straggler verdicts) back into the inference loop.
         let hub = Arc::new(ClusterObserver::new(self.config.observer_config()));
         monitor.set_decision_input(hub.clone());
+        // Space grid: when a shard list is configured (builder or
+        // ACC_SHARDS), every store operation the cluster performs —
+        // dispatch, prefetch, heartbeats — goes through a
+        // PartitionedSpace over those servers. Shards must be up at
+        // build time; one dying later degrades instead of failing.
+        let shard_addrs: Vec<std::net::SocketAddr> = {
+            let list = if self.shards.is_empty() {
+                std::env::var("ACC_SHARDS")
+                    .ok()
+                    .filter(|v| !v.is_empty())
+                    .map(|v| v.split(',').map(str::to_owned).collect())
+                    .unwrap_or_default()
+            } else {
+                self.shards.clone()
+            };
+            list.iter()
+                .map(|a| {
+                    a.trim()
+                        .parse()
+                        .unwrap_or_else(|e| panic!("bad shard address '{a}': {e}"))
+                })
+                .collect()
+        };
+        let grid = if shard_addrs.is_empty() {
+            None
+        } else {
+            Some(Arc::new(
+                PartitionedSpace::connect(&shard_addrs)
+                    .expect("all space-grid shards reachable at build time"),
+            ))
+        };
+        let store: StoreHandle = match &grid {
+            Some(grid) => grid.clone(),
+            None => space.clone(),
+        };
         let collector = if self.config.metrics_interval.is_zero() {
             None
         } else {
             Some(spawn_collector(
-                space.clone(),
+                store.clone(),
+                self.space_name.clone(),
                 hub.clone(),
                 self.config.metrics_interval,
             ))
@@ -113,6 +170,7 @@ impl ClusterBuilder {
                 match spawn_observer(
                     &bind,
                     space.clone(),
+                    grid.clone(),
                     monitor.clone(),
                     hub.clone(),
                     &self.config,
@@ -131,6 +189,7 @@ impl ClusterBuilder {
             lookup,
             _registrar: registrar,
             space,
+            grid,
             space_name: self.space_name,
             bundle_server,
             registry: ExecutorRegistry::new(),
@@ -150,10 +209,13 @@ impl ClusterBuilder {
 /// Starts the master-side collector: every interval it publishes the
 /// space's own heartbeat tuple (the space is a federation participant
 /// like any worker, under the name `space:<name>`), then drains every
-/// pending `acc.metrics` tuple and folds it into the hub. Exits when the
-/// space closes.
+/// pending `acc.metrics` tuple and folds it into the hub. Runs against
+/// whatever store the cluster dispatches through — the in-process space
+/// or the grid (where `take_all` scatter-gathers heartbeats from every
+/// shard). Exits when the store closes.
 fn spawn_collector(
-    space: SpaceHandle,
+    store: StoreHandle,
+    space_name: String,
     hub: Arc<ClusterObserver>,
     interval: Duration,
 ) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
@@ -163,7 +225,8 @@ fn spawn_collector(
         .name("acc-collector".into())
         .spawn(move || {
             let template = metrics_template();
-            let self_name = format!("space:{}", space.name());
+            let any = Template::any_type().done();
+            let self_name = format!("space:{space_name}");
             let mut seq = 0u64;
             while !stop2.load(Ordering::SeqCst) {
                 seq += 1;
@@ -173,12 +236,12 @@ fn spawn_collector(
                     at_ms: acc_cluster::observer::now_ms(),
                     total_load: 0,
                     framework_load: 0,
-                    tasks_done: space.len() as u64,
+                    tasks_done: store.count(&any).unwrap_or(0) as u64,
                 };
-                if space.write(self_report.to_tuple()).is_err() {
+                if store.write(self_report.to_tuple()).is_err() && store.is_closed() {
                     break;
                 }
-                match space.take_all(&template) {
+                match store.take_all(&template) {
                     Ok(tuples) => {
                         for tuple in &tuples {
                             let Some(report) = MetricsReport::from_tuple(tuple) else {
@@ -191,6 +254,10 @@ fn spawn_collector(
                             }
                         }
                     }
+                    // Transient store faults (e.g. every grid shard
+                    // momentarily unhealthy) skip a cycle; only a closed
+                    // store ends collection.
+                    Err(_) if !store.is_closed() => {}
                     Err(_) => break,
                 }
                 // Sleep in slices so shutdown is prompt at any interval.
@@ -210,6 +277,7 @@ fn spawn_collector(
 fn spawn_observer(
     bind: &str,
     space: SpaceHandle,
+    grid: Option<Arc<PartitionedSpace>>,
     monitor: Arc<MonitoringAgent>,
     hub: Arc<ClusterObserver>,
     config: &FrameworkConfig,
@@ -253,17 +321,51 @@ fn spawn_observer(
             r.counter("server.tuples_restored").get(),
         ))
     });
+    // Grid posture: degraded shards flip `/healthz` and are listed, with
+    // per-shard health, in `/cluster` and `/cluster.json`.
+    if let Some(grid_for_check) = grid.clone() {
+        health.register("grid", move || {
+            let healthy = grid_for_check.healthy_count();
+            let total = grid_for_check.shard_count();
+            if healthy == total {
+                Ok(format!("{healthy}/{total} shards healthy"))
+            } else {
+                Err(format!("{healthy}/{total} shards healthy"))
+            }
+        });
+    }
     let routes = acc_telemetry::Routes::new();
     let hub_text = hub.clone();
+    let grid_text = grid.clone();
     routes.register("/cluster", move || {
-        (
-            "200 OK",
-            "text/plain; charset=utf-8",
-            hub_text.render_text(),
-        )
+        let mut body = hub_text.render_text();
+        if let Some(grid) = &grid_text {
+            body.push_str("\nspace grid:\n");
+            for shard in grid.status() {
+                body.push_str(&format!(
+                    "  shard {} {} {}\n",
+                    shard.index,
+                    shard.addr,
+                    if shard.healthy {
+                        "healthy"
+                    } else {
+                        "UNHEALTHY"
+                    }
+                ));
+            }
+        }
+        ("200 OK", "text/plain; charset=utf-8", body)
     });
     routes.register("/cluster.json", move || {
-        ("200 OK", "application/json", hub.render_json())
+        let mut body = hub.render_json();
+        if let Some(grid) = &grid {
+            // Splice the grid object into the hub's top-level document.
+            if let Some(close) = body.rfind('}') {
+                body.truncate(close);
+                body.push_str(&format!(r#","grid":{}}}"#, grid.render_json()));
+            }
+        }
+        ("200 OK", "application/json", body)
     });
     acc_telemetry::serve_routed(bind, health, routes, acc_telemetry::HttpOptions::default())
 }
@@ -311,6 +413,7 @@ pub struct AdaptiveCluster {
     lookup: Arc<LookupService>,
     _registrar: Registrar,
     space: SpaceHandle,
+    grid: Option<Arc<PartitionedSpace>>,
     space_name: String,
     bundle_server: Arc<BundleServer>,
     registry: Arc<ExecutorRegistry>,
@@ -348,6 +451,20 @@ impl AdaptiveCluster {
     /// The hosted space.
     pub fn space(&self) -> SpaceHandle {
         self.space.clone()
+    }
+
+    /// The space grid, when the cluster was built over shards.
+    pub fn grid(&self) -> Option<Arc<PartitionedSpace>> {
+        self.grid.clone()
+    }
+
+    /// The store all cluster traffic goes through: the grid when one is
+    /// configured, the in-process space otherwise.
+    pub fn store(&self) -> StoreHandle {
+        match &self.grid {
+            Some(grid) => grid.clone(),
+            None => self.space.clone(),
+        }
     }
 
     /// The network management module.
@@ -413,7 +530,15 @@ impl AdaptiveCluster {
     /// # Panics
     /// If no application has been installed yet.
     pub fn add_worker(&mut self, spec: NodeSpec) -> WorkerId {
-        let store: StoreHandle = self.space.clone();
+        // Grid deployments give every worker its own shard connections,
+        // exactly as remote workers each get their own RemoteSpace.
+        let store: StoreHandle = match &self.grid {
+            Some(grid) => Arc::new(
+                grid.reconnect()
+                    .expect("space-grid shards reachable for new worker"),
+            ),
+            None => self.space.clone(),
+        };
         self.add_worker_with_store(spec, store)
     }
 
@@ -499,8 +624,14 @@ impl AdaptiveCluster {
     /// module. The space is discovered via the federation, exactly as a
     /// Jini client would.
     pub fn run(&mut self, app: &mut dyn Application) -> RunReport {
-        let space = self.find_space().expect("space registered in federation");
-        let mut master = Master::new(space);
+        // Grid mode dispatches straight through the partitioned store;
+        // otherwise the space is discovered via the federation, exactly
+        // as a Jini client would.
+        let store: StoreHandle = match &self.grid {
+            Some(grid) => grid.clone(),
+            None => self.find_space().expect("space registered in federation") as _,
+        };
+        let mut master = Master::new(store);
         master.dispatch_chunk = self.config.dispatch_chunk;
         master.observer = Some(self.hub.clone());
         master.run(app).expect("space open for the run's duration")
@@ -542,6 +673,12 @@ impl AdaptiveCluster {
         }
         self.monitor.stop();
         self.space.close();
+        // Closing the grid closes the shard spaces themselves, waking any
+        // worker blocked on a grid take — the partitioned analogue of
+        // closing the in-process space above.
+        if let Some(grid) = self.grid.take() {
+            grid.close();
+        }
         for worker in self.workers.drain(..) {
             worker.runtime.shutdown();
         }
@@ -718,6 +855,44 @@ mod tests {
         }
         let report = cluster.run(&mut app);
         assert!(report.complete);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn end_to_end_run_over_a_space_grid() {
+        // Two external shard servers, as separate processes would host.
+        let shard_a = Space::new("shard-a");
+        let shard_b = Space::new("shard-b");
+        let server_a = SpaceServer::spawn(shard_a.clone(), "127.0.0.1:0").unwrap();
+        let server_b = SpaceServer::spawn(shard_b.clone(), "127.0.0.1:0").unwrap();
+        let mut cluster = ClusterBuilder::new(fast_config())
+            .shards([server_a.addr().to_string(), server_b.addr().to_string()])
+            .observe("127.0.0.1:0")
+            .build();
+        assert_eq!(cluster.grid().expect("grid configured").shard_count(), 2);
+        let mut app = SumSquares { n: 40, total: 0 };
+        cluster.install(&app);
+        for i in 0..2 {
+            cluster.add_worker(NodeSpec::new(format!("gw{i}"), 800, 256));
+        }
+        let report = cluster.run(&mut app);
+        assert!(report.complete, "failures: {:?}", report.failures);
+        assert_eq!(report.results_collected, 40);
+        let expected: u64 = (0..40u64).map(|i| i * i).sum();
+        assert_eq!(app.total, expected);
+        // The work actually spread: both shards saw traffic.
+        let touched_a = shard_a.stats().writes > 0;
+        let touched_b = shard_b.stats().writes > 0;
+        assert!(touched_a && touched_b, "both shards should carry tuples");
+        // Observability: the grid check is green and the shard list is in
+        // the cluster views.
+        let addr = cluster.observe_addr().expect("observer mounted");
+        let health = http_get(addr, "/healthz");
+        assert!(health.contains("2/2 shards healthy"), "got: {health}");
+        let json = http_get(addr, "/cluster.json");
+        assert!(json.contains(r#""grid":{"total":2"#), "got: {json}");
+        let text = http_get(addr, "/cluster");
+        assert!(text.contains("space grid:"), "got: {text}");
         cluster.shutdown();
     }
 }

@@ -1,0 +1,1127 @@
+//! # acc-spacegrid
+//!
+//! A partitioned, multi-server tuple space. The paper's single JavaSpace
+//! is the framework's throughput ceiling and availability single point of
+//! failure; [`PartitionedSpace`] shards past it by spreading tuples over
+//! N independent [`SpaceServer`](acc_tuplespace::SpaceServer)s while
+//! still presenting the one [`TupleStore`] interface masters and workers
+//! already speak — dispatch, prefetch, heartbeats, and durability all
+//! work unchanged through the grid.
+//!
+//! * **Routing** ([`router`]): every write lands on the deterministic
+//!   FNV-1a owner of the tuple's key fields (or of the whole tuple in
+//!   spread mode). Templates that pin all key fields route straight to
+//!   the owner; anything else scatter-gathers.
+//! * **Scatter-gather**: non-blocking lookups sweep the healthy shards;
+//!   blocking `read`/`take` fan out one helper thread per shard running
+//!   short blocking slices, with first-wins cancellation — a losing
+//!   `take` writes its tuple straight back to the shard it came from
+//!   (the client-side mirror of the server's `restore_unacked`).
+//! * **Batching**: `write_all` splits the batch by owner and dispatches
+//!   the per-shard groups in parallel, each riding the protocol-v2
+//!   pipelined frames (and their `BATCH_FRAME_BUDGET` chunking) of its
+//!   own connection; `take_up_to` fans quota-bounded batch takes out the
+//!   same way.
+//! * **Degradation**: a shard whose connection keeps failing (after
+//!   [`RemoteSpace`]'s own reconnect-and-retry) is marked unhealthy:
+//!   writes deterministically probe onward to the next healthy shard,
+//!   scatters skip it, and a background prober readmits it when it
+//!   answers again. One dead shard degrades the grid instead of killing
+//!   the cluster.
+//!
+//! Telemetry: `grid.shards`, `grid.unhealthy_shards`, per-shard op
+//! latency (`grid.shard<i>.op_us`), scatter fan-out width
+//! (`grid.scatter.fanout`), rerouted writes (`grid.rerouted_writes`) and
+//! first-wins restores (`grid.restored_tuples`).
+
+#![warn(missing_docs)]
+
+mod router;
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use acc_tuplespace::{
+    EntryId, Lease, RemoteSpace, SpaceError, SpaceResult, Template, Tuple, TupleStore,
+};
+
+pub use router::{route_template, route_tuple, tuple_hash, GridConfig};
+
+/// Grid-wide telemetry series (see the crate docs for the name list).
+struct GridSeries {
+    shards: Arc<acc_telemetry::Gauge>,
+    unhealthy: Arc<acc_telemetry::Gauge>,
+    rerouted_writes: Arc<acc_telemetry::Counter>,
+    restored_tuples: Arc<acc_telemetry::Counter>,
+    scatter_fanout: Arc<acc_telemetry::Histogram>,
+}
+
+fn series() -> &'static GridSeries {
+    static SERIES: std::sync::OnceLock<GridSeries> = std::sync::OnceLock::new();
+    SERIES.get_or_init(|| {
+        let r = acc_telemetry::registry();
+        GridSeries {
+            shards: r.gauge("grid.shards"),
+            unhealthy: r.gauge("grid.unhealthy_shards"),
+            rerouted_writes: r.counter("grid.rerouted_writes"),
+            restored_tuples: r.counter("grid.restored_tuples"),
+            scatter_fanout: r.histogram("grid.scatter.fanout"),
+        }
+    })
+}
+
+/// Per-shard op-latency histograms are keyed by shard index, not by
+/// grid instance: every client process talking to shard *i* reports into
+/// `grid.shard<i>.op_us`. The registry wants `&'static str` names; shard
+/// counts are tiny and fixed for a process's lifetime, so leaking the
+/// formatted names once per index is fine.
+fn shard_op_histogram(index: usize) -> Arc<acc_telemetry::Histogram> {
+    let name: &'static str = Box::leak(format!("grid.shard{index}.op_us").into_boxed_str());
+    acc_telemetry::registry().histogram(name)
+}
+
+/// One shard of the grid: a [`RemoteSpace`] connection plus its health
+/// mark. The health mark is per *client* (each grid instance judges its
+/// own connections), which is exactly what routing needs — a shard this
+/// client cannot reach must be routed around by this client, whatever
+/// other clients see.
+struct Shard {
+    index: usize,
+    addr: SocketAddr,
+    remote: RemoteSpace,
+    healthy: AtomicBool,
+    op_us: Arc<acc_telemetry::Histogram>,
+}
+
+impl Shard {
+    fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    fn mark_unhealthy(&self) {
+        if self.healthy.swap(false, Ordering::SeqCst) {
+            series().unhealthy.add(1);
+        }
+    }
+
+    fn mark_healthy(&self) {
+        if !self.healthy.swap(true, Ordering::SeqCst) {
+            series().unhealthy.add(-1);
+        }
+    }
+
+    /// Runs one operation against the shard, recording its latency and
+    /// downgrading the shard on a connection-level failure.
+    /// [`RemoteSpace`] has already absorbed one reconnect-and-resend by
+    /// the time `Transport` surfaces here, so a failure at this layer
+    /// means the server is genuinely unreachable (or desynced, for
+    /// `Protocol`) — strike it out rather than hammering it.
+    fn call<T>(&self, op: impl FnOnce(&RemoteSpace) -> SpaceResult<T>) -> SpaceResult<T> {
+        let start = Instant::now();
+        let result = op(&self.remote);
+        self.op_us.observe(start.elapsed().as_micros() as u64);
+        match &result {
+            Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => self.mark_unhealthy(),
+            _ => {}
+        }
+        result
+    }
+}
+
+/// Health and identity of one shard, as reported by
+/// [`PartitionedSpace::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Position in the shard list (the routing space).
+    pub index: usize,
+    /// The shard server's address.
+    pub addr: SocketAddr,
+    /// Whether this client currently considers the shard reachable.
+    pub healthy: bool,
+}
+
+/// Outcome events a scatter helper thread reports to its caller.
+enum HelperEvent {
+    /// This helper won the race; the tuple is the operation's result.
+    Win(Tuple),
+    /// The remote space reports closed — the grid must propagate it.
+    Closed,
+    /// The helper gave up (shard error or deadline) without a match.
+    Exit,
+}
+
+/// A partitioned tuple space: the full [`TupleStore`] contract over N
+/// [`RemoteSpace`] shards. See the crate docs for the routing,
+/// scatter-gather and degradation semantics; see [`GridConfig`] for the
+/// tunables.
+///
+/// A `PartitionedSpace` owns one connection per shard and, like
+/// [`RemoteSpace`], serves one caller per connection at a time: give
+/// each worker its own instance (via [`PartitionedSpace::reconnect`])
+/// rather than sharing one across threads.
+pub struct PartitionedSpace {
+    shards: Vec<Arc<Shard>>,
+    config: GridConfig,
+    closed: AtomicBool,
+    /// Once any write has been reverse-probed off its owner, keyed
+    /// template routing is unsafe (the tuple may live off-owner), so
+    /// routed lookups permanently fall back to scatter.
+    ever_rerouted: AtomicBool,
+    /// Rotates the starting shard of scatter sweeps so repeated
+    /// non-blocking lookups don't always favour shard 0.
+    sweep_cursor: AtomicUsize,
+    prober: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
+}
+
+impl std::fmt::Debug for PartitionedSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedSpace")
+            .field("shards", &self.shards.len())
+            .field("healthy", &self.healthy().len())
+            .finish()
+    }
+}
+
+impl PartitionedSpace {
+    /// Connects to every shard with the default [`GridConfig`]. All
+    /// shards must be reachable at connect time; degradation covers
+    /// shards that fail *afterwards*.
+    pub fn connect(addrs: &[SocketAddr]) -> std::io::Result<PartitionedSpace> {
+        PartitionedSpace::connect_with(addrs, GridConfig::default())
+    }
+
+    /// Connects to every shard with explicit tunables.
+    pub fn connect_with(
+        addrs: &[SocketAddr],
+        config: GridConfig,
+    ) -> std::io::Result<PartitionedSpace> {
+        if addrs.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a space grid needs at least one shard address",
+            ));
+        }
+        let shards: Vec<Arc<Shard>> = addrs
+            .iter()
+            .enumerate()
+            .map(|(index, &addr)| {
+                Ok(Arc::new(Shard {
+                    index,
+                    addr,
+                    remote: RemoteSpace::connect(addr)?,
+                    healthy: AtomicBool::new(true),
+                    op_us: shard_op_histogram(index),
+                }))
+            })
+            .collect::<std::io::Result<_>>()?;
+        series().shards.set(shards.len() as i64);
+        let prober = PartitionedSpace::spawn_prober(&shards, config.reprobe_interval);
+        Ok(PartitionedSpace {
+            shards,
+            config,
+            closed: AtomicBool::new(false),
+            ever_rerouted: AtomicBool::new(false),
+            sweep_cursor: AtomicUsize::new(0),
+            prober: Some(prober),
+        })
+    }
+
+    /// Background prober: an unhealthy shard rejoins the grid as soon as
+    /// it answers a probe (`count` of an any-type template — cheap, and
+    /// it exercises the same reconnect path real traffic would).
+    fn spawn_prober(
+        shards: &[Arc<Shard>],
+        interval: Duration,
+    ) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let shards: Vec<Arc<Shard>> = shards.to_vec();
+        let thread = std::thread::Builder::new()
+            .name("acc-grid-prober".into())
+            .spawn(move || {
+                let probe = Template::any_type().done();
+                while !stop2.load(Ordering::SeqCst) {
+                    for shard in &shards {
+                        if !shard.is_healthy() && shard.remote.count(&probe).is_ok() {
+                            shard.mark_healthy();
+                        }
+                    }
+                    // Sleep in slices so drop/shutdown stays prompt.
+                    let deadline = Instant::now() + interval;
+                    while Instant::now() < deadline && !stop2.load(Ordering::SeqCst) {
+                        std::thread::sleep(Duration::from_millis(10).min(interval));
+                    }
+                }
+            })
+            .expect("spawn grid prober thread");
+        (stop, thread)
+    }
+
+    /// The shard addresses, in routing order.
+    pub fn addrs(&self) -> Vec<SocketAddr> {
+        self.shards.iter().map(|s| s.addr).collect()
+    }
+
+    /// Total number of shards (healthy or not).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of currently healthy shards.
+    pub fn healthy_count(&self) -> usize {
+        self.healthy().len()
+    }
+
+    /// Per-shard identity and health, in routing order.
+    pub fn status(&self) -> Vec<ShardStatus> {
+        self.shards
+            .iter()
+            .map(|s| ShardStatus {
+                index: s.index,
+                addr: s.addr,
+                healthy: s.is_healthy(),
+            })
+            .collect()
+    }
+
+    /// The grid's status as a JSON object (for `/cluster.json` and
+    /// dashboards): shard list with health, plus the reroute counters.
+    pub fn render_json(&self) -> String {
+        let shards: Vec<String> = self
+            .status()
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"index":{},"addr":"{}","healthy":{}}}"#,
+                    s.index, s.addr, s.healthy
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"total":{},"healthy":{},"rerouted_writes":{},"restored_tuples":{},"shards":[{}]}}"#,
+            self.shard_count(),
+            self.healthy_count(),
+            series().rerouted_writes.get(),
+            series().restored_tuples.get(),
+            shards.join(",")
+        )
+    }
+
+    /// A fresh grid client over the same shards and tunables — each
+    /// worker gets its own connections, as with [`RemoteSpace`].
+    pub fn reconnect(&self) -> std::io::Result<PartitionedSpace> {
+        PartitionedSpace::connect_with(&self.addrs(), self.config.clone())
+    }
+
+    fn ensure_open(&self) -> SpaceResult<()> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(SpaceError::Closed);
+        }
+        Ok(())
+    }
+
+    fn healthy(&self) -> Vec<Arc<Shard>> {
+        self.shards
+            .iter()
+            .filter(|s| s.is_healthy())
+            .cloned()
+            .collect()
+    }
+
+    fn no_healthy() -> SpaceError {
+        SpaceError::Transport("space grid: no healthy shards".into())
+    }
+
+    /// The shard a write of `tuple` goes to *now*: the deterministic
+    /// owner, or — when the owner is down — the next healthy shard in
+    /// probe order. Rerouting trips [`Self::ever_rerouted`], which
+    /// retires keyed template routing for this client (the tuple is no
+    /// longer guaranteed to be on its owner).
+    fn write_target(&self, tuple: &Tuple) -> SpaceResult<Arc<Shard>> {
+        let n = self.shards.len();
+        let owner = route_tuple(tuple, &self.config.key_fields, n);
+        for probe in 0..n {
+            let shard = &self.shards[(owner + probe) % n];
+            if shard.is_healthy() {
+                if probe > 0 {
+                    series().rerouted_writes.inc();
+                    self.ever_rerouted.store(true, Ordering::SeqCst);
+                }
+                return Ok(shard.clone());
+            }
+        }
+        Err(PartitionedSpace::no_healthy())
+    }
+
+    /// The single shard a lookup can be served from, when routing is
+    /// sound: keyed mode, fully bound template, no write ever rerouted,
+    /// owner healthy. Everything else scatters.
+    fn route(&self, template: &Template) -> Option<Arc<Shard>> {
+        if self.ever_rerouted.load(Ordering::SeqCst) {
+            return None;
+        }
+        let index = route_template(template, &self.config.key_fields, self.shards.len())?;
+        let shard = &self.shards[index];
+        shard.is_healthy().then(|| shard.clone())
+    }
+
+    /// One non-blocking sweep over the healthy shards, starting from the
+    /// rotating cursor. Shard errors degrade (the shard is struck out and
+    /// the sweep moves on); `Closed` propagates.
+    fn sweep_one(&self, template: &Template, destructive: bool) -> SpaceResult<Option<Tuple>> {
+        let healthy = self.healthy();
+        if healthy.is_empty() {
+            return Err(PartitionedSpace::no_healthy());
+        }
+        series().scatter_fanout.observe(healthy.len() as u64);
+        let start = self.sweep_cursor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..healthy.len() {
+            let shard = &healthy[(start + k) % healthy.len()];
+            let got = shard.call(|r| {
+                if destructive {
+                    r.take_if_exists(template)
+                } else {
+                    r.read_if_exists(template)
+                }
+            });
+            match got {
+                Ok(Some(tuple)) => return Ok(Some(tuple)),
+                Ok(None) => {}
+                Err(SpaceError::Closed) => {
+                    self.closed.store(true, Ordering::SeqCst);
+                    return Err(SpaceError::Closed);
+                }
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Blocking scatter lookup: a helper thread per healthy shard runs
+    /// short blocking slices ([`GridConfig::take_slice`]) against its
+    /// shard, checking the shared first-wins flag between slices.
+    ///
+    /// Lock/thread ordering, and why this cannot deadlock or lose
+    /// tuples:
+    /// 1. the main thread holds **no** shard connection while waiting —
+    ///    it blocks on the event channel only;
+    /// 2. each helper touches exactly one shard connection (its own), so
+    ///    helpers never wait on each other;
+    /// 3. the first helper to flip the `done` flag owns the result; any
+    ///    later match is a *loser* and is written straight back to the
+    ///    shard it was taken from (client-side `restore_unacked`),
+    ///    before the helper exits;
+    /// 4. helpers are detached, not joined: the winner returns
+    ///    immediately, and stragglers die within one slice of `done`
+    ///    flipping. A straggler's connection mutex may be held for up to
+    ///    one slice after the call returns — the next operation on that
+    ///    shard simply queues behind it.
+    fn scatter_blocking(
+        &self,
+        template: &Template,
+        deadline: Option<Instant>,
+        destructive: bool,
+    ) -> SpaceResult<Option<Tuple>> {
+        loop {
+            self.ensure_open()?;
+            // Fast path: anything already matching anywhere? Runs before
+            // any deadline check so a zero timeout (the `*_if_exists`
+            // contract) still gets one full sweep.
+            if let Some(tuple) = self.sweep_one(template, destructive)? {
+                return Ok(Some(tuple));
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Ok(None);
+                }
+            }
+            let healthy = self.healthy();
+            if healthy.is_empty() {
+                return Err(PartitionedSpace::no_healthy());
+            }
+            let done = Arc::new(AtomicBool::new(false));
+            let (tx, rx) = mpsc::channel::<HelperEvent>();
+            let mut live = 0usize;
+            for shard in healthy {
+                let tx = tx.clone();
+                let done = done.clone();
+                let template = template.clone();
+                let slice = self.config.take_slice;
+                std::thread::Builder::new()
+                    .name(format!("acc-grid-scatter-{}", shard.index))
+                    .spawn(move || {
+                        helper_loop(shard, template, deadline, slice, destructive, done, tx)
+                    })
+                    .expect("spawn grid scatter helper");
+                live += 1;
+            }
+            drop(tx);
+            let outcome = loop {
+                let event = match deadline {
+                    None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+                    Some(d) => rx.recv_timeout(d.saturating_duration_since(Instant::now())),
+                };
+                match event {
+                    Ok(HelperEvent::Win(tuple)) => break Some(Ok(Some(tuple))),
+                    Ok(HelperEvent::Closed) => {
+                        self.closed.store(true, Ordering::SeqCst);
+                        break Some(Err(SpaceError::Closed));
+                    }
+                    Ok(HelperEvent::Exit) => {
+                        live -= 1;
+                        if live == 0 {
+                            // Every helper died (shard faults) or timed
+                            // out; decide at the top of the outer loop.
+                            break None;
+                        }
+                    }
+                    Err(_) => break Some(Ok(None)), // deadline
+                }
+            };
+            done.store(true, Ordering::SeqCst);
+            match outcome {
+                Some(result) => return result,
+                None => continue,
+            }
+        }
+    }
+
+    /// One parallel, non-blocking batch sweep: every healthy shard is
+    /// asked for a quota-bounded slice of `max` (quotas sum to `max`, so
+    /// the merge can never overfetch and nothing needs restoring). Runs
+    /// the last shard's request on the calling thread; a single healthy
+    /// shard therefore costs no thread spawn at all.
+    fn sweep_take_up_to(&self, template: &Template, max: usize) -> SpaceResult<Vec<Tuple>> {
+        let healthy = self.healthy();
+        if healthy.is_empty() {
+            return Err(PartitionedSpace::no_healthy());
+        }
+        series().scatter_fanout.observe(healthy.len() as u64);
+        let n = healthy.len();
+        let base = max / n;
+        let extra = max % n;
+        let quota = |slot: usize| base + usize::from(slot < extra);
+        let start = self.sweep_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        // Rotate which shards get the remainder quotas, for fairness.
+        let order: Vec<Arc<Shard>> = (0..n).map(|k| healthy[(start + k) % n].clone()).collect();
+        let mut handles = Vec::new();
+        for (slot, shard) in order.iter().enumerate().skip(1) {
+            if quota(slot) == 0 {
+                continue;
+            }
+            let shard = shard.clone();
+            let template = template.clone();
+            let want = quota(slot);
+            handles.push(std::thread::spawn(move || {
+                shard.call(|r| r.take_up_to(&template, want, Some(Duration::ZERO)))
+            }));
+        }
+        let mut results =
+            vec![order[0].call(|r| r.take_up_to(template, quota(0), Some(Duration::ZERO)))];
+        for handle in handles {
+            results.push(handle.join().expect("grid sweep helper panicked"));
+        }
+        let mut out = Vec::new();
+        for result in results {
+            match result {
+                Ok(batch) => out.extend(batch),
+                Err(SpaceError::Closed) => {
+                    self.closed.store(true, Ordering::SeqCst);
+                    return Err(SpaceError::Closed);
+                }
+                // Struck shards degrade the sweep, not the caller.
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Body of one scatter helper thread; see
+/// [`PartitionedSpace::scatter_blocking`] for the ordering rules.
+fn helper_loop(
+    shard: Arc<Shard>,
+    template: Template,
+    deadline: Option<Instant>,
+    slice: Duration,
+    destructive: bool,
+    done: Arc<AtomicBool>,
+    tx: mpsc::Sender<HelperEvent>,
+) {
+    while !done.load(Ordering::SeqCst) {
+        let wait = match deadline {
+            None => slice,
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                slice.min(remaining)
+            }
+        };
+        let got = shard.call(|r| {
+            if destructive {
+                r.take(&template, Some(wait))
+            } else {
+                r.read(&template, Some(wait))
+            }
+        });
+        match got {
+            Ok(Some(tuple)) => {
+                if !done.swap(true, Ordering::SeqCst) {
+                    let _ = tx.send(HelperEvent::Win(tuple));
+                } else if destructive {
+                    // Lost the race after removing a tuple: put it back
+                    // where it came from so no other caller misses it.
+                    if shard.call(|r| r.write(tuple)).is_ok() {
+                        series().restored_tuples.inc();
+                    }
+                    let _ = tx.send(HelperEvent::Exit);
+                }
+                return;
+            }
+            Ok(None) => continue,
+            Err(SpaceError::Closed) => {
+                let _ = tx.send(HelperEvent::Closed);
+                return;
+            }
+            // Transport/protocol: `call` already struck the shard out.
+            Err(_) => break,
+        }
+    }
+    let _ = tx.send(HelperEvent::Exit);
+}
+
+impl TupleStore for PartitionedSpace {
+    fn write_leased(&self, tuple: Tuple, lease: Lease) -> SpaceResult<EntryId> {
+        self.ensure_open()?;
+        // Each failed attempt strikes a shard out, so the probe sequence
+        // advances; `shards + 1` attempts guarantees termination.
+        let mut last_err = PartitionedSpace::no_healthy();
+        for _ in 0..=self.shards.len() {
+            let target = self.write_target(&tuple)?;
+            match target.call(|r| r.write_leased(tuple.clone(), lease)) {
+                Err(e @ SpaceError::Transport(_)) | Err(e @ SpaceError::Protocol(_)) => {
+                    last_err = e;
+                }
+                other => return other,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.ensure_open()?;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // Single-shard fast path: one direct blocking call (the server
+        // wakes it on a matching write) instead of sliced scatter polls.
+        if self.shards.len() == 1 && self.shards[0].is_healthy() {
+            match self.shards[0].call(|r| r.read(template, timeout)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        if let Some(shard) = self.route(template) {
+            match shard.call(|r| r.read(template, timeout)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        self.scatter_blocking(template, deadline, false)
+    }
+
+    fn take(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
+        self.ensure_open()?;
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // Single-shard fast path, as in `read`.
+        if self.shards.len() == 1 && self.shards[0].is_healthy() {
+            match self.shards[0].call(|r| r.take(template, timeout)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        if let Some(shard) = self.route(template) {
+            match shard.call(|r| r.take(template, timeout)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        self.scatter_blocking(template, deadline, true)
+    }
+
+    fn count(&self, template: &Template) -> SpaceResult<usize> {
+        self.ensure_open()?;
+        if let Some(shard) = self.route(template) {
+            match shard.call(|r| r.count(template)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        let healthy = self.healthy();
+        if healthy.is_empty() {
+            return Err(PartitionedSpace::no_healthy());
+        }
+        let mut total = 0usize;
+        for shard in healthy {
+            match shard.call(|r| r.count(template)) {
+                Ok(n) => total += n,
+                Err(SpaceError::Closed) => {
+                    self.closed.store(true, Ordering::SeqCst);
+                    return Err(SpaceError::Closed);
+                }
+                // A shard dying mid-count degrades to a partial count,
+                // consistent with scatter reads skipping dead shards.
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+
+    fn close(&self) {
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Best-effort: tell every shard, reachable or not, bypassing the
+        // health filter (an "unhealthy" shard may still be up).
+        for shard in &self.shards {
+            shard.remote.close();
+        }
+    }
+
+    fn is_closed(&self) -> bool {
+        if self.closed.load(Ordering::SeqCst) {
+            return true;
+        }
+        self.healthy().iter().any(|s| s.remote.is_closed())
+    }
+
+    fn take_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
+        self.ensure_open()?;
+        if let Some(shard) = self.route(template) {
+            match shard.call(|r| r.take_all(template)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        let healthy = self.healthy();
+        if healthy.is_empty() {
+            return Err(PartitionedSpace::no_healthy());
+        }
+        series().scatter_fanout.observe(healthy.len() as u64);
+        let mut handles = Vec::new();
+        for shard in healthy.iter().skip(1) {
+            let shard = shard.clone();
+            let template = template.clone();
+            handles.push(std::thread::spawn(move || {
+                shard.call(|r| r.take_all(&template))
+            }));
+        }
+        let mut results = vec![healthy[0].call(|r| r.take_all(template))];
+        for handle in handles {
+            results.push(handle.join().expect("grid take_all helper panicked"));
+        }
+        let mut out = Vec::new();
+        for result in results {
+            match result {
+                Ok(batch) => out.extend(batch),
+                Err(SpaceError::Closed) => {
+                    self.closed.store(true, Ordering::SeqCst);
+                    return Err(SpaceError::Closed);
+                }
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Splits the batch by owner and dispatches the per-shard groups in
+    /// parallel — each group rides its own connection's pipelined
+    /// protocol-v2 frames (and their frame-budget chunking). Ids come
+    /// back in input order. A group whose shard dies mid-write is
+    /// re-dispatched through the (now updated) probe order; as with
+    /// [`RemoteSpace`], the retry makes batch writes at-least-once.
+    fn write_all_leased(&self, tuples: Vec<Tuple>, lease: Lease) -> SpaceResult<Vec<EntryId>> {
+        self.ensure_open()?;
+        if tuples.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Single-shard fast path: there is no reroute target, so the
+        // retry machinery below (which clones every tuple to be able to
+        // regroup after a shard death) would be pure overhead. Move the
+        // batch straight through.
+        if self.shards.len() == 1 {
+            let shard = &self.shards[0];
+            if !shard.is_healthy() {
+                return Err(PartitionedSpace::no_healthy());
+            }
+            return match shard.call(|r| r.write_all_leased(tuples, lease)) {
+                Err(SpaceError::Closed) => {
+                    self.closed.store(true, Ordering::SeqCst);
+                    Err(SpaceError::Closed)
+                }
+                other => other,
+            };
+        }
+        let mut ids: Vec<Option<EntryId>> = vec![None; tuples.len()];
+        // (input position, tuple) pairs still to be written.
+        let mut pending: Vec<(usize, Tuple)> = tuples.into_iter().enumerate().collect();
+        let mut last_err = PartitionedSpace::no_healthy();
+        for _ in 0..=self.shards.len() {
+            if pending.is_empty() {
+                break;
+            }
+            // Group by current write target (owner or reroute).
+            type Group = (Arc<Shard>, Vec<(usize, Tuple)>);
+            let mut groups: Vec<Group> = Vec::new();
+            for (pos, tuple) in pending.drain(..) {
+                let target = self.write_target(&tuple)?;
+                match groups.iter_mut().find(|(s, _)| s.index == target.index) {
+                    Some((_, group)) => group.push((pos, tuple)),
+                    None => groups.push((target, vec![(pos, tuple)])),
+                }
+            }
+            let last = groups.len() - 1;
+            let mut handles = Vec::new();
+            for (shard, group) in groups.drain(..last) {
+                handles.push(std::thread::spawn(move || {
+                    let batch: Vec<Tuple> = group.iter().map(|(_, t)| t.clone()).collect();
+                    let result = shard.call(|r| r.write_all_leased(batch, lease));
+                    (group, result)
+                }));
+            }
+            // Last group runs inline: a single-shard grid spawns nothing.
+            let (shard, group) = groups.pop().expect("at least one group");
+            let batch: Vec<Tuple> = group.iter().map(|(_, t)| t.clone()).collect();
+            let mut outcomes = vec![(group, shard.call(|r| r.write_all_leased(batch, lease)))];
+            for handle in handles {
+                outcomes.push(handle.join().expect("grid write helper panicked"));
+            }
+            for (group, result) in outcomes {
+                match result {
+                    Ok(batch_ids) => {
+                        for ((pos, _), id) in group.iter().zip(batch_ids) {
+                            ids[*pos] = Some(id);
+                        }
+                    }
+                    Err(e @ SpaceError::Transport(_)) | Err(e @ SpaceError::Protocol(_)) => {
+                        // The shard is struck out; re-queue for reroute.
+                        last_err = e;
+                        pending.extend(group);
+                    }
+                    Err(SpaceError::Closed) => {
+                        self.closed.store(true, Ordering::SeqCst);
+                        return Err(SpaceError::Closed);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if !pending.is_empty() {
+            return Err(last_err);
+        }
+        Ok(ids
+            .into_iter()
+            .map(|id| id.expect("pending drained, every position written"))
+            .collect())
+    }
+
+    /// Scatter batch take: a parallel quota sweep first; when it comes
+    /// up dry and the caller is willing to wait, one blocking scatter
+    /// take delivers the first match, then a final sweep drains whatever
+    /// else arrived — mirroring the single-store contract (block for the
+    /// first match, drain the rest without waiting).
+    fn take_up_to(
+        &self,
+        template: &Template,
+        max: usize,
+        timeout: Option<Duration>,
+    ) -> SpaceResult<Vec<Tuple>> {
+        self.ensure_open()?;
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // Single-shard fast path: the one server already implements the
+        // exact block-then-drain contract in one round trip (v2).
+        if self.shards.len() == 1 && self.shards[0].is_healthy() {
+            match self.shards[0].call(|r| r.take_up_to(template, max, timeout)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        if let Some(shard) = self.route(template) {
+            match shard.call(|r| r.take_up_to(template, max, timeout)) {
+                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
+                other => return other,
+            }
+        }
+        let first_sweep = self.sweep_take_up_to(template, max)?;
+        if !first_sweep.is_empty() {
+            return Ok(first_sweep);
+        }
+        if timeout == Some(Duration::ZERO) {
+            return Ok(first_sweep);
+        }
+        match self.scatter_blocking(template, deadline, true)? {
+            None => Ok(Vec::new()),
+            Some(first) => {
+                let mut out = vec![first];
+                if max > 1 {
+                    out.extend(self.sweep_take_up_to(template, max - 1)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+impl Drop for PartitionedSpace {
+    fn drop(&mut self) {
+        if let Some((stop, thread)) = self.prober.take() {
+            stop.store(true, Ordering::SeqCst);
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acc_tuplespace::{Space, SpaceHandle, SpaceServer};
+
+    struct Rig {
+        spaces: Vec<SpaceHandle>,
+        servers: Vec<SpaceServer>,
+        grid: PartitionedSpace,
+    }
+
+    fn rig(shards: usize) -> Rig {
+        rig_with(shards, GridConfig::default())
+    }
+
+    fn rig_with(shards: usize, config: GridConfig) -> Rig {
+        let mut spaces = Vec::new();
+        let mut servers = Vec::new();
+        let mut addrs = Vec::new();
+        for i in 0..shards {
+            let space = Space::new(format!("shard-{i}"));
+            let server = SpaceServer::spawn(space.clone(), "127.0.0.1:0").unwrap();
+            addrs.push(server.addr());
+            spaces.push(space);
+            servers.push(server);
+        }
+        let grid = PartitionedSpace::connect_with(&addrs, config).unwrap();
+        Rig {
+            spaces,
+            servers,
+            grid,
+        }
+    }
+
+    fn task(id: i64) -> Tuple {
+        Tuple::build("acc.task")
+            .field("job", "grid")
+            .field("task_id", id)
+            .done()
+    }
+
+    fn job_template() -> Template {
+        Template::build("acc.task").eq("job", "grid").done()
+    }
+
+    #[test]
+    fn writes_spread_and_scatter_take_finds_everything() {
+        let r = rig(4);
+        for i in 0..64 {
+            r.grid.write(task(i)).unwrap();
+        }
+        let spread: Vec<usize> = r.spaces.iter().map(|s| s.len()).collect();
+        assert_eq!(spread.iter().sum::<usize>(), 64);
+        assert!(
+            spread.iter().all(|&n| n > 0),
+            "all shards should hold tuples: {spread:?}"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..64 {
+            let t = r
+                .grid
+                .take(&job_template(), Some(Duration::from_secs(2)))
+                .unwrap()
+                .expect("tuple available");
+            seen.insert(t.get_int("task_id").unwrap());
+        }
+        assert_eq!(seen.len(), 64);
+        assert_eq!(r.grid.count(&job_template()).unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_write_and_batch_take_round_trip() {
+        let r = rig(3);
+        let ids = r.grid.write_all((0..100).map(task).collect()).unwrap();
+        assert_eq!(ids.len(), 100);
+        assert_eq!(r.grid.count(&job_template()).unwrap(), 100);
+        let mut got = Vec::new();
+        while got.len() < 100 {
+            let batch = r
+                .grid
+                .take_up_to(&job_template(), 7, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(!batch.is_empty());
+            assert!(batch.len() <= 7);
+            got.extend(batch);
+        }
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn keyed_routing_serves_point_lookups_from_the_owner() {
+        let config = GridConfig {
+            key_fields: vec!["job".into(), "task_id".into()],
+            ..GridConfig::default()
+        };
+        let r = rig_with(4, config);
+        for i in 0..32 {
+            r.grid.write(task(i)).unwrap();
+        }
+        for i in 0..32i64 {
+            let point = Template::build("acc.task")
+                .eq("job", "grid")
+                .eq("task_id", i)
+                .done();
+            let owner = route_tuple(&task(i), &["job".into(), "task_id".into()], 4);
+            // The owner shard really holds it...
+            assert_eq!(Space::count(&r.spaces[owner], &point), 1);
+            // ...and the grid finds it (routed, not scattered).
+            let got = r.grid.read_if_exists(&point).unwrap().unwrap();
+            assert_eq!(got.get_int("task_id"), Some(i));
+        }
+    }
+
+    #[test]
+    fn blocking_take_wakes_on_late_write() {
+        let r = rig(2);
+        let grid = Arc::new(r.grid);
+        let waiter = {
+            let grid = grid.clone();
+            std::thread::spawn(move || grid.take(&job_template(), Some(Duration::from_secs(5))))
+        };
+        std::thread::sleep(Duration::from_millis(60));
+        // Write directly into a shard: the scatter helpers must see it.
+        r.spaces[1].write(task(9)).unwrap();
+        let got = waiter.join().unwrap().unwrap().expect("tuple delivered");
+        assert_eq!(got.get_int("task_id"), Some(9));
+    }
+
+    #[test]
+    fn blocking_take_times_out_empty() {
+        let r = rig(2);
+        let t0 = Instant::now();
+        let got = r
+            .grid
+            .take(&job_template(), Some(Duration::from_millis(80)))
+            .unwrap();
+        assert!(got.is_none());
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn dead_shard_degrades_writes_and_reads() {
+        let mut r = rig(3);
+        for i in 0..30 {
+            r.grid.write(task(i)).unwrap();
+        }
+        // Kill shard 1 outright: server gone, connections reset.
+        let dead = 1;
+        let held = r.spaces[dead].len();
+        drop(r.servers.remove(dead));
+        // Writes keep landing (rerouted); the grid stays usable.
+        for i in 30..60 {
+            r.grid.write(task(i)).unwrap();
+        }
+        assert_eq!(r.grid.healthy_count(), 2);
+        let status = r.grid.status();
+        assert!(!status[dead].healthy);
+        // Scatter reads cover the surviving shards.
+        let visible = r.grid.count(&job_template()).unwrap();
+        assert_eq!(visible, 60 - held);
+        let drained = r.grid.take_all(&job_template()).unwrap();
+        assert_eq!(drained.len(), visible);
+    }
+
+    #[test]
+    fn recovered_shard_rejoins_via_the_prober() {
+        let config = GridConfig {
+            reprobe_interval: Duration::from_millis(20),
+            ..GridConfig::default()
+        };
+        let mut r = rig_with(2, config);
+        // Take shard 0 down and let the grid notice.
+        let addr0 = r.servers[0].addr();
+        let space0 = r.spaces[0].clone();
+        drop(r.servers.remove(0));
+        while r.grid.write(task(0)).is_ok() && r.grid.healthy_count() == 2 {}
+        assert_eq!(r.grid.healthy_count(), 1);
+        // Bring a server back on the same address.
+        let _revived = SpaceServer::spawn(space0, &addr0.to_string()).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while r.grid.healthy_count() < 2 {
+            assert!(Instant::now() < deadline, "prober never readmitted shard 0");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn close_propagates_to_every_shard() {
+        let r = rig(3);
+        r.grid.write(task(1)).unwrap();
+        r.grid.close();
+        assert!(r.grid.is_closed());
+        assert!(matches!(r.grid.write(task(2)), Err(SpaceError::Closed)));
+        for space in &r.spaces {
+            assert!(space.is_closed());
+        }
+    }
+
+    #[test]
+    fn all_shards_dead_is_a_transport_error() {
+        let r = rig(2);
+        drop(r.servers);
+        let mut saw_transport = false;
+        for i in 0..4 {
+            if let Err(SpaceError::Transport(_)) = r.grid.write(task(i)) {
+                saw_transport = true;
+                break;
+            }
+        }
+        assert!(
+            saw_transport,
+            "grid must surface Transport once all shards die"
+        );
+        assert!(matches!(
+            r.grid
+                .take(&job_template(), Some(Duration::from_millis(50))),
+            Err(SpaceError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn write_all_survives_a_shard_dying_between_batches() {
+        let mut r = rig(3);
+        r.grid.write_all((0..30).map(task).collect()).unwrap();
+        drop(r.servers.remove(2));
+        // The next batch hits the dead shard, strikes it out, reroutes,
+        // and still reports an id per tuple.
+        let ids = r.grid.write_all((30..60).map(task).collect()).unwrap();
+        assert_eq!(ids.len(), 30);
+        assert_eq!(r.grid.healthy_count(), 2);
+        // Everything written after the death is reachable.
+        let visible = r.grid.count(&job_template()).unwrap();
+        assert!(visible >= 30, "rerouted writes must be readable: {visible}");
+    }
+}

@@ -9,6 +9,8 @@
 //!
 //! * [`space`] — the tuple space (write/read/take, templates, transactions,
 //!   leases, events);
+//! * [`spacegrid`] — the partitioned multi-server space: hash routing and
+//!   scatter-gather over N space servers behind the same store interface;
 //! * [`federation`] — Jini-style discovery and lookup;
 //! * [`snmp`] — the monitoring stack (OIDs, PDUs, MIB, agent, manager);
 //! * [`cluster`] — node models and the paper's synthetic load simulators;
@@ -32,5 +34,6 @@ pub use acc_durability as durability;
 pub use acc_federation as federation;
 pub use acc_sim as sim;
 pub use acc_snmp as snmp;
+pub use acc_spacegrid as spacegrid;
 pub use acc_telemetry as telemetry;
 pub use acc_tuplespace as space;
