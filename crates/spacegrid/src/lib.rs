@@ -15,8 +15,14 @@
 //! * **Scatter-gather**: non-blocking lookups sweep the healthy shards;
 //!   blocking `read`/`take` fan out one helper thread per shard running
 //!   short blocking slices, with first-wins cancellation — a losing
-//!   `take` writes its tuple straight back to the shard it came from
-//!   (the client-side mirror of the server's `restore_unacked`).
+//!   `take` restores its tuple to the shard it came from (the
+//!   client-side mirror of the server's `restore_unacked`), retrying
+//!   and falling back to another shard rather than ever dropping it,
+//!   and a gatherer that times out while a win is in flight recovers
+//!   and restores that straggler win the same way. Keyed routed lookups
+//!   that miss on the owner fall back to a scatter before reporting
+//!   `None`, so a tuple another client rerouted off its owner is still
+//!   found.
 //! * **Batching**: `write_all` splits the batch by owner and dispatches
 //!   the per-shard groups in parallel, each riding the protocol-v2
 //!   pipelined frames (and their `BATCH_FRAME_BUDGET` chunking) of its
@@ -31,8 +37,9 @@
 //!
 //! Telemetry: `grid.shards`, `grid.unhealthy_shards`, per-shard op
 //! latency (`grid.shard<i>.op_us`), scatter fan-out width
-//! (`grid.scatter.fanout`), rerouted writes (`grid.rerouted_writes`) and
-//! first-wins restores (`grid.restored_tuples`).
+//! (`grid.scatter.fanout`), rerouted writes (`grid.rerouted_writes`),
+//! first-wins restores (`grid.restored_tuples`) and restore failures
+//! (`grid.lost_tuples` — every increment is also logged to stderr).
 
 #![warn(missing_docs)]
 
@@ -55,6 +62,7 @@ struct GridSeries {
     unhealthy: Arc<acc_telemetry::Gauge>,
     rerouted_writes: Arc<acc_telemetry::Counter>,
     restored_tuples: Arc<acc_telemetry::Counter>,
+    lost_tuples: Arc<acc_telemetry::Counter>,
     scatter_fanout: Arc<acc_telemetry::Histogram>,
 }
 
@@ -67,6 +75,7 @@ fn series() -> &'static GridSeries {
             unhealthy: r.gauge("grid.unhealthy_shards"),
             rerouted_writes: r.counter("grid.rerouted_writes"),
             restored_tuples: r.counter("grid.restored_tuples"),
+            lost_tuples: r.counter("grid.lost_tuples"),
             scatter_fanout: r.histogram("grid.scatter.fanout"),
         }
     })
@@ -74,11 +83,20 @@ fn series() -> &'static GridSeries {
 
 /// Per-shard op-latency histograms are keyed by shard index, not by
 /// grid instance: every client process talking to shard *i* reports into
-/// `grid.shard<i>.op_us`. The registry wants `&'static str` names; shard
-/// counts are tiny and fixed for a process's lifetime, so leaking the
-/// formatted names once per index is fine.
+/// `grid.shard<i>.op_us`. The registry wants `&'static str` names, so
+/// each index's formatted name is leaked exactly once and memoized —
+/// reconnecting clients (one per added worker) reuse the same `&'static
+/// str` instead of leaking a fresh copy per connect.
 fn shard_op_histogram(index: usize) -> Arc<acc_telemetry::Histogram> {
-    let name: &'static str = Box::leak(format!("grid.shard{index}.op_us").into_boxed_str());
+    static NAMES: std::sync::Mutex<Vec<&'static str>> = std::sync::Mutex::new(Vec::new());
+    let name = {
+        let mut names = NAMES.lock().expect("shard-name memo poisoned");
+        while names.len() <= index {
+            let i = names.len();
+            names.push(Box::leak(format!("grid.shard{i}.op_us").into_boxed_str()));
+        }
+        names[index]
+    };
     acc_telemetry::registry().histogram(name)
 }
 
@@ -142,14 +160,77 @@ pub struct ShardStatus {
     pub healthy: bool,
 }
 
-/// Outcome events a scatter helper thread reports to its caller.
+/// Outcome events a scatter helper thread reports to its caller. `Win`
+/// carries the shard the tuple came from so that a gatherer abandoning
+/// the wait (timeout) can restore a straggler win to its origin instead
+/// of dropping it on the channel floor.
 enum HelperEvent {
     /// This helper won the race; the tuple is the operation's result.
-    Win(Tuple),
+    Win(Tuple, Arc<Shard>),
     /// The remote space reports closed — the grid must propagate it.
     Closed,
     /// The helper gave up (shard error or deadline) without a match.
     Exit,
+}
+
+/// Everything needed to put a taken-but-unwanted tuple back into the
+/// grid: the shard list for fallback targets and the shared reroute
+/// latch to trip when a restore lands off its origin shard.
+struct RestoreCtx {
+    shards: Vec<Arc<Shard>>,
+    rerouted: Arc<AtomicBool>,
+}
+
+/// Puts back a tuple that a `take` removed but the operation will not
+/// deliver (a helper lost the first-wins race, or the gatherer timed
+/// out while a win was in flight). The original lease is unknowable
+/// client-side — `take` returns the tuple alone and the server entry is
+/// gone — so the restore re-writes with the default forever lease,
+/// erring toward never losing a tuple at the cost of a bounded-lease
+/// entry outliving its deadline.
+///
+/// The origin shard is retried first (routing invariants stay intact);
+/// if it stays unreachable, any healthy shard beats a lost tuple — but
+/// landing off-origin may move the tuple off its owner, so that path
+/// counts as a reroute and trips the keyed-routing latch. Only when
+/// every attempt fails is the tuple abandoned, and loudly: the
+/// `grid.lost_tuples` counter and stderr both record it.
+fn restore_tuple(ctx: &RestoreCtx, origin: &Arc<Shard>, tuple: Tuple) {
+    // One extra origin attempt on top of RemoteSpace's own
+    // reconnect-and-resend, in case the first hits a transient fault.
+    for _ in 0..2 {
+        match origin.call(|r| r.write(tuple.clone())) {
+            Ok(_) => {
+                series().restored_tuples.inc();
+                return;
+            }
+            // The space itself is gone; there is nothing to preserve
+            // the tuple *for*.
+            Err(SpaceError::Closed) => return,
+            Err(_) => {}
+        }
+    }
+    for shard in &ctx.shards {
+        if shard.index == origin.index || !shard.is_healthy() {
+            continue;
+        }
+        match shard.call(|r| r.write(tuple.clone())) {
+            Ok(_) => {
+                series().restored_tuples.inc();
+                series().rerouted_writes.inc();
+                ctx.rerouted.store(true, Ordering::SeqCst);
+                return;
+            }
+            Err(SpaceError::Closed) => return,
+            Err(_) => {}
+        }
+    }
+    series().lost_tuples.inc();
+    eprintln!(
+        "acc: grid failed to restore a taken '{}' tuple (shard {} and every fallback unreachable); tuple dropped",
+        tuple.type_name(),
+        origin.index
+    );
 }
 
 /// A partitioned tuple space: the full [`TupleStore`] contract over N
@@ -165,10 +246,15 @@ pub struct PartitionedSpace {
     shards: Vec<Arc<Shard>>,
     config: GridConfig,
     closed: AtomicBool,
-    /// Once any write has been reverse-probed off its owner, keyed
-    /// template routing is unsafe (the tuple may live off-owner), so
-    /// routed lookups permanently fall back to scatter.
-    ever_rerouted: AtomicBool,
+    /// This client's local knowledge that some write (or restore) went
+    /// off its owner shard, making keyed template routing pointless —
+    /// once set, routed lookups skip the owner attempt and go straight
+    /// to scatter. This is a latency optimisation, not the correctness
+    /// mechanism: reroutes by *other* clients are invisible here, so
+    /// routed lookups that miss always fall back to a scatter before
+    /// returning `None` (see [`PartitionedSpace::route`]). Shared
+    /// (`Arc`) with scatter helpers so restore fallbacks can trip it.
+    ever_rerouted: Arc<AtomicBool>,
     /// Rotates the starting shard of scatter sweeps so repeated
     /// non-blocking lookups don't always favour shard 0.
     sweep_cursor: AtomicUsize,
@@ -222,7 +308,7 @@ impl PartitionedSpace {
             shards,
             config,
             closed: AtomicBool::new(false),
-            ever_rerouted: AtomicBool::new(false),
+            ever_rerouted: Arc::new(AtomicBool::new(false)),
             sweep_cursor: AtomicUsize::new(0),
             prober: Some(prober),
         })
@@ -310,9 +396,15 @@ impl PartitionedSpace {
     }
 
     /// A fresh grid client over the same shards and tunables — each
-    /// worker gets its own connections, as with [`RemoteSpace`].
+    /// worker gets its own connections, as with [`RemoteSpace`]. The
+    /// clone shares this client's reroute latch, so reroutes either one
+    /// observes retire the other's routed fast path too (reroutes by
+    /// unrelated clients remain invisible — routed misses fall back to
+    /// scatter to cover those).
     pub fn reconnect(&self) -> std::io::Result<PartitionedSpace> {
-        PartitionedSpace::connect_with(&self.addrs(), self.config.clone())
+        let mut grid = PartitionedSpace::connect_with(&self.addrs(), self.config.clone())?;
+        grid.ever_rerouted = self.ever_rerouted.clone();
+        Ok(grid)
     }
 
     fn ensure_open(&self) -> SpaceResult<()> {
@@ -355,9 +447,18 @@ impl PartitionedSpace {
         Err(PartitionedSpace::no_healthy())
     }
 
-    /// The single shard a lookup can be served from, when routing is
-    /// sound: keyed mode, fully bound template, no write ever rerouted,
-    /// owner healthy. Everything else scatters.
+    /// The owner shard a lookup should *try first*: keyed mode, fully
+    /// bound template, no reroute known to this client, owner healthy.
+    /// Everything else scatters immediately.
+    ///
+    /// A routed *hit* is always valid (reroutes move tuples, they never
+    /// duplicate them), but a routed *miss* is not authoritative: some
+    /// other client may have rerouted the tuple off its owner, and that
+    /// is invisible to this client's `ever_rerouted` latch. Every caller
+    /// must therefore treat a routed `Ok(None)` / empty result as "not
+    /// on the owner" and fall back to a scatter before reporting a miss
+    /// — and ops whose result aggregates over matches (`count`,
+    /// `take_all`) must not use routing at all.
     fn route(&self, template: &Template) -> Option<Arc<Shard>> {
         if self.ever_rerouted.load(Ordering::SeqCst) {
             return None;
@@ -411,20 +512,32 @@ impl PartitionedSpace {
     /// 2. each helper touches exactly one shard connection (its own), so
     ///    helpers never wait on each other;
     /// 3. the first helper to flip the `done` flag owns the result; any
-    ///    later match is a *loser* and is written straight back to the
-    ///    shard it was taken from (client-side `restore_unacked`),
-    ///    before the helper exits;
-    /// 4. helpers are detached, not joined: the winner returns
+    ///    later match is a *loser* and is restored to the shard it was
+    ///    taken from (client-side `restore_unacked`, see
+    ///    [`restore_tuple`]) before the helper exits;
+    /// 4. the gatherer abandons the wait (deadline) by *swapping* `done`
+    ///    rather than storing it: a `true` result means some helper's
+    ///    own swap beat ours — it won and its `Win` is in flight on the
+    ///    channel — so the gatherer drains the channel for that
+    ///    straggler win and restores its tuple before returning `None`.
+    ///    Without the swap handshake the `Win` would be dropped with
+    ///    `rx` and the already-taken tuple lost;
+    /// 5. helpers are detached, not joined: the winner returns
     ///    immediately, and stragglers die within one slice of `done`
-    ///    flipping. A straggler's connection mutex may be held for up to
-    ///    one slice after the call returns — the next operation on that
-    ///    shard simply queues behind it.
+    ///    flipping (dropping their channel senders, which bounds the
+    ///    straggler drain in step 4). A straggler's connection mutex may
+    ///    be held for up to one slice after the call returns — the next
+    ///    operation on that shard simply queues behind it.
     fn scatter_blocking(
         &self,
         template: &Template,
         deadline: Option<Instant>,
         destructive: bool,
     ) -> SpaceResult<Option<Tuple>> {
+        let ctx = Arc::new(RestoreCtx {
+            shards: self.shards.clone(),
+            rerouted: self.ever_rerouted.clone(),
+        });
         loop {
             self.ensure_open()?;
             // Fast path: anything already matching anywhere? Runs before
@@ -442,46 +555,68 @@ impl PartitionedSpace {
             if healthy.is_empty() {
                 return Err(PartitionedSpace::no_healthy());
             }
-            let done = Arc::new(AtomicBool::new(false));
+            let job = Arc::new(HelperJob {
+                template: template.clone(),
+                deadline,
+                slice: self.config.take_slice,
+                destructive,
+                done: AtomicBool::new(false),
+                restore: ctx.clone(),
+            });
             let (tx, rx) = mpsc::channel::<HelperEvent>();
             let mut live = 0usize;
             for shard in healthy {
                 let tx = tx.clone();
-                let done = done.clone();
-                let template = template.clone();
-                let slice = self.config.take_slice;
+                let job = job.clone();
                 std::thread::Builder::new()
                     .name(format!("acc-grid-scatter-{}", shard.index))
-                    .spawn(move || {
-                        helper_loop(shard, template, deadline, slice, destructive, done, tx)
-                    })
+                    .spawn(move || helper_loop(shard, job, tx))
                     .expect("spawn grid scatter helper");
                 live += 1;
             }
             drop(tx);
-            let outcome = loop {
+            // (decided result, whether we consumed a Win event).
+            let (outcome, consumed_win) = loop {
                 let event = match deadline {
                     None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
                     Some(d) => rx.recv_timeout(d.saturating_duration_since(Instant::now())),
                 };
                 match event {
-                    Ok(HelperEvent::Win(tuple)) => break Some(Ok(Some(tuple))),
+                    Ok(HelperEvent::Win(tuple, _)) => break (Some(Ok(Some(tuple))), true),
                     Ok(HelperEvent::Closed) => {
                         self.closed.store(true, Ordering::SeqCst);
-                        break Some(Err(SpaceError::Closed));
+                        break (Some(Err(SpaceError::Closed)), false);
                     }
                     Ok(HelperEvent::Exit) => {
                         live -= 1;
                         if live == 0 {
                             // Every helper died (shard faults) or timed
                             // out; decide at the top of the outer loop.
-                            break None;
+                            break (None, false);
                         }
                     }
-                    Err(_) => break Some(Ok(None)), // deadline
+                    Err(_) => break (Some(Ok(None)), false), // deadline
                 }
             };
-            done.store(true, Ordering::SeqCst);
+            // Cancel the stragglers — with a `swap`, not a `store`, to
+            // close the race the timeout path opens (ordering rule 4 in
+            // the doc comment): `true` here without a consumed `Win`
+            // means a helper's swap beat ours, it believes it won, and
+            // its `Win` is in (or on its way into) the channel. Dropping
+            // `rx` now would strand that already-taken tuple outside the
+            // space, so wait for the event and put the tuple back. The
+            // wait is bounded: every helper exits within one slice of
+            // `done` flipping and drops its sender.
+            if job.done.swap(true, Ordering::SeqCst) && !consumed_win {
+                while let Ok(event) = rx.recv() {
+                    if let HelperEvent::Win(tuple, origin) = event {
+                        if destructive {
+                            restore_tuple(&ctx, &origin, tuple);
+                        }
+                        break;
+                    }
+                }
+            }
             match outcome {
                 Some(result) => return result,
                 None => continue,
@@ -541,45 +676,48 @@ impl PartitionedSpace {
     }
 }
 
-/// Body of one scatter helper thread; see
-/// [`PartitionedSpace::scatter_blocking`] for the ordering rules.
-fn helper_loop(
-    shard: Arc<Shard>,
+/// Shared state of one scatter-gather round: the lookup parameters, the
+/// first-wins flag, and the restore context losers use to put their
+/// tuples back. One per [`PartitionedSpace::scatter_blocking`] round,
+/// shared by the gatherer and every helper.
+struct HelperJob {
     template: Template,
     deadline: Option<Instant>,
     slice: Duration,
     destructive: bool,
-    done: Arc<AtomicBool>,
-    tx: mpsc::Sender<HelperEvent>,
-) {
-    while !done.load(Ordering::SeqCst) {
-        let wait = match deadline {
-            None => slice,
+    done: AtomicBool,
+    restore: Arc<RestoreCtx>,
+}
+
+/// Body of one scatter helper thread; see
+/// [`PartitionedSpace::scatter_blocking`] for the ordering rules.
+fn helper_loop(shard: Arc<Shard>, job: Arc<HelperJob>, tx: mpsc::Sender<HelperEvent>) {
+    while !job.done.load(Ordering::SeqCst) {
+        let wait = match job.deadline {
+            None => job.slice,
             Some(d) => {
                 let remaining = d.saturating_duration_since(Instant::now());
                 if remaining.is_zero() {
                     break;
                 }
-                slice.min(remaining)
+                job.slice.min(remaining)
             }
         };
         let got = shard.call(|r| {
-            if destructive {
-                r.take(&template, Some(wait))
+            if job.destructive {
+                r.take(&job.template, Some(wait))
             } else {
-                r.read(&template, Some(wait))
+                r.read(&job.template, Some(wait))
             }
         });
         match got {
             Ok(Some(tuple)) => {
-                if !done.swap(true, Ordering::SeqCst) {
-                    let _ = tx.send(HelperEvent::Win(tuple));
-                } else if destructive {
+                if !job.done.swap(true, Ordering::SeqCst) {
+                    let _ = tx.send(HelperEvent::Win(tuple, shard));
+                } else if job.destructive {
                     // Lost the race after removing a tuple: put it back
-                    // where it came from so no other caller misses it.
-                    if shard.call(|r| r.write(tuple)).is_ok() {
-                        series().restored_tuples.inc();
-                    }
+                    // so no other caller misses it.
+                    restore_tuple(&job.restore, &shard, tuple);
                     let _ = tx.send(HelperEvent::Exit);
                 }
                 return;
@@ -627,6 +765,12 @@ impl TupleStore for PartitionedSpace {
         }
         if let Some(shard) = self.route(template) {
             match shard.call(|r| r.read(template, timeout)) {
+                Ok(Some(tuple)) => return Ok(Some(tuple)),
+                // A routed miss is not authoritative — another client
+                // may have rerouted the tuple off its owner — so fall
+                // through to a scatter (whose opening sweep runs even
+                // with the deadline spent) before reporting `None`.
+                Ok(None) => {}
                 Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
                 other => return other,
             }
@@ -646,6 +790,9 @@ impl TupleStore for PartitionedSpace {
         }
         if let Some(shard) = self.route(template) {
             match shard.call(|r| r.take(template, timeout)) {
+                Ok(Some(tuple)) => return Ok(Some(tuple)),
+                // Routed miss: fall back to scatter, as in `read`.
+                Ok(None) => {}
                 Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
                 other => return other,
             }
@@ -653,14 +800,12 @@ impl TupleStore for PartitionedSpace {
         self.scatter_blocking(template, deadline, true)
     }
 
+    /// Counts always sum over every healthy shard — no routed fast
+    /// path. An owner-only count silently undercounts whenever any
+    /// client ever rerouted a write (or restore) off that owner, and
+    /// this client cannot know whether one did.
     fn count(&self, template: &Template) -> SpaceResult<usize> {
         self.ensure_open()?;
-        if let Some(shard) = self.route(template) {
-            match shard.call(|r| r.count(template)) {
-                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
-                other => return other,
-            }
-        }
         let healthy = self.healthy();
         if healthy.is_empty() {
             return Err(PartitionedSpace::no_healthy());
@@ -700,14 +845,12 @@ impl TupleStore for PartitionedSpace {
         self.healthy().iter().any(|s| s.remote.is_closed())
     }
 
+    /// Drains every healthy shard in parallel — no routed fast path,
+    /// for the same reason as [`PartitionedSpace::count`]: an
+    /// owner-only drain would strand tuples another client rerouted
+    /// off-owner.
     fn take_all(&self, template: &Template) -> SpaceResult<Vec<Tuple>> {
         self.ensure_open()?;
-        if let Some(shard) = self.route(template) {
-            match shard.call(|r| r.take_all(template)) {
-                Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
-                other => return other,
-            }
-        }
         let healthy = self.healthy();
         if healthy.is_empty() {
             return Err(PartitionedSpace::no_healthy());
@@ -857,6 +1000,10 @@ impl TupleStore for PartitionedSpace {
         }
         if let Some(shard) = self.route(template) {
             match shard.call(|r| r.take_up_to(template, max, timeout)) {
+                Ok(batch) if !batch.is_empty() => return Ok(batch),
+                // Empty routed batch: not authoritative under reroutes
+                // by other clients — fall through to the quota sweep.
+                Ok(_) => {}
                 Err(SpaceError::Transport(_)) | Err(SpaceError::Protocol(_)) => {}
                 other => return other,
             }
@@ -1108,6 +1255,98 @@ mod tests {
                 .take(&job_template(), Some(Duration::from_millis(50))),
             Err(SpaceError::Transport(_))
         ));
+    }
+
+    /// A reroute performed by one client must not make keyed tuples
+    /// invisible to *other* clients' routed lookups: the routed miss
+    /// has to fall back to a scatter (and `count` must always sum over
+    /// all shards).
+    #[test]
+    fn foreign_reroute_does_not_hide_keyed_tuples_from_other_clients() {
+        let keys: Vec<String> = vec!["job".into(), "task_id".into()];
+        let config = GridConfig {
+            key_fields: keys.clone(),
+            ..GridConfig::default()
+        };
+        let mut r = rig_with(2, config.clone());
+        // A tuple owned by shard 0.
+        let id = (0..)
+            .find(|&i| route_tuple(&task(i), &keys, 2) == 0)
+            .unwrap();
+        // Kill the owner; writer client A strikes it out and reroutes
+        // the write onto shard 1.
+        let addr0 = r.servers[0].addr();
+        let space0 = r.spaces[0].clone();
+        drop(r.servers.remove(0));
+        r.grid.write(task(id)).unwrap();
+        assert_eq!(r.spaces[1].len(), 1, "write must land on the survivor");
+        // The owner comes back (empty); a fresh client B connects with
+        // no knowledge of A's reroute, so its template routing still
+        // points at shard 0.
+        let _revived = SpaceServer::spawn(space0, &addr0.to_string()).unwrap();
+        let b = PartitionedSpace::connect_with(&r.grid.addrs(), config).unwrap();
+        let point = Template::build("acc.task")
+            .eq("job", "grid")
+            .eq("task_id", id)
+            .done();
+        assert_eq!(b.count(&point).unwrap(), 1, "count must sum all shards");
+        let read = b.read_if_exists(&point).unwrap();
+        assert_eq!(
+            read.and_then(|t| t.get_int("task_id")),
+            Some(id),
+            "routed miss must fall back to scatter"
+        );
+        let taken = b.take(&point, Some(Duration::from_millis(200))).unwrap();
+        assert_eq!(taken.and_then(|t| t.get_int("task_id")), Some(id));
+    }
+
+    /// Conservation canary for the first-wins races: takes racing a
+    /// writer under very short timeouts and slices must never lose a
+    /// tuple — a gatherer that times out while a helper's win is in
+    /// flight has to restore that straggler, and losing helpers have to
+    /// restore theirs.
+    #[test]
+    fn short_timeout_takes_never_lose_tuples() {
+        let config = GridConfig {
+            take_slice: Duration::from_millis(2),
+            ..GridConfig::default()
+        };
+        let r = rig_with(2, config);
+        let total = 120i64;
+        let writer_grid = r.grid.reconnect().unwrap();
+        let writer = std::thread::spawn(move || {
+            for i in 0..total {
+                writer_grid.write(task(i)).unwrap();
+                std::thread::sleep(Duration::from_micros(500));
+            }
+        });
+        let mut got = 0i64;
+        let stop = Instant::now() + Duration::from_secs(20);
+        while got < total && Instant::now() < stop {
+            if r.grid
+                .take(&job_template(), Some(Duration::from_millis(3)))
+                .unwrap()
+                .is_some()
+            {
+                got += 1;
+            }
+        }
+        writer.join().unwrap();
+        // Whatever the takes missed must still be in the space. Loser
+        // restores may land up to a slice after a take returns, so poll
+        // instead of asserting a single snapshot.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let leftover = r.grid.count(&job_template()).unwrap() as i64;
+            if got + leftover == total {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "tuples lost: took {got}, {leftover} left of {total}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     #[test]
