@@ -17,6 +17,7 @@ mod loadgen;
 mod meter;
 mod node;
 pub mod observer;
+pub mod profiler;
 mod testbeds;
 
 pub use loadgen::{LoadGenerator, LoadPhase, LoadTrace, TrafficKind};
@@ -26,4 +27,5 @@ pub use observer::{
     jittered_interval, metrics_template, ClusterObserver, DecisionInput, MetricsReport,
     ObserverConfig, RawSamples, TaskTiming, METRICS_TYPE,
 };
+pub use profiler::{JobProfiler, JobRecorder};
 pub use testbeds::{option_pricing_testbed, ray_tracing_testbed, Testbed, MASTER_SPEC};

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use acc_cluster::{metrics_template, ClusterObserver, MetricsReport, Node, NodeSpec};
+use acc_cluster::{metrics_template, ClusterObserver, JobProfiler, MetricsReport, Node, NodeSpec};
 use acc_federation::{Attributes, DiscoveryBus, LookupService, Registrar, ServiceItem};
 use acc_snmp::{host_resources_mib, oids, transport::InProcTransport, Agent, Manager};
 use acc_spacegrid::PartitionedSpace;
@@ -118,6 +118,9 @@ impl ClusterBuilder {
         // (and straggler verdicts) back into the inference loop.
         let hub = Arc::new(ClusterObserver::new(self.config.observer_config()));
         monitor.set_decision_input(hub.clone());
+        // The per-job waterfall profiler: the master folds every result's
+        // timing into it; `/profile` and `acc_top` read it live.
+        let profiler = Arc::new(JobProfiler::new());
         // Space grid: when a shard list is configured (builder or
         // ACC_SHARDS), every store operation the cluster performs —
         // dispatch, prefetch, heartbeats — goes through a
@@ -173,6 +176,7 @@ impl ClusterBuilder {
                     grid.clone(),
                     monitor.clone(),
                     hub.clone(),
+                    profiler.clone(),
                     &self.config,
                 ) {
                     Ok(server) => Some(server),
@@ -195,6 +199,7 @@ impl ClusterBuilder {
             registry: ExecutorRegistry::new(),
             monitor,
             hub,
+            profiler,
             collector,
             manager: Manager::new("public"),
             binding: None,
@@ -280,6 +285,7 @@ fn spawn_observer(
     grid: Option<Arc<PartitionedSpace>>,
     monitor: Arc<MonitoringAgent>,
     hub: Arc<ClusterObserver>,
+    profiler: Arc<JobProfiler>,
     config: &FrameworkConfig,
 ) -> std::io::Result<acc_telemetry::HttpServer> {
     let health = acc_telemetry::HealthChecks::new();
@@ -327,10 +333,15 @@ fn spawn_observer(
         health.register("grid", move || {
             let healthy = grid_for_check.healthy_count();
             let total = grid_for_check.shard_count();
-            if healthy == total {
-                Ok(format!("{healthy}/{total} shards healthy"))
+            // Tuples confirmed lost (restore-on-reroute failed) degrade
+            // the check even with every shard back up: data went missing
+            // and only an operator can clear that.
+            let lost = acc_telemetry::registry().counter("grid.lost_tuples").get();
+            let detail = format!("{healthy}/{total} shards healthy, lost_tuples={lost}");
+            if healthy == total && lost == 0 {
+                Ok(detail)
             } else {
-                Err(format!("{healthy}/{total} shards healthy"))
+                Err(detail)
             }
         });
     }
@@ -356,8 +367,9 @@ fn spawn_observer(
         }
         ("200 OK", "text/plain; charset=utf-8", body)
     });
+    let hub_json = hub.clone();
     routes.register("/cluster.json", move || {
-        let mut body = hub.render_json();
+        let mut body = hub_json.render_json();
         if let Some(grid) = &grid {
             // Splice the grid object into the hub's top-level document.
             if let Some(close) = body.rfind('}') {
@@ -365,9 +377,57 @@ fn spawn_observer(
                 body.push_str(&format!(r#","grid":{}}}"#, grid.render_json()));
             }
         }
+        // Flight-recorder pressure: dropped events plus per-thread ring
+        // occupancy, so retention pressure is visible before traces
+        // silently vanish.
+        if let Some(close) = body.rfind('}') {
+            body.truncate(close);
+            body.push_str(&format!(r#","flight":{}}}"#, flight_json()));
+        }
         ("200 OK", "application/json", body)
     });
+    let hub_profile = hub.clone();
+    let profiler_text = profiler.clone();
+    routes.register("/profile", move || {
+        (
+            "200 OK",
+            "text/plain; charset=utf-8",
+            profiler_text.render_text(&hub_profile.stragglers()),
+        )
+    });
+    routes.register("/profile.json", move || {
+        (
+            "200 OK",
+            "application/json",
+            profiler.render_json(&hub.stragglers()),
+        )
+    });
     acc_telemetry::serve_routed(bind, health, routes, acc_telemetry::HttpOptions::default())
+}
+
+/// The `"flight"` section of `/cluster.json`: loss and occupancy of the
+/// flight recorder's per-thread rings.
+fn flight_json() -> String {
+    let mut out = format!(
+        "{{\"dropped_events\":{},\"threads\":[",
+        acc_telemetry::registry()
+            .counter("telemetry.flight.dropped_events")
+            .get()
+    );
+    for (i, t) in acc_telemetry::flight::occupancy().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"thread\":\"{}\",\"live\":{},\"kept\":{},\"capacity\":{}}}",
+            acc_telemetry::json_escape(&t.thread),
+            t.live,
+            t.kept,
+            t.capacity
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// A worker node under cluster management.
@@ -419,6 +479,7 @@ pub struct AdaptiveCluster {
     registry: Arc<ExecutorRegistry>,
     monitor: Arc<MonitoringAgent>,
     hub: Arc<ClusterObserver>,
+    profiler: Arc<JobProfiler>,
     collector: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)>,
     manager: Manager,
     binding: Option<(String, String)>,
@@ -634,7 +695,22 @@ impl AdaptiveCluster {
         let mut master = Master::new(store);
         master.dispatch_chunk = self.config.dispatch_chunk;
         master.observer = Some(self.hub.clone());
-        master.run(app).expect("space open for the run's duration")
+        master.profiler = Some(self.profiler.clone());
+        // Scatter-gather fan-out attribution: per-shard op counts/latency
+        // are process-wide histograms, so the job's share is the delta
+        // across the run.
+        let fanout_before = self.grid.as_ref().map(|g| g.fanout_profile());
+        let report = master.run(app).expect("space open for the run's duration");
+        if let (Some(grid), Some(before)) = (&self.grid, fanout_before) {
+            self.profiler
+                .record_fanout(&app.job_name(), grid.fanout_since(&before));
+        }
+        report
+    }
+
+    /// The per-job waterfall profiler (the state behind `/profile`).
+    pub fn job_profiler(&self) -> Arc<JobProfiler> {
+        self.profiler.clone()
     }
 
     /// Starts a background sampler recording every node's CPU usage into

@@ -12,7 +12,7 @@ use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use acc_cluster::ClusterObserver;
+use acc_cluster::{ClusterObserver, JobProfiler, JobRecorder};
 use acc_telemetry::span;
 use acc_tuplespace::{SpaceError, StoreHandle, Template, Tuple};
 
@@ -47,6 +47,10 @@ pub struct Master {
     /// Federation sink for the task-level timing attribution riding each
     /// result entry. `None` (the default) drops the attribution.
     pub observer: Option<Arc<ClusterObserver>>,
+    /// Per-job waterfall sink: every result's timing plus the master's
+    /// phase scalars fold into a [`JobProfiler`] build, queryable live
+    /// via `/profile`. `None` (the default) skips profiling.
+    pub profiler: Option<Arc<JobProfiler>>,
 }
 
 impl Master {
@@ -57,6 +61,7 @@ impl Master {
             result_timeout: Duration::from_secs(60),
             dispatch_chunk: 256,
             observer: None,
+            profiler: None,
         }
     }
 
@@ -79,6 +84,9 @@ impl Master {
         let _dispatch = span!("master.dispatch", job = job.as_str());
         let run_start = Instant::now();
         let mut times = PhaseTimes::default();
+        if let Some(profiler) = &self.profiler {
+            profiler.job_started(&job);
+        }
 
         // ------------------------------------------------------------
         // Task-planning phase.
@@ -111,6 +119,7 @@ impl Master {
         let mut report = RunReport::default();
         let aggregation_start = Instant::now();
         let mut aggregation_busy = 0.0f64;
+        let mut recorder = self.profiler.as_ref().map(|p| p.recorder(&job));
         let aggregation_span = span!(
             "master.aggregation",
             job = job.as_str(),
@@ -135,6 +144,14 @@ impl Master {
                     if let Some(observer) = &self.observer {
                         observer.record_attribution(&result.job, &result.worker, &result.timing);
                     }
+                    if let Some(recorder) = &mut recorder {
+                        recorder.record_task(
+                            result.task_id,
+                            &result.worker,
+                            &result.timing,
+                            result.error.is_some(),
+                        );
+                    }
                     match result.error {
                         // A poison task exhausted its retries: account for
                         // it so the run terminates, but report the failure.
@@ -157,10 +174,20 @@ impl Master {
         // it tracks max worker time, since the master waits for the last
         // task to complete (paper §5.2.1).
         times.task_aggregation_ms = ms_since(aggregation_start);
-        let _ = aggregation_busy;
         times.max_master_overhead_ms = max_overhead;
         times.parallel_ms = ms_since(run_start);
         report.complete = report.results_collected == specs.len();
+        drop(recorder); // flushes any buffered results into the build
+        if let Some(profiler) = &self.profiler {
+            // Aggregation phase cost is the master's *busy* time, not the
+            // phase's wall (which mostly overlaps worker compute).
+            profiler.job_finished(
+                &job,
+                (times.task_planning_ms * 1e3) as u64,
+                (aggregation_busy * 1e3) as u64,
+                times.parallel_ms as u64,
+            );
+        }
         times.publish();
         series().master_runs.inc();
         series()
@@ -196,6 +223,9 @@ impl Master {
         let run_start = Instant::now();
         let mut times = PhaseTimes::default();
         let every = every.max(1);
+        if let Some(profiler) = &self.profiler {
+            profiler.job_started(&job);
+        }
 
         let mut completed: BTreeSet<u64> = BTreeSet::new();
         let mut resumed = false;
@@ -226,6 +256,8 @@ impl Master {
 
         // Drain results that reached the space before the previous master
         // died, so their tasks are not re-issued below.
+        let mut aggregation_busy = 0.0f64;
+        let mut recorder = self.profiler.as_ref().map(|p| p.recorder(&job));
         if resumed {
             while let Some(tuple) = self.space.take_if_exists(&template)? {
                 let per_task = Instant::now();
@@ -236,8 +268,11 @@ impl Master {
                     &mut report,
                     &mut times,
                     self.observer.as_deref(),
+                    recorder.as_mut(),
                 );
-                max_overhead = max_overhead.max(ms_since(per_task));
+                let elapsed = ms_since(per_task);
+                aggregation_busy += elapsed;
+                max_overhead = max_overhead.max(elapsed);
             }
         }
 
@@ -296,8 +331,11 @@ impl Master {
                 &mut report,
                 &mut times,
                 self.observer.as_deref(),
+                recorder.as_mut(),
             );
-            max_overhead = max_overhead.max(ms_since(per_task));
+            let elapsed = ms_since(per_task);
+            aggregation_busy += elapsed;
+            max_overhead = max_overhead.max(elapsed);
             if completed.len() > before {
                 since_save += 1;
                 if since_save >= every {
@@ -311,6 +349,15 @@ impl Master {
         times.max_master_overhead_ms = max_overhead;
         times.parallel_ms = ms_since(run_start);
         report.complete = completed.len() as u64 == total;
+        drop(recorder); // flushes any buffered results into the build
+        if let Some(profiler) = &self.profiler {
+            profiler.job_finished(
+                &job,
+                (times.task_planning_ms * 1e3) as u64,
+                (aggregation_busy * 1e3) as u64,
+                times.parallel_ms as u64,
+            );
+        }
         if report.complete {
             let _ = std::fs::remove_file(checkpoint);
         } else {
@@ -354,6 +401,7 @@ fn absorb_result(
     report: &mut RunReport,
     times: &mut PhaseTimes,
     observer: Option<&ClusterObserver>,
+    recorder: Option<&mut JobRecorder>,
 ) {
     let Some(result) = ResultEntry::from_tuple(tuple) else {
         report
@@ -372,6 +420,14 @@ fn absorb_result(
     *slot = slot.max(result.span_ms);
     if let Some(observer) = observer {
         observer.record_attribution(&result.job, &result.worker, &result.timing);
+    }
+    if let Some(recorder) = recorder {
+        recorder.record_task(
+            result.task_id,
+            &result.worker,
+            &result.timing,
+            result.error.is_some(),
+        );
     }
     match result.error {
         Some(error) => {

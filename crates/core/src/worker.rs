@@ -228,6 +228,11 @@ fn worker_loop(ls: LoopState) {
     // `wait_us` to the first task of the batch and amortised into
     // `xfer_us` across all of them.
     let mut pending_timing: VecDeque<acc_cluster::TaskTiming> = VecDeque::new();
+    // Per-job compute history for tail-based trace retention: the
+    // decision whether a finished task was "slow" is made here, where
+    // the task's spans live (flight rings are per-process).
+    let mut retention_history: std::collections::BTreeMap<String, acc_telemetry::HistoryRing> =
+        std::collections::BTreeMap::new();
     // A worker can't know its own result-write cost before writing: the
     // previous write's duration rides the *next* result.
     let mut last_write_us: u64 = 0;
@@ -342,6 +347,13 @@ fn worker_loop(ls: LoopState) {
                         series().compute_us.observe((compute_ms * 1e3) as u64);
                         timing.compute_us = (compute_ms * 1e3) as u64;
                         timing.write_us = last_write_us;
+                        maybe_retain_trace(
+                            &mut retention_history,
+                            &task.job,
+                            timing.compute_us,
+                            outcome.is_err(),
+                            &ls.config.framework,
+                        );
                         set_load(IDLE_RUNNING_LOAD);
                         let span_ms = first_access
                             .map(|f| f.elapsed().as_secs_f64() * 1e3)
@@ -418,6 +430,44 @@ fn worker_loop(ls: LoopState) {
     return_prefetched(&ls, &mut prefetched, &mut pending_timing);
     set_load(0);
     ls.config.duplex.send(RuleMessage::Bye);
+}
+
+/// Tail-based trace retention (decided worker-side, after the task ends,
+/// where the task's flight records live): pin the current trace when the
+/// task errored/retried, or when its compute time reaches the configured
+/// percentile of this worker's per-job compute history. The threshold is
+/// taken *before* recording the new sample, so a task is judged against
+/// the distribution of its predecessors.
+fn maybe_retain_trace(
+    history: &mut std::collections::BTreeMap<String, acc_telemetry::HistoryRing>,
+    job: &str,
+    compute_us: u64,
+    errored: bool,
+    framework: &FrameworkConfig,
+) {
+    if !acc_telemetry::flight::installed() {
+        return;
+    }
+    let Some(ctx) = acc_telemetry::TraceContext::current() else {
+        return; // untraced task: nothing to pin
+    };
+    let ring = history
+        .entry(job.to_owned())
+        .or_insert_with(|| acc_telemetry::HistoryRing::new(framework.history_depth));
+    let threshold = (ring.len() >= framework.trace_retention_min_samples.max(1))
+        .then(|| ring.percentile(framework.trace_retention_percentile))
+        .flatten();
+    ring.record(0, compute_us as i64);
+    let slow = threshold.is_some_and(|t| compute_us as i64 >= t);
+    if errored || slow {
+        acc_telemetry::flight::retain_trace(ctx.trace_id);
+        event!(
+            "worker.trace.retained",
+            job = job,
+            compute_us = compute_us,
+            errored = errored
+        );
+    }
 }
 
 /// Writes the worker's unstarted prefetched tasks back to the space in one

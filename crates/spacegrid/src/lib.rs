@@ -372,6 +372,45 @@ impl PartitionedSpace {
             .collect()
     }
 
+    /// Per-shard scatter-gather fan-out attribution: cumulative op count
+    /// and total latency per shard, from the process-wide `op_us`
+    /// histograms. Cumulative since process start — callers attributing a
+    /// window (a job run) snapshot before and diff with
+    /// [`fanout_since`](PartitionedSpace::fanout_since).
+    pub fn fanout_profile(&self) -> Vec<acc_telemetry::profile::ShardPhase> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let snap = s.op_us.snapshot();
+                acc_telemetry::profile::ShardPhase {
+                    index: s.index,
+                    addr: s.addr.to_string(),
+                    ops: snap.count,
+                    total_us: snap.sum,
+                }
+            })
+            .collect()
+    }
+
+    /// The fan-out accrued since a [`fanout_profile`](PartitionedSpace::fanout_profile)
+    /// snapshot: per-shard op/latency deltas (missing shards count from
+    /// zero).
+    pub fn fanout_since(
+        &self,
+        before: &[acc_telemetry::profile::ShardPhase],
+    ) -> Vec<acc_telemetry::profile::ShardPhase> {
+        self.fanout_profile()
+            .into_iter()
+            .map(|mut now| {
+                if let Some(prev) = before.iter().find(|p| p.index == now.index) {
+                    now.ops = now.ops.saturating_sub(prev.ops);
+                    now.total_us = now.total_us.saturating_sub(prev.total_us);
+                }
+                now
+            })
+            .collect()
+    }
+
     /// The grid's status as a JSON object (for `/cluster.json` and
     /// dashboards): shard list with health, plus the reroute counters.
     pub fn render_json(&self) -> String {

@@ -191,6 +191,10 @@ pub struct SpanRecord {
     pub parent_span_id: u64,
     /// Microseconds since the contributing process's telemetry epoch.
     pub t_us: u64,
+    /// Span duration in microseconds, folded in from the matching
+    /// span-exit record; `0` when the exit was never observed (the span
+    /// was still open, or its exit aged out of the ring).
+    pub elapsed_us: u64,
 }
 
 /// Stitches span records from several processes (live [`TraceEvent`]s or
@@ -209,23 +213,32 @@ impl TraceAssembler {
     }
 
     /// Adds every span-enter record in `events` under the given process
-    /// label. Duplicate span ids (the same dump added twice) are ignored.
-    /// Returns how many spans were added.
+    /// label, folding span-exit records into the matching span's
+    /// [`elapsed_us`](SpanRecord::elapsed_us). Duplicate span ids (the
+    /// same dump added twice) are ignored. Returns how many spans were
+    /// added.
     pub fn add_events(&mut self, process: &str, events: &[TraceEvent]) -> usize {
         let mut added = 0;
         for e in events {
-            if e.kind != TraceKind::SpanEnter || e.span_id == 0 {
+            if e.span_id == 0 {
                 continue;
             }
-            added += self.push(SpanRecord {
-                name: e.name.to_owned(),
-                process: process.to_owned(),
-                thread: String::new(),
-                trace_id: e.trace_id,
-                span_id: e.span_id,
-                parent_span_id: e.parent_span_id,
-                t_us: 0,
-            });
+            match e.kind {
+                TraceKind::SpanEnter => {
+                    added += self.push(SpanRecord {
+                        name: e.name.to_owned(),
+                        process: process.to_owned(),
+                        thread: String::new(),
+                        trace_id: e.trace_id,
+                        span_id: e.span_id,
+                        parent_span_id: e.parent_span_id,
+                        t_us: 0,
+                        elapsed_us: 0,
+                    });
+                }
+                TraceKind::SpanExit { elapsed_us } => self.set_elapsed(e.span_id, elapsed_us),
+                TraceKind::Event => {}
+            }
         }
         added
     }
@@ -245,8 +258,18 @@ impl TraceAssembler {
                 thread = name;
                 continue;
             }
-            if extract_str(line, "kind").as_deref() != Some("enter") {
-                continue;
+            match extract_str(line, "kind").as_deref() {
+                Some("enter") => {}
+                Some("exit") => {
+                    // Fold the duration into the already-seen enter record.
+                    if let (Some(span_id), Some(elapsed_us)) =
+                        (extract_hex(line, "span"), extract_u64(line, "elapsed_us"))
+                    {
+                        self.set_elapsed(span_id, elapsed_us);
+                    }
+                    continue;
+                }
+                _ => continue,
             }
             let (Some(name), Some(trace_id), Some(span_id)) = (
                 extract_str(line, "name"),
@@ -266,9 +289,18 @@ impl TraceAssembler {
                 span_id,
                 parent_span_id: extract_hex(line, "parent").unwrap_or(0),
                 t_us: extract_u64(line, "t_us").unwrap_or(0),
+                elapsed_us: 0,
             });
         }
         added
+    }
+
+    fn set_elapsed(&mut self, span_id: u64, elapsed_us: u64) {
+        if let Some(&i) = self.by_span.get(&span_id) {
+            if self.spans[i].elapsed_us == 0 {
+                self.spans[i].elapsed_us = elapsed_us;
+            }
+        }
     }
 
     fn push(&mut self, record: SpanRecord) -> usize {
@@ -454,6 +486,7 @@ mod tests {
             span_id: 100,
             parent_span_id: 0,
             t_us: 0,
+            elapsed_us: 0,
         };
         let events = vec![
             TraceEvent {
@@ -550,6 +583,45 @@ mod tests {
         assert!(!tree.contains("orphaned spans"), "{tree}");
         assert!(tree.contains("root"), "{tree}");
         assert!(tree.contains("  leaf"), "{tree}");
+    }
+
+    #[test]
+    fn exit_records_fold_durations_into_spans() {
+        let mut asm = TraceAssembler::new();
+        let dump = r#"{"thread":"t"}
+{"kind":"enter","name":"root","trace":"5","span":"1","parent":"0","depth":0,"t_us":0}
+{"kind":"enter","name":"leaf","trace":"5","span":"2","parent":"1","depth":1,"t_us":10}
+{"kind":"exit","name":"leaf","trace":"5","span":"2","parent":"1","depth":1,"t_us":40,"elapsed_us":30}
+{"kind":"exit","name":"missing","trace":"5","span":"9","parent":"0","depth":0,"t_us":50,"elapsed_us":99}
+"#;
+        assert_eq!(asm.add_flight_json("p", dump), 2);
+        assert_eq!(asm.find("leaf").unwrap().elapsed_us, 30);
+        assert_eq!(asm.find("root").unwrap().elapsed_us, 0, "root never exited");
+
+        // Same folding from live events.
+        let mut asm2 = TraceAssembler::new();
+        let events = vec![
+            TraceEvent {
+                kind: TraceKind::SpanEnter,
+                name: "job",
+                fields: vec![],
+                depth: 0,
+                trace_id: 6,
+                span_id: 11,
+                parent_span_id: 0,
+            },
+            TraceEvent {
+                kind: TraceKind::SpanExit { elapsed_us: 77 },
+                name: "job",
+                fields: vec![],
+                depth: 0,
+                trace_id: 6,
+                span_id: 11,
+                parent_span_id: 0,
+            },
+        ];
+        assert_eq!(asm2.add_events("p", &events), 1);
+        assert_eq!(asm2.find("job").unwrap().elapsed_us, 77);
     }
 
     #[test]

@@ -14,6 +14,20 @@
 //! Rings are bounded; when one overflows the oldest record is dropped and
 //! the `telemetry.flight.dropped_events` counter is bumped, so loss is
 //! visible rather than silent.
+//!
+//! ## Tail-based retention
+//!
+//! FIFO eviction is the wrong policy for forensics: the traces worth
+//! keeping (the straggler task, the errored retry) are exactly the ones
+//! that finished long ago and age out first under load. A caller that
+//! decides — *after* a trace ends — that it was interesting can call
+//! [`retain_trace`]; from then on, records belonging to that trace are
+//! moved to a per-thread `kept` buffer on eviction instead of being
+//! dropped. The decision is tail-based (made at task end, against e.g. a
+//! compute-time percentile from a [`crate::HistoryRing`]) rather than
+//! head-based sampling, so nothing needs to guess upfront which traces
+//! will matter. When nothing is retained the hot path pays one extra
+//! relaxed atomic load on the overflow branch and nothing anywhere else.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -38,11 +52,20 @@ pub struct FlightRecord {
     pub t_us: u64,
 }
 
+/// A thread's buffers: the live FIFO ring plus the `kept` overflow area
+/// that receives evicted records belonging to retained traces. One mutex
+/// covers both — the eviction decision must see them consistently.
+#[derive(Default)]
+struct RingBufs {
+    live: VecDeque<FlightRecord>,
+    kept: VecDeque<FlightRecord>,
+}
+
 /// A thread's ring. Leaked on first record from that thread — rings must
 /// outlive their thread (the panic hook dumps them post-mortem), there is
 /// exactly one per thread ever, and a `&'static` keeps the hot path free
 /// of `Arc` reference-count traffic.
-type Ring = &'static Mutex<VecDeque<FlightRecord>>;
+type Ring = &'static Mutex<RingBufs>;
 
 struct ThreadRing {
     label: String,
@@ -66,6 +89,16 @@ static FLIGHT_ON: AtomicBool = AtomicBool::new(false);
 static THREAD_SEQ: AtomicUsize = AtomicUsize::new(0);
 static DUMP_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
 static PANIC_HOOK: OnceLock<()> = OnceLock::new();
+
+/// Trace ids flagged for retention, oldest first (bounded FIFO).
+static RETAINED: Mutex<VecDeque<u64>> = Mutex::new(VecDeque::new());
+/// Fast-path guard: true iff [`RETAINED`] is non-empty, so the common
+/// overflow branch (nothing retained) pays one relaxed load, not a lock.
+static ANY_RETAINED: AtomicBool = AtomicBool::new(false);
+
+/// Retained trace ids kept at once; the oldest flag is forgotten first.
+/// Records already moved to `kept` buffers stay there regardless.
+pub const RETAINED_TRACE_CAPACITY: usize = 256;
 
 thread_local! {
     static MY_RING: Cell<Option<Ring>> = const { Cell::new(None) };
@@ -102,19 +135,89 @@ pub fn uninstall() {
     FLIGHT_ON.store(false, Ordering::Release);
 }
 
-/// Empties every thread's ring (records, not registrations).
+/// Empties every thread's ring — live and kept records, not
+/// registrations. Retention flags survive; see [`clear_retained`].
 pub fn clear() {
     if let Some(rec) = RECORDER.get() {
         for t in lock(&rec.threads).iter() {
-            lock(t.ring).clear();
+            let mut bufs = lock(t.ring);
+            bufs.live.clear();
+            bufs.kept.clear();
         }
     }
+}
+
+/// Flags a trace for tail retention: from now on, records of this trace
+/// evicted from any thread's live ring move to that thread's `kept`
+/// buffer instead of being dropped. Bounded at
+/// [`RETAINED_TRACE_CAPACITY`] flags (oldest forgotten first); a zero
+/// trace id (untraced record) is ignored.
+pub fn retain_trace(trace_id: u64) {
+    if trace_id == 0 {
+        return;
+    }
+    let mut set = lock(&RETAINED);
+    if set.contains(&trace_id) {
+        return;
+    }
+    if set.len() >= RETAINED_TRACE_CAPACITY {
+        set.pop_front();
+    }
+    set.push_back(trace_id);
+    ANY_RETAINED.store(true, Ordering::Release);
+}
+
+/// True if `trace_id` is currently flagged for retention.
+pub fn is_retained(trace_id: u64) -> bool {
+    ANY_RETAINED.load(Ordering::Relaxed) && lock(&RETAINED).contains(&trace_id)
+}
+
+/// Every currently flagged trace id, oldest first.
+pub fn retained_traces() -> Vec<u64> {
+    lock(&RETAINED).iter().copied().collect()
+}
+
+/// Drops every retention flag (kept records stay until [`clear`]).
+pub fn clear_retained() {
+    let mut set = lock(&RETAINED);
+    set.clear();
+    ANY_RETAINED.store(false, Ordering::Release);
+}
+
+/// One thread's ring occupancy, for retention-pressure dashboards.
+#[derive(Debug, Clone)]
+pub struct ThreadOccupancy {
+    /// Thread label (name, or `thread-N`).
+    pub thread: String,
+    /// Records in the live FIFO ring.
+    pub live: usize,
+    /// Evicted records held because their trace is retained.
+    pub kept: usize,
+    /// Live-ring capacity (kept has the same bound).
+    pub capacity: usize,
+}
+
+/// Per-thread ring occupancy, registration order.
+pub fn occupancy() -> Vec<ThreadOccupancy> {
+    let mut out = Vec::new();
+    if let Some(rec) = RECORDER.get() {
+        for t in lock(&rec.threads).iter() {
+            let bufs = lock(t.ring);
+            out.push(ThreadOccupancy {
+                thread: t.label.clone(),
+                live: bufs.live.len(),
+                kept: bufs.kept.len(),
+                capacity: rec.capacity,
+            });
+        }
+    }
+    out
 }
 
 /// First record from a thread: leak its ring and register it for dumps.
 #[cold]
 fn register_ring(rec: &Recorder) -> Ring {
-    let ring: Ring = Box::leak(Box::new(Mutex::new(VecDeque::with_capacity(64))));
+    let ring: Ring = Box::leak(Box::new(Mutex::new(RingBufs::default())));
     let label = std::thread::current()
         .name()
         .map(str::to_owned)
@@ -142,12 +245,23 @@ pub(crate) fn record(event: TraceEvent) {
             r
         }
     });
-    let mut buf = lock(ring);
-    if buf.len() >= rec.capacity {
-        buf.pop_front();
-        rec.dropped.inc();
+    let mut bufs = lock(ring);
+    if bufs.live.len() >= rec.capacity {
+        let evicted = bufs.live.pop_front().expect("full ring is non-empty");
+        // Tail retention: an evicted record whose trace was flagged moves
+        // to `kept` rather than dropping. The guard keeps the common case
+        // (nothing retained) at one relaxed load.
+        if ANY_RETAINED.load(Ordering::Relaxed) && is_retained(evicted.event.trace_id) {
+            if bufs.kept.len() >= rec.capacity {
+                bufs.kept.pop_front();
+                rec.dropped.inc();
+            }
+            bufs.kept.push_back(evicted);
+        } else {
+            rec.dropped.inc();
+        }
     }
-    buf.push_back(FlightRecord { event, t_us });
+    bufs.live.push_back(FlightRecord { event, t_us });
 }
 
 /// Serializes every thread's ring as JSON. The format is deliberately
@@ -165,16 +279,29 @@ pub fn dump_json() -> String {
         "\"dropped\":{},\n",
         registry().counter("telemetry.flight.dropped_events").get()
     ));
+    let retained = retained_traces();
+    if !retained.is_empty() {
+        out.push_str("\"retained\":[");
+        for (i, id) in retained.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{id:x}\""));
+        }
+        out.push_str("],\n");
+    }
     out.push_str("\"threads\":[\n");
     if let Some(rec) = RECORDER.get() {
         let threads = lock(&rec.threads);
         for (ti, t) in threads.iter().enumerate() {
             out.push_str(&format!("{{\"thread\":\"{}\",\n", json_escape(&t.label)));
             out.push_str("\"events\":[\n");
-            let buf = lock(t.ring);
-            for (ei, r) in buf.iter().enumerate() {
+            let bufs = lock(t.ring);
+            // Kept (retained-trace) records first: they are the oldest.
+            let total = bufs.kept.len() + bufs.live.len();
+            for (ei, r) in bufs.kept.iter().chain(bufs.live.iter()).enumerate() {
                 write_record(&mut out, r);
-                out.push_str(if ei + 1 < buf.len() { ",\n" } else { "\n" });
+                out.push_str(if ei + 1 < total { ",\n" } else { "\n" });
             }
             out.push_str("]}");
             out.push_str(if ti + 1 < threads.len() { ",\n" } else { "\n" });
@@ -312,13 +439,100 @@ mod tests {
         }
         uninstall();
         let rec = RECORDER.get().unwrap();
-        let my_len = MY_RING.with(|c| c.get().map(|r| lock(r).len()).unwrap_or_default());
+        let my_len = MY_RING.with(|c| c.get().map(|r| lock(r).live.len()).unwrap_or_default());
         assert!(my_len <= rec.capacity);
         assert!(
             dropped.get() >= before + 10,
             "dropped counter must move on overflow"
         );
         clear();
+    }
+
+    #[test]
+    fn retained_trace_survives_overflow_while_others_age_out() {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+        install();
+        clear();
+        clear_retained();
+
+        // A "slow task" trace: a span plus an event, then flag it.
+        let slow = crate::TraceContext::root();
+        {
+            let _ctx = slow.attach();
+            let _span = crate::span!("retained.task");
+            crate::event!("retained.tick");
+            // A measurable duration, so the exit record folds a non-zero
+            // elapsed_us into the assembled span.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        retain_trace(slow.trace_id);
+        assert!(is_retained(slow.trace_id));
+        assert_eq!(retained_traces(), vec![slow.trace_id]);
+
+        // A "fast task" trace that is *not* flagged.
+        let fast = crate::TraceContext::root();
+        {
+            let _ctx = fast.attach();
+            let _span = crate::span!("forgotten.task");
+        }
+
+        // Spam the ring far past capacity: both traces get evicted, but
+        // the retained one must land in `kept`.
+        for _ in 0..(DEFAULT_CAPACITY * 2) {
+            crate::event!("flight.noise");
+        }
+        uninstall();
+
+        let occ = occupancy();
+        let me = std::thread::current().name().map(str::to_owned);
+        let mine = occ
+            .iter()
+            .find(|o| Some(&o.thread) == me.as_ref())
+            .expect("this thread's ring is registered");
+        assert!(mine.kept >= 3, "retained records kept: {mine:?}");
+        assert!(mine.live <= mine.capacity);
+
+        let dump = dump_json();
+        assert!(
+            dump.contains(&format!("{:x}", slow.trace_id)),
+            "retained trace in dump"
+        );
+        assert!(
+            dump.contains(&format!("\"retained\":[\"{:x}\"]", slow.trace_id)),
+            "retained ids listed in dump header:\n{}",
+            &dump[..200.min(dump.len())]
+        );
+        assert!(
+            !dump.contains("forgotten.task"),
+            "unflagged trace must age out"
+        );
+        let mut asm = crate::context::TraceAssembler::new();
+        asm.add_flight_json("me", &dump);
+        let spans = asm.spans(slow.trace_id);
+        assert_eq!(spans.len(), 1, "full retained span detail survives");
+        assert_eq!(spans[0].name, "retained.task");
+        assert!(spans[0].elapsed_us > 0, "exit record folded a duration");
+
+        clear();
+        clear_retained();
+        assert!(!is_retained(slow.trace_id));
+    }
+
+    #[test]
+    fn retained_set_is_bounded_and_ignores_zero() {
+        let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+        clear_retained();
+        retain_trace(0);
+        assert!(retained_traces().is_empty());
+        for id in 1..=(RETAINED_TRACE_CAPACITY as u64 + 10) {
+            retain_trace(id);
+        }
+        let ids = retained_traces();
+        assert_eq!(ids.len(), RETAINED_TRACE_CAPACITY);
+        assert_eq!(ids[0], 11, "oldest flags forgotten first");
+        retain_trace(11); // already present: no-op, no reorder
+        assert_eq!(retained_traces().len(), RETAINED_TRACE_CAPACITY);
+        clear_retained();
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   boundaries, plus the [`TraceAssembler`] that stitches per-process
 //!   dumps into one cross-process tree;
 //! * [`flight`] — the always-on bounded flight recorder (last N records
-//!   per thread), dumped on demand or from a panic hook;
+//!   per thread), dumped on demand or from a panic hook, with tail-based
+//!   trace retention for slow or errored tasks;
+//! * [`profile`] — per-job waterfall profiles: phase totals, the
+//!   reconstructed critical path, and a one-word bound verdict with its
+//!   evidence;
 //! * [`ring`] — bounded time-series history: fixed-depth rings of
 //!   `(timestamp, value)` samples with windowed min/max/mean/p99
 //!   queries, feeding the cluster federation plane and the adaptive
@@ -51,6 +55,7 @@ pub mod context;
 pub mod flight;
 pub mod histogram;
 pub mod http;
+pub mod profile;
 pub mod registry;
 pub mod ring;
 pub mod trace;
@@ -58,6 +63,7 @@ pub mod trace;
 pub use context::{ContextGuard, SpanRecord, TraceAssembler, TraceContext};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use http::{serve, serve_routed, HealthChecks, HealthResult, HttpOptions, HttpServer, Routes};
+pub use profile::{BoundVerdict, CriticalPath, JobProfile, PathSegment, PhaseTotals, ShardPhase};
 pub use registry::{
     json_escape, json_unescape, refresh_process_series, registry, Counter, Gauge, Registry,
     Snapshot,

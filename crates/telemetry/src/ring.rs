@@ -112,6 +112,21 @@ impl HistoryRing {
         self.stats_since(0)
     }
 
+    /// Nearest-rank percentile over every retained sample, or `None` when
+    /// the ring is empty. `q` is clamped to `[0, 1]`; `percentile(0.99)`
+    /// matches [`RingStats::p99`].
+    pub fn percentile(&self, q: f64) -> Option<i64> {
+        let samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<i64> = samples.iter().map(|s| s.value).collect();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((sorted.len() as f64) * q).ceil() as usize;
+        Some(sorted[rank.clamp(1, sorted.len()) - 1])
+    }
+
     /// Statistics over samples with `at_ms >= since_ms`.
     pub fn stats_since(&self, since_ms: u64) -> RingStats {
         let samples = self.samples.lock().unwrap_or_else(|e| e.into_inner());
@@ -194,6 +209,20 @@ mod tests {
         assert_eq!(stats.max, 30);
         let none = ring.stats_since(1_000);
         assert_eq!(none.samples, 0);
+    }
+
+    #[test]
+    fn percentile_matches_nearest_rank() {
+        let ring = HistoryRing::new(128);
+        assert_eq!(ring.percentile(0.95), None);
+        for v in 1..=100 {
+            ring.record(v, v as i64);
+        }
+        assert_eq!(ring.percentile(0.99), Some(99));
+        assert_eq!(ring.percentile(0.5), Some(50));
+        assert_eq!(ring.percentile(0.0), Some(1));
+        assert_eq!(ring.percentile(1.0), Some(100));
+        assert_eq!(ring.percentile(2.0), Some(100));
     }
 
     #[test]

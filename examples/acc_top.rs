@@ -12,7 +12,8 @@
 //!
 //! Flags:
 //! * `--once`         fetch `/cluster.json` once, print it raw, and exit
-//!   (the headless/CI mode).
+//!   (the headless/CI mode). The latest job's `/profile` waterfall, when
+//!   the server has one, goes to stderr so stdout stays pure JSON.
 //! * `--interval-ms N` redraw period (default 1000).
 //!
 //! The address defaults to `$ACC_OBSERVE`, then `127.0.0.1:9137`.
@@ -66,6 +67,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The JobProfile section: latest job's waterfall, if the server
+        // exposes /profile (older servers don't — stay quiet then).
+        if let Ok(profile) = http_get(&addr, "/profile") {
+            eprintln!("--- JobProfile ---");
+            eprint!("{profile}");
+        }
         return;
     }
 
@@ -79,6 +86,11 @@ fn main() {
                 println!("acc-top — {addr} (refresh {interval_ms} ms, ctrl-c to quit)");
                 println!();
                 print!("{body}");
+                // Latest job's profile waterfall, when the server has one.
+                if let Ok(profile) = http_get(&addr, "/profile") {
+                    println!();
+                    print!("{profile}");
+                }
                 let _ = std::io::stdout().flush();
             }
             Err(e) => {

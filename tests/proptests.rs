@@ -482,3 +482,64 @@ proptest! {
         prop_assert!(cache.request(page), "second request must hit");
     }
 }
+
+// ---------------------------------------------------------------------
+// TaskTiming wire format: round-trip plus hostile-input robustness.
+// ---------------------------------------------------------------------
+
+use adaptive_spaces::cluster::TaskTiming;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn task_timing_round_trips(
+        wait_us in any::<u64>(),
+        xfer_us in any::<u64>(),
+        compute_us in any::<u64>(),
+        write_us in any::<u64>(),
+    ) {
+        let timing = TaskTiming { wait_us, xfer_us, compute_us, write_us };
+        let bytes = timing.to_bytes();
+        prop_assert_eq!(bytes.len(), 33);
+        prop_assert_eq!(TaskTiming::from_bytes(&bytes), Some(timing));
+        // Trailing garbage is tolerated (forward compat): the known
+        // prefix still decodes to the same value.
+        let mut padded = bytes.clone();
+        padded.extend_from_slice(&[0xAB; 7]);
+        prop_assert_eq!(TaskTiming::from_bytes(&padded), Some(timing));
+    }
+
+    #[test]
+    fn task_timing_rejects_truncation(
+        timing_words in proptest::collection::vec(any::<u64>(), 4),
+        cut in 0usize..33,
+    ) {
+        let timing = TaskTiming {
+            wait_us: timing_words[0],
+            xfer_us: timing_words[1],
+            compute_us: timing_words[2],
+            write_us: timing_words[3],
+        };
+        let bytes = timing.to_bytes();
+        prop_assert_eq!(TaskTiming::from_bytes(&bytes[..cut]), None);
+    }
+
+    #[test]
+    fn task_timing_rejects_unknown_version(
+        raw_version in 0u8..255,
+        body in proptest::collection::vec(any::<u8>(), 32..64),
+    ) {
+        // Version byte 1 is the only one the decoder understands; any
+        // other leading byte must be refused no matter the payload.
+        let version = if raw_version == 1 { 255 } else { raw_version };
+        let mut bytes = vec![version];
+        bytes.extend_from_slice(&body);
+        prop_assert_eq!(TaskTiming::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn task_timing_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
+        let _ = TaskTiming::from_bytes(&bytes);
+    }
+}
