@@ -384,6 +384,13 @@ fn spawn_observer(
             body.truncate(close);
             body.push_str(&format!(r#","flight":{}}}"#, flight_json()));
         }
+        // Wire-path posture: frame volume, buffer-pool effectiveness and
+        // server pipeline saturation, so a regression in the zero-copy
+        // path shows up as a reuse-rate drop before it shows up as CPU.
+        if let Some(close) = body.rfind('}') {
+            body.truncate(close);
+            body.push_str(&format!(r#","wire":{}}}"#, wire_json()));
+        }
         ("200 OK", "application/json", body)
     });
     let hub_profile = hub.clone();
@@ -428,6 +435,33 @@ fn flight_json() -> String {
     }
     out.push_str("]}");
     out
+}
+
+/// The `"wire"` section of `/cluster.json`: zero-copy wire-path health —
+/// total frame traffic, read-buffer pool reuse, and the server-side
+/// pipeline pool's queue depth and saturation count.
+fn wire_json() -> String {
+    let r = acc_telemetry::registry();
+    let hits = r.counter("remote.buffer_reuse_hits").get();
+    let misses = r.counter("remote.buffer_reuse_misses").get();
+    let reuse_pct = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64 * 100.0
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "{{\"frame_bytes\":{},\"buffer_reuse_hits\":{},",
+            "\"buffer_reuse_misses\":{},\"buffer_reuse_pct\":{:.1},",
+            "\"pipeline_queue_depth\":{},\"pipeline_saturated\":{}}}"
+        ),
+        r.counter("remote.frame_bytes").get(),
+        hits,
+        misses,
+        reuse_pct,
+        r.gauge("server.pipeline_queue_depth").get(),
+        r.counter("server.pipeline_saturated").get(),
+    )
 }
 
 /// A worker node under cluster management.
@@ -967,6 +1001,11 @@ mod tests {
         assert!(health.contains("2/2 shards healthy"), "got: {health}");
         let json = http_get(addr, "/cluster.json");
         assert!(json.contains(r#""grid":{"total":2"#), "got: {json}");
+        // Wire-path posture rides along: the run above pushed real frames
+        // through RemoteSpace connections, so frame traffic is non-zero.
+        assert!(json.contains(r#""wire":{"frame_bytes":"#), "got: {json}");
+        assert!(json.contains(r#""buffer_reuse_hits":"#), "got: {json}");
+        assert!(json.contains(r#""pipeline_queue_depth":"#), "got: {json}");
         let text = http_get(addr, "/cluster");
         assert!(text.contains("space grid:"), "got: {text}");
         cluster.shutdown();

@@ -6,18 +6,39 @@
 //! traits. Integer accessors exist in both big-endian (default, matching
 //! the real crate) and `_le` little-endian flavours.
 //!
-//! Cheap zero-copy slicing is approximated with `Arc<[u8]>` plus a range;
-//! that is all the workspace needs — wire codecs and frame buffers.
+//! Zero-copy slicing is real, not approximated: a [`Bytes`] is an
+//! `Arc<Vec<u8>>` plus a range, so `From<Vec<u8>>` takes ownership
+//! without copying, [`Bytes::split_to`]/[`Bytes::slice`] share the
+//! allocation, and [`Bytes::try_reclaim`] hands the backing `Vec` back
+//! to a buffer pool once no other view is alive — the primitives the
+//! wire path's borrowed decode and pooled frame buffers are built on.
 
 use std::ops::Deref;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The shared backing store of every empty [`Bytes`], so `Bytes::new()`
+/// and `Default` never allocate.
+fn empty_backing() -> &'static Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    EMPTY.get_or_init(|| Arc::new(Vec::new()))
+}
 
 /// An immutable, cheaply cloneable byte buffer.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes {
+            data: empty_backing().clone(),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -36,10 +57,11 @@ impl Bytes {
         Bytes::from_vec(data.to_vec())
     }
 
+    /// Takes ownership of a `Vec` without copying its contents.
     fn from_vec(v: Vec<u8>) -> Bytes {
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -56,6 +78,7 @@ impl Bytes {
     }
 
     /// Splits off and returns the first `at` bytes; `self` keeps the rest.
+    /// Both halves share the backing allocation.
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
         let head = Bytes {
@@ -65,6 +88,32 @@ impl Bytes {
         };
         self.start += at;
         head
+    }
+
+    /// A sub-view of the remaining bytes (`range` is relative to the
+    /// current read position). Shares the backing allocation.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        Bytes {
+            data: self.data.clone(),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Recovers the backing `Vec` when this is the last live view of it
+    /// (buffer-pool reuse); otherwise returns `self` unchanged. The
+    /// returned `Vec` keeps its full capacity and contents — callers
+    /// reusing it as scratch should `clear()` it.
+    pub fn try_reclaim(self) -> Result<Vec<u8>, Bytes> {
+        let Bytes { data, start, end } = self;
+        match Arc::try_unwrap(data) {
+            Ok(v) => Ok(v),
+            Err(data) => Err(Bytes { data, start, end }),
+        }
     }
 
     /// Copies the remaining bytes into a `Vec`.
@@ -146,9 +195,37 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Empties the buffer, keeping its capacity (scratch-buffer reuse).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shrinks the allocation to at most `min_capacity` (or the current
+    /// length, whichever is larger) — the decay half of a
+    /// high-water-mark scratch buffer.
+    pub fn shrink_to(&mut self, min_capacity: usize) {
+        self.data.shrink_to(min_capacity);
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from_vec(self.data)
+    }
+
+    /// Extracts the inner `Vec` without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> BytesMut {
+        BytesMut { data }
     }
 }
 
@@ -377,6 +454,61 @@ mod tests {
         assert_eq!(head.to_vec(), vec![1, 2]);
         assert_eq!(b.remaining(), 2);
         assert_eq!(b.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn slice_is_relative_to_read_position() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4, 5]);
+        b.advance(1);
+        let mid = b.slice(1..3);
+        assert_eq!(mid.to_vec(), vec![3, 4]);
+        // The parent is unaffected.
+        assert_eq!(b.to_vec(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn from_vec_and_reclaim_are_zero_copy() {
+        let v = vec![7u8; 32];
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_slice().as_ptr(), ptr, "From<Vec> must not copy");
+        // A live clone blocks reclaim…
+        let clone = b.clone();
+        let b = b.try_reclaim().unwrap_err();
+        drop(clone);
+        // …and the last view gets the original allocation back.
+        let back = b.try_reclaim().unwrap();
+        assert_eq!(back.as_ptr(), ptr, "reclaim must return the same Vec");
+        assert_eq!(back.len(), 32);
+    }
+
+    #[test]
+    fn views_share_one_allocation() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        let head = b.split_to(2);
+        let tail_ptr = b.as_slice().as_ptr();
+        let head_ptr = head.as_slice().as_ptr();
+        assert_eq!(unsafe { head_ptr.add(2) }, tail_ptr);
+    }
+
+    #[test]
+    fn empty_bytes_share_a_static_backing() {
+        let a = Bytes::new();
+        let b = Bytes::default();
+        assert!(Arc::ptr_eq(&a.data, &b.data));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn bytes_mut_scratch_reuse() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_slice(b"hello");
+        assert_eq!(w.len(), 5);
+        w.clear();
+        assert_eq!(w.len(), 0);
+        assert!(w.capacity() >= 64);
+        w.put_slice(b"again");
+        assert_eq!(w.into_vec(), b"again");
     }
 
     #[test]

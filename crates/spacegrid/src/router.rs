@@ -23,7 +23,9 @@
 //!   result templates bind only the job name, and pinning a whole job to
 //!   one shard would defeat partitioning.
 
-use acc_tuplespace::{Constraint, Payload, Template, Tuple};
+use std::cell::RefCell;
+
+use acc_tuplespace::{Constraint, Payload, Template, Tuple, Value, WireWriter};
 
 /// Tunables for a [`crate::PartitionedSpace`].
 #[derive(Debug, Clone)]
@@ -65,6 +67,25 @@ fn fnv_sep(hash: &mut u64) {
     fnv1a(hash, &[0xff]);
 }
 
+thread_local! {
+    /// Reused encode scratch for value hashing: routing a tuple hashes
+    /// one value encoding per field, and a fresh `Vec` for each would put
+    /// an allocation on every routed operation's hot path.
+    static HASH_SCRATCH: RefCell<WireWriter> = RefCell::new(WireWriter::default());
+}
+
+/// Hashes a value's stable wire encoding — the exact bytes
+/// `value.to_bytes()` would produce, without materialising a fresh
+/// buffer per value.
+fn fnv_value(hash: &mut u64, value: &Value) {
+    HASH_SCRATCH.with(|scratch| {
+        let mut w = scratch.borrow_mut();
+        w.clear();
+        value.encode(&mut w);
+        fnv1a(hash, w.as_slice());
+    });
+}
+
 /// The placement hash of a tuple under the given key fields.
 ///
 /// Keyed mode applies only when the tuple carries *every* key field;
@@ -78,17 +99,14 @@ pub fn tuple_hash(tuple: &Tuple, key_fields: &[String]) -> u64 {
             fnv_sep(&mut hash);
             fnv1a(&mut hash, key.as_bytes());
             fnv_sep(&mut hash);
-            fnv1a(
-                &mut hash,
-                &tuple.get(key).expect("checked above").to_bytes(),
-            );
+            fnv_value(&mut hash, tuple.get(key).expect("checked above"));
         }
     } else {
         for (name, value) in tuple.fields() {
             fnv_sep(&mut hash);
             fnv1a(&mut hash, name.as_bytes());
             fnv_sep(&mut hash);
-            fnv1a(&mut hash, &value.to_bytes());
+            fnv_value(&mut hash, value);
         }
     }
     hash
@@ -123,7 +141,7 @@ pub fn route_template(template: &Template, key_fields: &[String], shards: usize)
         fnv_sep(&mut hash);
         fnv1a(&mut hash, key.as_bytes());
         fnv_sep(&mut hash);
-        fnv1a(&mut hash, &value.to_bytes());
+        fnv_value(&mut hash, value);
     }
     Some((hash % shards.max(1) as u64) as usize)
 }
@@ -211,6 +229,43 @@ mod tests {
             .eq("task_id", 7i64)
             .done();
         assert_eq!(route_template(&exact, &[], 4), None);
+    }
+
+    /// The scratch-buffer hash path must stay byte-identical to hashing
+    /// `value.to_bytes()` — the digest is a cross-process placement
+    /// contract, so this pins it against the pre-scratch implementation.
+    #[test]
+    fn streaming_hash_matches_materialised_encoding() {
+        fn reference_hash(tuple: &Tuple) -> u64 {
+            let mut hash = FNV_OFFSET;
+            fnv1a(&mut hash, tuple.type_name().as_bytes());
+            for (name, value) in tuple.fields() {
+                fnv_sep(&mut hash);
+                fnv1a(&mut hash, name.as_bytes());
+                fnv_sep(&mut hash);
+                fnv1a(&mut hash, &value.to_bytes());
+            }
+            hash
+        }
+        let tuples = [
+            Tuple::build("acc.task").done(),
+            Tuple::build("acc.task")
+                .field("job", "j")
+                .field("task_id", 7i64)
+                .field("weight", 0.5f64)
+                .field("live", true)
+                .field("payload", vec![0xffu8, 0x00, 0x7f])
+                .done(),
+            Tuple::build("acc.result")
+                .field(
+                    "body",
+                    Value::List(vec![Value::Int(1), Value::Str("x".into())]),
+                )
+                .done(),
+        ];
+        for tuple in &tuples {
+            assert_eq!(tuple_hash(tuple, &[]), reference_hash(tuple));
+        }
     }
 
     #[test]

@@ -27,7 +27,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<u64>().prop_map(|bits| Value::Float(f64::from_bits(bits))),
         any::<bool>().prop_map(Value::Bool),
         "[a-zA-Z0-9 ]{0,16}".prop_map(Value::Str),
-        proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::from),
     ]
 }
 
@@ -141,7 +141,7 @@ proptest! {
         let copy = {
             let mut b = Tuple::build(tuple.type_name());
             for (name, value) in tuple.fields() {
-                b = b.field(name.clone(), value.clone());
+                b = b.field(name.as_ref(), value.clone());
             }
             b.done()
         };

@@ -46,7 +46,8 @@ impl Payload for Value {
             1 => Ok(Value::Float(r.get_f64()?)),
             2 => Ok(Value::Bool(r.get_bool()?)),
             3 => Ok(Value::Str(r.get_str()?)),
-            4 => Ok(Value::Bytes(r.get_blob()?)),
+            // Zero-copy: the decoded value is a view into the frame.
+            4 => Ok(Value::Bytes(r.get_bytes()?)),
             5 => {
                 let n = r.get_u32()? as usize;
                 if n > 1 << 20 {
@@ -74,18 +75,18 @@ impl Payload for Tuple {
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
-        let type_name = r.get_str()?;
+        let type_name = r.get_name()?;
         let n = r.get_u32()? as usize;
         if n > 1 << 16 {
             return Err(PayloadError::Corrupt("field count"));
         }
-        let mut builder = Tuple::build(type_name);
+        let mut fields = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
-            let name = r.get_str()?;
+            let name = r.get_name()?;
             let value = Value::decode(r)?;
-            builder = builder.field(name, value);
+            fields.push((name, value));
         }
-        Ok(builder.done())
+        Ok(Tuple::from_decoded(type_name, fields))
     }
 }
 
@@ -129,19 +130,20 @@ impl Payload for Template {
     }
 
     fn decode(r: &mut WireReader) -> Result<Self, PayloadError> {
-        let mut builder = if r.get_bool()? {
-            Template::build(r.get_str()?)
+        let type_name = if r.get_bool()? {
+            Some(r.get_name()?)
         } else {
-            Template::any_type()
+            None
         };
         let n = r.get_u32()? as usize;
         if n > 1 << 16 {
             return Err(PayloadError::Corrupt("constraint count"));
         }
+        let mut constraints = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
             let name = r.get_str()?;
-            builder = match r.get_u8()? {
-                0 => builder.eq(name, Value::decode(r)?),
+            let constraint = match r.get_u8()? {
+                0 => Constraint::Exact(Value::decode(r)?),
                 1 => {
                     let k = r.get_u32()? as usize;
                     if k > 1 << 16 {
@@ -151,23 +153,24 @@ impl Payload for Template {
                     for _ in 0..k {
                         vs.push(Value::decode(r)?);
                     }
-                    builder.one_of(name, vs)
+                    Constraint::OneOf(vs)
                 }
                 2 => {
                     let lo = r.get_i64()?;
                     let hi = r.get_i64()?;
-                    builder.int_range(name, lo, hi)
+                    Constraint::IntRange(lo, hi)
                 }
                 3 => {
                     let lo = r.get_f64()?;
                     let hi = r.get_f64()?;
-                    builder.float_range(name, lo, hi)
+                    Constraint::FloatRange(lo, hi)
                 }
-                4 => builder.exists(name),
+                4 => Constraint::Exists,
                 _ => return Err(PayloadError::Corrupt("constraint tag")),
             };
+            constraints.push((name, constraint));
         }
-        Ok(builder.done())
+        Ok(Template::from_decoded(type_name, constraints))
     }
 }
 
@@ -200,7 +203,7 @@ mod tests {
             Value::Float(f64::NAN),
             Value::Bool(true),
             Value::Str("héllo".into()),
-            Value::Bytes(vec![1, 2, 3]),
+            Value::from(vec![1u8, 2, 3]),
             Value::List(vec![Value::Int(1), Value::List(vec![])]),
         ] {
             assert_eq!(Value::from_bytes(&v.to_bytes()).unwrap(), v);
@@ -243,5 +246,92 @@ mod tests {
         let last = bytes.len() - 1;
         bytes.truncate(last);
         assert!(Tuple::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decoded_bytes_value_views_the_frame() {
+        let t = Tuple::build("blob").field("payload", vec![7u8; 64]).done();
+        let frame = bytes::Bytes::from(t.to_bytes());
+        let frame_ptr = frame.as_ref().as_ptr();
+        let frame_len = frame.len();
+        let mut r = WireReader::new(frame);
+        let decoded = Tuple::decode(&mut r).unwrap();
+        let view = decoded.get_bytes("payload").unwrap();
+        let view_ptr = view.as_ptr() as usize;
+        let lo = frame_ptr as usize;
+        assert!(
+            view_ptr >= lo && view_ptr + view.len() <= lo + frame_len,
+            "decoded blob must alias the frame, not a copy"
+        );
+    }
+
+    #[test]
+    fn length_caps_reject_at_boundary() {
+        // Value::List: > 2^20 items is corrupt, exactly the cap is merely
+        // truncated (the items aren't there).
+        let mut w = WireWriter::new();
+        w.put_u8(5);
+        w.put_u32((1 << 20) + 1);
+        assert_eq!(
+            Value::from_bytes(w.as_slice()),
+            Err(PayloadError::Corrupt("list length"))
+        );
+        let mut w = WireWriter::new();
+        w.put_u8(5);
+        w.put_u32(1 << 20);
+        assert_eq!(
+            Value::from_bytes(w.as_slice()),
+            Err(PayloadError::Truncated)
+        );
+
+        // Tuple: > 2^16 fields is corrupt.
+        let mut w = WireWriter::new();
+        w.put_str("t");
+        w.put_u32((1 << 16) + 1);
+        assert_eq!(
+            Tuple::from_bytes(w.as_slice()),
+            Err(PayloadError::Corrupt("field count"))
+        );
+        let mut w = WireWriter::new();
+        w.put_str("t");
+        w.put_u32(1 << 16);
+        assert_eq!(
+            Tuple::from_bytes(w.as_slice()),
+            Err(PayloadError::Truncated)
+        );
+
+        // Template: constraint count and one-of caps.
+        let mut w = WireWriter::new();
+        w.put_bool(false);
+        w.put_u32((1 << 16) + 1);
+        assert_eq!(
+            Template::from_bytes(w.as_slice()),
+            Err(PayloadError::Corrupt("constraint count"))
+        );
+        let mut w = WireWriter::new();
+        w.put_bool(false);
+        w.put_u32(1);
+        w.put_str("f");
+        w.put_u8(1); // OneOf
+        w.put_u32((1 << 16) + 1);
+        assert_eq!(
+            Template::from_bytes(w.as_slice()),
+            Err(PayloadError::Corrupt("one-of length"))
+        );
+    }
+
+    #[test]
+    fn interned_decode_shares_names_across_tuples() {
+        use crate::payload::{decode_frame, NameInterner};
+        use std::sync::Arc as StdArc;
+        let a = Tuple::build("acc.task").field("task_id", 1i64).done();
+        let b = Tuple::build("acc.task").field("task_id", 2i64).done();
+        let mut cache = NameInterner::new();
+        let da: Tuple = decode_frame(bytes::Bytes::from(a.to_bytes()), &mut cache).unwrap();
+        let db: Tuple = decode_frame(bytes::Bytes::from(b.to_bytes()), &mut cache).unwrap();
+        assert_eq!(da, a);
+        assert_eq!(db, b);
+        // One allocation per distinct name across both frames.
+        assert!(StdArc::ptr_eq(&da.fields()[0].0, &db.fields()[0].0));
     }
 }

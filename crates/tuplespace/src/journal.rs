@@ -272,7 +272,7 @@ mod tests {
     fn sample_tuple() -> Tuple {
         Tuple::build("acc.task")
             .field("id", 3i64)
-            .field("body", Value::Bytes(vec![1, 2, 3]))
+            .field("body", Value::from(vec![1u8, 2, 3]))
             .done()
     }
 

@@ -47,10 +47,11 @@ mod txn;
 mod value;
 
 pub use acc_durability::{SyncPolicy, WalOptions};
+pub use bytes::Bytes;
 pub use error::{SpaceError, SpaceResult};
 pub use events::{EventCookie, SpaceEvent};
 pub use lease::{Lease, LeaseId};
-pub use payload::{Payload, PayloadError, WireReader, WireWriter};
+pub use payload::{decode_frame, NameInterner, Payload, PayloadError, WireReader, WireWriter};
 pub use remote::{RemoteSpace, SpaceServer};
 pub use space::{EntryId, Space, SpaceHandle};
 pub use stats::SpaceStats;

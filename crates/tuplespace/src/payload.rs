@@ -11,7 +11,9 @@
 //! with a `u32`.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors raised while decoding a payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +46,7 @@ pub trait Payload: Sized {
     fn to_bytes(&self) -> Vec<u8> {
         let mut w = WireWriter::new();
         self.encode(&mut w);
-        w.finish().to_vec()
+        w.into_vec()
     }
 
     /// Convenience: decode from a byte slice, requiring full consumption.
@@ -55,6 +57,80 @@ pub trait Payload: Sized {
             return Err(PayloadError::Corrupt("trailing bytes"));
         }
         Ok(v)
+    }
+}
+
+/// Decodes one full frame out of a ref-counted buffer, threading a
+/// [`NameInterner`] through the decode so recurring field and type names
+/// resolve to shared `Arc<str>`s instead of fresh allocations.
+///
+/// This is the zero-copy sibling of [`Payload::from_bytes`]: `frame` is
+/// consumed by reference count, not copied, so `Bytes`-backed values in
+/// the decoded payload alias the frame's allocation. The interner is
+/// borrowed for the duration of the decode and handed back afterwards,
+/// letting a connection reuse one cache across its whole lifetime.
+pub fn decode_frame<T: Payload>(
+    frame: Bytes,
+    interner: &mut NameInterner,
+) -> Result<T, PayloadError> {
+    let mut r = WireReader::with_interner(frame, std::mem::take(interner));
+    let out = T::decode(&mut r);
+    let trailing = r.remaining();
+    if let Some(cache) = r.into_interner() {
+        *interner = cache;
+    }
+    let v = out?;
+    if trailing != 0 {
+        return Err(PayloadError::Corrupt("trailing bytes"));
+    }
+    Ok(v)
+}
+
+/// A bounded cache of recurring wire names (tuple field names, type
+/// names).
+///
+/// Task tuples repeat the same handful of names millions of times; the
+/// interner turns each repeat into an `Arc` refcount bump instead of a
+/// heap allocation. Bounded on both entry count and name length so a
+/// hostile peer streaming unique names cannot grow it without limit —
+/// once full, unseen names simply decode unshared.
+#[derive(Debug, Default)]
+pub struct NameInterner {
+    set: HashSet<Arc<str>>,
+}
+
+impl NameInterner {
+    /// Entry cap; past it, new names are no longer cached.
+    const MAX_ENTRIES: usize = 256;
+    /// Names longer than this are never cached (they are almost
+    /// certainly data, not schema).
+    const MAX_NAME_LEN: usize = 64;
+
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached name count.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The shared `Arc<str>` for `name`, caching it when within bounds.
+    pub fn intern(&mut self, name: &str) -> Arc<str> {
+        if let Some(hit) = self.set.get(name) {
+            return hit.clone();
+        }
+        let arc: Arc<str> = Arc::from(name);
+        if name.len() <= Self::MAX_NAME_LEN && self.set.len() < Self::MAX_ENTRIES {
+            self.set.insert(arc.clone());
+        }
+        arc
     }
 }
 
@@ -70,9 +146,41 @@ impl WireWriter {
         Self::default()
     }
 
+    /// Creates an empty writer with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
     /// Finishes and returns the encoded bytes.
     pub fn finish(self) -> Bytes {
         self.buf.freeze()
+    }
+
+    /// Finishes and returns the backing vector without copying.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf.into_vec()
+    }
+
+    /// The bytes written so far, borrowed.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Empties the writer, keeping its allocation (scratch reuse).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Allocated capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Shrinks the allocation to at most `min_capacity` (high-water decay).
+    pub fn shrink_to(&mut self, min_capacity: usize) {
+        self.buf.shrink_to(min_capacity);
     }
 
     /// Appends a `u8`.
@@ -145,15 +253,39 @@ impl WireWriter {
 }
 
 /// Consuming decoder over a byte buffer.
+///
+/// The buffer is a ref-counted [`Bytes`], so decoding can hand out
+/// zero-copy views of it ([`WireReader::get_bytes`]) that stay valid as
+/// long as any view lives. With an attached [`NameInterner`]
+/// ([`WireReader::with_interner`] or [`decode_frame`]), recurring names
+/// decode to shared `Arc<str>`s.
 #[derive(Debug)]
 pub struct WireReader {
     buf: Bytes,
+    interner: Option<NameInterner>,
 }
 
 impl WireReader {
     /// Wraps a buffer for decoding.
     pub fn new(buf: Bytes) -> Self {
-        Self { buf }
+        Self {
+            buf,
+            interner: None,
+        }
+    }
+
+    /// Wraps a buffer for decoding with a name cache attached; recover it
+    /// with [`WireReader::into_interner`] when done.
+    pub fn with_interner(buf: Bytes, interner: NameInterner) -> Self {
+        Self {
+            buf,
+            interner: Some(interner),
+        }
+    }
+
+    /// Takes back the attached name cache, if any.
+    pub fn into_interner(self) -> Option<NameInterner> {
+        self.interner
     }
 
     /// Bytes not yet consumed.
@@ -216,11 +348,34 @@ impl WireReader {
         String::from_utf8(raw.to_vec()).map_err(|_| PayloadError::Corrupt("utf8"))
     }
 
-    /// Reads a length-prefixed byte blob.
+    /// Reads a length-prefixed byte blob into a fresh vector.
     pub fn get_blob(&mut self) -> Result<Vec<u8>, PayloadError> {
         let len = self.get_u32()? as usize;
         self.need(len)?;
         Ok(self.buf.split_to(len).to_vec())
+    }
+
+    /// Reads a length-prefixed byte blob as a zero-copy view of the
+    /// underlying frame. The view keeps the whole frame allocation alive
+    /// until dropped.
+    pub fn get_bytes(&mut self) -> Result<Bytes, PayloadError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        Ok(self.buf.split_to(len))
+    }
+
+    /// Reads a length-prefixed UTF-8 name as a shared `Arc<str>`,
+    /// deduplicated through the attached [`NameInterner`] when present.
+    pub fn get_name(&mut self) -> Result<Arc<str>, PayloadError> {
+        let len = self.get_u32()? as usize;
+        self.need(len)?;
+        let s = std::str::from_utf8(&self.buf[..len]).map_err(|_| PayloadError::Corrupt("utf8"))?;
+        let name = match &mut self.interner {
+            Some(cache) => cache.intern(s),
+            None => Arc::from(s),
+        };
+        self.buf.advance(len);
+        Ok(name)
     }
 
     /// Reads a length-prefixed `f64` vector.
@@ -401,6 +556,85 @@ mod tests {
         w.put_u32_slice(&[1, 2, 3]);
         let mut r = WireReader::new(w.finish());
         assert_eq!(r.get_u32_vec().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn get_bytes_is_a_zero_copy_view() {
+        let mut w = WireWriter::new();
+        w.put_blob(&[9u8; 32]);
+        let frame = w.finish();
+        let frame_ptr = frame.as_ref().as_ptr();
+        let mut r = WireReader::new(frame);
+        let view = r.get_bytes().unwrap();
+        assert_eq!(view.as_ref(), &[9u8; 32]);
+        // The view points into the frame (4 bytes in, past the length
+        // prefix) rather than at a copy.
+        assert_eq!(view.as_ref().as_ptr(), unsafe { frame_ptr.add(4) });
+    }
+
+    #[test]
+    fn get_name_interns_repeats() {
+        let mut w = WireWriter::new();
+        w.put_str("task_id");
+        w.put_str("task_id");
+        w.put_str("payload");
+        let mut r = WireReader::with_interner(w.finish(), NameInterner::new());
+        let a = r.get_name().unwrap();
+        let b = r.get_name().unwrap();
+        let c = r.get_name().unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "repeat must share one allocation");
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(&*a, "task_id");
+        assert_eq!(&*c, "payload");
+        assert_eq!(r.into_interner().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn interner_is_bounded() {
+        let mut cache = NameInterner::new();
+        // Oversized names never enter the cache.
+        let long = "x".repeat(NameInterner::MAX_NAME_LEN + 1);
+        let _ = cache.intern(&long);
+        assert!(cache.is_empty());
+        // The entry cap holds under a flood of unique names.
+        for i in 0..2 * NameInterner::MAX_ENTRIES {
+            let _ = cache.intern(&format!("name-{i}"));
+        }
+        assert_eq!(cache.len(), NameInterner::MAX_ENTRIES);
+        // A full cache still hands out correct (uncached) names.
+        assert_eq!(&*cache.intern("overflow"), "overflow");
+    }
+
+    #[test]
+    fn decode_frame_matches_from_bytes_and_rejects_trailing() {
+        let s = Sample {
+            id: 3,
+            label: "frame".into(),
+            xs: vec![0.5],
+            flag: true,
+        };
+        let mut bytes = s.to_bytes();
+        let mut cache = NameInterner::new();
+        let decoded: Sample = decode_frame(Bytes::copy_from_slice(&bytes), &mut cache).unwrap();
+        assert_eq!(decoded, s);
+        bytes.push(0);
+        assert_eq!(
+            decode_frame::<Sample>(Bytes::from(bytes), &mut cache),
+            Err(PayloadError::Corrupt("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn writer_scratch_reuse_keeps_capacity() {
+        let mut w = WireWriter::with_capacity(128);
+        w.put_blob(&[1u8; 100]);
+        assert!(w.capacity() >= 128);
+        w.clear();
+        assert!(w.is_empty());
+        assert!(w.capacity() >= 128);
+        w.put_u32(7);
+        assert_eq!(w.as_slice(), &7u32.to_le_bytes());
+        assert_eq!(w.into_vec(), 7u32.to_le_bytes().to_vec());
     }
 
     #[test]

@@ -54,14 +54,25 @@ use crate::tuple::Tuple;
 
 const MAX_FRAME: usize = 16 << 20;
 
-/// Wire-protocol error-path series: how often clients had to reconnect,
-/// what protocol version the last (re)connection negotiated, and how many
-/// tuples the server returned to the space because their response frame
-/// never reached a client.
+/// Wire-protocol series: the error path (reconnects, negotiated version,
+/// restored tuples) plus the zero-copy path's health — bytes moved per
+/// frame, how often per-connection frame buffers were actually reused,
+/// and the server pipeline pool's backlog.
 struct NetSeries {
     reconnects: Arc<acc_telemetry::Counter>,
     protocol_version: Arc<acc_telemetry::Gauge>,
     tuples_restored: Arc<acc_telemetry::Counter>,
+    /// Total frame bytes moved (headers + payloads, both directions).
+    frame_bytes: Arc<acc_telemetry::Counter>,
+    /// Frame reads served from a recycled per-connection buffer…
+    buffer_reuse_hits: Arc<acc_telemetry::Counter>,
+    /// …vs. reads that had to allocate (first read, or the previous frame
+    /// is still pinned by decoded values borrowing it).
+    buffer_reuse_misses: Arc<acc_telemetry::Counter>,
+    /// Jobs queued or running in server pipeline pools right now.
+    pipeline_queue_depth: Arc<acc_telemetry::Gauge>,
+    /// Submissions that found every pool slot busy and had to queue.
+    pipeline_saturated: Arc<acc_telemetry::Counter>,
 }
 
 fn net_series() -> &'static NetSeries {
@@ -72,6 +83,11 @@ fn net_series() -> &'static NetSeries {
             reconnects: r.counter("remote.reconnects"),
             protocol_version: r.gauge("remote.protocol_version"),
             tuples_restored: r.counter("server.tuples_restored"),
+            frame_bytes: r.counter("remote.frame_bytes"),
+            buffer_reuse_hits: r.counter("remote.buffer_reuse_hits"),
+            buffer_reuse_misses: r.counter("remote.buffer_reuse_misses"),
+            pipeline_queue_depth: r.gauge("server.pipeline_queue_depth"),
+            pipeline_saturated: r.counter("server.pipeline_saturated"),
         }
     })
 }
@@ -267,10 +283,11 @@ impl Request {
             5 => Ok(Request::Close),
             6 => Ok(Request::IsClosed),
             9 => {
-                let n = r.get_u32()?;
-                // No `with_capacity(n)`: the count is attacker-controlled
-                // and the body is bounded by MAX_FRAME anyway.
-                let mut tuples = Vec::new();
+                let n = r.get_u32()? as usize;
+                // The count is attacker-controlled, so the pre-reserve is
+                // capped: a lying header wastes at most 1024 slots before
+                // the bounded body (MAX_FRAME) runs out of tuples.
+                let mut tuples = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     tuples.push(Tuple::decode(r)?);
                 }
@@ -340,6 +357,19 @@ impl Request {
         match self {
             Request::Take(..) | Request::TakeUpTo(..) => true,
             Request::Traced { inner, .. } | Request::Corr { inner, .. } => inner.is_destructive(),
+            _ => false,
+        }
+    }
+
+    /// True when serving this request may park the serving thread waiting
+    /// on the space. Pipelined requests that cannot block are served
+    /// inline on the connection thread; only ones that can occupy a
+    /// [`PipelinePool`] slot.
+    fn may_block(&self) -> bool {
+        match self {
+            Request::Read(_, timeout) | Request::Take(_, timeout) => !matches!(timeout, Some(0)),
+            Request::TakeUpTo(_, _, timeout) => !matches!(timeout, Some(0)),
+            Request::Traced { inner, .. } | Request::Corr { inner, .. } => inner.may_block(),
             _ => false,
         }
     }
@@ -485,16 +515,17 @@ impl Response {
             7 => Ok(Response::Err(r.get_u8()?, r.get_str()?)),
             8 => Ok(Response::Proto(r.get_u32()?)),
             9 => {
-                let n = r.get_u32()?;
-                let mut ids = Vec::new();
+                let n = r.get_u32()? as usize;
+                // Capped pre-reserve; see `Request::decode` for rationale.
+                let mut ids = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     ids.push(r.get_u64()?);
                 }
                 Ok(Response::Ids(ids))
             }
             10 => {
-                let n = r.get_u32()?;
-                let mut tuples = Vec::new();
+                let n = r.get_u32()? as usize;
+                let mut tuples = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
                     tuples.push(Tuple::decode(r)?);
                 }
@@ -525,19 +556,187 @@ fn write_frame(stream: &mut TcpStream, payload: &impl Payload) -> std::io::Resul
     stream.flush()
 }
 
-fn read_frame_bytes(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+/// Reads and validates a frame's length prefix — the one place frame-size
+/// edge cases are policed. Empty frames are rejected here: every legal
+/// request/response encodes at least a tag byte, so a zero length means a
+/// desynced or hostile peer, and catching it at the prefix keeps the
+/// decoders free of empty-input special cases.
+fn read_frame_len(stream: &mut TcpStream) -> std::io::Result<usize> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "empty frame",
+        ));
+    }
     if len > MAX_FRAME {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             "frame too large",
         ));
     }
+    Ok(len)
+}
+
+fn read_frame_bytes(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let len = read_frame_len(stream)?;
     let mut body = vec![0u8; len];
     stream.read_exact(&mut body)?;
     Ok(body)
+}
+
+/// A per-connection recycled frame buffer.
+///
+/// Each frame is read into a ref-counted [`bytes::Bytes`] so decoded
+/// values can borrow it; once every borrower is gone, [`FramePool::recycle`]
+/// reclaims the allocation for the next read. The buffer is sized by
+/// high-water mark and decays: every [`FramePool::DECAY_INTERVAL`]
+/// recycles, a buffer grown far beyond the recent peak frame size is
+/// shrunk back to it, so one huge batch frame does not pin megabytes for
+/// the life of the connection.
+#[derive(Debug)]
+struct FramePool {
+    spare: Option<Vec<u8>>,
+    /// Largest frame seen since the last decay window closed.
+    seen_max: usize,
+    recycles: u32,
+}
+
+impl FramePool {
+    const DECAY_INTERVAL: u32 = 64;
+    /// Never decay below this; tiny control frames shouldn't thrash.
+    const MIN_CAPACITY: usize = 4 << 10;
+
+    fn new() -> FramePool {
+        FramePool {
+            spare: None,
+            seen_max: 0,
+            recycles: 0,
+        }
+    }
+
+    /// Reads one length-prefixed frame, reusing the recycled buffer when
+    /// one is available.
+    fn read_frame(&mut self, stream: &mut TcpStream) -> std::io::Result<bytes::Bytes> {
+        let len = read_frame_len(stream)?;
+        let net = net_series();
+        let mut body = match self.spare.take() {
+            Some(buf) => {
+                net.buffer_reuse_hits.inc();
+                buf
+            }
+            None => {
+                net.buffer_reuse_misses.inc();
+                Vec::new()
+            }
+        };
+        body.resize(len, 0);
+        stream.read_exact(&mut body)?;
+        net.frame_bytes.add((len + 4) as u64);
+        self.seen_max = self.seen_max.max(len);
+        Ok(bytes::Bytes::from(body))
+    }
+
+    /// Hands a frame's allocation back for reuse. A frame still borrowed
+    /// by decoded values (e.g. a written tuple's `Bytes` field now living
+    /// in the space) is simply dropped later with its last borrower —
+    /// callers recycle opportunistically and never wait.
+    fn recycle(&mut self, frame: bytes::Bytes) {
+        let Ok(mut buf) = frame.try_reclaim() else {
+            return;
+        };
+        buf.clear();
+        self.recycles += 1;
+        if self.recycles % Self::DECAY_INTERVAL == 0 {
+            let target = self.seen_max.max(Self::MIN_CAPACITY);
+            if buf.capacity() > target * 2 {
+                buf.shrink_to(target);
+            }
+            self.seen_max = 0;
+        }
+        // Keep the larger of the spare and the incoming buffer.
+        if self
+            .spare
+            .as_ref()
+            .is_none_or(|s| s.capacity() < buf.capacity())
+        {
+            self.spare = Some(buf);
+        }
+    }
+}
+
+/// A per-connection reusable encode buffer with vectored frame writes.
+///
+/// Encoding reuses one scratch [`WireWriter`] (high-water sized, decayed
+/// like [`FramePool`]), and the header + payload go out in a single
+/// `write_vectored` call instead of two writes or a concatenating copy.
+#[derive(Debug)]
+struct FrameEncoder {
+    w: WireWriter,
+    seen_max: usize,
+    uses: u32,
+}
+
+impl FrameEncoder {
+    fn new() -> FrameEncoder {
+        FrameEncoder {
+            w: WireWriter::new(),
+            seen_max: 0,
+            uses: 0,
+        }
+    }
+
+    fn write_frame(
+        &mut self,
+        stream: &mut TcpStream,
+        payload: &impl Payload,
+    ) -> std::io::Result<()> {
+        self.uses += 1;
+        if self.uses % FramePool::DECAY_INTERVAL == 0 {
+            let target = self.seen_max.max(FramePool::MIN_CAPACITY);
+            if self.w.capacity() > target * 2 {
+                self.w.shrink_to(target);
+            }
+            self.seen_max = 0;
+        }
+        self.w.clear();
+        payload.encode(&mut self.w);
+        let body = self.w.as_slice();
+        // Reject oversized frames before the length prefix goes out (see
+        // `write_frame`).
+        if body.len() > MAX_FRAME {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "frame too large to send: {} > {MAX_FRAME} bytes",
+                    body.len()
+                ),
+            ));
+        }
+        self.seen_max = self.seen_max.max(body.len());
+        let header = (body.len() as u32).to_le_bytes();
+        let total = header.len() + body.len();
+        let mut written = 0usize;
+        while written < total {
+            let n = if written < header.len() {
+                stream.write_vectored(&[
+                    std::io::IoSlice::new(&header[written..]),
+                    std::io::IoSlice::new(body),
+                ])?
+            } else {
+                stream.write(&body[written - header.len()..])?
+            };
+            if n == 0 {
+                return Err(std::io::ErrorKind::WriteZero.into());
+            }
+            written += n;
+        }
+        stream.flush()?;
+        net_series().frame_bytes.add(total as u64);
+        Ok(())
+    }
 }
 
 /// Resource limits for a [`SpaceServer`]. Each accepted connection owns one
@@ -557,6 +756,12 @@ pub struct ServerOptions {
     /// Max concurrently served connections; connections accepted over this
     /// limit are dropped immediately.
     pub max_connections: usize,
+    /// Worker threads per connection for pipelined (`Corr`) requests that
+    /// can block. Non-blocking pipelined requests are served inline on the
+    /// connection thread; blocking ones occupy a pool slot, and when every
+    /// slot is busy they queue (bounding the per-request thread spawns the
+    /// previous design paid, and the unbounded thread count with it).
+    pub pipeline_workers: usize,
     /// Highest protocol version this server speaks (default
     /// [`PROTO_VERSION`]). A capped server behaves exactly like a real
     /// older build: it answers `Hello` with the capped version and hangs
@@ -572,12 +777,137 @@ impl Default for ServerOptions {
             read_timeout: Some(Duration::from_secs(30)),
             write_timeout: Some(Duration::from_secs(10)),
             max_connections: 128,
+            pipeline_workers: 4,
             protocol_version: PROTO_VERSION,
         }
     }
 }
 
 type ConnRegistry = Arc<Mutex<std::collections::HashMap<u64, TcpStream>>>;
+
+/// The write half of a served connection: one socket plus one reusable
+/// encode buffer behind a single lock, so every response — inline or from
+/// a pipeline worker — reuses the same scratch allocation and goes out as
+/// one vectored write.
+struct ResponseWriter {
+    stream: TcpStream,
+    enc: FrameEncoder,
+}
+
+impl ResponseWriter {
+    fn send(&mut self, response: &Response) -> std::io::Result<()> {
+        self.enc.write_frame(&mut self.stream, response)
+    }
+}
+
+/// A bounded per-connection worker pool for pipelined (`Corr`) requests
+/// that can block.
+///
+/// The previous design spawned one thread per pipelined request — cheap
+/// until a client pipelines thousands of blocking takes and the server
+/// pays a thread spawn per frame plus an unbounded thread count. The pool
+/// spawns lazily up to `max_workers` threads; beyond that, jobs queue.
+/// Workers exit when the connection closes the channel; a worker parked
+/// in a forever-blocking take drains its queue entry late, exactly as the
+/// old detached thread would have.
+struct PipelinePool {
+    tx: Option<std::sync::mpsc::Sender<PipelineJob>>,
+    rx: Arc<Mutex<std::sync::mpsc::Receiver<PipelineJob>>>,
+    space: Arc<Space>,
+    writer: Arc<Mutex<ResponseWriter>>,
+    version: u32,
+    max_workers: usize,
+    spawned: usize,
+    /// Jobs queued or running. Shared with workers; also mirrored into
+    /// the `server.pipeline_queue_depth` gauge.
+    depth: Arc<AtomicUsize>,
+}
+
+struct PipelineJob {
+    corr_id: u64,
+    inner: Request,
+    /// Decrements depth (and the gauge) exactly once, whether the job
+    /// runs, dies in the queue, or dies with the channel.
+    _depth: DepthGuard,
+}
+
+struct DepthGuard(Arc<AtomicUsize>);
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+        net_series().pipeline_queue_depth.add(-1);
+    }
+}
+
+impl PipelinePool {
+    fn new(
+        space: Arc<Space>,
+        writer: Arc<Mutex<ResponseWriter>>,
+        version: u32,
+        max_workers: usize,
+    ) -> PipelinePool {
+        let (tx, rx) = std::sync::mpsc::channel();
+        PipelinePool {
+            tx: Some(tx),
+            rx: Arc::new(Mutex::new(rx)),
+            space,
+            writer,
+            version,
+            max_workers: max_workers.max(1),
+            spawned: 0,
+            depth: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    fn submit(&mut self, corr_id: u64, inner: Request) {
+        let depth = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        let net = net_series();
+        net.pipeline_queue_depth.add(1);
+        if depth > self.max_workers {
+            net.pipeline_saturated.inc();
+        }
+        if depth > self.spawned && self.spawned < self.max_workers {
+            self.spawn_worker();
+        }
+        let tx = self.tx.as_ref().expect("pool open while serving");
+        let _ = tx.send(PipelineJob {
+            corr_id,
+            inner,
+            _depth: DepthGuard(self.depth.clone()),
+        });
+    }
+
+    fn spawn_worker(&mut self) {
+        self.spawned += 1;
+        let rx = self.rx.clone();
+        let space = self.space.clone();
+        let writer = self.writer.clone();
+        let version = self.version;
+        std::thread::spawn(move || {
+            loop {
+                // Holding the lock across `recv` is the point: exactly one
+                // idle worker waits on the channel, the rest park on the
+                // mutex, and each job wakes exactly one of them.
+                let job = match rx.lock().recv() {
+                    Ok(job) => job,
+                    Err(_) => break,
+                };
+                let destructive = job.inner.is_destructive();
+                let inner = serve(&space, job.inner, version);
+                let response = Response::Corr {
+                    corr_id: job.corr_id,
+                    inner: Box::new(inner),
+                };
+                let failed = writer.lock().send(&response).is_err();
+                if failed && destructive {
+                    restore_unacked(&space, response);
+                }
+                drop(job._depth);
+            }
+        });
+    }
+}
 
 /// Serves one space over TCP loopback/network.
 #[derive(Debug)]
@@ -682,16 +1012,45 @@ impl SpaceServer {
                         }
                     }
                     let _slot = Slot(active, conns3, conn_id);
-                    // Responses go through a shared writer so pipelined
-                    // requests served on side threads can interleave their
-                    // answers with the synchronous path.
-                    let Ok(writer) = stream.try_clone() else {
+                    // Responses go through a shared writer (socket + one
+                    // reusable encode buffer) so pipelined requests served
+                    // on pool workers interleave their answers with the
+                    // synchronous path.
+                    let Ok(write_stream) = stream.try_clone() else {
                         return;
                     };
-                    let writer = Arc::new(Mutex::new(writer));
+                    let writer = Arc::new(Mutex::new(ResponseWriter {
+                        stream: write_stream,
+                        enc: FrameEncoder::new(),
+                    }));
                     let version = opts.protocol_version;
-                    while let Ok(bytes) = read_frame_bytes(&mut stream) {
-                        let Ok(request) = Request::from_bytes(&bytes) else {
+                    let mut pool = PipelinePool::new(
+                        space.clone(),
+                        writer.clone(),
+                        version,
+                        opts.pipeline_workers,
+                    );
+                    // Per-connection read-side state: a recycled frame
+                    // buffer, the name cache shared by every decode on
+                    // this connection, and the previous frame awaiting an
+                    // opportunistic recycle.
+                    let mut frames = FramePool::new();
+                    let mut interner = crate::payload::NameInterner::new();
+                    let mut last_frame: Option<bytes::Bytes> = None;
+                    loop {
+                        if let Some(done) = last_frame.take() {
+                            // By now the previous request has been served
+                            // (or handed to the pool); if nothing borrowed
+                            // its frame, the next read reuses it.
+                            frames.recycle(done);
+                        }
+                        let Ok(frame) = frames.read_frame(&mut stream) else {
+                            break;
+                        };
+                        last_frame = Some(frame.clone());
+                        let Ok(request) =
+                            crate::payload::decode_frame::<Request>(frame, &mut interner)
+                        else {
                             break;
                         };
                         if request.min_version() > version {
@@ -701,31 +1060,32 @@ impl SpaceServer {
                             break;
                         }
                         match request {
+                            // Pipelined and possibly blocking: a pool
+                            // worker serves it so the requests queued
+                            // behind it aren't stalled; the response
+                            // carries the correlation id back.
+                            Request::Corr { corr_id, inner } if inner.may_block() => {
+                                pool.submit(corr_id, *inner);
+                            }
+                            // Pipelined but non-blocking: serving inline
+                            // is cheaper than any handoff.
                             Request::Corr { corr_id, inner } => {
-                                // Pipelined: serve on a side thread so a
-                                // blocking batch take does not stall the
-                                // requests queued behind it; the response
-                                // carries the correlation id back.
-                                let space = space.clone();
-                                let writer = writer.clone();
                                 let destructive = inner.is_destructive();
-                                std::thread::spawn(move || {
-                                    let inner = serve(&space, *inner, version);
-                                    let response = Response::Corr {
-                                        corr_id,
-                                        inner: Box::new(inner),
-                                    };
-                                    if write_frame(&mut writer.lock(), &response).is_err()
-                                        && destructive
-                                    {
+                                let response = Response::Corr {
+                                    corr_id,
+                                    inner: Box::new(serve(&space, *inner, version)),
+                                };
+                                if writer.lock().send(&response).is_err() {
+                                    if destructive {
                                         restore_unacked(&space, response);
                                     }
-                                });
+                                    break;
+                                }
                             }
                             request => {
                                 let destructive = request.is_destructive();
                                 let response = serve(&space, request, version);
-                                if write_frame(&mut writer.lock(), &response).is_err() {
+                                if writer.lock().send(&response).is_err() {
                                     if destructive {
                                         restore_unacked(&space, response);
                                     }
@@ -906,6 +1266,29 @@ const BATCH_FRAME_BUDGET: usize = MAX_FRAME / 4;
 /// pipeline as several frames instead of one enormous one.
 const BATCH_MAX_TUPLES: usize = 4096;
 
+/// The client's per-connection state: the socket plus the reusable
+/// buffers that make the wire path allocation-free in steady state — an
+/// encode scratch, a recycled read frame, and the decode name cache.
+/// All live under the one connection mutex, so none need their own.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    enc: FrameEncoder,
+    pool: FramePool,
+    interner: crate::payload::NameInterner,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            enc: FrameEncoder::new(),
+            pool: FramePool::new(),
+            interner: crate::payload::NameInterner::new(),
+        }
+    }
+}
+
 /// Client-side proxy to a [`SpaceServer`] — the "downloaded space proxy".
 /// One TCP connection, one *caller* at a time (clone-free; open one proxy
 /// per worker, as each worker owns its own connection). Batch operations
@@ -922,7 +1305,7 @@ const BATCH_MAX_TUPLES: usize = 4096;
 #[derive(Debug)]
 pub struct RemoteSpace {
     addr: SocketAddr,
-    stream: Mutex<TcpStream>,
+    stream: Mutex<Conn>,
     /// What the server answered to `Hello` — 0 for a version-0 (seed
     /// protocol) server, which must never be sent v1+ frames. Refreshed on
     /// every reconnect, hence atomic.
@@ -950,7 +1333,7 @@ impl RemoteSpace {
         net_series().protocol_version.set(peer_version as i64);
         Ok(RemoteSpace {
             addr,
-            stream: Mutex::new(stream),
+            stream: Mutex::new(Conn::new(stream)),
             peer_version: AtomicU32::new(peer_version),
             max_version,
         })
@@ -992,11 +1375,13 @@ impl RemoteSpace {
     }
 
     /// Replaces a failed connection with a fresh, re-probed one. Called
-    /// at most once per operation (bounded retry).
-    fn reconnect(&self, stream: &mut TcpStream, cause: &std::io::Error) -> SpaceResult<()> {
+    /// at most once per operation (bounded retry). Only the socket is
+    /// replaced — the buffers and name cache are content-based, not
+    /// connection-based, and stay warm across reconnects.
+    fn reconnect(&self, conn: &mut Conn, cause: &std::io::Error) -> SpaceResult<()> {
         let (fresh, version) = RemoteSpace::establish(self.addr, self.max_version)
             .map_err(|e| SpaceError::Transport(format!("{cause}; reconnect failed: {e}")))?;
-        *stream = fresh;
+        conn.stream = fresh;
         self.peer_version.store(version, Ordering::Relaxed);
         let net = net_series();
         net.reconnects.inc();
@@ -1011,27 +1396,32 @@ impl RemoteSpace {
     }
 
     fn call(&self, request: Request) -> SpaceResult<Response> {
-        let mut stream = self.stream.lock();
-        let exchange = |s: &mut TcpStream| -> std::io::Result<Vec<u8>> {
-            write_frame(s, &request)?;
-            read_frame_bytes(s)
+        let mut conn = self.stream.lock();
+        let conn = &mut *conn;
+        let exchange = |c: &mut Conn| -> std::io::Result<bytes::Bytes> {
+            c.enc.write_frame(&mut c.stream, &request)?;
+            c.pool.read_frame(&mut c.stream)
         };
-        let bytes = match exchange(&mut stream) {
-            Ok(bytes) => bytes,
+        let frame = match exchange(conn) {
+            Ok(frame) => frame,
             // InvalidData is not a transport fault (oversized or corrupt
             // frame) — reconnecting and resending cannot fix it.
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 return Err(SpaceError::Protocol(e.to_string()));
             }
             Err(first) => {
-                self.reconnect(&mut stream, &first)?;
-                exchange(&mut stream).map_err(|e| SpaceError::Transport(e.to_string()))?
+                self.reconnect(conn, &first)?;
+                exchange(conn).map_err(|e| SpaceError::Transport(e.to_string()))?
             }
         };
-        match Response::from_bytes(&bytes) {
+        let decoded = crate::payload::decode_frame::<Response>(frame.clone(), &mut conn.interner);
+        // Opportunistic: reclaims the buffer unless the response borrowed
+        // it (a tuple payload holding a `Bytes` view keeps it alive).
+        conn.pool.recycle(frame);
+        match decoded {
             Ok(response) => Ok(response),
             Err(_) => {
-                RemoteSpace::poison(&stream);
+                RemoteSpace::poison(&conn.stream);
                 Err(SpaceError::Protocol("undecodable response frame".into()))
             }
         }
@@ -1086,20 +1476,24 @@ impl RemoteSpace {
             })
             .collect();
         let n = frames.len();
-        let mut stream = self.stream.lock();
-        let exchange = |s: &mut TcpStream| -> std::io::Result<Vec<Vec<u8>>> {
+        let mut conn = self.stream.lock();
+        let conn = &mut *conn;
+        // The whole batch is encoded through the one reusable scratch
+        // buffer before the first response is read (that is the whole
+        // point of pipelining: one round trip).
+        let exchange = |c: &mut Conn| -> std::io::Result<Vec<bytes::Bytes>> {
             for frame in &frames {
-                write_frame(s, frame)?;
+                c.enc.write_frame(&mut c.stream, frame)?;
             }
-            (0..n).map(|_| read_frame_bytes(s)).collect()
+            (0..n).map(|_| c.pool.read_frame(&mut c.stream)).collect()
         };
-        let raw = match exchange(&mut stream) {
+        let raw = match exchange(conn) {
             Ok(raw) => raw,
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 return Err(SpaceError::Protocol(e.to_string()));
             }
             Err(first) => {
-                self.reconnect(&mut stream, &first)?;
+                self.reconnect(conn, &first)?;
                 if self.peer_version() < 2 {
                     // The server was replaced by an older build between
                     // attempts; resending v2 frames would just hang up.
@@ -1107,25 +1501,28 @@ impl RemoteSpace {
                         "{first}; peer downgraded below v2 on reconnect"
                     )));
                 }
-                exchange(&mut stream).map_err(|e| SpaceError::Transport(e.to_string()))?
+                exchange(conn).map_err(|e| SpaceError::Transport(e.to_string()))?
             }
         };
         let mut slots: Vec<Option<Response>> = (0..n).map(|_| None).collect();
-        for bytes in raw {
-            let Ok(Response::Corr { corr_id, inner }) = Response::from_bytes(&bytes) else {
-                RemoteSpace::poison(&stream);
+        for frame in raw {
+            let decoded =
+                crate::payload::decode_frame::<Response>(frame.clone(), &mut conn.interner);
+            conn.pool.recycle(frame);
+            let Ok(Response::Corr { corr_id, inner }) = decoded else {
+                RemoteSpace::poison(&conn.stream);
                 return Err(SpaceError::Protocol(
                     "expected a correlated response frame".into(),
                 ));
             };
             let Some(slot) = slots.get_mut(corr_id as usize) else {
-                RemoteSpace::poison(&stream);
+                RemoteSpace::poison(&conn.stream);
                 return Err(SpaceError::Protocol(format!(
                     "correlation id {corr_id} out of range"
                 )));
             };
             if slot.is_some() {
-                RemoteSpace::poison(&stream);
+                RemoteSpace::poison(&conn.stream);
                 return Err(SpaceError::Protocol(format!(
                     "duplicate correlation id {corr_id}"
                 )));
@@ -1171,6 +1568,8 @@ impl TupleStore for RemoteSpace {
         }
     }
 
+    // The `template.clone()` below (and in take/count/take_up_to) is two
+    // refcount bumps, not a deep copy — `Template` is `Arc`-backed.
     fn read(&self, template: &Template, timeout: Option<Duration>) -> SpaceResult<Option<Tuple>> {
         self.expect_tuple(
             "remote.read",
@@ -1976,7 +2375,7 @@ mod tests {
                 any::<u64>().prop_map(|bits| Value::Float(f64::from_bits(bits))),
                 any::<bool>().prop_map(Value::Bool),
                 "[a-zA-Z0-9 ]{0,16}".prop_map(Value::Str),
-                proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::Bytes),
+                proptest::collection::vec(any::<u8>(), 0..24).prop_map(Value::from),
             ]
         }
 

@@ -211,7 +211,7 @@ struct ShardState {
     /// semantics. Ids arrive nearly in order (they are allocated from a
     /// monotone counter) and leave mostly from the front, so the sorted
     /// deque behaves like a queue: O(1) amortized insert and remove.
-    index: FxMap<String, FxMap<u64, VecDeque<EntryId>>>,
+    index: FxMap<Arc<str>, FxMap<u64, VecDeque<EntryId>>>,
     /// Ids written since the last index probe, not yet folded into
     /// `index`. Writes only push here (O(1) per field set, no hashing);
     /// the first probe that actually needs the index pays the folding
@@ -280,12 +280,13 @@ impl ShardState {
 /// Inserts one entry's indexable fields into a shard's field index. A free
 /// function (not a `ShardState` method) so [`ShardState::flush_pending_index`]
 /// can split-borrow `entries` and `index`.
-fn index_insert_into(index: &mut FxMap<String, FxMap<u64, VecDeque<EntryId>>>, stored: &Stored) {
+fn index_insert_into(index: &mut FxMap<Arc<str>, FxMap<u64, VecDeque<EntryId>>>, stored: &Stored) {
     for (name, value) in stored.tuple.fields() {
         let Some(key) = value_index_hash(value) else {
             continue;
         };
-        // Clone the field name only the first time it is seen.
+        // Field names are shared `Arc<str>`s, so keying the index is a
+        // refcount bump, never an allocation.
         if !index.contains_key(name) {
             index.insert(name.clone(), FxMap::default());
         }

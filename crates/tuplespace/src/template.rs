@@ -7,6 +7,7 @@
 //! e.g. "any task of this job".
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -42,17 +43,23 @@ impl Constraint {
 }
 
 /// An associative-lookup pattern over tuples.
+///
+/// Both parts are ref-counted, so `Clone` is two refcount bumps — requests
+/// on the wire path clone templates freely without copying constraint
+/// payloads.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Template {
     /// `None` matches any tuple type.
-    type_name: Option<String>,
+    type_name: Option<Arc<str>>,
     /// Sorted by field name.
-    constraints: Vec<(String, Constraint)>,
+    constraints: Arc<[(String, Constraint)]>,
 }
 
 impl Template {
     /// Starts building a template for the given tuple type.
-    pub fn build(type_name: impl Into<String>) -> TemplateBuilder {
+    /// (`Into<Arc<str>>` so a `&str` name costs one allocation, not a
+    /// `String` detour.)
+    pub fn build(type_name: impl Into<Arc<str>>) -> TemplateBuilder {
         TemplateBuilder {
             type_name: Some(type_name.into()),
             constraints: Vec::new(),
@@ -68,7 +75,7 @@ impl Template {
     }
 
     /// A template matching every tuple of `type_name` (no field constraints).
-    pub fn of_type(type_name: impl Into<String>) -> Template {
+    pub fn of_type(type_name: impl Into<Arc<str>>) -> Template {
         Template::build(type_name).done()
     }
 
@@ -88,7 +95,7 @@ impl Template {
     /// JavaSpaces `null`-field semantics.
     pub fn matches(&self, tuple: &Tuple) -> bool {
         if let Some(ty) = &self.type_name {
-            if ty != tuple.type_name() {
+            if ty.as_ref() != tuple.type_name() {
                 return false;
             }
         }
@@ -123,8 +130,35 @@ impl fmt::Display for Template {
 /// Builder for [`Template`].
 #[derive(Debug)]
 pub struct TemplateBuilder {
-    type_name: Option<String>,
+    type_name: Option<Arc<str>>,
     constraints: Vec<(String, Constraint)>,
+}
+
+impl Template {
+    /// Builds a template straight from decoded parts; used by the codec so
+    /// interned type names survive decode without re-allocation.
+    pub(crate) fn from_decoded(
+        type_name: Option<Arc<str>>,
+        mut constraints: Vec<(String, Constraint)>,
+    ) -> Template {
+        if !constraints.windows(2).all(|w| w[0].0 < w[1].0) {
+            // Replicate builder semantics: sort, later duplicates win.
+            let mut out: Vec<(String, Constraint)> = Vec::with_capacity(constraints.len());
+            for (name, c) in constraints {
+                if let Some(slot) = out.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = c;
+                } else {
+                    out.push((name, c));
+                }
+            }
+            out.sort_by(|(a, _), (b, _)| a.cmp(b));
+            constraints = out;
+        }
+        Template {
+            type_name,
+            constraints: constraints.into(),
+        }
+    }
 }
 
 impl TemplateBuilder {
@@ -167,7 +201,7 @@ impl TemplateBuilder {
         self.constraints.sort_by(|(a, _), (b, _)| a.cmp(b));
         Template {
             type_name: self.type_name,
-            constraints: self.constraints,
+            constraints: self.constraints.into(),
         }
     }
 }

@@ -10,16 +10,21 @@ use std::sync::Arc;
 use crate::value::Value;
 
 /// An immutable, named-field record stored in a [`crate::Space`].
+///
+/// Field names are shared `Arc<str>`s: tuples decoded off the wire with an
+/// interner attached reuse one allocation per distinct name across every
+/// tuple on the connection, instead of one `String` per field per tuple.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Tuple {
     type_name: Arc<str>,
     /// Sorted by field name; unique names.
-    fields: Arc<[(String, Value)]>,
+    fields: Arc<[(Arc<str>, Value)]>,
 }
 
 impl Tuple {
-    /// Starts building a tuple of the given type.
-    pub fn build(type_name: impl Into<String>) -> TupleBuilder {
+    /// Starts building a tuple of the given type. (`Into<Arc<str>>` so a
+    /// `&str` name costs one allocation, not a `String` detour.)
+    pub fn build(type_name: impl Into<Arc<str>>) -> TupleBuilder {
         TupleBuilder {
             type_name: type_name.into(),
             fields: Vec::new(),
@@ -37,8 +42,36 @@ impl Tuple {
     }
 
     /// All fields, sorted by name.
-    pub fn fields(&self) -> &[(String, Value)] {
+    pub fn fields(&self) -> &[(Arc<str>, Value)] {
         &self.fields
+    }
+
+    /// Builds a tuple straight from decoded parts, canonicalising only
+    /// when needed. Encoders emit fields in canonical (sorted, unique)
+    /// order, so the wire hot path takes the no-op fast path; inputs that
+    /// arrive unsorted or with duplicates fall back to builder semantics
+    /// (sort; later duplicates overwrite earlier ones).
+    pub(crate) fn from_decoded(type_name: Arc<str>, fields: Vec<(Arc<str>, Value)>) -> Tuple {
+        let canonical = fields.windows(2).all(|w| w[0].0 < w[1].0);
+        if canonical {
+            return Tuple {
+                type_name,
+                fields: fields.into(),
+            };
+        }
+        let mut out: Vec<(Arc<str>, Value)> = Vec::with_capacity(fields.len());
+        for (name, value) in fields {
+            if let Some(slot) = out.iter_mut().find(|(n, _)| *n == name) {
+                slot.1 = value;
+            } else {
+                out.push((name, value));
+            }
+        }
+        out.sort_by(|(a, _), (b, _)| a.cmp(b));
+        Tuple {
+            type_name,
+            fields: out.into(),
+        }
     }
 
     /// Number of fields.
@@ -54,7 +87,7 @@ impl Tuple {
     /// Looks up a field by name.
     pub fn get(&self, name: &str) -> Option<&Value> {
         self.fields
-            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .binary_search_by(|(n, _)| n.as_ref().cmp(name))
             .ok()
             .map(|i| &self.fields[i].1)
     }
@@ -101,10 +134,10 @@ impl Tuple {
     }
 
     /// Returns a copy of this tuple with one field replaced or added.
-    pub fn with_field(&self, name: impl Into<String>, value: impl Into<Value>) -> Tuple {
+    pub fn with_field(&self, name: impl Into<Arc<str>>, value: impl Into<Value>) -> Tuple {
         let name = name.into();
-        let mut fields: Vec<(String, Value)> = self.fields.to_vec();
-        match fields.binary_search_by(|(n, _)| n.as_str().cmp(name.as_str())) {
+        let mut fields: Vec<(Arc<str>, Value)> = self.fields.to_vec();
+        match fields.binary_search_by(|(n, _)| n.cmp(&name)) {
             Ok(i) => fields[i].1 = value.into(),
             Err(i) => fields.insert(i, (name, value.into())),
         }
@@ -131,13 +164,16 @@ impl fmt::Display for Tuple {
 /// Builder for [`Tuple`]; later duplicate field names overwrite earlier ones.
 #[derive(Debug)]
 pub struct TupleBuilder {
-    type_name: String,
-    fields: Vec<(String, Value)>,
+    type_name: Arc<str>,
+    fields: Vec<(Arc<str>, Value)>,
 }
 
 impl TupleBuilder {
-    /// Adds (or overwrites) a field.
-    pub fn field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+    /// Adds (or overwrites) a field. `Into<Arc<str>>` (rather than
+    /// `Into<String>`) keeps a `&str` name at exactly one allocation —
+    /// fields are stored `Arc<str>`-named, and routing through `String`
+    /// would pay a second alloc-and-copy on conversion.
+    pub fn field(mut self, name: impl Into<Arc<str>>, value: impl Into<Value>) -> Self {
         let name = name.into();
         let value = value.into();
         if let Some(slot) = self.fields.iter_mut().find(|(n, _)| *n == name) {
@@ -152,7 +188,7 @@ impl TupleBuilder {
     pub fn done(mut self) -> Tuple {
         self.fields.sort_by(|(a, _), (b, _)| a.cmp(b));
         Tuple {
-            type_name: self.type_name.into(),
+            type_name: self.type_name,
             fields: self.fields.into(),
         }
     }
@@ -191,7 +227,7 @@ mod tests {
         let a = Tuple::build("t").field("b", 1i64).field("a", 2i64).done();
         let b = Tuple::build("t").field("a", 2i64).field("b", 1i64).done();
         assert_eq!(a, b);
-        assert_eq!(a.fields()[0].0, "a");
+        assert_eq!(&*a.fields()[0].0, "a");
     }
 
     #[test]
@@ -215,6 +251,38 @@ mod tests {
     fn size_hint_counts_names_and_values() {
         let t = Tuple::build("tt").field("ab", 1i64).done();
         assert_eq!(t.size_hint(), 2 + 2 + 8);
+    }
+
+    #[test]
+    fn from_decoded_canonicalises_when_needed() {
+        let mk = |n: &str| -> Arc<str> { Arc::from(n) };
+        // Canonical input: fast path, order preserved verbatim.
+        let sorted = Tuple::from_decoded(
+            mk("t"),
+            vec![(mk("a"), Value::Int(1)), (mk("b"), Value::Int(2))],
+        );
+        assert_eq!(
+            sorted,
+            Tuple::build("t").field("a", 1i64).field("b", 2i64).done()
+        );
+        // Unsorted + duplicate input: builder semantics (sort, later wins).
+        let messy = Tuple::from_decoded(
+            mk("t"),
+            vec![
+                (mk("b"), Value::Int(2)),
+                (mk("a"), Value::Int(1)),
+                (mk("b"), Value::Int(9)),
+            ],
+        );
+        assert_eq!(
+            messy,
+            Tuple::build("t")
+                .field("b", 2i64)
+                .field("a", 1i64)
+                .field("b", 9i64)
+                .done()
+        );
+        assert_eq!(messy.get_int("b"), Some(9));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! closed set of typed values. Matching (and therefore equality) must be
 //! deterministic, so floats compare by bit pattern.
 
+use bytes::Bytes;
 use std::fmt;
 
 /// A single typed field value inside a [`crate::Tuple`].
@@ -19,8 +20,10 @@ pub enum Value {
     /// UTF-8 string.
     Str(String),
     /// Opaque binary payload (serialized application state — the analogue of
-    /// a serialized Java object travelling through the space).
-    Bytes(Vec<u8>),
+    /// a serialized Java object travelling through the space). Ref-counted:
+    /// cloning is O(1), and values decoded from a network frame borrow the
+    /// frame's allocation instead of copying out of it.
+    Bytes(Bytes),
     /// Ordered list of values.
     List(Vec<Value>),
 }
@@ -73,7 +76,7 @@ impl Value {
     /// Returns the byte slice if this is a `Bytes`.
     pub fn as_bytes(&self) -> Option<&[u8]> {
         match self {
-            Value::Bytes(v) => Some(v),
+            Value::Bytes(v) => Some(v.as_ref()),
             _ => None,
         }
     }
@@ -187,6 +190,12 @@ impl From<String> for Value {
 
 impl From<Vec<u8>> for Value {
     fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(Bytes::from(v))
+    }
+}
+
+impl From<Bytes> for Value {
+    fn from(v: Bytes) -> Self {
         Value::Bytes(v)
     }
 }
@@ -249,7 +258,7 @@ mod tests {
         assert_eq!(Value::Int(0).size_hint(), 8);
         assert_eq!(Value::Bool(true).size_hint(), 1);
         assert_eq!(Value::Str("abcd".into()).size_hint(), 4);
-        assert_eq!(Value::Bytes(vec![0; 100]).size_hint(), 100);
+        assert_eq!(Value::from(vec![0u8; 100]).size_hint(), 100);
         assert_eq!(
             Value::List(vec![Value::Int(0), Value::Int(1)]).size_hint(),
             24
@@ -260,6 +269,6 @@ mod tests {
     fn display_formats() {
         assert_eq!(format!("{}", Value::Int(5)), "5");
         assert_eq!(format!("{}", Value::Str("a".into())), "\"a\"");
-        assert_eq!(format!("{}", Value::Bytes(vec![1, 2])), "<2 bytes>");
+        assert_eq!(format!("{}", Value::from(vec![1u8, 2])), "<2 bytes>");
     }
 }

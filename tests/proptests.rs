@@ -6,7 +6,10 @@ use adaptive_spaces::apps::prefetch::{LinkGraph, LruCache, PageRank, StochasticM
 use adaptive_spaces::framework::{Signal, WorkerState};
 use adaptive_spaces::snmp::codec::{decode_message, encode_message};
 use adaptive_spaces::snmp::{ErrorStatus, Message, Oid, Pdu, PduType, SnmpValue, VERSION_2C};
-use adaptive_spaces::space::{Lease, Space, Template, Tuple, Value, WalOptions};
+use adaptive_spaces::space::{
+    decode_frame, Bytes, Lease, NameInterner, Payload, Space, Template, Tuple, Value, WalOptions,
+    WireReader,
+};
 
 // ---------------------------------------------------------------------
 // Tuple space: model-based conservation of entries.
@@ -154,7 +157,7 @@ fn leaf_value_strategy() -> impl Strategy<Value = Value> {
         any::<u64>().prop_map(|bits| Value::Float(f64::from_bits(bits))),
         any::<bool>().prop_map(Value::Bool),
         "[a-zA-Z0-9 ]{0,24}".prop_map(Value::Str),
-        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::Bytes),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(Value::from),
     ]
 }
 
@@ -541,5 +544,87 @@ proptest! {
     #[test]
     fn task_timing_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..80)) {
         let _ = TaskTiming::from_bytes(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire decode: the borrowed (zero-copy, interned) decoder must be
+// observationally identical to the copying decoder it replaced.
+// ---------------------------------------------------------------------
+
+/// Values with genuinely nested lists (lists of lists), on top of the
+/// leaf coverage — including non-UTF-8 blobs from `leaf_value_strategy`.
+fn deep_value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        value_strategy(),
+        proptest::collection::vec(value_strategy(), 0..3).prop_map(Value::List),
+    ]
+}
+
+fn wire_tuple_strategy() -> impl Strategy<Value = Tuple> {
+    (
+        "[a-z.]{1,12}",
+        proptest::collection::btree_map("[a-z_]{1,8}", deep_value_strategy(), 0..8),
+    )
+        .prop_map(|(ty, fields)| {
+            let mut builder = Tuple::build(ty.as_str());
+            for (name, value) in fields {
+                builder = builder.field(name, value);
+            }
+            builder.done()
+        })
+}
+
+/// The decoder as it was before the zero-copy rework: an owned `String`
+/// per name, a copied `Vec<u8>` per blob, no interning. The reference
+/// implementation the borrowed decoder is checked against.
+fn legacy_copying_decode(frame: Bytes) -> Tuple {
+    fn legacy_value(r: &mut WireReader) -> Value {
+        match r.get_u8().unwrap() {
+            0 => Value::Int(r.get_i64().unwrap()),
+            1 => Value::Float(r.get_f64().unwrap()),
+            2 => Value::Bool(r.get_bool().unwrap()),
+            3 => Value::Str(r.get_str().unwrap()),
+            4 => Value::from(r.get_blob().unwrap()),
+            5 => {
+                let n = r.get_u32().unwrap() as usize;
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(legacy_value(r));
+                }
+                Value::List(items)
+            }
+            _ => panic!("bad value tag"),
+        }
+    }
+    let mut r = WireReader::new(frame);
+    let type_name = r.get_str().unwrap();
+    let n = r.get_u32().unwrap() as usize;
+    let mut builder = Tuple::build(type_name);
+    for _ in 0..n {
+        let name = r.get_str().unwrap();
+        let value = legacy_value(&mut r);
+        builder = builder.field(name, value);
+    }
+    builder.done()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn borrowed_decode_matches_copying_decode(tuple in wire_tuple_strategy()) {
+        let frame = Bytes::from(tuple.to_bytes());
+        let mut interner = NameInterner::new();
+        let borrowed: Tuple = decode_frame(frame.clone(), &mut interner).unwrap();
+        let copied = legacy_copying_decode(frame.clone());
+        prop_assert_eq!(&borrowed, &copied);
+        prop_assert_eq!(&borrowed, &tuple);
+        // Re-encoding the borrowed decode reproduces the frame exactly —
+        // sharing the frame's allocation never leaks into the encoding.
+        prop_assert_eq!(borrowed.to_bytes(), frame.as_ref());
+        // A second decode through the now-warm name cache agrees too.
+        let again: Tuple = decode_frame(frame, &mut interner).unwrap();
+        prop_assert_eq!(again, tuple);
     }
 }
